@@ -1,0 +1,92 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark runs at a laptop-friendly scale by default; set the
+environment variable ``REPRO_PAPER_SCALE=1`` to run the paper-scale presets
+(the Fulfillment-2 instances then take a couple of minutes each, matching the
+paper's reported runtimes).
+
+The Table-I benchmarks accumulate their rows in a session-scoped collector and
+print the assembled table (ours vs. the paper) at the end of the session, so
+``pytest benchmarks/ --benchmark-only`` reproduces the paper's table directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import BenchmarkRow, table1_report
+from repro.core import SolverOptions, WSPSolver
+from repro.maps import MAP_REGISTRY
+from repro.warehouse import Workload
+
+
+def paper_scale_enabled() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false", "no")
+
+
+@dataclass
+class Table1Collector:
+    """Accumulates Table-I rows across benchmark tests."""
+
+    rows: List[BenchmarkRow] = field(default_factory=list)
+
+    def add(self, row: BenchmarkRow) -> None:
+        self.rows.append(row)
+
+    def report(self) -> str:
+        ordered = sorted(self.rows, key=lambda r: (r.map_name, r.units_moved))
+        return table1_report(ordered)
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return paper_scale_enabled()
+
+
+@pytest.fixture(scope="session")
+def designed_maps() -> Dict[str, object]:
+    """Cache of generated maps so each preset is only built once per session."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def table1_collector():
+    collector = Table1Collector()
+    yield collector
+    if collector.rows:
+        print("\n\n" + collector.report() + "\n")
+
+
+def get_designed(designed_maps: Dict[str, object], name: str):
+    """Fetch (and cache) a designed warehouse from the map registry."""
+    if name not in designed_maps:
+        obj = MAP_REGISTRY[name]()
+        designed_maps[name] = obj.designed if hasattr(obj, "designed") else obj
+    return designed_maps[name]
+
+
+def solve_instance(designed, units: int, horizon: int, options: SolverOptions = None):
+    """Solve one uniform-workload instance end to end and return the solution."""
+    workload = Workload.uniform(designed.warehouse.catalog, units)
+    solver = WSPSolver(designed.traffic_system, options or SolverOptions())
+    solution = solver.solve(workload, horizon=horizon)
+    if not solution.succeeded:
+        raise AssertionError(f"instance {designed.warehouse.name}/{units}: {solution.message}")
+    return solution
+
+
+def row_from_solution(map_name: str, units: int, solution) -> BenchmarkRow:
+    return BenchmarkRow(
+        map_name=map_name,
+        unique_products=solution.instance.warehouse.num_products,
+        units_moved=units,
+        runtime_seconds=solution.synthesis_seconds,
+        num_agents=solution.num_agents,
+        units_delivered=solution.plan.total_delivered() if solution.plan else 0,
+        plan_feasible=solution.plan_is_feasible,
+        workload_serviced=solution.services_workload,
+    )

@@ -1,0 +1,68 @@
+"""Experiment E13 (ablation, ours): the topology design-space sweep.
+
+DESIGN.md calls out the component-length choice as the central topology knob
+of the co-design (it fixes the cycle time ``tc = 2m`` and therefore the
+delivery capacity within the timestep limit).  This benchmark sweeps the knob
+on a small fulfillment layout, checks the expected monotone trends, and
+records the capacity / agents trade-off alongside the runtime of the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import best_design, explore_component_lengths
+from repro.maps import FulfillmentLayout
+
+LAYOUT = FulfillmentLayout(
+    num_slices=2,
+    shelf_columns=5,
+    shelf_bands=3,
+    shelf_depth=1,
+    num_stations=2,
+    num_products=6,
+    name="bench-design-space",
+)
+WORKLOAD_UNITS = 24
+HORIZON = 1500
+
+
+def test_component_length_sweep(benchmark):
+    """Sweep the topology knob and verify the capacity trends + best pick."""
+
+    def run():
+        return explore_component_lengths(
+            LAYOUT, workload_units=WORKLOAD_UNITS, horizon=HORIZON, solve=True
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(points) >= 3
+
+    # Longer components always mean a coarser partition and no more periods.
+    for shorter, longer in zip(points, points[1:]):
+        assert shorter.num_components >= longer.num_components
+        assert shorter.num_periods >= longer.num_periods
+
+    solved = [p for p in points if p.solved]
+    assert solved, "at least one design must service the workload"
+    chosen = best_design(points)
+    assert chosen.solved
+    assert chosen.num_agents == min(p.num_agents for p in solved)
+
+    benchmark.extra_info["designs"] = len(points)
+    benchmark.extra_info["best_max_length"] = chosen.max_component_length
+    benchmark.extra_info["best_agents"] = chosen.num_agents
+    benchmark.extra_info["capacities"] = [p.total_capacity for p in points]
+
+
+def test_capacity_analysis_only(benchmark):
+    """The analysis-only sweep (no solving) is cheap enough for interactive use."""
+
+    def run():
+        return explore_component_lengths(
+            LAYOUT, workload_units=WORKLOAD_UNITS, horizon=HORIZON, solve=False
+        )
+
+    points = benchmark(run)
+    assert all(not p.solved for p in points)
+    assert any(p.capacity_feasible for p in points)

@@ -1,0 +1,57 @@
+"""Experiments E3 / E4: the evaluation maps (Fig. 4 and Fig. 5).
+
+The paper's figures show the two evaluation map families with their traffic
+systems.  These benchmarks regenerate the presets, check that their headline
+statistics track the paper's (cells, shelves, stations, products), verify the
+design rules, and measure the generation + rule-checking time (the "topology"
+part of the co-design loop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_traffic_system
+from repro.maps import MAP_REGISTRY, PAPER_MAP_STATS
+from repro.traffic import validate
+
+PRESETS = ["fulfillment-1", "fulfillment-2", "sorting-center"]
+
+
+@pytest.mark.parametrize("name", PRESETS)
+def test_map_generation(benchmark, name):
+    """Benchmark map + traffic-system generation; check geometry vs. the paper."""
+
+    def generate():
+        obj = MAP_REGISTRY[name]()
+        return obj.designed if hasattr(obj, "designed") else obj
+
+    designed = benchmark(generate)
+    grid = designed.warehouse.floorplan.grid
+    paper_cells, paper_shelves, _, paper_products = PAPER_MAP_STATS[name]
+
+    assert validate(designed.traffic_system).is_valid
+    assert designed.warehouse.num_products == paper_products
+    assert abs(grid.width * grid.height - paper_cells) / paper_cells < 0.25
+    if name != "sorting-center":
+        assert grid.num_shelves == paper_shelves
+
+    benchmark.extra_info["cells"] = grid.width * grid.height
+    benchmark.extra_info["paper_cells"] = paper_cells
+    benchmark.extra_info["shelves"] = grid.num_shelves
+    benchmark.extra_info["components"] = designed.traffic_system.num_components
+    benchmark.extra_info["max_component_length"] = designed.traffic_system.max_component_length
+
+
+@pytest.mark.parametrize("name", ["fulfillment-1", "sorting-center"])
+def test_figure_rendering(benchmark, name):
+    """The Fig. 4 / Fig. 5 ASCII rendering of the traffic system on the map."""
+    obj = MAP_REGISTRY[name]()
+    designed = obj.designed if hasattr(obj, "designed") else obj
+
+    text = benchmark(render_traffic_system, designed.traffic_system)
+    lines = text.splitlines()
+    grid = designed.warehouse.floorplan.grid
+    assert len(lines) == grid.height
+    # Every component exit is marked, exactly like the green "!" cells of Fig. 4.
+    assert text.count("!") == designed.traffic_system.num_components

@@ -1,0 +1,89 @@
+"""Experiment E11 (ablation): the realization stage and Property 4.1.
+
+The paper states that converting an agent flow set into a plan "is small"
+compared to the synthesis time and that cycle time ``tc = 2m`` suffices for
+every agent to advance one component per period (Property 4.1).  These
+benchmarks measure the realization cost on growing instances and check the
+property (and the effect of relaxing the cycle-time factor and of disabling
+agent preloading).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    RealizationOptions,
+    SynthesisOptions,
+    build_delivery_schedule,
+    decompose_flow_set,
+    realize_cycle_set,
+    synthesize_flows,
+)
+from repro.warehouse import PlanValidator, Workload
+
+from .conftest import get_designed
+
+
+def _prepare(designed, units: int, horizon: int, factor: int = 2):
+    workload = Workload.uniform(designed.warehouse.catalog, units)
+    result = synthesize_flows(
+        designed.traffic_system,
+        workload,
+        horizon=horizon,
+        options=SynthesisOptions(cycle_time_factor=factor),
+    )
+    assert result.succeeded
+    cycle_set = decompose_flow_set(result.flow_set)
+    schedule = build_delivery_schedule(result.flow_set, workload)
+    return workload, cycle_set, schedule
+
+
+@pytest.mark.parametrize("units", [16, 48])
+def test_realization_runtime(benchmark, designed_maps, units):
+    """Realization cost as the number of agents grows."""
+    designed = get_designed(designed_maps, "fulfillment-1-small")
+    workload, cycle_set, schedule = _prepare(designed, units, horizon=1500)
+
+    result = benchmark.pedantic(
+        lambda: realize_cycle_set(cycle_set, schedule.copy()), rounds=2, iterations=1
+    )
+    assert result.property41_violations == 0
+    assert PlanValidator(designed.warehouse).is_feasible(result.plan)
+    assert result.plan.services(workload)
+    benchmark.extra_info["num_agents"] = cycle_set.num_agents
+    benchmark.extra_info["horizon"] = result.plan.horizon
+
+
+@pytest.mark.parametrize("factor", [2, 3])
+def test_cycle_time_factor_ablation(benchmark, designed_maps, factor):
+    """Property 4.1 holds at factor 2; larger factors only add slack (and time)."""
+    designed = get_designed(designed_maps, "sorting-center-small")
+    workload, cycle_set, schedule = _prepare(designed, 16, horizon=1500, factor=factor)
+
+    result = benchmark.pedantic(
+        lambda: realize_cycle_set(cycle_set, schedule.copy()), rounds=1, iterations=1
+    )
+    assert result.property41_violations == 0
+    assert result.plan.services(workload)
+    benchmark.extra_info["cycle_time"] = cycle_set.cycle_time
+    benchmark.extra_info["num_periods"] = cycle_set.num_periods
+
+
+@pytest.mark.parametrize("preload", [True, False])
+def test_preload_ablation(benchmark, designed_maps, preload):
+    """Agent preloading removes the warm-up lag (more units delivered)."""
+    designed = get_designed(designed_maps, "fulfillment-2-small")
+    workload, cycle_set, schedule = _prepare(designed, 36, horizon=1500)
+
+    result = benchmark.pedantic(
+        lambda: realize_cycle_set(
+            cycle_set, schedule.copy(), RealizationOptions(preload_agents=preload)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.property41_violations == 0
+    benchmark.extra_info["units_delivered"] = result.total_delivered
+    if preload:
+        assert result.plan.services(workload)

@@ -1,0 +1,66 @@
+"""Experiments E5–E7: regenerate the paper's Table I.
+
+Nine WSP instances — three workload sizes on each of the three evaluation maps
+— are solved end to end; the benchmarked quantity is the agent-flow-synthesis
+runtime, which is exactly what the paper's Table I reports.  The assembled
+table (with the paper's runtimes side by side and the plan-level verification
+columns the paper omits) is printed at the end of the benchmark session.
+
+By default the structurally identical small presets are used so the whole
+suite runs in well under a minute; set ``REPRO_PAPER_SCALE=1`` to run the
+paper-scale maps and workloads (Fulfillment-2 then takes on the order of a
+minute per instance, as in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import get_designed, paper_scale_enabled, row_from_solution, solve_instance
+
+#: (map preset, workloads, horizon) per Table-I block, at both scales.
+PAPER_INSTANCES = {
+    "sorting-center": ((160, 320, 480), 3600),
+    "fulfillment-1": ((550, 825, 1100), 3600),
+    "fulfillment-2": ((1200, 1320, 1440), 3600),
+}
+SMALL_INSTANCES = {
+    "sorting-center-small": ((16, 32, 48), 1500),
+    "fulfillment-1-small": ((24, 36, 48), 1500),
+    "fulfillment-2-small": ((36, 48, 60), 1500),
+}
+
+
+def _instances():
+    table = PAPER_INSTANCES if paper_scale_enabled() else SMALL_INSTANCES
+    for map_name, (workloads, horizon) in table.items():
+        for units in workloads:
+            yield map_name, units, horizon
+
+
+@pytest.mark.parametrize(
+    "map_name, units, horizon",
+    list(_instances()),
+    ids=[f"{m}-{u}" for m, u, _ in _instances()],
+)
+def test_table1_instance(benchmark, map_name, units, horizon, designed_maps, table1_collector):
+    """One Table-I row: benchmark the flow synthesis, verify the realized plan."""
+    designed = get_designed(designed_maps, map_name)
+    solutions = []
+
+    def run():
+        solution = solve_instance(designed, units, horizon)
+        solutions.append(solution)
+        return solution.synthesis_seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    solution = solutions[-1]
+    table1_collector.add(row_from_solution(map_name, units, solution))
+
+    # The realized plan must be feasible and actually service the workload —
+    # the paper's headline claim for every Table-I instance.
+    assert solution.plan_is_feasible
+    assert solution.services_workload
+    benchmark.extra_info["synthesis_seconds"] = solution.synthesis_seconds
+    benchmark.extra_info["num_agents"] = solution.num_agents
+    benchmark.extra_info["units_delivered"] = solution.plan.total_delivered()

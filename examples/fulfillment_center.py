@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fulfillment-center scenario: the paper's Table-I Fulfillment-1 instances.
+
+Generates the Fulfillment-1 map preset (the Kiva-style map with 560 shelves,
+4 stations and 55 products), solves the three Table-I workloads (550 / 825 /
+1100 units, T = 3600), and prints a Table-I-style report comparing our
+runtimes with the paper's.
+
+Run with:        python examples/fulfillment_center.py
+Fast variant:    python examples/fulfillment_center.py --small
+"""
+
+import argparse
+
+from repro.analysis import BenchmarkRow, compute_plan_metrics, table1_report
+from repro.core import WSPSolver
+from repro.maps import fulfillment_center_1, fulfillment_center_1_small
+from repro.warehouse import Workload
+
+#: The paper's Fulfillment-1 workload sizes (units moved).
+PAPER_WORKLOADS = (550, 825, 1100)
+SMALL_WORKLOADS = (24, 36, 48)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="use the structurally identical small map preset (fast)",
+    )
+    parser.add_argument("--horizon", type=int, default=3600, help="timestep limit T")
+    args = parser.parse_args()
+
+    designed = fulfillment_center_1_small() if args.small else fulfillment_center_1()
+    warehouse = designed.warehouse
+    traffic_system = designed.traffic_system
+    workloads = SMALL_WORKLOADS if args.small else PAPER_WORKLOADS
+    horizon = 1500 if args.small else args.horizon
+
+    print(warehouse.summary())
+    print(traffic_system.summary())
+    print(
+        f"cycle time tc = {traffic_system.cycle_time()} timesteps, "
+        f"{horizon // traffic_system.cycle_time()} cycle periods in T = {horizon}, "
+        f"station capacity {traffic_system.station_throughput_capacity()} deliveries/period"
+    )
+    print()
+
+    solver = WSPSolver(traffic_system)
+    rows = []
+    for units in workloads:
+        workload = Workload.uniform(warehouse.catalog, units)
+        solution = solver.solve(workload, horizon=horizon)
+        if not solution.succeeded:
+            print(f"workload {units}: INFEASIBLE ({solution.message})")
+            continue
+        metrics = compute_plan_metrics(solution.plan, workload)
+        rows.append(
+            BenchmarkRow(
+                map_name=warehouse.name,
+                unique_products=warehouse.num_products,
+                units_moved=units,
+                runtime_seconds=solution.synthesis_seconds,
+                num_agents=solution.num_agents,
+                units_delivered=metrics.units_delivered,
+                plan_feasible=solution.plan_is_feasible,
+                workload_serviced=solution.services_workload,
+            )
+        )
+        print(
+            f"workload {units:5d}: {solution.num_agents:4d} agents, "
+            f"synthesis {solution.synthesis_seconds:6.2f}s, "
+            f"end-to-end {solution.total_seconds:6.2f}s, "
+            f"workload serviced by t = {metrics.service_makespan}"
+        )
+
+    print()
+    print(table1_report(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a small Warehouse Servicing Problem end to end.
+
+This walks through the full methodology of the paper (Fig. 2) on a small
+generated warehouse:
+
+1. generate a warehouse together with a traffic system (co-design);
+2. state a workload and a timestep limit (a WSP instance, Problem 3.1);
+3. synthesize an agent flow set from the component + workload contracts;
+4. decompose the flow set into agent cycles;
+5. realize the cycles as a concrete, collision-free plan;
+6. independently validate the plan and check that it services the workload.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis import compute_plan_metrics, render_plan_frame, render_traffic_system
+from repro.core import SolverOptions, WSPSolver
+from repro.maps import figure1_warehouse, toy_warehouse
+from repro.warehouse import PlanValidator, Workload
+
+
+def show_figure1_model() -> None:
+    """The Fig. 1 toy warehouse: the formal model without any planning."""
+    warehouse = figure1_warehouse()
+    floorplan = warehouse.floorplan
+    print("=== Fig. 1 example warehouse (model only) ===")
+    print(warehouse.summary())
+    print(f"floorplan: {floorplan.summary()}")
+    shelf_cells = sorted(floorplan.cell_of(v) for v in floorplan.shelf_access)
+    station_cells = sorted(floorplan.cell_of(v) for v in floorplan.stations)
+    print(f"shelf-access cells S: {shelf_cells}")
+    print(f"station cells R:      {station_cells}")
+    print()
+
+
+def solve_toy_instance() -> None:
+    """The full pipeline on the smallest generated warehouse."""
+    print("=== Co-design pipeline on the toy warehouse ===")
+    designed = toy_warehouse()
+    warehouse = designed.warehouse
+    traffic_system = designed.traffic_system
+    print(warehouse.summary())
+    print(traffic_system.summary())
+    print()
+    print("Traffic system (arrows point along components, '!' marks exits):")
+    print(render_traffic_system(traffic_system))
+    print()
+
+    # A workload: two units of every product within 600 timesteps.
+    workload = Workload.uniform(warehouse.catalog, 8)
+    solver = WSPSolver(traffic_system, SolverOptions())
+    solution = solver.solve(workload, horizon=600)
+
+    print("--- stage by stage (the paper's Fig. 2 workflow) ---")
+    print(f"1. flow synthesis:   {solution.flow_set.summary()}")
+    print(f"                     model: {solution.synthesis.num_variables} variables, "
+          f"{solution.synthesis.num_constraints} constraints, "
+          f"{solution.synthesis.solve_seconds:.3f}s solve time")
+    print(f"2. decomposition:    {solution.cycle_set.summary()}")
+    print(f"3. realization:      {solution.realization.summary()}")
+    report = PlanValidator(warehouse).validate(solution.plan)
+    print(f"4. validation:       {report.summary()}")
+    print(f"   services workload: {solution.services_workload}")
+    print()
+
+    metrics = compute_plan_metrics(solution.plan, workload)
+    print("--- plan metrics ---")
+    for key, value in metrics.as_dict().items():
+        print(f"  {key:18s} {value:.3f}" if isinstance(value, float) else f"  {key:18s} {value}")
+    print()
+    print("Warehouse snapshot a few periods in (a = empty agent, A = loaded agent):")
+    print(render_plan_frame(solution.plan, min(3 * solution.flow_set.cycle_time,
+                                               solution.plan.horizon - 1)))
+    print()
+    print(solution.summary())
+
+
+if __name__ == "__main__":
+    show_figure1_model()
+    solve_toy_instance()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Topology co-design: exploring the component-length knob of the traffic system.
+
+The paper's title promises co-design of *topology*, scheduling and path
+planning.  The topology knob exposed by this repository's map generators is
+``max_component_length``: the same warehouse floor can be partitioned into a
+few long components or many short ones, and that single choice drives the
+whole methodology through the cycle time ``tc = 2m``:
+
+* long components  → few cycle periods within T → low delivery capacity,
+  but few components to coordinate;
+* short components → many periods → high capacity, but each component
+  supports fewer concurrent cycles and more agents are needed per delivery.
+
+This example sweeps the knob on a mid-size fulfillment layout, prints the
+capacity / agent trade-off for a fixed workload, and picks the design that
+services the workload with the fewest agents.
+
+Run with:  python examples/topology_codesign.py
+"""
+
+from repro.analysis import format_table
+from repro.core import best_design, explore_component_lengths
+from repro.maps import FulfillmentLayout
+
+LAYOUT = FulfillmentLayout(
+    num_slices=3,
+    shelf_columns=6,
+    shelf_bands=3,
+    shelf_depth=2,
+    num_stations=3,
+    num_products=12,
+    name="codesign-demo",
+)
+WORKLOAD_UNITS = 60
+HORIZON = 2400
+
+
+def main() -> None:
+    print(f"layout: {LAYOUT.num_slices} slices x {LAYOUT.shelf_columns} shelf columns, "
+          f"{LAYOUT.num_shelves} shelves, {LAYOUT.num_products} products")
+    print(f"workload: {WORKLOAD_UNITS} units within T = {HORIZON} timesteps")
+    print()
+
+    points = explore_component_lengths(
+        LAYOUT, workload_units=WORKLOAD_UNITS, horizon=HORIZON, solve=True
+    )
+
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                point.max_component_length,
+                point.num_components,
+                point.longest_component,
+                point.cycle_time,
+                point.num_periods,
+                point.capacity_per_period,
+                point.total_capacity,
+                "yes" if point.capacity_feasible else "no",
+                point.num_agents if point.solved else "-",
+                f"{point.synthesis_seconds:.2f}" if point.solved else "-",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=[
+                "max len",
+                "components",
+                "m",
+                "tc",
+                "periods",
+                "cap/period",
+                "capacity",
+                "feasible",
+                "agents",
+                "synth (s)",
+            ],
+            title="Topology design space (component-length sweep)",
+        )
+    )
+    print()
+
+    chosen = best_design(points)
+    print(f"chosen design: {chosen.summary()}")
+    print()
+    print("Reading the table: chopping the serpentines into short components buys")
+    print("many cycle periods (capacity) but each delivery needs its own short-")
+    print("hop cycle slots; leaving them long starves the schedule of periods.")
+    print("The co-design sweet spot sits in between — which is exactly why the")
+    print("generator's default splits components at max(slice width, corridor).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on offline environments that lack the
+``wheel`` package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

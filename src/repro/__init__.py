@@ -1,0 +1,22 @@
+"""repro — reproduction of "Co-Design of Topology, Scheduling, and Path Planning
+in Automated Warehouses" (Leet, Oh, Lora, Koenig, Nuzzo — DATE 2023).
+
+The package is organised as a set of substrates plus the co-design core:
+
+* :mod:`repro.solver`     — ILP / LP constraint solving (replaces Z3).
+* :mod:`repro.contracts`  — assume-guarantee contract algebra (replaces CHASE).
+* :mod:`repro.warehouse`  — the WSP formalization: maps, products, workloads, plans.
+* :mod:`repro.maps`       — evaluation maps (fulfillment centers, sorting center).
+* :mod:`repro.traffic`    — the traffic-system design framework (components, rules).
+* :mod:`repro.core`       — flow synthesis, cycle decomposition, realization, pipeline.
+* :mod:`repro.mapf`       — MAPF / MAPD baselines (A*, CBS, ECBS/EECBS, MAPD).
+* :mod:`repro.analysis`   — metrics, reporting and ASCII visualization.
+* :mod:`repro.io`         — map / plan serialization.
+
+The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`;
+see ``examples/quickstart.py`` for a five-minute tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

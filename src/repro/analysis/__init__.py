@@ -1,0 +1,36 @@
+"""Metrics, report formatting and ASCII visualization."""
+
+from .metrics import PlanMetrics, agent_utilization, compute_plan_metrics, service_makespan
+from .reporting import (
+    PAPER_TABLE1,
+    BenchmarkRow,
+    format_markdown_table,
+    format_table,
+    paper_runtime,
+    scaling_report,
+    table1_report,
+)
+from .visualization import (
+    render_component_legend,
+    render_grid,
+    render_plan_frame,
+    render_traffic_system,
+)
+
+__all__ = [
+    "BenchmarkRow",
+    "PAPER_TABLE1",
+    "PlanMetrics",
+    "agent_utilization",
+    "compute_plan_metrics",
+    "format_markdown_table",
+    "format_table",
+    "paper_runtime",
+    "render_component_legend",
+    "render_grid",
+    "render_plan_frame",
+    "render_traffic_system",
+    "scaling_report",
+    "service_makespan",
+    "table1_report",
+]

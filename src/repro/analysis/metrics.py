@@ -1,0 +1,100 @@
+"""Plan- and solution-level metrics used by reports, examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..warehouse.plan import Plan
+from ..warehouse.products import EMPTY_HANDED
+from ..warehouse.workload import Workload
+
+
+@dataclass(frozen=True)
+class PlanMetrics:
+    """Aggregate statistics of one realized plan.
+
+    Attributes
+    ----------
+    num_agents, horizon:
+        Team size and plan length in timesteps.
+    units_delivered:
+        Total units dropped off at stations.
+    service_makespan:
+        First timestep by which the given workload is fully serviced
+        (``None`` when the plan never services it).
+    throughput:
+        Units delivered per timestep over the whole plan.
+    move_ratio:
+        Fraction of agent-timesteps spent moving (vs. waiting).
+    loaded_ratio:
+        Fraction of agent-timesteps spent carrying a product.
+    total_distance:
+        Total number of cell moves across all agents.
+    """
+
+    num_agents: int
+    horizon: int
+    units_delivered: int
+    service_makespan: Optional[int]
+    throughput: float
+    move_ratio: float
+    loaded_ratio: float
+    total_distance: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_agents": self.num_agents,
+            "horizon": self.horizon,
+            "units_delivered": self.units_delivered,
+            "service_makespan": -1 if self.service_makespan is None else self.service_makespan,
+            "throughput": self.throughput,
+            "move_ratio": self.move_ratio,
+            "loaded_ratio": self.loaded_ratio,
+            "total_distance": self.total_distance,
+        }
+
+
+def service_makespan(plan: Plan, workload: Workload) -> Optional[int]:
+    """The first timestep by which every demanded unit has reached a station."""
+    remaining = dict(workload.as_dict())
+    if not remaining:
+        return 0
+    outstanding = sum(remaining.values())
+    deliveries = sorted(plan.deliveries(), key=lambda item: item[1])
+    for _, timestep, product in deliveries:
+        if remaining.get(product, 0) > 0:
+            remaining[product] -= 1
+            outstanding -= 1
+            if outstanding == 0:
+                return timestep
+    return None
+
+
+def compute_plan_metrics(plan: Plan, workload: Optional[Workload] = None) -> PlanMetrics:
+    """Compute :class:`PlanMetrics` for a plan (optionally against a workload)."""
+    positions = plan.positions
+    moves = positions[:, 1:] != positions[:, :-1]
+    total_distance = int(moves.sum())
+    agent_steps = plan.num_agents * max(1, plan.horizon - 1)
+    loaded_steps = int((plan.carrying != EMPTY_HANDED).sum())
+    delivered = plan.total_delivered()
+    makespan = service_makespan(plan, workload) if workload is not None else None
+    return PlanMetrics(
+        num_agents=plan.num_agents,
+        horizon=plan.horizon,
+        units_delivered=delivered,
+        service_makespan=makespan,
+        throughput=delivered / max(1, plan.horizon - 1),
+        move_ratio=total_distance / agent_steps,
+        loaded_ratio=loaded_steps / (plan.num_agents * plan.horizon),
+        total_distance=total_distance,
+    )
+
+
+def agent_utilization(plan: Plan) -> np.ndarray:
+    """Per-agent fraction of timesteps spent moving."""
+    moves = plan.positions[:, 1:] != plan.positions[:, :-1]
+    return moves.mean(axis=1)

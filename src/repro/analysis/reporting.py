@@ -1,0 +1,129 @@
+"""Report formatting: Table-I-style benchmark tables and comparison summaries.
+
+The benchmark harness collects one :class:`BenchmarkRow` per WSP instance and
+renders them the way the paper's Table I does (map, unique products, units
+moved, runtime), side by side with the paper's reported numbers where
+available, plus the plan-level verification columns the paper does not print
+(units actually delivered by the realized plan, feasibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class BenchmarkRow:
+    """One Table-I-style row."""
+
+    map_name: str
+    unique_products: int
+    units_moved: int
+    runtime_seconds: float
+    paper_runtime_seconds: Optional[float] = None
+    num_agents: int = 0
+    units_delivered: int = 0
+    plan_feasible: Optional[bool] = None
+    workload_serviced: Optional[bool] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+#: Paper Table I, for side-by-side reporting: (map, products, units) -> runtime (s).
+PAPER_TABLE1: Dict[Tuple[str, int, int], float] = {
+    ("sorting-center", 36, 160): 8.054,
+    ("sorting-center", 36, 320): 8.343,
+    ("sorting-center", 36, 480): 14.437,
+    ("fulfillment-1", 55, 550): 6.939,
+    ("fulfillment-1", 55, 825): 7.001,
+    ("fulfillment-1", 55, 1100): 8.014,
+    ("fulfillment-2", 120, 1200): 65.880,
+    ("fulfillment-2", 120, 1320): 65.886,
+    ("fulfillment-2", 120, 1440): 67.825,
+}
+
+
+def paper_runtime(map_name: str, products: int, units: int) -> Optional[float]:
+    """The paper's Table-I runtime for an instance, if it reports one."""
+    return PAPER_TABLE1.get((map_name, products, units))
+
+
+def format_table(
+    rows: Sequence[Sequence[str]], headers: Sequence[str], title: str = ""
+) -> str:
+    """Plain-text table with aligned columns (no external dependencies)."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    normalized = [[str(cell) for cell in row] for row in rows]
+    for row in normalized:
+        if len(row) != columns:
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in normalized)
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Sequence[str]], headers: Sequence[str]) -> str:
+    """GitHub-flavoured markdown table (used to fill EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def table1_report(rows: Sequence[BenchmarkRow], markdown: bool = False) -> str:
+    """Render benchmark rows in the paper's Table-I format (plus verification)."""
+    headers = [
+        "Map",
+        "Unique Products",
+        "Units Moved",
+        "Runtime (s)",
+        "Paper Runtime (s)",
+        "Agents",
+        "Delivered",
+        "Feasible",
+        "Serviced",
+    ]
+    body: List[List[str]] = []
+    for row in rows:
+        paper = row.paper_runtime_seconds
+        if paper is None:
+            paper = paper_runtime(row.map_name, row.unique_products, row.units_moved)
+        body.append(
+            [
+                row.map_name,
+                str(row.unique_products),
+                str(row.units_moved),
+                f"{row.runtime_seconds:.3f}",
+                "-" if paper is None else f"{paper:.3f}",
+                str(row.num_agents),
+                str(row.units_delivered),
+                "-" if row.plan_feasible is None else ("yes" if row.plan_feasible else "NO"),
+                "-" if row.workload_serviced is None else ("yes" if row.workload_serviced else "NO"),
+            ]
+        )
+    if markdown:
+        return format_markdown_table(body, headers)
+    return format_table(body, headers, title="Table I — benchmark of the methodology")
+
+
+def scaling_report(
+    rows: Sequence[Tuple[str, int, float]], markdown: bool = False
+) -> str:
+    """Render (label, size, runtime) scaling sweeps (baseline comparison, ablations)."""
+    headers = ["Configuration", "Size", "Runtime (s)"]
+    body = [[label, str(size), f"{runtime:.3f}"] for label, size, runtime in rows]
+    if markdown:
+        return format_markdown_table(body, headers)
+    return format_table(body, headers)

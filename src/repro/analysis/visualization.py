@@ -1,0 +1,119 @@
+"""ASCII visualization of maps, traffic systems and plans.
+
+The paper's Fig. 4 / Fig. 5 render the traffic system on top of the warehouse
+map: every component cell shows an arrow pointing to the next vertex of its
+component and every component exit ("tail") is highlighted.  These helpers
+reproduce that view in plain text so examples and reports can embed it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..traffic.system import TrafficSystem
+from ..warehouse.grid import EMPTY, OBSTACLE, SHELF, STATION, GridMap
+from ..warehouse.plan import Plan
+
+#: Characters used when rendering a traffic system on top of a grid.
+ARROWS = {(1, 0): ">", (-1, 0): "<", (0, 1): "^", (0, -1): "v"}
+EXIT_MARK = "!"
+UNUSED_MARK = "."
+CELL_CHARS = {SHELF: "#", STATION: "T", OBSTACLE: "@", EMPTY: "."}
+
+
+def render_grid(grid: GridMap) -> str:
+    """The plain map (shelves ``#``, stations ``T``, obstacles ``@``)."""
+    rows = []
+    for y in range(grid.height - 1, -1, -1):
+        rows.append("".join(CELL_CHARS[grid.cell_type((x, y))] for x in range(grid.width)))
+    return "\n".join(rows)
+
+
+def render_traffic_system(system: TrafficSystem) -> str:
+    """The Fig. 4 / Fig. 5 view: arrows along components, ``!`` at exits.
+
+    Cells outside every component keep their map character; shelf and obstacle
+    cells are drawn as ``#`` and ``@``.
+    """
+    grid = system.warehouse.grid
+    if grid is None:
+        raise ValueError("the warehouse has no grid attached; cannot render")
+    floorplan = system.floorplan
+    overlay: Dict[tuple, str] = {}
+    for component in system.components:
+        for position, vertex in enumerate(component.vertices):
+            cell = floorplan.cell_of(vertex)
+            if position == component.length - 1:
+                overlay[cell] = EXIT_MARK
+            else:
+                nxt = floorplan.cell_of(component.vertices[position + 1])
+                delta = (nxt[0] - cell[0], nxt[1] - cell[1])
+                overlay[cell] = ARROWS.get(delta, "?")
+    rows = []
+    for y in range(grid.height - 1, -1, -1):
+        row = []
+        for x in range(grid.width):
+            cell = (x, y)
+            kind = grid.cell_type(cell)
+            if kind == SHELF:
+                row.append("#")
+            elif kind == OBSTACLE:
+                row.append("@")
+            elif cell in overlay:
+                row.append(overlay[cell])
+            elif kind == STATION:
+                row.append("T")
+            else:
+                row.append(UNUSED_MARK)
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_plan_frame(plan: Plan, timestep: int) -> str:
+    """A snapshot of the warehouse at one timestep of a plan.
+
+    Agents are drawn as ``a`` (empty-handed) or ``A`` (carrying); the rest of
+    the map uses the grid characters.
+    """
+    warehouse = plan.warehouse
+    grid = warehouse.grid
+    if grid is None:
+        raise ValueError("the warehouse has no grid attached; cannot render")
+    if not 0 <= timestep < plan.horizon:
+        raise ValueError(f"timestep {timestep} outside plan horizon {plan.horizon}")
+    floorplan = warehouse.floorplan
+    agents: Dict[tuple, str] = {}
+    for agent in range(plan.num_agents):
+        cell = floorplan.cell_of(int(plan.positions[agent, timestep]))
+        carrying = int(plan.carrying[agent, timestep])
+        agents[cell] = "A" if carrying else "a"
+    rows = []
+    for y in range(grid.height - 1, -1, -1):
+        row = []
+        for x in range(grid.width):
+            cell = (x, y)
+            if cell in agents:
+                row.append(agents[cell])
+            else:
+                row.append(CELL_CHARS[grid.cell_type(cell)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_component_legend(system: TrafficSystem, max_components: Optional[int] = None) -> str:
+    """A per-component legend (name, kind, length, connections)."""
+    lines = []
+    components = system.components
+    if max_components is not None:
+        components = components[:max_components]
+    for component in components:
+        outlets = ", ".join(
+            system.component(o).name for o in system.outlets_of(component.index)
+        )
+        lines.append(
+            f"{component.name:<28s} {component.kind.value:<13s} "
+            f"len={component.length:<4d} -> {outlets or '(none)'}"
+        )
+    if max_components is not None and len(system.components) > max_components:
+        lines.append(f"... (+{len(system.components) - max_components} more components)")
+    return "\n".join(lines)

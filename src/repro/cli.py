@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+The CLI exposes the common workflows without writing Python:
+
+* ``python -m repro maps`` — list the built-in map presets and their statistics;
+* ``python -m repro show --map NAME`` — render a map's traffic system (Fig. 4/5 view);
+* ``python -m repro solve --map NAME --units N [--horizon T]`` — run the full
+  pipeline on a preset and print a solution report (optionally saving the plan);
+* ``python -m repro table1`` — regenerate the paper's Table I (small presets by
+  default, ``--paper-scale`` for the full-size maps);
+* ``python -m repro validate --plan plan.json`` — re-validate a saved plan
+  against the three feasibility conditions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    BenchmarkRow,
+    compute_plan_metrics,
+    render_traffic_system,
+    table1_report,
+)
+from .core import SolverOptions, SynthesisOptions, WSPSolver
+from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map
+from .maps import MAP_REGISTRY, PAPER_MAP_STATS
+from .warehouse import PlanValidator, Workload
+
+#: The Table-I instance sets at both scales (map preset -> (units, horizon)).
+TABLE1_PAPER = {
+    "sorting-center": ((160, 320, 480), 3600),
+    "fulfillment-1": ((550, 825, 1100), 3600),
+    "fulfillment-2": ((1200, 1320, 1440), 3600),
+}
+TABLE1_SMALL = {
+    "sorting-center-small": ((16, 32, 48), 1500),
+    "fulfillment-1-small": ((24, 36, 48), 1500),
+    "fulfillment-2-small": ((36, 48, 60), 1500),
+}
+
+
+def _designed(name: str):
+    if name not in MAP_REGISTRY:
+        raise SystemExit(
+            f"unknown map {name!r}; available: {', '.join(sorted(MAP_REGISTRY))}"
+        )
+    obj = MAP_REGISTRY[name]()
+    return obj.designed if hasattr(obj, "designed") else obj
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_maps(_: argparse.Namespace) -> int:
+    print(f"{'preset':<24s} {'cells':>6s} {'shelves':>8s} {'stations':>9s} {'products':>9s} {'components':>11s}")
+    for name in sorted(MAP_REGISTRY):
+        designed = _designed(name)
+        grid = designed.warehouse.floorplan.grid
+        system = designed.traffic_system
+        print(
+            f"{name:<24s} {grid.width * grid.height:>6d} {grid.num_shelves:>8d} "
+            f"{grid.num_stations:>9d} {designed.warehouse.num_products:>9d} "
+            f"{system.num_components:>11d}"
+        )
+        if name in PAPER_MAP_STATS:
+            cells, shelves, stations, products = PAPER_MAP_STATS[name]
+            print(
+                f"{'  (paper)':<24s} {cells:>6d} {shelves:>8d} {stations:>9d} {products:>9d}"
+            )
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    designed = _designed(args.map)
+    print(designed.warehouse.summary())
+    print(designed.traffic_system.summary())
+    print()
+    print(render_traffic_system(designed.traffic_system))
+    if args.save_map:
+        save_map(designed.warehouse.floorplan.grid, args.save_map)
+        print(f"\nmap written to {args.save_map}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    designed = _designed(args.map)
+    warehouse = designed.warehouse
+    workload = Workload.uniform(warehouse.catalog, args.units)
+    options = SolverOptions(
+        synthesis=SynthesisOptions(backend=args.backend, objective=args.objective)
+    )
+    solver = WSPSolver(designed.traffic_system, options)
+    solution = solver.solve(workload, horizon=args.horizon)
+    if not solution.succeeded:
+        print(f"INFEASIBLE: {solution.message}")
+        return 1
+    print(solution.summary())
+    print(f"plan feasible:      {solution.plan_is_feasible}")
+    print(f"workload serviced:  {solution.services_workload}")
+    metrics = compute_plan_metrics(solution.plan, workload)
+    print(f"service makespan:   {metrics.service_makespan}")
+    print(f"agents:             {metrics.num_agents}")
+    print(f"throughput:         {metrics.throughput:.3f} units/timestep")
+    for stage, seconds in sorted(solution.timings.items()):
+        print(f"  {stage:<14s} {seconds:8.3f}s")
+    if args.save_plan:
+        save_json(plan_to_dict(solution.plan), args.save_plan)
+        print(f"plan written to {args.save_plan}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    table = TABLE1_PAPER if args.paper_scale else TABLE1_SMALL
+    rows: List[BenchmarkRow] = []
+    for map_name, (workloads, horizon) in table.items():
+        designed = _designed(map_name)
+        solver = WSPSolver(designed.traffic_system)
+        for units in workloads:
+            workload = Workload.uniform(designed.warehouse.catalog, units)
+            solution = solver.solve(workload, horizon=horizon)
+            if not solution.succeeded:
+                print(f"{map_name}/{units}: INFEASIBLE — {solution.message}")
+                continue
+            rows.append(
+                BenchmarkRow(
+                    map_name=map_name,
+                    unique_products=designed.warehouse.num_products,
+                    units_moved=units,
+                    runtime_seconds=solution.synthesis_seconds,
+                    num_agents=solution.num_agents,
+                    units_delivered=solution.plan.total_delivered(),
+                    plan_feasible=solution.plan_is_feasible,
+                    workload_serviced=solution.services_workload,
+                )
+            )
+            print(
+                f"{map_name:<22s} units={units:5d}  synthesis={solution.synthesis_seconds:7.2f}s  "
+                f"agents={solution.num_agents}"
+            )
+    print()
+    print(table1_report(rows, markdown=args.markdown))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    plan = plan_from_dict(load_json(args.plan))
+    report = PlanValidator(plan.warehouse).validate(plan)
+    print(plan.summary())
+    print(report.summary())
+    for violation in report.violations[:20]:
+        print(f"  {violation}")
+    return 0 if report.is_feasible else 1
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contract-based co-design of warehouse traffic systems (DATE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    maps_parser = subparsers.add_parser("maps", help="list built-in map presets")
+    maps_parser.set_defaults(handler=cmd_maps)
+
+    show_parser = subparsers.add_parser("show", help="render a map's traffic system")
+    show_parser.add_argument("--map", required=True, help="map preset name")
+    show_parser.add_argument("--save-map", help="also write the grid in .map format")
+    show_parser.set_defaults(handler=cmd_show)
+
+    solve_parser = subparsers.add_parser("solve", help="solve a WSP instance on a preset map")
+    solve_parser.add_argument("--map", required=True, help="map preset name")
+    solve_parser.add_argument("--units", type=int, required=True, help="total workload units")
+    solve_parser.add_argument("--horizon", type=int, default=3600, help="timestep limit T")
+    solve_parser.add_argument("--backend", default="highs", help="ILP backend (highs, bnb, simplex-bnb)")
+    solve_parser.add_argument(
+        "--objective", default="min_agents", choices=("none", "min_agents", "min_carrying")
+    )
+    solve_parser.add_argument("--save-plan", help="write the realized plan as JSON")
+    solve_parser.set_defaults(handler=cmd_solve)
+
+    table1_parser = subparsers.add_parser("table1", help="regenerate the paper's Table I")
+    table1_parser.add_argument("--paper-scale", action="store_true", help="use the paper-scale presets")
+    table1_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    table1_parser.set_defaults(handler=cmd_table1)
+
+    validate_parser = subparsers.add_parser("validate", help="validate a saved plan")
+    validate_parser.add_argument("--plan", required=True, help="plan JSON file")
+    validate_parser.set_defaults(handler=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Assume-guarantee contract substrate (replaces the CHASE framework).
+
+Public surface:
+
+* :class:`AGContract`, :func:`compose_all`, :func:`top_contract` — the contract
+  objects and the composition used to build the traffic-system contract;
+* :func:`refines`, :func:`entails`, :func:`is_satisfiable`,
+  :func:`is_consistent`, :func:`is_compatible`,
+  :func:`check_composition_consistency` — decision procedures over the
+  conjunctive linear fragment, all reduced to LP/ILP queries.
+"""
+
+from .algebra import (
+    DEFAULT_STRICTNESS,
+    RefinementReport,
+    check_composition_consistency,
+    entails,
+    entails_all,
+    is_compatible,
+    is_consistent,
+    is_satisfiable,
+    negation_constraints,
+    refines,
+    strongest_bound,
+)
+from .contract import AGContract, ContractError, compose_all, top_contract, variable_index
+
+__all__ = [
+    "AGContract",
+    "ContractError",
+    "DEFAULT_STRICTNESS",
+    "RefinementReport",
+    "check_composition_consistency",
+    "compose_all",
+    "entails",
+    "entails_all",
+    "is_compatible",
+    "is_consistent",
+    "is_satisfiable",
+    "negation_constraints",
+    "refines",
+    "strongest_bound",
+    "top_contract",
+    "variable_index",
+]

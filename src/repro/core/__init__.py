@@ -1,0 +1,89 @@
+"""The co-design core: contracts, flow synthesis, cycle decomposition, realization.
+
+The public entry points are :class:`WSPSolver` / :func:`solve_wsp`; the
+individual stages are exposed for inspection, testing and ablation:
+
+* :func:`component_contract` / :func:`traffic_system_contract` /
+  :func:`workload_contract` — contract compilation (Sec. IV-D);
+* :func:`synthesize_flows` — contracts → ILP → :class:`AgentFlowSet`;
+* :func:`decompose_flow_set` — flow set → :class:`AgentCycleSet` (Sec. IV-E);
+* :func:`realize_cycle_set` — cycle set → collision-free plan (Sec. IV-C).
+"""
+
+from .agent_cycles import (
+    AgentCycle,
+    AgentCycleSet,
+    CycleAction,
+    CycleError,
+    DeliverySchedule,
+)
+from .component_contracts import component_contract, component_contracts, traffic_system_contract
+from .design_space import (
+    DesignPoint,
+    DesignSpaceError,
+    best_design,
+    candidate_lengths,
+    explore_component_lengths,
+)
+from .flow_decomposition import (
+    DecompositionError,
+    FlowPath,
+    build_delivery_schedule,
+    decompose_flow_set,
+    extract_carrying_paths,
+    extract_empty_paths,
+)
+from .flow_synthesis import (
+    AgentFlowSet,
+    FlowSynthesisError,
+    FlowSynthesisResult,
+    SynthesisOptions,
+    synthesize_flows,
+)
+from .flow_variables import FlowVariablePool
+from .pipeline import SolverOptions, WSPSolution, WSPSolver, solve_wsp
+from .realization import (
+    RealizationError,
+    RealizationOptions,
+    RealizationResult,
+    realize_cycle_set,
+)
+from .workload_contract import WorkloadContractError, workload_contract
+
+__all__ = [
+    "AgentCycle",
+    "AgentCycleSet",
+    "AgentFlowSet",
+    "CycleAction",
+    "CycleError",
+    "DecompositionError",
+    "DeliverySchedule",
+    "DesignPoint",
+    "DesignSpaceError",
+    "FlowPath",
+    "FlowSynthesisError",
+    "FlowSynthesisResult",
+    "FlowVariablePool",
+    "RealizationError",
+    "RealizationOptions",
+    "RealizationResult",
+    "SolverOptions",
+    "SynthesisOptions",
+    "WSPSolution",
+    "WSPSolver",
+    "WorkloadContractError",
+    "best_design",
+    "build_delivery_schedule",
+    "candidate_lengths",
+    "explore_component_lengths",
+    "component_contract",
+    "component_contracts",
+    "decompose_flow_set",
+    "extract_carrying_paths",
+    "extract_empty_paths",
+    "realize_cycle_set",
+    "solve_wsp",
+    "synthesize_flows",
+    "traffic_system_contract",
+    "workload_contract",
+]

@@ -1,0 +1,299 @@
+"""Agent cycles, agent cycle sets, and delivery schedules (Sec. IV-B of the paper).
+
+An *agent cycle* is a closed walk through the traffic-system graph that
+contains at least one target shelving row (where its agents pick products up)
+and one target station queue (where they drop products off).  The cycle hosts
+one agent per walk position; every cycle period each agent advances one
+position, so one agent crosses every pickup point and every drop-off point per
+period — the cycle delivers one unit per pickup/drop-off pair per period.
+
+*Which* product a pickup grabs is governed by a :class:`DeliverySchedule`: a
+per-shelving-row queue of product ids derived from the synthesized per-product
+flow rates and the workload.  This realizes the time multiplexing implied by
+the paper's real-valued flow rates (a product demanded at a fractional
+per-period rate is simply scheduled in a fraction of the periods); DESIGN.md
+documents the interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..traffic.system import ComponentId, TrafficSystem
+from ..warehouse.products import ProductId
+
+#: Cycle action kinds.
+PICKUP = "pickup"
+DROPOFF = "dropoff"
+
+
+class CycleError(ValueError):
+    """Raised for malformed agent cycles or cycle sets."""
+
+
+@dataclass(frozen=True)
+class CycleAction:
+    """A pickup or drop-off performed at one position of an agent cycle."""
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PICKUP, DROPOFF):
+            raise CycleError(f"unknown cycle action kind {self.kind!r}")
+
+    @property
+    def is_pickup(self) -> bool:
+        return self.kind == PICKUP
+
+    @property
+    def is_dropoff(self) -> bool:
+        return self.kind == DROPOFF
+
+
+@dataclass(frozen=True)
+class AgentCycle:
+    """A closed walk of components with pickup / drop-off actions.
+
+    ``components[p]`` is the component hosting the cycle's ``p``-th agent at
+    the start of the plan; ``actions[p]`` is the action performed whenever an
+    agent of the cycle traverses that position (or ``None``).
+    """
+
+    index: int
+    components: Tuple[ComponentId, ...]
+    actions: Tuple[Optional[CycleAction], ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise CycleError("an agent cycle needs at least one component")
+        if len(self.actions) != len(self.components):
+            raise CycleError("actions and components must have the same length")
+        picked = sum(1 for a in self.actions if a and a.is_pickup)
+        dropped = sum(1 for a in self.actions if a and a.is_dropoff)
+        if picked == 0 or dropped == 0:
+            raise CycleError(
+                "an agent cycle must contain a target shelving row (pickup) and "
+                "a target station queue (drop-off)"
+            )
+        if picked != dropped:
+            raise CycleError(
+                f"cycle {self.index} has {picked} pickups but {dropped} drop-offs"
+            )
+        self._check_alternation()
+
+    def _check_alternation(self) -> None:
+        """Pickups and drop-offs must alternate around the walk.
+
+        Otherwise an agent would be asked to pick up while already loaded or
+        drop off while empty.
+        """
+        first_action = next(
+            (p for p, a in enumerate(self.actions) if a is not None), None
+        )
+        if first_action is None:  # pragma: no cover - excluded above
+            raise CycleError("cycle has no actions")
+        expected: Optional[str] = None
+        for offset in range(self.length):
+            action = self.actions[(first_action + offset) % self.length]
+            if action is None:
+                continue
+            if expected is not None and action.kind != expected:
+                raise CycleError(
+                    f"cycle {self.index}: consecutive {action.kind} actions "
+                    "(pickups and drop-offs must alternate)"
+                )
+            expected = DROPOFF if action.is_pickup else PICKUP
+
+    # -- shape -----------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of walk positions b — also the number of agents in the cycle."""
+        return len(self.components)
+
+    @property
+    def num_agents(self) -> int:
+        return self.length
+
+    @property
+    def deliveries_per_period(self) -> int:
+        """One delivery per drop-off action per cycle period."""
+        return sum(1 for a in self.actions if a and a.is_dropoff)
+
+    def pickup_positions(self) -> Tuple[int, ...]:
+        return tuple(p for p, a in enumerate(self.actions) if a and a.is_pickup)
+
+    def dropoff_positions(self) -> Tuple[int, ...]:
+        return tuple(p for p, a in enumerate(self.actions) if a and a.is_dropoff)
+
+    def pickup_components(self) -> Tuple[ComponentId, ...]:
+        return tuple(self.components[p] for p in self.pickup_positions())
+
+    def dropoff_components(self) -> Tuple[ComponentId, ...]:
+        return tuple(self.components[p] for p in self.dropoff_positions())
+
+    def is_loaded_at(self, position: int) -> bool:
+        """Whether an agent leaving ``position`` is carrying a product.
+
+        Positions strictly between a pickup and the following drop-off are
+        loaded; the pickup position itself counts as loaded (the pickup happens
+        while traversing it), the drop-off position as empty.
+        """
+        for offset in range(self.length):
+            probe = (position - offset) % self.length
+            action = self.actions[probe]
+            if action is None:
+                continue
+            return action.is_pickup
+        return False  # pragma: no cover - cycles always have actions
+
+    def preceding_pickup(self, position: int) -> int:
+        """The position of the pickup governing the load at ``position``."""
+        for offset in range(self.length):
+            probe = (position - offset) % self.length
+            action = self.actions[probe]
+            if action is not None and action.is_pickup:
+                return probe
+        raise CycleError("cycle has no pickup action")  # pragma: no cover
+
+    def summary(self) -> str:
+        return (
+            f"cycle {self.index}: {self.length} components, "
+            f"{self.deliveries_per_period} deliveries/period"
+        )
+
+
+@dataclass
+class DeliverySchedule:
+    """Per-shelving-row queues of products to hand out at pickup time.
+
+    ``queues[row]`` lists the products, in order, that successive pickups at
+    that shelving-row component should grab.  The required workload units come
+    first (interleaved across products so every product is served early); the
+    remainder of the horizon's pickup slots is padded with the same product mix
+    so cycles keep delivering (the realized plan may over-deliver, never
+    under-deliver).
+    """
+
+    queues: Dict[ComponentId, List[ProductId]] = field(default_factory=dict)
+
+    def next_product(self, row: ComponentId) -> Optional[ProductId]:
+        """Pop the next product to pick at ``row`` (None when exhausted)."""
+        queue = self.queues.get(row)
+        if queue:
+            return queue.pop(0)
+        return None
+
+    def remaining(self, row: Optional[ComponentId] = None) -> int:
+        if row is not None:
+            return len(self.queues.get(row, []))
+        return sum(len(queue) for queue in self.queues.values())
+
+    def scheduled_units(self) -> Dict[ProductId, int]:
+        totals: Dict[ProductId, int] = {}
+        for queue in self.queues.values():
+            for product in queue:
+                totals[product] = totals.get(product, 0) + 1
+        return totals
+
+    def copy(self) -> "DeliverySchedule":
+        return DeliverySchedule({row: list(queue) for row, queue in self.queues.items()})
+
+
+@dataclass
+class AgentCycleSet:
+    """A set of agent cycles with a common cycle time."""
+
+    system: TrafficSystem
+    cycles: Tuple[AgentCycle, ...]
+    cycle_time: int
+    num_periods: int
+
+    # -- aggregates -------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return sum(cycle.num_agents for cycle in self.cycles)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    def deliveries_per_period(self) -> int:
+        return sum(cycle.deliveries_per_period for cycle in self.cycles)
+
+    def expected_deliveries(self) -> int:
+        return self.deliveries_per_period() * self.num_periods
+
+    def component_load(self) -> Dict[ComponentId, int]:
+        """Number of cycle positions on each component (agents parked there at t = 0)."""
+        load: Dict[ComponentId, int] = {}
+        for cycle in self.cycles:
+            for component in cycle.components:
+                load[component] = load.get(component, 0) + 1
+        return load
+
+    def pickups_per_period(self, row: ComponentId) -> int:
+        """Number of cycle pickup positions on a shelving row."""
+        return sum(
+            1
+            for cycle in self.cycles
+            for position in cycle.pickup_positions()
+            if cycle.components[position] == row
+        )
+
+    # -- validation ----------------------------------------------------------------
+    def check_capacity(self) -> List[str]:
+        """Property 4.1 precondition: no component used by more than ⌊|Ci|/2⌋ cycle positions."""
+        problems = []
+        for component_id, load in sorted(self.component_load().items()):
+            component = self.system.component(component_id)
+            if load > component.capacity:
+                problems.append(
+                    f"{component.name}: {load} cycle positions exceed capacity "
+                    f"⌊{component.length}/2⌋ = {component.capacity}"
+                )
+        return problems
+
+    def check_connectivity(self) -> List[str]:
+        """Every consecutive pair of cycle components must be a traffic-system arc."""
+        problems = []
+        edges = set(self.system.edges())
+        for cycle in self.cycles:
+            for position in range(cycle.length):
+                source = cycle.components[position]
+                target = cycle.components[(position + 1) % cycle.length]
+                if (source, target) not in edges:
+                    problems.append(
+                        f"cycle {cycle.index}: ({self.system.component(source).name} -> "
+                        f"{self.system.component(target).name}) is not a traffic-system connection"
+                    )
+        return problems
+
+    def check_kinds(self) -> List[str]:
+        """Pickups must sit on shelving rows, drop-offs on station queues."""
+        problems = []
+        for cycle in self.cycles:
+            for position in cycle.pickup_positions():
+                component = self.system.component(cycle.components[position])
+                if not component.is_shelving_row:
+                    problems.append(
+                        f"cycle {cycle.index}: pickup on non-shelving component {component.name!r}"
+                    )
+            for position in cycle.dropoff_positions():
+                component = self.system.component(cycle.components[position])
+                if not component.is_station_queue:
+                    problems.append(
+                        f"cycle {cycle.index}: drop-off on non-station component {component.name!r}"
+                    )
+        return problems
+
+    def validate(self) -> None:
+        problems = self.check_capacity() + self.check_connectivity() + self.check_kinds()
+        if problems:
+            raise CycleError("invalid agent cycle set:\n  " + "\n  ".join(problems))
+
+    def summary(self) -> str:
+        return (
+            f"agent cycle set: {self.num_cycles} cycles, {self.num_agents} agents, "
+            f"{self.deliveries_per_period()} deliveries/period over {self.num_periods} periods"
+        )

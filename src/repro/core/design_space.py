@@ -1,0 +1,150 @@
+"""Topology design-space exploration — the "co-design" loop around the pipeline.
+
+The traffic system is a design artifact: the same warehouse floor can be
+partitioned into longer or shorter components, and that choice drives the
+whole methodology through a single quantity, the longest component ``m``:
+
+* the cycle time is ``tc = 2m``, so fewer, longer components mean fewer cycle
+  periods within the timestep limit and therefore *less* delivery capacity;
+* but every component supports ``⌊|Ci|/2⌋`` concurrent cycles, so chopping the
+  layout into very short components throttles the flow through each of them
+  (and costs more agents for the same throughput).
+
+:func:`explore_component_lengths` sweeps the generator's
+``max_component_length`` knob for a layout, rebuilds the traffic system at
+each setting, derives the capacity analytics, and (optionally) runs the full
+pipeline on a reference workload to measure the number of agents and the
+synthesis time each design needs.  :func:`best_design` then picks the design
+that services the workload with the fewest agents — the simple feasible →
+better-design refinement loop the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..maps.fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
+from ..warehouse.workload import Workload
+from .pipeline import SolverOptions, WSPSolver
+
+
+class DesignSpaceError(ValueError):
+    """Raised for invalid exploration requests."""
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated traffic-system design."""
+
+    max_component_length: int
+    num_components: int
+    longest_component: int
+    cycle_time: int
+    num_periods: int
+    capacity_per_period: int
+    total_capacity: int
+    capacity_feasible: bool
+    num_agents: Optional[int] = None
+    synthesis_seconds: Optional[float] = None
+    services_workload: Optional[bool] = None
+    designed: Optional[DesignedWarehouse] = None
+
+    @property
+    def solved(self) -> bool:
+        return self.num_agents is not None
+
+    def summary(self) -> str:
+        solved = (
+            f", agents={self.num_agents}, synthesis={self.synthesis_seconds:.2f}s"
+            if self.solved
+            else ""
+        )
+        return (
+            f"max_len={self.max_component_length}: m={self.longest_component}, "
+            f"{self.num_components} components, tc={self.cycle_time}, "
+            f"{self.num_periods} periods, capacity={self.total_capacity}"
+            f" ({'ok' if self.capacity_feasible else 'short'}){solved}"
+        )
+
+
+def candidate_lengths(layout: FulfillmentLayout, count: int = 4) -> List[int]:
+    """A reasonable sweep of ``max_component_length`` values for a layout.
+
+    Starts at the smallest value that avoids capacity-zero chain pieces and
+    grows geometrically up to "no splitting at all" (one serpentine per slice).
+    """
+    minimum = max(4, layout.slice_width // 2)
+    natural = layout.resolved_max_component_length()
+    serpentine = (layout.shelf_bands + 1) * (layout.shelf_columns + 2) + layout.shelf_bands
+    values = {minimum, natural, serpentine}
+    step = max(2, (serpentine - minimum) // max(1, count - 1))
+    for value in range(minimum, serpentine + 1, step):
+        values.add(value)
+    return sorted(values)[: max(count, 3)]
+
+
+def explore_component_lengths(
+    layout: FulfillmentLayout,
+    workload_units: int,
+    horizon: int,
+    lengths: Optional[Sequence[int]] = None,
+    solve: bool = True,
+    solver_options: Optional[SolverOptions] = None,
+) -> List[DesignPoint]:
+    """Evaluate the layout at several ``max_component_length`` settings.
+
+    Each design point reports the derived cycle time, period count and
+    station-queue delivery capacity; with ``solve=True`` the full pipeline is
+    run on a uniform ``workload_units`` workload to measure agents and
+    synthesis time (infeasible designs are kept, marked unsolved).
+    """
+    if workload_units < 0:
+        raise DesignSpaceError("workload_units must be non-negative")
+    lengths = list(lengths) if lengths is not None else candidate_lengths(layout)
+    if not lengths:
+        raise DesignSpaceError("no candidate component lengths to explore")
+
+    points: List[DesignPoint] = []
+    for max_length in sorted(set(lengths)):
+        candidate_layout = replace(layout, max_component_length=max_length)
+        designed = generate_fulfillment_center(candidate_layout)
+        system = designed.traffic_system
+        cycle_time = system.cycle_time()
+        num_periods = horizon // cycle_time if cycle_time else 0
+        capacity = system.station_throughput_capacity()
+        total_capacity = capacity * num_periods
+        point = DesignPoint(
+            max_component_length=max_length,
+            num_components=system.num_components,
+            longest_component=system.max_component_length,
+            cycle_time=cycle_time,
+            num_periods=num_periods,
+            capacity_per_period=capacity,
+            total_capacity=total_capacity,
+            capacity_feasible=total_capacity >= workload_units and num_periods > 0,
+            designed=designed,
+        )
+        if solve and point.capacity_feasible and workload_units > 0:
+            workload = Workload.uniform(designed.warehouse.catalog, workload_units)
+            solver = WSPSolver(system, solver_options or SolverOptions())
+            solution = solver.solve(workload, horizon=horizon)
+            if solution.succeeded:
+                point.num_agents = solution.num_agents
+                point.synthesis_seconds = solution.synthesis_seconds
+                point.services_workload = solution.services_workload
+        points.append(point)
+    return points
+
+
+def best_design(points: Sequence[DesignPoint]) -> DesignPoint:
+    """The solved design needing the fewest agents (ties: shorter cycle time).
+
+    Falls back to the highest-capacity design when nothing was solved.
+    """
+    if not points:
+        raise DesignSpaceError("no design points to choose from")
+    solved = [p for p in points if p.solved and (p.services_workload is not False)]
+    if solved:
+        return min(solved, key=lambda p: (p.num_agents, p.cycle_time))
+    return max(points, key=lambda p: p.total_capacity)

@@ -1,0 +1,347 @@
+"""Agent-flow synthesis (Sec. IV-D): contracts → MILP → agent flow set.
+
+The synthesis stage builds the traffic-system contract (composition of all
+component contracts) and the workload contract, conjoins them, adds the
+integrality-bridge coupling constraints (continuous per-product rates must sum
+to integer agent-slot counts — see :mod:`repro.core.flow_variables`), and hands
+the resulting model to an ILP backend (the paper uses Z3 over linear real
+arithmetic; here HiGHS by default).  The satisfying assignment is packaged as
+an :class:`AgentFlowSet`, the object the decomposition stage (Sec. IV-E)
+consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..contracts import AGContract, check_composition_consistency
+from ..solver import SolveStatus, solve_model
+from ..solver.model import ConstraintModel
+from ..traffic.system import ComponentId, TrafficSystem
+from ..warehouse.products import ProductId
+from ..warehouse.workload import Workload
+from .component_contracts import traffic_system_contract
+from .flow_variables import EdgeKey, FlowVariablePool, NodeKey
+from .workload_contract import workload_contract
+
+#: Objectives supported by the synthesizer.
+OBJECTIVES = ("none", "min_agents", "min_carrying")
+
+
+class FlowSynthesisError(RuntimeError):
+    """Raised when no agent flow set satisfying the contracts exists."""
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Knobs of the flow-synthesis stage.
+
+    ``cycle_time_factor`` scales the cycle time (``tc = factor * m``); the
+    paper's Property 4.1 uses factor 2.  ``warmup_periods`` reserves periods
+    for pipeline warm-up (see :mod:`repro.core.workload_contract`); ``None``
+    (the default) sizes the margin automatically from the traffic system —
+    one period per hop of the longest shelving-row → station-queue route,
+    which covers both the start-up transient and the units still in flight at
+    the end of the horizon.  Set it to 0 to recover the paper's formula
+    verbatim.
+    """
+
+    backend: str = "highs"
+    objective: str = "min_agents"
+    cycle_time_factor: int = 2
+    warmup_periods: Optional[int] = None
+    time_limit: Optional[float] = None
+    check_contracts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES}, got {self.objective!r}")
+        if self.cycle_time_factor < 2:
+            raise ValueError("cycle_time_factor must be at least 2 (Property 4.1)")
+        if self.warmup_periods is not None and self.warmup_periods < 0:
+            raise ValueError("warmup_periods must be non-negative")
+
+    def resolve_warmup(self, system: TrafficSystem, num_periods: int) -> int:
+        """The warm-up margin actually used for a given traffic system."""
+        if self.warmup_periods is not None:
+            return self.warmup_periods
+        hops = system.max_shelving_to_station_hops() + 1
+        return max(1, min(hops, max(1, num_periods // 3)))
+
+
+@dataclass
+class AgentFlowSet:
+    """A satisfying per-cycle-period flow assignment.
+
+    ``loaded_flows[(i, j)]`` / ``empty_flows[(i, j)]`` are the integer numbers
+    of loaded / empty-handed agents moving from component ``i`` to ``j`` every
+    cycle period; ``pickups[i]`` / ``dropoffs[i]`` are the integer per-period
+    pickups and drop-offs; ``pickup_rates[(i, k)]`` / ``dropoff_rates[(i, k)]``
+    are the continuous per-product rates the workload contract constrains
+    (used to allocate products to delivery slots).  Zero entries are omitted.
+    """
+
+    system: TrafficSystem
+    cycle_time: int
+    num_periods: int
+    warmup_periods: int = 0
+    loaded_flows: Dict[EdgeKey, int] = field(default_factory=dict)
+    empty_flows: Dict[EdgeKey, int] = field(default_factory=dict)
+    pickups: Dict[ComponentId, int] = field(default_factory=dict)
+    dropoffs: Dict[ComponentId, int] = field(default_factory=dict)
+    pickup_rates: Dict[NodeKey, float] = field(default_factory=dict)
+    dropoff_rates: Dict[NodeKey, float] = field(default_factory=dict)
+
+    # -- aggregate queries ------------------------------------------------------
+    @property
+    def effective_periods(self) -> int:
+        return max(1, self.num_periods - self.warmup_periods)
+
+    @property
+    def num_agents(self) -> int:
+        """Each unit of aggregate edge flow is one agent slot (one agent
+        advances one component per period), so the team size equals the total
+        aggregate flow."""
+        return sum(self.loaded_flows.values()) + sum(self.empty_flows.values())
+
+    def deliveries_per_period(self) -> int:
+        return sum(self.dropoffs.values())
+
+    def pickups_per_period(self) -> int:
+        return sum(self.pickups.values())
+
+    def expected_deliveries(self) -> int:
+        return self.deliveries_per_period() * self.num_periods
+
+    def products(self) -> Tuple[ProductId, ...]:
+        seen = {p for (_, p) in self.pickup_rates}
+        seen.update(p for (_, p) in self.dropoff_rates)
+        return tuple(sorted(seen))
+
+    def loaded_inflow_of(self, component: ComponentId) -> int:
+        return sum(v for (_, dst), v in self.loaded_flows.items() if dst == component)
+
+    def loaded_outflow_of(self, component: ComponentId) -> int:
+        return sum(v for (src, _), v in self.loaded_flows.items() if src == component)
+
+    def empty_inflow_of(self, component: ComponentId) -> int:
+        return sum(v for (_, dst), v in self.empty_flows.items() if dst == component)
+
+    def empty_outflow_of(self, component: ComponentId) -> int:
+        return sum(v for (src, _), v in self.empty_flows.items() if src == component)
+
+    def total_inflow_of(self, component: ComponentId) -> int:
+        return self.loaded_inflow_of(component) + self.empty_inflow_of(component)
+
+    def product_rate(self, component: ComponentId, product: ProductId) -> float:
+        return self.pickup_rates.get((component, product), 0.0)
+
+    # -- validation ----------------------------------------------------------------
+    def check_conservation(self) -> List[str]:
+        """Return human-readable descriptions of any aggregate conservation violations."""
+        problems: List[str] = []
+        for component in self.system.components:
+            index = component.index
+            picked = self.pickups.get(index, 0)
+            dropped = self.dropoffs.get(index, 0)
+            loaded_balance = (
+                self.loaded_inflow_of(index) + picked - dropped - self.loaded_outflow_of(index)
+            )
+            if loaded_balance != 0:
+                problems.append(
+                    f"loaded flow unbalanced at {component.name}: {loaded_balance:+d}"
+                )
+            empty_balance = (
+                self.empty_inflow_of(index) - picked + dropped - self.empty_outflow_of(index)
+            )
+            if empty_balance != 0:
+                problems.append(
+                    f"empty-handed flow unbalanced at {component.name}: {empty_balance:+d}"
+                )
+        return problems
+
+    def check_capacity(self) -> List[str]:
+        problems: List[str] = []
+        for component in self.system.components:
+            inflow = self.total_inflow_of(component.index)
+            if inflow > component.capacity:
+                problems.append(
+                    f"{component.name}: {inflow} agents per period exceeds capacity "
+                    f"⌊{component.length}/2⌋ = {component.capacity}"
+                )
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"agent flow set: {self.num_agents} agents, "
+            f"{self.deliveries_per_period()} deliveries/period, "
+            f"tc={self.cycle_time}, {self.num_periods} periods"
+        )
+
+
+@dataclass
+class FlowSynthesisResult:
+    """Everything the pipeline needs to know about a synthesis run."""
+
+    status: SolveStatus
+    flow_set: Optional[AgentFlowSet]
+    cycle_time: int
+    num_periods: int
+    build_seconds: float
+    solve_seconds: float
+    num_variables: int
+    num_constraints: int
+    objective_value: Optional[float] = None
+    message: str = ""
+    traffic_contract: Optional[AGContract] = None
+    workload_contract: Optional[AGContract] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.flow_set is not None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.solve_seconds
+
+
+def synthesize_flows(
+    system: TrafficSystem,
+    workload: Workload,
+    horizon: int,
+    options: Optional[SynthesisOptions] = None,
+) -> FlowSynthesisResult:
+    """Synthesize an agent flow set servicing ``workload`` within ``horizon`` steps.
+
+    This is the paper's Fig. 3 flow: compile component contracts, compose them
+    into the traffic-system contract, conjoin with the workload contract, and
+    search for a satisfying assignment.
+    """
+    options = options or SynthesisOptions()
+    build_start = time.perf_counter()
+
+    cycle_time = system.cycle_time(options.cycle_time_factor)
+    num_periods = horizon // cycle_time
+    warmup_periods = options.resolve_warmup(system, num_periods)
+    pool = FlowVariablePool.for_workload(system, workload)
+    system_contract = traffic_system_contract(pool, num_periods)
+    demand_contract = workload_contract(
+        pool, workload, num_periods, warmup_periods=warmup_periods
+    )
+    conjunction = system_contract & demand_contract
+
+    if options.check_contracts:
+        message = check_composition_consistency(
+            [system_contract, demand_contract], backend=options.backend
+        )
+        if message is not None:
+            return FlowSynthesisResult(
+                status=SolveStatus.INFEASIBLE,
+                flow_set=None,
+                cycle_time=cycle_time,
+                num_periods=num_periods,
+                build_seconds=time.perf_counter() - build_start,
+                solve_seconds=0.0,
+                num_variables=pool.num_variables,
+                num_constraints=len(conjunction.all_constraints()),
+                message=message,
+                traffic_contract=system_contract,
+                workload_contract=demand_contract,
+            )
+
+    model = _build_model(pool, conjunction, options)
+    build_seconds = time.perf_counter() - build_start
+
+    solve_start = time.perf_counter()
+    result = solve_model(model, backend=options.backend, time_limit=options.time_limit)
+    solve_seconds = time.perf_counter() - solve_start
+
+    flow_set = None
+    if result.status.has_solution:
+        flow_set = _extract_flow_set(
+            pool, result.values, cycle_time, num_periods, warmup_periods
+        )
+    return FlowSynthesisResult(
+        status=result.status,
+        flow_set=flow_set,
+        cycle_time=cycle_time,
+        num_periods=num_periods,
+        build_seconds=build_seconds,
+        solve_seconds=solve_seconds,
+        num_variables=model.num_variables,
+        num_constraints=model.num_constraints,
+        objective_value=result.objective,
+        message=result.message,
+        traffic_contract=system_contract,
+        workload_contract=demand_contract,
+    )
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+def _build_model(
+    pool: FlowVariablePool, conjunction: AGContract, options: SynthesisOptions
+) -> ConstraintModel:
+    model = ConstraintModel(name="agent-flow-synthesis")
+    for variable in pool.all_variables():
+        model.register(variable)
+    for constraint in conjunction.all_constraints():
+        model.add_constraint(constraint)
+    # The integrality bridge: continuous per-product rates must aggregate to
+    # integer agent-slot counts (see flow_variables.py).
+    for constraint in pool.coupling_constraints():
+        model.add_constraint(constraint)
+    if options.objective == "min_agents":
+        model.set_objective(pool.total_agents(), sense="min")
+    elif options.objective == "min_carrying":
+        model.set_objective(pool.total_loaded_flow(), sense="min")
+    return model
+
+
+def _extract_flow_set(
+    pool: FlowVariablePool,
+    values: Dict,
+    cycle_time: int,
+    num_periods: int,
+    warmup_periods: int,
+) -> AgentFlowSet:
+    def int_of(var) -> int:
+        return int(round(values.get(var, 0.0)))
+
+    def float_of(var) -> float:
+        return float(values.get(var, 0.0))
+
+    loaded = {key: int_of(var) for key, var in pool.loaded_vars.items() if int_of(var)}
+    empty = {key: int_of(var) for key, var in pool.empty_vars.items() if int_of(var)}
+    pickups = {
+        key: int_of(var) for key, var in pool.total_pickup_vars.items() if int_of(var)
+    }
+    dropoffs = {
+        key: int_of(var) for key, var in pool.total_dropoff_vars.items() if int_of(var)
+    }
+    pickup_rates = {
+        key: float_of(var)
+        for key, var in pool.pickup_vars.items()
+        if float_of(var) > 1e-9
+    }
+    dropoff_rates = {
+        key: float_of(var)
+        for key, var in pool.dropoff_vars.items()
+        if float_of(var) > 1e-9
+    }
+    return AgentFlowSet(
+        system=pool.system,
+        cycle_time=cycle_time,
+        num_periods=num_periods,
+        warmup_periods=warmup_periods,
+        loaded_flows=loaded,
+        empty_flows=empty,
+        pickups=pickups,
+        dropoffs=dropoffs,
+        pickup_rates=pickup_rates,
+        dropoff_rates=dropoff_rates,
+    )

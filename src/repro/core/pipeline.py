@@ -1,0 +1,227 @@
+"""End-to-end WSP solver: the methodology of Fig. 2, as one object.
+
+:class:`WSPSolver` wires the stages together:
+
+1. traffic-system design rule check (the system is provided by the map
+   generator or the user — co-design means the layout ships with its traffic
+   system);
+2. agent-flow synthesis (contracts → ILP, Sec. IV-D);
+3. flow → agent-cycle decomposition (Sec. IV-E);
+4. realization into a concrete, collision-free plan (Sec. IV-C);
+5. independent plan validation and workload-service verification.
+
+Each stage's wall-clock time is recorded so the benchmark harness can report
+the same "runtime" column as the paper's Table I (which times the flow
+synthesis) alongside the full end-to-end time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..solver import SolveStatus
+from ..traffic.system import TrafficSystem
+from ..traffic.validation import assert_valid
+from ..warehouse.plan import Plan, PlanValidationReport, PlanValidator
+from ..warehouse.warehouse import WSPInstance
+from ..warehouse.workload import Workload
+from .agent_cycles import AgentCycleSet, DeliverySchedule
+from .flow_decomposition import build_delivery_schedule, decompose_flow_set
+from .flow_synthesis import (
+    AgentFlowSet,
+    FlowSynthesisError,
+    FlowSynthesisResult,
+    SynthesisOptions,
+    synthesize_flows,
+)
+from .realization import RealizationError, RealizationOptions, RealizationResult, realize_cycle_set
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Options of the end-to-end solver."""
+
+    synthesis: SynthesisOptions = field(default_factory=SynthesisOptions)
+    realization: RealizationOptions = field(default_factory=RealizationOptions)
+    #: Validate the traffic system against the Sec. IV-A design rules first.
+    validate_traffic_system: bool = True
+    #: Run the independent plan validator on the realized plan.
+    validate_plan: bool = True
+    #: Retry with a larger cycle-time factor if realization ever violates
+    #: Property 4.1 (never needed on the generated maps; kept as a safety net).
+    max_cycle_time_factor: int = 4
+
+
+@dataclass
+class WSPSolution:
+    """Everything produced by one end-to-end solve."""
+
+    instance: WSPInstance
+    traffic_system: TrafficSystem
+    synthesis: FlowSynthesisResult
+    flow_set: Optional[AgentFlowSet] = None
+    cycle_set: Optional[AgentCycleSet] = None
+    schedule: Optional[DeliverySchedule] = None
+    realization: Optional[RealizationResult] = None
+    plan_report: Optional[PlanValidationReport] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    message: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        return self.plan is not None
+
+    @property
+    def plan(self) -> Optional[Plan]:
+        return self.realization.plan if self.realization else None
+
+    @property
+    def num_agents(self) -> int:
+        return self.cycle_set.num_agents if self.cycle_set else 0
+
+    @property
+    def services_workload(self) -> bool:
+        plan = self.plan
+        if plan is None:
+            return False
+        return plan.services(self.instance.workload)
+
+    @property
+    def plan_is_feasible(self) -> bool:
+        return self.plan_report.is_feasible if self.plan_report else False
+
+    @property
+    def synthesis_seconds(self) -> float:
+        """The quantity Table I reports: time to generate the agent flow set."""
+        return self.timings.get("synthesis", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        if not self.succeeded:
+            return f"WSP solve failed: {self.message or self.synthesis.status.value}"
+        delivered = self.plan.total_delivered() if self.plan else 0
+        return (
+            f"WSP solved: {self.num_agents} agents, {delivered} units delivered "
+            f"(workload {self.instance.workload.total_units}), "
+            f"synthesis {self.synthesis_seconds:.3f}s, total {self.total_seconds:.3f}s"
+        )
+
+
+class WSPSolver:
+    """Solve WSP instances on a warehouse with a designed traffic system."""
+
+    def __init__(self, traffic_system: TrafficSystem, options: Optional[SolverOptions] = None):
+        self.traffic_system = traffic_system
+        self.options = options or SolverOptions()
+        if self.options.validate_traffic_system:
+            assert_valid(traffic_system)
+
+    # -- public API -------------------------------------------------------------
+    def solve_instance(self, instance: WSPInstance) -> WSPSolution:
+        """Solve a WSP instance end to end."""
+        if instance.warehouse is not self.traffic_system.warehouse:
+            raise FlowSynthesisError(
+                "the instance's warehouse is not the one this solver's traffic system was designed for"
+            )
+        instance.validate()
+        timings: Dict[str, float] = {}
+
+        factor = self.options.synthesis.cycle_time_factor
+        last_message = ""
+        synthesis_result: Optional[FlowSynthesisResult] = None
+        while factor <= self.options.max_cycle_time_factor:
+            base = self.options.synthesis
+            synthesis_options = SynthesisOptions(
+                backend=base.backend,
+                objective=base.objective,
+                cycle_time_factor=factor,
+                warmup_periods=base.warmup_periods,
+                time_limit=base.time_limit,
+                check_contracts=base.check_contracts,
+            )
+            start = time.perf_counter()
+            synthesis_result = synthesize_flows(
+                self.traffic_system, instance.workload, instance.horizon, synthesis_options
+            )
+            timings["synthesis"] = timings.get("synthesis", 0.0) + (
+                time.perf_counter() - start
+            )
+            if not synthesis_result.succeeded:
+                return WSPSolution(
+                    instance=instance,
+                    traffic_system=self.traffic_system,
+                    synthesis=synthesis_result,
+                    timings=timings,
+                    message=(
+                        "no agent flow set satisfies the traffic-system and workload contracts: "
+                        + (synthesis_result.message or synthesis_result.status.value)
+                    ),
+                )
+
+            start = time.perf_counter()
+            cycle_set = decompose_flow_set(synthesis_result.flow_set)
+            schedule = build_delivery_schedule(synthesis_result.flow_set, instance.workload)
+            timings["decomposition"] = timings.get("decomposition", 0.0) + (
+                time.perf_counter() - start
+            )
+
+            try:
+                start = time.perf_counter()
+                realization = realize_cycle_set(cycle_set, schedule, self.options.realization)
+                timings["realization"] = timings.get("realization", 0.0) + (
+                    time.perf_counter() - start
+                )
+            except RealizationError as error:
+                last_message = str(error)
+                factor += 1
+                continue
+
+            plan_report = None
+            if self.options.validate_plan:
+                start = time.perf_counter()
+                plan_report = PlanValidator(instance.warehouse).validate(realization.plan)
+                timings["validation"] = timings.get("validation", 0.0) + (
+                    time.perf_counter() - start
+                )
+
+            return WSPSolution(
+                instance=instance,
+                traffic_system=self.traffic_system,
+                synthesis=synthesis_result,
+                flow_set=synthesis_result.flow_set,
+                cycle_set=cycle_set,
+                schedule=schedule,
+                realization=realization,
+                plan_report=plan_report,
+                timings=timings,
+                message=last_message,
+            )
+
+        return WSPSolution(
+            instance=instance,
+            traffic_system=self.traffic_system,
+            synthesis=synthesis_result,
+            timings=timings,
+            message=f"realization failed up to cycle-time factor "
+            f"{self.options.max_cycle_time_factor}: {last_message}",
+        )
+
+    def solve(self, workload: Workload, horizon: int) -> WSPSolution:
+        """Convenience wrapper: build the instance and solve it."""
+        instance = WSPInstance(self.traffic_system.warehouse, workload, horizon)
+        return self.solve_instance(instance)
+
+
+def solve_wsp(
+    traffic_system: TrafficSystem,
+    workload: Workload,
+    horizon: int,
+    options: Optional[SolverOptions] = None,
+) -> WSPSolution:
+    """One-shot helper: ``WSPSolver(traffic_system, options).solve(workload, horizon)``."""
+    return WSPSolver(traffic_system, options).solve(workload, horizon)

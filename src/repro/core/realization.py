@@ -1,0 +1,372 @@
+"""Realizing an agent cycle set as a discrete plan (Sec. IV-C, Algorithm 1).
+
+The realizer simulates the warehouse timestep by timestep.  Every component
+moves the agents it contains toward its exit (one cell per move; a cell can
+only be entered if it was free on the previous timestep, so moves can never
+collide or swap); once per cycle period the agent at a component's exit may
+advance to the entry of the next component of its agent cycle.  With cycle
+time ``tc = 2m`` (``m`` = longest component) and no component loaded beyond
+``⌊|Ci|/2⌋`` cycle positions, every agent advances exactly one component per
+period (Property 4.1) — the realizer verifies this at every period boundary.
+
+Pickups and drop-offs happen while an agent traverses a component with a
+pickup / drop-off action: a pickup grabs the next product from the shelving
+row's :class:`~repro.core.agent_cycles.DeliverySchedule` at the first
+traversed cell that stocks it; a drop-off hands the carried product over at
+the first station cell.  With ``preload_agents`` (the default) agents that
+start on the loaded segment of their cycle begin the plan already carrying a
+scheduled product, so every cycle delivers from the very first period; the
+paper leaves these start-up details unspecified (see DESIGN.md).
+
+The output is a full ``(π, φ)`` :class:`~repro.warehouse.plan.Plan`, which the
+independent :class:`~repro.warehouse.plan.PlanValidator` checks against the
+three feasibility conditions of Sec. III.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..traffic.system import ComponentId, TrafficSystem
+from ..warehouse.plan import Plan
+from ..warehouse.products import EMPTY_HANDED, ProductId
+from .agent_cycles import AgentCycle, AgentCycleSet, DeliverySchedule
+
+
+class RealizationError(RuntimeError):
+    """Raised when an agent cycle set cannot be realized as promised."""
+
+
+@dataclass(frozen=True)
+class RealizationOptions:
+    """Knobs of the realization stage."""
+
+    #: Start agents on the loaded segment of their cycle already carrying a
+    #: scheduled product.
+    preload_agents: bool = True
+    #: Raise when an agent fails to advance one component within a period
+    #: (Property 4.1 violation); with False the violation is only counted.
+    strict_periods: bool = True
+
+
+@dataclass
+class _AgentState:
+    """Mutable runtime state of one agent."""
+
+    agent_id: int
+    cycle: AgentCycle
+    position: int
+    component: ComponentId
+    vertex: int
+    carrying: ProductId
+    action_done: bool
+    advance_t: int = -1
+    #: Product this agent has been assigned to pick up during its current
+    #: traversal of a shelving row (popped from the row's delivery schedule
+    #: when the agent enters the row).
+    target_product: Optional[ProductId] = None
+
+
+@dataclass
+class RealizationResult:
+    """The realized plan plus bookkeeping for reports and tests."""
+
+    plan: Plan
+    cycle_set: AgentCycleSet
+    seconds: float
+    deliveries: Dict[ProductId, int]
+    pickups: Dict[ProductId, int]
+    property41_violations: int
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.deliveries.values())
+
+    def summary(self) -> str:
+        return (
+            f"realized plan: {self.plan.num_agents} agents, {self.plan.horizon} timesteps, "
+            f"{self.total_delivered} units delivered, "
+            f"{self.property41_violations} Property-4.1 violations"
+        )
+
+
+def realize_cycle_set(
+    cycle_set: AgentCycleSet,
+    schedule: DeliverySchedule,
+    options: Optional[RealizationOptions] = None,
+) -> RealizationResult:
+    """Run the component-timestep algorithm and produce a concrete plan."""
+    options = options or RealizationOptions()
+    start_time = time.perf_counter()
+    system = cycle_set.system
+    warehouse = system.warehouse
+    cycle_set.validate()
+
+    schedule = schedule.copy()
+    stock = warehouse.stock.copy()
+    agents = _place_agents(cycle_set, schedule, stock, options)
+    num_agents = len(agents)
+    cycle_time = cycle_set.cycle_time
+    periods = cycle_set.num_periods
+    horizon = periods * cycle_time + 1
+
+    positions = np.zeros((num_agents, horizon), dtype=np.int64)
+    carrying = np.zeros((num_agents, horizon), dtype=np.int64)
+    for agent in agents:
+        positions[agent.agent_id, 0] = agent.vertex
+        carrying[agent.agent_id, 0] = agent.carrying
+
+    agents_by_component: Dict[ComponentId, List[_AgentState]] = {
+        c.index: [] for c in system.components
+    }
+    for agent in agents:
+        agents_by_component[agent.component].append(agent)
+
+    deliveries: Dict[ProductId, int] = {}
+    pickups: Dict[ProductId, int] = {}
+    entered_this_period: Dict[ComponentId, int] = {c.index: 0 for c in system.components}
+    violations = 0
+    stations = warehouse.station_vertices
+
+    for t in range(horizon - 1):
+        period_start = (t // cycle_time) * cycle_time
+        if t > 0 and t % cycle_time == 0:
+            entered_this_period = {c.index: 0 for c in system.components}
+            lagging = [a for a in agents if a.advance_t < t - cycle_time]
+            if lagging:
+                violations += len(lagging)
+                if options.strict_periods:
+                    names = ", ".join(
+                        f"agent {a.agent_id} in {system.component(a.component).name}"
+                        for a in lagging[:5]
+                    )
+                    raise RealizationError(
+                        f"Property 4.1 violated at t={t}: {len(lagging)} agent(s) did not "
+                        f"advance during the last period ({names}); "
+                        "retry with a larger cycle_time_factor"
+                    )
+
+        # Phase 0 — pickups and drop-offs, decided at the time-t vertices (the
+        # paper's condition (3) constrains φ_{t+1} by the position π_t, i.e. a
+        # product is picked from the shelf the agent stands next to *before*
+        # moving); the updated load is recorded at t + 1.
+        for agent in agents:
+            action = agent.cycle.actions[agent.position]
+            if action is None or agent.action_done:
+                continue
+            if action.is_pickup:
+                if agent.carrying != EMPTY_HANDED:
+                    agent.action_done = True
+                    continue
+                product = agent.target_product
+                if product is not None and stock.units_at(product, agent.vertex) > 0:
+                    stock.remove(product, agent.vertex, 1)
+                    agent.carrying = product
+                    agent.target_product = None
+                    agent.action_done = True
+                    pickups[product] = pickups.get(product, 0) + 1
+            else:  # drop-off
+                if agent.carrying != EMPTY_HANDED and agent.vertex in stations:
+                    deliveries[agent.carrying] = deliveries.get(agent.carrying, 0) + 1
+                    agent.carrying = EMPTY_HANDED
+                    agent.action_done = True
+
+        occupied = {agent.vertex for agent in agents}
+        claimed: set = set()
+
+        # Phase 1 — cross-component advances (one eligible front agent per component).
+        for component in system.components:
+            members = agents_by_component[component.index]
+            if not members:
+                continue
+            front = max(members, key=lambda a: component.position_of(a.vertex))
+            if front.vertex != component.exit or front.advance_t >= period_start:
+                continue
+            next_position = (front.position + 1) % front.cycle.length
+            next_component_id = front.cycle.components[next_position]
+            next_component = system.component(next_component_id)
+            entry = next_component.entry
+            if entry in occupied or entry in claimed:
+                continue
+            if entered_this_period[next_component_id] >= next_component.capacity:
+                continue
+            members.remove(front)
+            agents_by_component[next_component_id].append(front)
+            front.component = next_component_id
+            front.position = next_position
+            front.vertex = entry
+            front.advance_t = t + 1
+            front.action_done = False
+            next_action = front.cycle.actions[next_position]
+            if (
+                next_action is not None
+                and next_action.is_pickup
+                and front.carrying == EMPTY_HANDED
+            ):
+                # Commit the next scheduled unit of this shelving row to the
+                # entering agent; it will grab it at the first stocked cell it
+                # traverses (FIFO consumption of the delivery schedule).
+                front.target_product = schedule.next_product(next_component_id)
+            claimed.add(entry)
+            entered_this_period[next_component_id] += 1
+
+        # Phase 2 — in-component moves for everyone that did not advance.
+        for component in system.components:
+            members = sorted(
+                agents_by_component[component.index],
+                key=lambda a: component.position_of(a.vertex),
+                reverse=True,
+            )
+            for agent in members:
+                if agent.advance_t == t + 1:
+                    continue  # advanced across components this very timestep
+                next_vertex = component.next_vertex(agent.vertex)
+                if (
+                    next_vertex is not None
+                    and next_vertex not in occupied
+                    and next_vertex not in claimed
+                ):
+                    claimed.add(next_vertex)
+                    occupied.discard(agent.vertex)
+                    agent.vertex = next_vertex
+
+        column = t + 1
+        for agent in agents:
+            positions[agent.agent_id, column] = agent.vertex
+            carrying[agent.agent_id, column] = agent.carrying
+
+    plan = Plan(
+        positions=positions,
+        carrying=carrying,
+        warehouse=warehouse,
+        metadata={
+            "cycle_time": float(cycle_time),
+            "num_periods": float(periods),
+            "num_cycles": float(cycle_set.num_cycles),
+        },
+    )
+    return RealizationResult(
+        plan=plan,
+        cycle_set=cycle_set,
+        seconds=time.perf_counter() - start_time,
+        deliveries=deliveries,
+        pickups=pickups,
+        property41_violations=violations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# initial placement
+# ---------------------------------------------------------------------------
+
+def _place_agents(
+    cycle_set: AgentCycleSet,
+    schedule: DeliverySchedule,
+    stock,
+    options: RealizationOptions,
+) -> List[_AgentState]:
+    """Place one agent per cycle position, spaced out within each component.
+
+    Within a component the agents are parked every other cell starting from the
+    exit, which both respects the ⌊|Ci|/2⌋ load bound and lets the front agent
+    advance immediately in the first period.
+    """
+    system = cycle_set.system
+    slots: Dict[ComponentId, List[Tuple[AgentCycle, int]]] = {}
+    for cycle in cycle_set.cycles:
+        for position, component in enumerate(cycle.components):
+            slots.setdefault(component, []).append((cycle, position))
+
+    agents: List[_AgentState] = []
+    for component_id, component_slots in sorted(slots.items()):
+        component = system.component(component_id)
+        if len(component_slots) > component.capacity:
+            raise RealizationError(
+                f"component {component.name!r} hosts {len(component_slots)} cycle positions "
+                f"but has capacity {component.capacity}"
+            )
+        for slot_index, (cycle, position) in enumerate(component_slots):
+            vertex_index = component.length - 1 - 2 * slot_index
+            vertex = component.vertices[vertex_index]
+            carrying, action_done = _initial_load(
+                system, cycle, position, schedule, stock, options
+            )
+            agents.append(
+                _AgentState(
+                    agent_id=len(agents),
+                    cycle=cycle,
+                    position=position,
+                    component=component_id,
+                    vertex=vertex,
+                    carrying=carrying,
+                    action_done=action_done,
+                )
+            )
+    return agents
+
+
+def _initial_load(
+    system: TrafficSystem,
+    cycle: AgentCycle,
+    position: int,
+    schedule: DeliverySchedule,
+    stock,
+    options: RealizationOptions,
+) -> Tuple[ProductId, bool]:
+    """Initial carried product and action state for the agent at a cycle position.
+
+    Agents on the loaded segment (between a pickup and the following drop-off)
+    start carrying the next product scheduled at their segment's pickup row;
+    the corresponding unit is deducted from that row's stock so the location
+    matrix stays consistent.  The agent parked on the drop-off component starts
+    loaded with its action still pending, so the first delivery happens in
+    period 1.
+    """
+    if not options.preload_agents:
+        return EMPTY_HANDED, False
+    action = cycle.actions[position]
+    loaded = cycle.is_loaded_at(position)
+    if action is not None and action.is_dropoff:
+        product = _preload_from_schedule(system, cycle, position, schedule, stock)
+        if product is not None:
+            return product, False
+        return EMPTY_HANDED, False
+    if loaded:
+        product = _preload_from_schedule(system, cycle, position, schedule, stock)
+        if product is not None:
+            return product, True
+        return EMPTY_HANDED, True
+    if action is not None and action.is_pickup:
+        # The agent parked on the pickup row counts as having already picked
+        # up this period (its unit is the preload of the agent downstream).
+        return EMPTY_HANDED, True
+    return EMPTY_HANDED, True
+
+
+def _preload_from_schedule(
+    system: TrafficSystem,
+    cycle: AgentCycle,
+    position: int,
+    schedule: DeliverySchedule,
+    stock,
+) -> Optional[ProductId]:
+    """Take the next scheduled product of the segment's pickup row, consuming stock."""
+    pickup_position = cycle.preceding_pickup(position)
+    row = cycle.components[pickup_position]
+    queue = schedule.queues.get(row)
+    if not queue:
+        return None
+    product = queue[0]
+    # A preload represents a pickup performed just before the plan starts, so
+    # it must be backed by actual stock on the pickup row; otherwise the unit
+    # stays in the queue for a regular (possibly never happening) pickup.
+    for vertex in system.component(row).vertices:
+        if stock.units_at(product, vertex) > 0:
+            stock.remove(product, vertex, 1)
+            queue.pop(0)
+            return product
+    return None

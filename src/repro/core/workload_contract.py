@@ -1,0 +1,55 @@
+"""The workload contract (Sec. IV-D of the paper).
+
+A workload contract makes no assumptions and guarantees that, for every
+product ``ρk`` with demand ``w_k``, the total per-period station drop-off flow
+is at least ``w_k / q_c`` where ``q_c`` is the number of cycle periods that
+fit in the timestep limit ``T``.
+
+We additionally support a *warm-up margin*: the realization's agent cycles
+only start delivering once their pipelines are primed, so the pipeline
+reserves ``warmup_periods`` periods by dividing the demand over
+``q_c - warmup_periods`` periods instead.  With agent preloading enabled
+(see :mod:`repro.core.realization`) one period of margin is enough to cover
+every rounding and start-up effect; setting the margin to zero recovers the
+paper's formula verbatim.
+"""
+
+from __future__ import annotations
+
+from ..contracts import AGContract
+from ..warehouse.workload import Workload
+from .flow_variables import FlowVariablePool
+
+
+class WorkloadContractError(ValueError):
+    """Raised when a workload cannot be expressed for the given horizon."""
+
+
+def workload_contract(
+    pool: FlowVariablePool,
+    workload: Workload,
+    num_periods: int,
+    warmup_periods: int = 0,
+) -> AGContract:
+    """Build the workload contract ``˜C_w`` for ``num_periods`` cycle periods."""
+    if num_periods <= 0:
+        raise WorkloadContractError(
+            "the timestep limit T is shorter than a single cycle period; "
+            "increase T or reduce the longest component"
+        )
+    effective = num_periods - warmup_periods
+    if effective <= 0:
+        raise WorkloadContractError(
+            f"warm-up margin ({warmup_periods} periods) leaves no usable periods "
+            f"out of {num_periods}"
+        )
+    guarantees = []
+    for product in workload.requested_products():
+        demand = workload.demand(product)
+        required_rate = demand / effective
+        guarantees.append(
+            (pool.total_station_dropoffs(product) >= required_rate).named(
+                f"workload[{product}]"
+            )
+        )
+    return AGContract(name="workload", assumptions=(), guarantees=tuple(guarantees))

@@ -1,0 +1,35 @@
+"""File I/O: MovingAI-style grid maps and JSON documents for every artifact."""
+
+from .map_format import MapFormatError, dumps_map, load_map, loads_map, save_map
+from .serialization import (
+    SerializationError,
+    load_json,
+    plan_from_dict,
+    plan_to_dict,
+    save_json,
+    traffic_system_from_dict,
+    traffic_system_to_dict,
+    warehouse_from_dict,
+    warehouse_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "MapFormatError",
+    "SerializationError",
+    "dumps_map",
+    "load_json",
+    "load_map",
+    "loads_map",
+    "plan_from_dict",
+    "plan_to_dict",
+    "save_json",
+    "save_map",
+    "traffic_system_from_dict",
+    "traffic_system_to_dict",
+    "warehouse_from_dict",
+    "warehouse_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,85 @@
+"""Grid map file format (MovingAI-benchmark style).
+
+Warehouse grids are stored in the de-facto standard MAPF benchmark format::
+
+    type warehouse
+    height 4
+    width 5
+    map
+    .....
+    .S.S.
+    .....
+    @T@T@
+
+The ``map`` block uses the same characters as :mod:`repro.warehouse.grid`
+(``.`` open floor, ``@`` obstacle, ``S`` shelf, ``T`` station); the first map
+line is the *top* row of the warehouse, matching how the benchmarks (and the
+ASCII constructor) lay out text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..warehouse.grid import GridMap
+
+PathLike = Union[str, Path]
+
+
+class MapFormatError(ValueError):
+    """Raised for malformed map files."""
+
+
+def dumps_map(grid: GridMap, map_type: str = "warehouse") -> str:
+    """Serialize a grid to the benchmark text format."""
+    return (
+        f"type {map_type}\n"
+        f"height {grid.height}\n"
+        f"width {grid.width}\n"
+        "map\n"
+        f"{grid.to_ascii()}\n"
+    )
+
+
+def loads_map(text: str, name: str = "grid") -> GridMap:
+    """Parse the benchmark text format into a :class:`GridMap`."""
+    lines = text.splitlines()
+    header = {}
+    map_start = None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped == "map":
+            map_start = index + 1
+            break
+        parts = stripped.split(maxsplit=1)
+        if len(parts) != 2:
+            raise MapFormatError(f"malformed header line {line!r}")
+        header[parts[0].lower()] = parts[1]
+    if map_start is None:
+        raise MapFormatError("missing 'map' section")
+    try:
+        height = int(header["height"])
+        width = int(header["width"])
+    except (KeyError, ValueError) as exc:
+        raise MapFormatError("missing or invalid width/height header") from exc
+    body = [line for line in lines[map_start:] if line.strip()]
+    if len(body) != height:
+        raise MapFormatError(f"expected {height} map rows, found {len(body)}")
+    if any(len(row) < width for row in body):
+        raise MapFormatError("map row shorter than the declared width")
+    grid = GridMap.from_ascii("\n".join(row[:width] for row in body), name=name)
+    if grid.width != width or grid.height != height:
+        raise MapFormatError("parsed grid does not match the declared dimensions")
+    return grid
+
+
+def save_map(grid: GridMap, path: PathLike) -> None:
+    Path(path).write_text(dumps_map(grid))
+
+
+def load_map(path: PathLike, name: str = "") -> GridMap:
+    path = Path(path)
+    return loads_map(path.read_text(), name=name or path.stem)

@@ -1,0 +1,156 @@
+"""JSON serialization of warehouses, traffic systems, workloads and plans.
+
+The schemas are deliberately simple and explicit (plain dictionaries with a
+``"schema"`` tag and a version), so solutions computed by the pipeline can be
+archived, diffed and re-validated without the library that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..traffic.system import TrafficSystem
+from ..warehouse.floorplan import FloorplanGraph
+from ..warehouse.grid import GridMap
+from ..warehouse.plan import Plan
+from ..warehouse.products import LocationMatrix, ProductCatalog
+from ..warehouse.warehouse import Warehouse
+from ..warehouse.workload import Workload
+
+PathLike = Union[str, Path]
+
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when loading malformed documents."""
+
+
+def _check_schema(document: Dict, expected: str) -> None:
+    if document.get("schema") != expected:
+        raise SerializationError(
+            f"expected a {expected!r} document, got {document.get('schema')!r}"
+        )
+
+
+# -- warehouse ----------------------------------------------------------------
+
+def warehouse_to_dict(warehouse: Warehouse) -> Dict:
+    grid = warehouse.grid
+    if grid is None:
+        raise SerializationError("only grid-backed warehouses can be serialized")
+    stock_entries: List[List[int]] = []
+    matrix = warehouse.stock
+    for product in warehouse.catalog.product_ids:
+        for vertex in matrix.vertices_with(product):
+            cell = warehouse.floorplan.cell_of(vertex)
+            stock_entries.append([product, cell[0], cell[1], matrix.units_at(product, vertex)])
+    return {
+        "schema": "warehouse",
+        "version": SCHEMA_VERSION,
+        "name": warehouse.name,
+        "grid": grid.to_ascii(),
+        "products": list(warehouse.catalog.names),
+        "stock": stock_entries,
+    }
+
+
+def warehouse_from_dict(document: Dict) -> Warehouse:
+    _check_schema(document, "warehouse")
+    grid = GridMap.from_ascii(document["grid"], name=document.get("name", "warehouse"))
+    floorplan = FloorplanGraph.from_grid(grid)
+    catalog = ProductCatalog(tuple(document["products"]))
+    stock = LocationMatrix(catalog, floorplan)
+    for product, x, y, units in document["stock"]:
+        stock.place(int(product), floorplan.vertex_at((int(x), int(y))), int(units))
+    return Warehouse(
+        floorplan=floorplan, catalog=catalog, stock=stock, name=document.get("name", "")
+    )
+
+
+# -- traffic system --------------------------------------------------------------
+
+def traffic_system_to_dict(system: TrafficSystem) -> Dict:
+    floorplan = system.floorplan
+    return {
+        "schema": "traffic-system",
+        "version": SCHEMA_VERSION,
+        "name": system.name,
+        "warehouse": warehouse_to_dict(system.warehouse),
+        "components": [
+            {
+                "name": component.name,
+                "cells": [list(floorplan.cell_of(v)) for v in component.vertices],
+            }
+            for component in system.components
+        ],
+        "connections": [
+            [system.component(i).name, system.component(j).name] for i, j in system.edges()
+        ],
+    }
+
+
+def traffic_system_from_dict(document: Dict) -> TrafficSystem:
+    _check_schema(document, "traffic-system")
+    warehouse = warehouse_from_dict(document["warehouse"])
+    cell_paths = [
+        (entry["name"], [tuple(cell) for cell in entry["cells"]])
+        for entry in document["components"]
+    ]
+    connections = [tuple(pair) for pair in document["connections"]]
+    return TrafficSystem.from_cell_paths(
+        warehouse, cell_paths, connections, name=document.get("name", "traffic-system")
+    )
+
+
+# -- workload ----------------------------------------------------------------------
+
+def workload_to_dict(workload: Workload) -> Dict:
+    return {
+        "schema": "workload",
+        "version": SCHEMA_VERSION,
+        "demands": list(workload.demands),
+    }
+
+
+def workload_from_dict(document: Dict) -> Workload:
+    _check_schema(document, "workload")
+    return Workload(tuple(int(d) for d in document["demands"]))
+
+
+# -- plan ---------------------------------------------------------------------------
+
+def plan_to_dict(plan: Plan) -> Dict:
+    return {
+        "schema": "plan",
+        "version": SCHEMA_VERSION,
+        "positions": plan.positions.tolist(),
+        "carrying": plan.carrying.tolist(),
+        "metadata": dict(plan.metadata),
+        "warehouse": warehouse_to_dict(plan.warehouse),
+    }
+
+
+def plan_from_dict(document: Dict) -> Plan:
+    _check_schema(document, "plan")
+    warehouse = warehouse_from_dict(document["warehouse"])
+    return Plan(
+        positions=np.asarray(document["positions"], dtype=np.int64),
+        carrying=np.asarray(document["carrying"], dtype=np.int64),
+        warehouse=warehouse,
+        metadata={k: float(v) for k, v in document.get("metadata", {}).items()},
+    )
+
+
+# -- file helpers ---------------------------------------------------------------------
+
+def save_json(document: Dict, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,70 @@
+"""MAPF / MAPD baselines: space-time A*, prioritized planning, CBS, ECBS, lifelong.
+
+These solvers are the comparison substrate for the paper's evaluation (an
+Iterated-EECBS-style lifelong planner given the same shelf/station visit
+sequences as the co-design solution).  They are complete, tested
+implementations in their own right and can be used independently of the
+co-design pipeline.
+"""
+
+from .astar import (
+    SearchStats,
+    count_path_conflicts,
+    shortest_path_lengths,
+    space_time_astar,
+    space_time_focal_astar,
+)
+from .cbs import CBSOptions, solve_cbs
+from .constraints import Constraint, ConstraintSet, ReservationTable
+from .ecbs import ECBSOptions, solve_ecbs
+from .mapd import (
+    ENGINES,
+    IteratedPlanner,
+    IteratedPlannerOptions,
+    LifelongError,
+    LifelongResult,
+    LifelongTask,
+    goal_sequences_from_plan,
+)
+from .prioritized import solve_prioritized
+from .problem import (
+    Conflict,
+    MAPFAgent,
+    MAPFError,
+    MAPFProblem,
+    MAPFSolution,
+    find_conflicts,
+    first_conflict,
+    position_at,
+)
+
+__all__ = [
+    "CBSOptions",
+    "Conflict",
+    "Constraint",
+    "ConstraintSet",
+    "ECBSOptions",
+    "ENGINES",
+    "IteratedPlanner",
+    "IteratedPlannerOptions",
+    "LifelongError",
+    "LifelongResult",
+    "LifelongTask",
+    "MAPFAgent",
+    "MAPFError",
+    "MAPFProblem",
+    "MAPFSolution",
+    "ReservationTable",
+    "SearchStats",
+    "count_path_conflicts",
+    "find_conflicts",
+    "first_conflict",
+    "goal_sequences_from_plan",
+    "position_at",
+    "shortest_path_lengths",
+    "solve_cbs",
+    "solve_ecbs",
+    "solve_prioritized",
+    "space_time_astar",
+    "space_time_focal_astar",
+]

@@ -1,0 +1,265 @@
+"""Single-agent space-time A* — the low-level search of every MAPF solver here.
+
+Two entry points:
+
+* :func:`shortest_path_lengths` — plain BFS distances used as the admissible
+  heuristic (true single-agent distance-to-goal, ignoring other agents);
+* :func:`space_time_astar` — time-expanded A* that respects a
+  :class:`~repro.mapf.constraints.ConstraintSet` (CBS/ECBS low level) and/or a
+  :class:`~repro.mapf.constraints.ReservationTable` (prioritized planning and
+  the lifelong planner), with waiting allowed.
+
+A focal variant (:func:`space_time_focal_astar`) returns a path whose cost is
+within ``w`` of the optimum while preferring paths with few collisions against
+a given set of other paths — this is the low level used by ECBS.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..warehouse.floorplan import FloorplanGraph, VertexId
+from .constraints import ConstraintSet, ReservationTable
+from .problem import Path, position_at
+
+
+def shortest_path_lengths(
+    floorplan: FloorplanGraph, goal: VertexId
+) -> Dict[VertexId, int]:
+    """BFS distances to ``goal`` (admissible, consistent heuristic)."""
+    return floorplan.bfs_distances(goal)
+
+
+@dataclass
+class SearchStats:
+    """Node counters exposed by the searches (used in benchmark reports)."""
+
+    expansions: int = 0
+    generated: int = 0
+
+
+def _reconstruct(parents: Dict[Tuple[VertexId, int], Tuple[VertexId, int]],
+                 state: Tuple[VertexId, int]) -> Path:
+    path = [state[0]]
+    while state in parents:
+        state = parents[state]
+        path.append(state[0])
+    return tuple(reversed(path))
+
+
+def space_time_astar(
+    floorplan: FloorplanGraph,
+    start: VertexId,
+    goal: VertexId,
+    agent: int = 0,
+    constraints: Optional[ConstraintSet] = None,
+    reservations: Optional[ReservationTable] = None,
+    start_time: int = 0,
+    max_timestep: Optional[int] = None,
+    heuristic: Optional[Dict[VertexId, int]] = None,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Path]:
+    """Optimal single-agent path in space-time under constraints / reservations.
+
+    Returns the path as a vertex tuple whose first element is ``start`` at
+    ``start_time`` (the returned path's timestamps are relative: index ``i``
+    corresponds to absolute time ``start_time + i``), or ``None`` when no path
+    exists within ``max_timestep``.
+    """
+    constraints = constraints or ConstraintSet()
+    heuristic = heuristic or shortest_path_lengths(floorplan, goal)
+    if start not in heuristic:
+        return None
+    stats = stats if stats is not None else SearchStats()
+    horizon_guard = max_timestep if max_timestep is not None else (
+        floorplan.num_vertices * 4
+        + constraints.latest_constraint_time(agent)
+        + (reservations.latest_reserved_time() if reservations else 0)
+    )
+    earliest_goal = constraints.latest_constraint_time(agent)
+
+    # Target-conflict rule: the agent rests at its goal forever once it
+    # arrives, so the arrival must postdate every transiting reservation of
+    # the goal vertex made by higher-priority agents.
+    goal_free_from = (
+        reservations.latest_vertex_time(goal) + 1 if reservations is not None else 0
+    )
+
+    counter = itertools.count()
+    open_heap: List[Tuple[int, int, int, Tuple[VertexId, int]]] = []
+    start_state = (start, start_time)
+    g_scores: Dict[Tuple[VertexId, int], int] = {start_state: 0}
+    parents: Dict[Tuple[VertexId, int], Tuple[VertexId, int]] = {}
+    heapq.heappush(open_heap, (heuristic[start], 0, next(counter), start_state))
+    closed: Set[Tuple[VertexId, int]] = set()
+
+    while open_heap:
+        f_value, g_value, _, state = heapq.heappop(open_heap)
+        if state in closed:
+            continue
+        closed.add(state)
+        vertex, time = state
+        stats.expansions += 1
+        if vertex == goal and time >= earliest_goal and time >= goal_free_from:
+            return _reconstruct(parents, state)
+        if time - start_time >= horizon_guard:
+            continue
+        for neighbor in (vertex,) + floorplan.neighbors(vertex):
+            next_time = time + 1
+            if constraints.violates_vertex(agent, neighbor, next_time):
+                continue
+            if neighbor != vertex and constraints.violates_edge(
+                agent, vertex, neighbor, next_time
+            ):
+                continue
+            if reservations is not None:
+                if neighbor == vertex:
+                    if not reservations.is_vertex_free(neighbor, next_time):
+                        continue
+                elif not reservations.is_move_free(vertex, neighbor, next_time):
+                    continue
+            next_state = (neighbor, next_time)
+            tentative = g_value + 1
+            if tentative < g_scores.get(next_state, float("inf")):
+                g_scores[next_state] = tentative
+                parents[next_state] = state
+                stats.generated += 1
+                estimate = heuristic.get(neighbor)
+                if estimate is None:
+                    continue
+                heapq.heappush(
+                    open_heap, (tentative + estimate, tentative, next(counter), next_state)
+                )
+    return None
+
+
+def count_path_conflicts(
+    path: Sequence[VertexId], other_paths: Sequence[Sequence[VertexId]], offset: int = 0
+) -> int:
+    """Number of vertex/edge collisions ``path`` has against ``other_paths``.
+
+    Used as the focal-queue tie-breaking heuristic of ECBS.
+    """
+    conflicts = 0
+    for t in range(len(path)):
+        vertex = path[t]
+        absolute = t + offset
+        for other in other_paths:
+            if position_at(other, absolute) == vertex:
+                conflicts += 1
+            if (
+                t > 0
+                and position_at(other, absolute) == path[t - 1]
+                and position_at(other, absolute - 1) == vertex
+            ):
+                conflicts += 1
+    return conflicts
+
+
+def space_time_focal_astar(
+    floorplan: FloorplanGraph,
+    start: VertexId,
+    goal: VertexId,
+    agent: int,
+    constraints: ConstraintSet,
+    other_paths: Sequence[Sequence[VertexId]],
+    suboptimality: float = 1.5,
+    heuristic: Optional[Dict[VertexId, int]] = None,
+    max_timestep: Optional[int] = None,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Tuple[Path, int]]:
+    """Bounded-suboptimal low-level search (the ECBS low level).
+
+    Expands, among the nodes whose f-value is within ``suboptimality`` of the
+    best f in the open list, the one that collides least with ``other_paths``.
+    Returns ``(path, lower_bound)`` where ``lower_bound`` is the minimum f-value
+    seen in the open list (used by the high level to bound global cost), or
+    ``None`` when no path exists.
+    """
+    heuristic = heuristic or shortest_path_lengths(floorplan, goal)
+    if start not in heuristic:
+        return None
+    stats = stats if stats is not None else SearchStats()
+    earliest_goal = constraints.latest_constraint_time(agent)
+    horizon_guard = max_timestep if max_timestep is not None else (
+        floorplan.num_vertices * 4 + earliest_goal
+    )
+
+    counter = itertools.count()
+    start_state = (start, 0)
+    g_scores: Dict[Tuple[VertexId, int], int] = {start_state: 0}
+    parents: Dict[Tuple[VertexId, int], Tuple[VertexId, int]] = {}
+    # open: ordered by f; focal: ordered by (conflicts, f).
+    open_heap: List[Tuple[int, int, int, Tuple[VertexId, int]]] = []
+    heapq.heappush(open_heap, (heuristic[start], 0, next(counter), start_state))
+    conflict_cache: Dict[Tuple[VertexId, int], int] = {start_state: 0}
+    closed: Set[Tuple[VertexId, int]] = set()
+    lower_bound = heuristic[start]
+
+    while open_heap:
+        # Rebuild the focal set lazily: collect nodes within the bound.
+        best_f = open_heap[0][0]
+        lower_bound = max(lower_bound, best_f)
+        threshold = suboptimality * best_f
+        focal: List[Tuple[int, int, int, Tuple[VertexId, int]]] = []
+        spill: List[Tuple[int, int, int, Tuple[VertexId, int]]] = []
+        while open_heap and open_heap[0][0] <= threshold:
+            item = heapq.heappop(open_heap)
+            if item[3] in closed:
+                continue
+            focal.append(item)
+        if not focal:
+            if not open_heap:
+                break
+            continue
+        focal.sort(key=lambda item: (conflict_cache.get(item[3], 0), item[0], item[1]))
+        chosen = focal.pop(0)
+        for item in focal:
+            heapq.heappush(open_heap, item)
+        f_value, g_value, _, state = chosen
+        if state in closed:
+            continue
+        closed.add(state)
+        vertex, time = state
+        stats.expansions += 1
+        if vertex == goal and time >= earliest_goal:
+            return _reconstruct(parents, state), lower_bound
+        if time >= horizon_guard:
+            continue
+        for neighbor in (vertex,) + floorplan.neighbors(vertex):
+            next_time = time + 1
+            if constraints.violates_vertex(agent, neighbor, next_time):
+                continue
+            if neighbor != vertex and constraints.violates_edge(
+                agent, vertex, neighbor, next_time
+            ):
+                continue
+            next_state = (neighbor, next_time)
+            tentative = g_value + 1
+            if tentative < g_scores.get(next_state, float("inf")):
+                g_scores[next_state] = tentative
+                parents[next_state] = state
+                estimate = heuristic.get(neighbor)
+                if estimate is None:
+                    continue
+                extra = 0
+                for other in other_paths:
+                    if position_at(other, next_time) == neighbor:
+                        extra += 1
+                    elif (
+                        neighbor != vertex
+                        and position_at(other, next_time) == vertex
+                        and position_at(other, time) == neighbor
+                    ):
+                        extra += 1
+                conflict_cache[next_state] = conflict_cache.get(state, 0) + extra
+                stats.generated += 1
+                heapq.heappush(
+                    open_heap,
+                    (tentative + estimate, tentative, next(counter), next_state),
+                )
+    return None

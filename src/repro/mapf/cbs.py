@@ -1,0 +1,146 @@
+"""Conflict-Based Search (CBS) — optimal MAPF.
+
+CBS searches a binary *constraint tree*: the root plans every agent
+independently; whenever two paths conflict, the node is split into two
+children, each forbidding one of the agents from the conflicting vertex/edge
+at that timestep, and the affected agent is re-planned.  The tree is explored
+in order of solution cost, so the first conflict-free node is optimal
+(sum-of-costs).
+
+This is the optimal anchor of the baseline family; the paper's baseline
+(EECBS) is its bounded-suboptimal descendant — see :mod:`repro.mapf.ecbs`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .astar import SearchStats, shortest_path_lengths, space_time_astar
+from .constraints import Constraint, ConstraintSet
+from .problem import Conflict, MAPFProblem, MAPFSolution, Path, first_conflict
+
+
+@dataclass
+class CBSOptions:
+    """Limits for the constraint-tree search."""
+
+    max_nodes: int = 20_000
+    time_limit: Optional[float] = None
+
+
+@dataclass(order=True)
+class _CTNode:
+    cost: int
+    order: int
+    constraints: ConstraintSet = field(compare=False)
+    paths: Tuple[Path, ...] = field(compare=False)
+
+
+def _branch_constraints(conflict: Conflict) -> List[Constraint]:
+    """The two constraints CBS branches on for a conflict."""
+    if conflict.kind == "vertex":
+        return [
+            Constraint(conflict.agent_a, conflict.vertex, conflict.timestep),
+            Constraint(conflict.agent_b, conflict.vertex, conflict.timestep),
+        ]
+    # Edge (swap) conflict: a moved vertex->other, b moved other->vertex.
+    return [
+        Constraint(
+            conflict.agent_a,
+            conflict.other_vertex,
+            conflict.timestep,
+            edge_from=conflict.vertex,
+        ),
+        Constraint(
+            conflict.agent_b,
+            conflict.vertex,
+            conflict.timestep,
+            edge_from=conflict.other_vertex,
+        ),
+    ]
+
+
+def solve_cbs(
+    problem: MAPFProblem, options: Optional[CBSOptions] = None
+) -> Optional[MAPFSolution]:
+    """Optimal CBS; returns None on failure (unsolvable or limits exceeded)."""
+    options = options or CBSOptions()
+    start_time = time.perf_counter()
+    floorplan = problem.floorplan
+    heuristics = {
+        agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+        for agent in problem.agents
+    }
+    stats = SearchStats()
+
+    def plan_agent(agent_id: int, constraints: ConstraintSet) -> Optional[Path]:
+        agent = problem.agents[agent_id]
+        return space_time_astar(
+            floorplan,
+            agent.start,
+            agent.goal,
+            agent=agent_id,
+            constraints=constraints,
+            heuristic=heuristics[agent_id],
+            stats=stats,
+        )
+
+    root_constraints = ConstraintSet()
+    root_paths: List[Path] = []
+    for agent in problem.agents:
+        path = plan_agent(agent.agent_id, root_constraints)
+        if path is None:
+            return None
+        root_paths.append(path)
+
+    counter = itertools.count()
+    root = _CTNode(
+        cost=sum(len(p) - 1 for p in root_paths),
+        order=next(counter),
+        constraints=root_constraints,
+        paths=tuple(root_paths),
+    )
+    open_heap = [root]
+    expanded = 0
+
+    while open_heap:
+        if expanded >= options.max_nodes:
+            return None
+        if (
+            options.time_limit is not None
+            and time.perf_counter() - start_time > options.time_limit
+        ):
+            return None
+        node = heapq.heappop(open_heap)
+        expanded += 1
+        conflict = first_conflict(node.paths)
+        if conflict is None:
+            return MAPFSolution(
+                problem=problem,
+                paths=node.paths,
+                expansions=stats.expansions,
+                runtime_seconds=time.perf_counter() - start_time,
+                solver="cbs",
+                metadata={"ct_nodes": float(expanded)},
+            )
+        for constraint in _branch_constraints(conflict):
+            child_constraints = node.constraints.extended(constraint)
+            new_path = plan_agent(constraint.agent, child_constraints)
+            if new_path is None:
+                continue
+            child_paths = list(node.paths)
+            child_paths[constraint.agent] = new_path
+            heapq.heappush(
+                open_heap,
+                _CTNode(
+                    cost=sum(len(p) - 1 for p in child_paths),
+                    order=next(counter),
+                    constraints=child_constraints,
+                    paths=tuple(child_paths),
+                ),
+            )
+    return None

@@ -1,0 +1,142 @@
+"""Space-time constraints and reservation tables for MAPF search.
+
+CBS/ECBS resolve conflicts by branching on *constraints* ("agent a may not be
+at vertex v at time t" / "may not traverse edge (u, v) at time t"); prioritized
+planning and the lifelong planner use a *reservation table* holding the
+space-time cells already claimed by other agents.  Both are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from ..warehouse.floorplan import VertexId
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single space-time prohibition for one agent.
+
+    ``edge_from`` is ``None`` for vertex constraints; for edge constraints the
+    agent is forbidden from moving ``edge_from -> vertex`` arriving at
+    ``timestep``.
+    """
+
+    agent: int
+    vertex: VertexId
+    timestep: int
+    edge_from: Optional[VertexId] = None
+
+    @property
+    def is_edge_constraint(self) -> bool:
+        return self.edge_from is not None
+
+
+class ConstraintSet:
+    """Constraints indexed for O(1) lookup during low-level search."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._vertex: Dict[int, Set[Tuple[VertexId, int]]] = {}
+        self._edge: Dict[int, Set[Tuple[VertexId, VertexId, int]]] = {}
+        self._latest: Dict[int, int] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Constraint) -> None:
+        agent = constraint.agent
+        if constraint.is_edge_constraint:
+            self._edge.setdefault(agent, set()).add(
+                (constraint.edge_from, constraint.vertex, constraint.timestep)
+            )
+        else:
+            self._vertex.setdefault(agent, set()).add(
+                (constraint.vertex, constraint.timestep)
+            )
+        self._latest[agent] = max(self._latest.get(agent, 0), constraint.timestep)
+
+    def extended(self, constraint: Constraint) -> "ConstraintSet":
+        """A copy of this set with one extra constraint (used by CBS branching)."""
+        clone = ConstraintSet()
+        clone._vertex = {agent: set(items) for agent, items in self._vertex.items()}
+        clone._edge = {agent: set(items) for agent, items in self._edge.items()}
+        clone._latest = dict(self._latest)
+        clone.add(constraint)
+        return clone
+
+    def violates_vertex(self, agent: int, vertex: VertexId, timestep: int) -> bool:
+        return (vertex, timestep) in self._vertex.get(agent, ())
+
+    def violates_edge(
+        self, agent: int, from_vertex: VertexId, to_vertex: VertexId, timestep: int
+    ) -> bool:
+        return (from_vertex, to_vertex, timestep) in self._edge.get(agent, ())
+
+    def latest_constraint_time(self, agent: int) -> int:
+        """The latest timestep any constraint on ``agent`` refers to.
+
+        The low-level search must keep planning at least until this time, so
+        that "goal reached" cannot dodge a later constraint at the goal vertex.
+        """
+        return self._latest.get(agent, 0)
+
+
+@dataclass
+class ReservationTable:
+    """Space-time reservations used by prioritized / lifelong planning.
+
+    ``vertex_reservations[(v, t)]`` marks vertex ``v`` occupied at time ``t``;
+    ``edge_reservations[(u, v, t)]`` marks the move ``u -> v`` arriving at
+    ``t`` as taken (so the opposite move would be a swap).  ``parked[(v)]``
+    records agents that sit on ``v`` forever from a given time (agents resting
+    at their goal).
+    """
+
+    vertex_reservations: Set[Tuple[VertexId, int]] = field(default_factory=set)
+    edge_reservations: Set[Tuple[VertexId, VertexId, int]] = field(default_factory=set)
+    parked: Dict[VertexId, int] = field(default_factory=dict)
+
+    def reserve_path(self, path: Sequence[VertexId], park_at_goal: bool = True) -> None:
+        """Reserve every space-time cell of a path (and optionally its goal forever)."""
+        for t, vertex in enumerate(path):
+            self.vertex_reservations.add((vertex, t))
+            if t:
+                self.edge_reservations.add((path[t - 1], vertex, t))
+        if park_at_goal and path:
+            goal = path[-1]
+            previous = self.parked.get(goal)
+            parked_from = len(path) - 1
+            if previous is None or parked_from < previous:
+                self.parked[goal] = parked_from
+
+    def is_vertex_free(self, vertex: VertexId, timestep: int) -> bool:
+        if (vertex, timestep) in self.vertex_reservations:
+            return False
+        parked_from = self.parked.get(vertex)
+        return parked_from is None or timestep < parked_from
+
+    def latest_vertex_time(self, vertex: VertexId) -> int:
+        """The last timestep at which ``vertex`` is reserved (-1 when never).
+
+        Used to resolve *target conflicts*: an agent may only finish (and then
+        rest forever) at a vertex after every transiting reservation through it
+        has passed.
+        """
+        latest = -1
+        for reserved_vertex, timestep in self.vertex_reservations:
+            if reserved_vertex == vertex and timestep > latest:
+                latest = timestep
+        return latest
+
+    def is_move_free(self, from_vertex: VertexId, to_vertex: VertexId, timestep: int) -> bool:
+        """Whether moving ``from -> to`` arriving at ``timestep`` is allowed."""
+        if not self.is_vertex_free(to_vertex, timestep):
+            return False
+        # A swap happens when the opposite move is reserved for the same step.
+        return (to_vertex, from_vertex, timestep) not in self.edge_reservations
+
+    def latest_reserved_time(self) -> int:
+        latest = 0
+        for _, t in self.vertex_reservations:
+            latest = max(latest, t)
+        return latest

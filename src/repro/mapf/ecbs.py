@@ -1,0 +1,165 @@
+"""ECBS — bounded-suboptimal Conflict-Based Search (the EECBS family).
+
+ECBS(w) relaxes CBS at both levels with focal search:
+
+* the low level returns a path whose cost is within ``w`` of that agent's
+  optimum, preferring paths that collide little with the other agents
+  (:func:`repro.mapf.astar.space_time_focal_astar`);
+* the high level keeps, next to the cost-ordered open list, a *focal list*
+  of nodes whose lower bound is within ``w`` of the global lower bound and
+  expands the one with the fewest conflicts.
+
+The result is a solution whose sum-of-costs is at most ``w`` times the optimal
+one, found orders of magnitude faster than CBS on congested instances.  EECBS
+(the paper's baseline) additionally uses online cost estimates to pick nodes;
+the scaling behaviour that matters for the paper's comparison — exponential
+growth with team size and plan length — is shared by the whole family, and the
+lifelong wrapper in :mod:`repro.mapf.mapd` is built on this solver.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .astar import SearchStats, shortest_path_lengths, space_time_focal_astar
+from .cbs import _branch_constraints
+from .constraints import ConstraintSet
+from .problem import MAPFProblem, MAPFSolution, Path, find_conflicts, first_conflict
+
+
+@dataclass
+class ECBSOptions:
+    """Suboptimality factor and search limits."""
+
+    suboptimality: float = 1.5
+    max_nodes: int = 20_000
+    time_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.suboptimality < 1.0:
+            raise ValueError("the suboptimality factor must be at least 1.0")
+
+
+@dataclass
+class _Node:
+    cost: int
+    lower_bound: int
+    conflicts: int
+    order: int
+    constraints: ConstraintSet
+    paths: Tuple[Path, ...]
+    bounds: Tuple[int, ...]
+
+
+def solve_ecbs(
+    problem: MAPFProblem, options: Optional[ECBSOptions] = None
+) -> Optional[MAPFSolution]:
+    """Bounded-suboptimal MAPF via ECBS(w); returns None on failure."""
+    options = options or ECBSOptions()
+    start_time = time.perf_counter()
+    floorplan = problem.floorplan
+    heuristics = {
+        agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+        for agent in problem.agents
+    }
+    stats = SearchStats()
+
+    def plan_agent(
+        agent_id: int, constraints: ConstraintSet, other_paths: List[Path]
+    ) -> Optional[Tuple[Path, int]]:
+        agent = problem.agents[agent_id]
+        return space_time_focal_astar(
+            floorplan,
+            agent.start,
+            agent.goal,
+            agent=agent_id,
+            constraints=constraints,
+            other_paths=other_paths,
+            suboptimality=options.suboptimality,
+            heuristic=heuristics[agent_id],
+            stats=stats,
+        )
+
+    root_constraints = ConstraintSet()
+    root_paths: List[Path] = []
+    root_bounds: List[int] = []
+    for agent in problem.agents:
+        result = plan_agent(agent.agent_id, root_constraints, root_paths)
+        if result is None:
+            return None
+        path, bound = result
+        root_paths.append(path)
+        root_bounds.append(bound)
+
+    counter = itertools.count()
+    root = _Node(
+        cost=sum(len(p) - 1 for p in root_paths),
+        lower_bound=sum(root_bounds),
+        conflicts=len(find_conflicts(root_paths)),
+        order=next(counter),
+        constraints=root_constraints,
+        paths=tuple(root_paths),
+        bounds=tuple(root_bounds),
+    )
+    # open: ordered by lower bound; focal: by number of conflicts.
+    open_list: List[Tuple[int, int, _Node]] = [(root.lower_bound, root.order, root)]
+    expanded = 0
+
+    while open_list:
+        if expanded >= options.max_nodes:
+            return None
+        if (
+            options.time_limit is not None
+            and time.perf_counter() - start_time > options.time_limit
+        ):
+            return None
+        best_bound = min(item[0] for item in open_list)
+        threshold = options.suboptimality * best_bound
+        focal = [item for item in open_list if item[2].cost <= threshold]
+        focal.sort(key=lambda item: (item[2].conflicts, item[2].cost, item[1]))
+        chosen = focal[0]
+        open_list.remove(chosen)
+        node = chosen[2]
+        expanded += 1
+
+        conflict = first_conflict(node.paths)
+        if conflict is None:
+            return MAPFSolution(
+                problem=problem,
+                paths=node.paths,
+                expansions=stats.expansions,
+                runtime_seconds=time.perf_counter() - start_time,
+                solver=f"ecbs({options.suboptimality})",
+                metadata={
+                    "ct_nodes": float(expanded),
+                    "lower_bound": float(best_bound),
+                },
+            )
+        for constraint in _branch_constraints(conflict):
+            child_constraints = node.constraints.extended(constraint)
+            other_paths = [
+                path for i, path in enumerate(node.paths) if i != constraint.agent
+            ]
+            result = plan_agent(constraint.agent, child_constraints, other_paths)
+            if result is None:
+                continue
+            new_path, new_bound = result
+            child_paths = list(node.paths)
+            child_paths[constraint.agent] = new_path
+            child_bounds = list(node.bounds)
+            child_bounds[constraint.agent] = new_bound
+            child = _Node(
+                cost=sum(len(p) - 1 for p in child_paths),
+                lower_bound=sum(child_bounds),
+                conflicts=len(find_conflicts(child_paths)),
+                order=next(counter),
+                constraints=child_constraints,
+                paths=tuple(child_paths),
+                bounds=tuple(child_bounds),
+            )
+            open_list.append((child.lower_bound, child.order, child))
+    return None

@@ -1,0 +1,67 @@
+"""Evaluation maps: the Fig. 1 example, fulfillment centers, and the sorting center.
+
+Every generator returns both the warehouse *and* a traffic system satisfying
+the Sec. IV-A design rules, because the methodology co-designs the two.
+"""
+
+from .catalog import (
+    FULFILLMENT_1_LAYOUT,
+    FULFILLMENT_1_SMALL,
+    FULFILLMENT_2_LAYOUT,
+    FULFILLMENT_2_SMALL,
+    MAP_REGISTRY,
+    PAPER_MAP_STATS,
+    SORTING_CENTER_LAYOUT,
+    SORTING_CENTER_SMALL,
+    fulfillment_center_1,
+    fulfillment_center_1_small,
+    fulfillment_center_2,
+    fulfillment_center_2_small,
+    sorting_center,
+    sorting_center_small,
+)
+from .example import (
+    FIGURE1_ASCII,
+    TOY_LAYOUT,
+    figure1_grid,
+    figure1_warehouse,
+    toy_instance,
+    toy_warehouse,
+)
+from .fulfillment import (
+    DesignedWarehouse,
+    FulfillmentLayout,
+    generate_fulfillment_center,
+    scaled_down,
+)
+from .sorting import SortingCenter, SortingLayout, generate_sorting_center
+
+__all__ = [
+    "DesignedWarehouse",
+    "FIGURE1_ASCII",
+    "FULFILLMENT_1_LAYOUT",
+    "FULFILLMENT_1_SMALL",
+    "FULFILLMENT_2_LAYOUT",
+    "FULFILLMENT_2_SMALL",
+    "FulfillmentLayout",
+    "MAP_REGISTRY",
+    "PAPER_MAP_STATS",
+    "SORTING_CENTER_LAYOUT",
+    "SORTING_CENTER_SMALL",
+    "SortingCenter",
+    "SortingLayout",
+    "TOY_LAYOUT",
+    "figure1_grid",
+    "figure1_warehouse",
+    "fulfillment_center_1",
+    "fulfillment_center_1_small",
+    "fulfillment_center_2",
+    "fulfillment_center_2_small",
+    "generate_fulfillment_center",
+    "generate_sorting_center",
+    "scaled_down",
+    "sorting_center",
+    "sorting_center_small",
+    "toy_instance",
+    "toy_warehouse",
+]

@@ -1,0 +1,83 @@
+"""The small example warehouses used in documentation, tests and the quickstart.
+
+* :func:`figure1_warehouse` reproduces the toy warehouse of Fig. 1 of the
+  paper (two shelves, two stations) exactly; it is used to illustrate the
+  floorplan-graph model.  It is too small to carry a non-trivial traffic
+  system under the design rules (any 2-cell component containing a station
+  would also contain a shelf-access vertex), so the end-to-end examples use
+  :func:`toy_warehouse` instead — the smallest generated layout on which the
+  whole methodology runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..warehouse import (
+    FloorplanGraph,
+    GridMap,
+    LocationMatrix,
+    ProductCatalog,
+    Warehouse,
+    Workload,
+    WSPInstance,
+)
+from .fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
+
+#: ASCII drawing of the Fig. 1 warehouse (origin at the bottom-left; the last
+#: line is row y = 0).  ``S`` are shelves, ``T`` stations, ``@`` obstacles.
+FIGURE1_ASCII = """
+.....
+.S.S.
+.....
+@T@T@
+""".strip("\n")
+
+
+def figure1_grid() -> GridMap:
+    """The 5x4 grid of Fig. 1 (left)."""
+    return GridMap.from_ascii(FIGURE1_ASCII, name="figure-1")
+
+
+def figure1_warehouse(units_per_shelf: int = 10) -> Warehouse:
+    """The Fig. 1 warehouse: product ρ1 on the west shelf, ρ2 on the east shelf.
+
+    The paper stocks 10 units of each product; the location matrix registers
+    them at the shelf-access vertices ``v_{0,2}``/``v_{2,2}`` (ρ1) and
+    ``v_{2,2}``/``v_{4,2}`` (ρ2), matching the Λ matrix shown in Sec. III.
+    """
+    grid = figure1_grid()
+    floorplan = FloorplanGraph.from_grid(grid)
+    catalog = ProductCatalog(("rho-1", "rho-2"))
+    stock = LocationMatrix(catalog, floorplan)
+    half, rest = divmod(units_per_shelf, 2)
+    stock.place(1, floorplan.vertex_at((0, 2)), half + rest)
+    stock.place(1, floorplan.vertex_at((2, 2)), half)
+    stock.place(2, floorplan.vertex_at((2, 2)), half + rest)
+    stock.place(2, floorplan.vertex_at((4, 2)), half)
+    return Warehouse(floorplan=floorplan, catalog=catalog, stock=stock, name="figure-1")
+
+
+#: Layout of the smallest end-to-end-solvable generated warehouse.
+TOY_LAYOUT = FulfillmentLayout(
+    num_slices=2,
+    shelf_columns=4,
+    shelf_bands=1,
+    shelf_depth=1,
+    num_stations=2,
+    station_cells=1,
+    num_products=4,
+    name="toy-warehouse",
+)
+
+
+def toy_warehouse(layout: Optional[FulfillmentLayout] = None) -> DesignedWarehouse:
+    """A small generated warehouse (2 slices, 8 shelves) for quickstarts and tests."""
+    return generate_fulfillment_center(layout or TOY_LAYOUT)
+
+
+def toy_instance(total_units: int = 8, horizon: int = 600) -> WSPInstance:
+    """A complete small WSP instance: the toy warehouse plus a uniform workload."""
+    designed = toy_warehouse()
+    workload = Workload.uniform(designed.warehouse.catalog, total_units)
+    return WSPInstance(designed.warehouse, workload, horizon)

@@ -1,0 +1,458 @@
+"""Parametric Kiva-style fulfillment-center generator (paper Fig. 4).
+
+The paper evaluates the methodology on two fulfillment-center maps taken from
+the literature [Wurman et al. 2007]; the original raster maps are not
+published, so this module generates structurally equivalent layouts whose key
+statistics (cell count, shelf count, station count, product count) match the
+paper's presets (see :mod:`repro.maps.catalog`), together with a traffic
+system that satisfies every design rule of Sec. IV-A.
+
+Layout
+------
+The warehouse is a row of ``num_slices`` vertical *slices*.  Each slice
+contains (west to east): a turn column, ``shelf_columns`` columns of shelves,
+a second turn column, and a "down-corridor" column.  Vertically the map is:
+the station row (y = 0), then alternating aisle rows and shelf bands
+(``shelf_depth`` rows of shelves per band), a top aisle row, and a top
+transport row.
+
+Traffic system per slice ``b`` (all components are simple paths):
+
+* ``slice{b}/station``      — the slice's piece of the station row, westbound
+  (a *station queue* when it holds station cells, a transport otherwise);
+* ``slice{b}/serpentine/i`` — a boustrophedon path that snakes bottom-up
+  through every aisle row of the slice (split into chained pieces no longer
+  than ``max_component_length`` so the longest component — and hence the cycle
+  time ``tc = 2m`` — stays small); these are the *shelving rows*;
+* ``slice{b}/top``          — the slice's piece of the top transport row,
+  eastbound;
+* ``slice{b}/down``         — the down corridor on the slice's east edge.
+
+Circulation: station row → serpentine (pickups) → top row → down corridor →
+station row (drop-offs), with the station row chaining west and the top row
+chaining east across slices, which makes the component graph strongly
+connected.  Turn-column cells at shelf heights that the serpentine does not
+use are filled with obstacles so that every shelf-access vertex is covered by
+a component (design rule 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..traffic import TrafficSystem, build_traffic_system, split_path
+from ..warehouse import (
+    Cell,
+    FloorplanGraph,
+    GridMap,
+    LocationMatrix,
+    ProductCatalog,
+    Warehouse,
+    WarehouseError,
+    build_grid,
+)
+
+
+@dataclass(frozen=True)
+class FulfillmentLayout:
+    """Parameters of a generated fulfillment-center map.
+
+    Attributes
+    ----------
+    num_slices:
+        Number of vertical slices (``B``); each slice has its own circulation
+        loop, so throughput scales with this number.
+    shelf_columns:
+        Shelf columns per slice (``bs``).
+    shelf_bands:
+        Number of shelf bands per slice (must be odd so the serpentine exits on
+        the correct side; the generator raises otherwise).
+    shelf_depth:
+        Shelf rows per band (1 or 2; 2 matches Kiva's double-deep pods).
+    shelf_spacing:
+        Place a shelf every ``shelf_spacing`` columns (1 = every column; the
+        sorting-center preset uses 2 so chutes are isolated).
+    num_stations / station_cells:
+        Number of logical stations and cells per station.  Station cells are
+        assigned to slices round-robin; with ``spread_station_cells`` a single
+        station's cells may be spread over several slices (used to model a
+        wide packing counter, see DESIGN.md).
+    num_products:
+        Size of the product catalog; products are assigned to shelves
+        round-robin so every product is stocked.
+    stock_units_per_product:
+        Stock per product (spread over its shelves).  The default (0) picks an
+        "ample" value so stock never limits a Table-I-scale workload.
+    max_component_length:
+        Upper bound on component length; 0 selects
+        ``max(station-row piece, down corridor)`` automatically, which
+        minimises the cycle time without creating capacity-0 components.
+    """
+
+    num_slices: int = 4
+    shelf_columns: int = 10
+    shelf_bands: int = 7
+    shelf_depth: int = 2
+    shelf_spacing: int = 1
+    num_stations: int = 4
+    station_cells: int = 1
+    spread_station_cells: bool = False
+    num_products: int = 55
+    stock_units_per_product: int = 0
+    max_component_length: int = 0
+    #: Extra open rows between the station row and the lowest aisle row.  They
+    #: lengthen each slice's down corridor (and hence its per-period delivery
+    #: capacity ⌊|C|/2⌋) without adding shelves; the sorting-center preset uses
+    #: one such row so its largest Table-I workload fits the traffic system.
+    extra_bottom_rows: int = 0
+    name: str = "fulfillment"
+    seed: int = 0
+
+    # -- derived geometry ------------------------------------------------------
+    @property
+    def band_period(self) -> int:
+        """Vertical period of one (aisle row + shelf band) block."""
+        return self.shelf_depth + 1
+
+    @property
+    def slice_width(self) -> int:
+        return self.shelf_columns + 3
+
+    @property
+    def width(self) -> int:
+        return self.num_slices * self.slice_width
+
+    @property
+    def height(self) -> int:
+        return 3 + self.extra_bottom_rows + self.shelf_bands * self.band_period
+
+    @property
+    def num_cells(self) -> int:
+        return self.width * self.height
+
+    @property
+    def shelves_per_row(self) -> int:
+        return -(-self.shelf_columns // self.shelf_spacing)  # ceil
+
+    @property
+    def num_shelves(self) -> int:
+        return (
+            self.num_slices * self.shelves_per_row * self.shelf_depth * self.shelf_bands
+        )
+
+    @property
+    def aisle_rows(self) -> Tuple[int, ...]:
+        """The y coordinates of the aisle rows, bottom to top."""
+        base = 1 + self.extra_bottom_rows
+        return tuple(base + i * self.band_period for i in range(self.shelf_bands + 1))
+
+    @property
+    def top_row(self) -> int:
+        return self.height - 1
+
+    def slice_x0(self, slice_index: int) -> int:
+        return slice_index * self.slice_width
+
+    def validate(self) -> None:
+        if self.num_slices < 1:
+            raise WarehouseError("num_slices must be at least 1")
+        if self.shelf_columns < 1:
+            raise WarehouseError("shelf_columns must be at least 1")
+        if self.shelf_bands < 1 or self.shelf_bands % 2 == 0:
+            raise WarehouseError(
+                "shelf_bands must be a positive odd number (the serpentine must "
+                "exit on the west side to hand over to the top transport row)"
+            )
+        if self.shelf_depth not in (1, 2):
+            raise WarehouseError("shelf_depth must be 1 or 2")
+        if self.shelf_spacing < 1:
+            raise WarehouseError("shelf_spacing must be at least 1")
+        if self.extra_bottom_rows < 0:
+            raise WarehouseError("extra_bottom_rows must be non-negative")
+        if self.num_products < 1:
+            raise WarehouseError("num_products must be at least 1")
+        if self.num_stations < 1 or self.station_cells < 1:
+            raise WarehouseError("need at least one station with at least one cell")
+        per_slice = -(-self.num_stations * self.station_cells // self.num_slices)
+        if per_slice > self.slice_width - 2:
+            raise WarehouseError(
+                "too many station cells per slice; increase num_slices or shelf_columns"
+            )
+
+    def resolved_max_component_length(self) -> int:
+        if self.max_component_length:
+            return max(2, self.max_component_length)
+        return max(self.slice_width, self.height - 2)
+
+    def resolved_stock_per_product(self) -> int:
+        if self.stock_units_per_product:
+            return self.stock_units_per_product
+        # "Ample" stock: enough that neither the UNITSAT/q contract bound nor
+        # over-delivery by continuously running cycles ever binds at Table-I scale.
+        return 5000
+
+
+@dataclass
+class DesignedWarehouse:
+    """A generated warehouse together with its designed traffic system."""
+
+    warehouse: Warehouse
+    traffic_system: TrafficSystem
+    layout: FulfillmentLayout
+    station_cells: Tuple[Cell, ...] = ()
+    shelf_cells: Tuple[Cell, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.warehouse.name
+
+    def summary(self) -> str:
+        return (
+            f"{self.warehouse.summary()}\n{self.traffic_system.summary()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# geometry helpers
+# ---------------------------------------------------------------------------
+
+def _slice_shelf_cells(layout: FulfillmentLayout, slice_index: int) -> List[Cell]:
+    """Shelf cells of one slice, ordered band-major then row-major."""
+    x0 = layout.slice_x0(slice_index)
+    cells: List[Cell] = []
+    for band in range(layout.shelf_bands):
+        y_base = 2 + layout.extra_bottom_rows + band * layout.band_period
+        for depth_row in range(layout.shelf_depth):
+            y = y_base + depth_row
+            for column in range(0, layout.shelf_columns, layout.shelf_spacing):
+                cells.append((x0 + 1 + column, y))
+    return cells
+
+
+def _slice_obstacle_cells(layout: FulfillmentLayout, slice_index: int) -> List[Cell]:
+    """Turn-column cells at shelf heights on the side the serpentine skips.
+
+    Leaving them open would create shelf-access vertices outside every
+    component (design-rule 4 violation); filling them with obstacles keeps the
+    floorplan faithful to "end caps" at the end of real shelf rows.
+    """
+    x0 = layout.slice_x0(slice_index)
+    west_turn = x0
+    east_turn = x0 + layout.shelf_columns + 1
+    cells: List[Cell] = []
+    for band in range(layout.shelf_bands):
+        y_base = 2 + layout.extra_bottom_rows + band * layout.band_period
+        # The serpentine turns on the east side after even-indexed runs and on
+        # the west side after odd-indexed runs; the *other* side is blocked.
+        blocked_x = west_turn if band % 2 == 0 else east_turn
+        for depth_row in range(layout.shelf_depth):
+            cells.append((blocked_x, y_base + depth_row))
+        # With spaced-out shelves (sorting-center chutes) the gaps between
+        # shelves would otherwise be open shelf-access cells outside every
+        # component (a rule-4 violation); model them as part of the chute
+        # installation, i.e. obstacles.
+        if layout.shelf_spacing > 1:
+            for depth_row in range(layout.shelf_depth):
+                y = y_base + depth_row
+                for column in range(layout.shelf_columns):
+                    if column % layout.shelf_spacing != 0:
+                        cells.append((x0 + 1 + column, y))
+    return cells
+
+
+def _slice_serpentine_cells(layout: FulfillmentLayout, slice_index: int) -> List[Cell]:
+    """The boustrophedon path snaking bottom-up through the slice's aisle rows."""
+    x0 = layout.slice_x0(slice_index)
+    west_turn = x0
+    east_turn = x0 + layout.shelf_columns + 1
+    path: List[Cell] = []
+    # Climb through any extra bottom rows first so the serpentine still starts
+    # right above the station-row exit at (x0, 0).
+    path.extend((west_turn, 1 + extra) for extra in range(layout.extra_bottom_rows))
+    aisles = layout.aisle_rows
+    for run, y in enumerate(aisles):
+        if run % 2 == 0:
+            xs = range(west_turn, east_turn + 1)
+        else:
+            xs = range(east_turn, west_turn - 1, -1)
+        path.extend((x, y) for x in xs)
+        if run < len(aisles) - 1:
+            turn_x = east_turn if run % 2 == 0 else west_turn
+            for y_turn in range(y + 1, y + layout.band_period):
+                path.append((turn_x, y_turn))
+    return path
+
+
+def _station_cells(layout: FulfillmentLayout) -> List[Cell]:
+    """Assign station cells to slices on the station row."""
+    cells: List[Cell] = []
+    used_per_slice: Dict[int, int] = {b: 0 for b in range(layout.num_slices)}
+
+    def next_cell(slice_index: int) -> Cell:
+        x0 = layout.slice_x0(slice_index)
+        offset = used_per_slice[slice_index]
+        if offset >= layout.slice_width - 2:
+            raise WarehouseError("station cells do not fit on the station row")
+        used_per_slice[slice_index] += 1
+        return (x0 + 1 + offset, 0)
+
+    total_cells = layout.num_stations * layout.station_cells
+    if layout.spread_station_cells:
+        for i in range(total_cells):
+            cells.append(next_cell(i % layout.num_slices))
+    else:
+        for station in range(layout.num_stations):
+            slice_index = station % layout.num_slices
+            for _ in range(layout.station_cells):
+                cells.append(next_cell(slice_index))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# the generator
+# ---------------------------------------------------------------------------
+
+def generate_fulfillment_center(layout: FulfillmentLayout) -> DesignedWarehouse:
+    """Generate a fulfillment-center warehouse and its traffic system."""
+    layout.validate()
+
+    shelf_cells: List[Cell] = []
+    obstacle_cells: List[Cell] = []
+    for slice_index in range(layout.num_slices):
+        shelf_cells.extend(_slice_shelf_cells(layout, slice_index))
+        obstacle_cells.extend(_slice_obstacle_cells(layout, slice_index))
+    station_cells = _station_cells(layout)
+
+    grid = build_grid(
+        layout.width,
+        layout.height,
+        shelves=shelf_cells,
+        stations=station_cells,
+        obstacles=obstacle_cells,
+        name=layout.name,
+    )
+    floorplan = FloorplanGraph.from_grid(grid)
+    catalog = ProductCatalog.numbered(layout.num_products)
+    stock = _stock_shelves(layout, floorplan, catalog, shelf_cells, grid)
+    warehouse = Warehouse(floorplan=floorplan, catalog=catalog, stock=stock, name=layout.name)
+    warehouse.validate()
+
+    cell_paths, connections = _traffic_design(layout)
+    traffic_system = build_traffic_system(
+        warehouse, cell_paths, connections, name=f"{layout.name}-traffic"
+    )
+    return DesignedWarehouse(
+        warehouse=warehouse,
+        traffic_system=traffic_system,
+        layout=layout,
+        station_cells=tuple(station_cells),
+        shelf_cells=tuple(shelf_cells),
+    )
+
+
+def _stock_shelves(
+    layout: FulfillmentLayout,
+    floorplan: FloorplanGraph,
+    catalog: ProductCatalog,
+    shelf_cells: Sequence[Cell],
+    grid: GridMap,
+) -> LocationMatrix:
+    """Assign products to shelves round-robin and register stock at access cells.
+
+    Each shelf cell's stock is registered at the aisle cell from which the
+    serpentine accesses it (below the lower shelf row of a band, above the
+    upper one), so pickups in the realization always happen on the agent's
+    path.
+    """
+    stock = LocationMatrix(catalog, floorplan)
+    rng = np.random.default_rng(layout.seed)
+    shelf_list = list(shelf_cells)
+    rng.shuffle(shelf_list)
+    per_product = layout.resolved_stock_per_product()
+
+    assignments: Dict[int, List[Cell]] = {k: [] for k in catalog.product_ids}
+    for i, cell in enumerate(shelf_list):
+        product = (i % catalog.num_products) + 1
+        assignments[product].append(cell)
+
+    for product, cells in assignments.items():
+        if not cells:
+            # More products than shelves: stock the overflow products at the
+            # access cell of a shared shelf so every product remains orderable.
+            cells = [shelf_list[product % len(shelf_list)]]
+        base, remainder = divmod(per_product, len(cells))
+        for i, cell in enumerate(cells):
+            units = base + (1 if i < remainder else 0)
+            access = _access_cell_for_shelf(layout, cell)
+            if units > 0:
+                stock.place(product, floorplan.vertex_at(access), units)
+    return stock
+
+
+def _access_cell_for_shelf(layout: FulfillmentLayout, shelf_cell: Cell) -> Cell:
+    """The aisle cell from which a shelf is picked (below or above the shelf)."""
+    x, y = shelf_cell
+    offset_in_band = (y - 2 - layout.extra_bottom_rows) % layout.band_period
+    if layout.shelf_depth == 1 or offset_in_band == 0:
+        return (x, y - 1)  # lower shelf row: picked from the aisle below
+    return (x, y + 1)  # upper shelf row: picked from the aisle above
+
+
+def _traffic_design(
+    layout: FulfillmentLayout,
+) -> Tuple[List[Tuple[str, List[Cell]]], List[Tuple[str, str]]]:
+    """Component cell paths and connections for the generated layout."""
+    max_length = layout.resolved_max_component_length()
+    paths: List[Tuple[str, List[Cell]]] = []
+    connections: List[Tuple[str, str]] = []
+    top_row = layout.top_row
+
+    for b in range(layout.num_slices):
+        x0 = layout.slice_x0(b)
+        x_down = x0 + layout.slice_width - 1
+
+        station_name = f"slice{b}/station"
+        station_path = [(x, 0) for x in range(x_down, x0 - 1, -1)]
+        paths.append((station_name, station_path))
+
+        serpentine = _slice_serpentine_cells(layout, b)
+        pieces = split_path(serpentine, max_length)
+        piece_names = [f"slice{b}/serpentine/{i}" for i in range(len(pieces))]
+        paths.extend(zip(piece_names, pieces))
+
+        top_name = f"slice{b}/top"
+        top_path = [(x, top_row) for x in range(x0, x_down + 1)]
+        paths.append((top_name, top_path))
+
+        down_name = f"slice{b}/down"
+        down_path = [(x_down, y) for y in range(top_row - 1, 0, -1)]
+        paths.append((down_name, down_path))
+
+        # Intra-slice wiring.
+        connections.append((station_name, piece_names[0]))
+        connections.extend(zip(piece_names, piece_names[1:]))
+        connections.append((piece_names[-1], top_name))
+        connections.append((top_name, down_name))
+        connections.append((down_name, station_name))
+
+        # Inter-slice wiring: station row chains west, top row chains east.
+        if b > 0:
+            connections.append((station_name, f"slice{b - 1}/station"))
+            connections.append((f"slice{b - 1}/top", top_name))
+
+    return paths, connections
+
+
+def scaled_down(layout: FulfillmentLayout, name: Optional[str] = None) -> FulfillmentLayout:
+    """A small variant of a layout with the same structure (for tests/benches)."""
+    return replace(
+        layout,
+        num_slices=max(1, layout.num_slices // 2),
+        shelf_columns=max(2, layout.shelf_columns // 2),
+        shelf_bands=3 if layout.shelf_bands > 3 else layout.shelf_bands,
+        num_products=max(2, layout.num_products // 4),
+        name=name or f"{layout.name}-small",
+    )

@@ -1,0 +1,125 @@
+"""Sorting-center maps and the sorting-center → WSP reduction (paper Sec. V, Fig. 5).
+
+A sorting center sorts packages by destination: agents ferry packages from
+perimeter *bins* of unsorted packages to *chutes*, each of which feeds a
+shipping container bound for one destination.  The paper reduces this problem
+to a WSP instance by modelling
+
+* chute ``i``  → a shelf stocked with an arbitrary amount of product ``ρ_i``;
+* each bin     → a station;
+* "bring ``n_i`` packages to chute ``i``" → a demand of ``n_i`` units of ``ρ_i``.
+
+Solving the WSP instance produces an agent-cycle set moving ``n_i`` units of
+``ρ_i`` from chute ``i`` to the bins; swapping the pickup and drop-off
+locations of every cycle yields the desired sorting plan.  This module
+implements the map generator (reusing the fulfillment layout machinery with
+isolated, spaced-out "shelves" as chutes) and the reduction bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..warehouse import Workload, WSPInstance
+from .fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
+
+
+@dataclass(frozen=True)
+class SortingLayout:
+    """Parameters of a sorting-center map.
+
+    ``num_chutes`` is the number of destinations (products in the reduction);
+    ``num_bins`` is the number of unsorted-package bins (stations).
+    """
+
+    num_slices: int = 4
+    chute_columns: int = 17
+    chute_bands: int = 1
+    chute_spacing: int = 2
+    num_bins: int = 4
+    bin_cells: int = 1
+    extra_bottom_rows: int = 0
+    name: str = "sorting-center"
+    seed: int = 0
+
+    def to_fulfillment_layout(self) -> FulfillmentLayout:
+        """The equivalent fulfillment layout under the WSP reduction."""
+        layout = FulfillmentLayout(
+            num_slices=self.num_slices,
+            shelf_columns=self.chute_columns,
+            shelf_bands=self.chute_bands,
+            shelf_depth=1,
+            shelf_spacing=self.chute_spacing,
+            num_stations=self.num_bins,
+            station_cells=self.bin_cells,
+            num_products=1,  # placeholder, fixed up below
+            extra_bottom_rows=self.extra_bottom_rows,
+            name=self.name,
+            seed=self.seed,
+        )
+        # One product per chute: the number of chutes is a derived quantity.
+        return replace(layout, num_products=layout.num_shelves)
+
+    @property
+    def num_chutes(self) -> int:
+        return self.to_fulfillment_layout().num_shelves
+
+
+@dataclass
+class SortingCenter:
+    """A generated sorting center: the designed warehouse plus reduction metadata."""
+
+    designed: DesignedWarehouse
+    layout: SortingLayout
+
+    @property
+    def warehouse(self):
+        return self.designed.warehouse
+
+    @property
+    def traffic_system(self):
+        return self.designed.traffic_system
+
+    @property
+    def num_chutes(self) -> int:
+        return self.designed.warehouse.num_products
+
+    @property
+    def num_bins(self) -> int:
+        return self.layout.num_bins
+
+    def chute_product(self, chute_index: int) -> int:
+        """The product id modelling chute ``chute_index`` (0-based)."""
+        if not 0 <= chute_index < self.num_chutes:
+            raise ValueError(f"chute index {chute_index} out of range")
+        return chute_index + 1
+
+    def workload_for_packages(self, packages_per_chute: Mapping[int, int]) -> Workload:
+        """Build the WSP workload for "bring ``n_i`` packages to chute ``i``"."""
+        demand = {
+            self.chute_product(chute): units
+            for chute, units in packages_per_chute.items()
+        }
+        return Workload.from_mapping(self.warehouse.catalog, demand)
+
+    def uniform_workload(self, total_packages: int) -> Workload:
+        """Packages spread evenly over all chutes (the Table-I instances)."""
+        return Workload.uniform(self.warehouse.catalog, total_packages)
+
+    def wsp_instance(self, workload: Workload, horizon: int) -> WSPInstance:
+        return WSPInstance(self.warehouse, workload, horizon)
+
+    def summary(self) -> str:
+        return (
+            f"sorting center {self.layout.name!r}: "
+            f"{self.warehouse.floorplan.grid.width}x{self.warehouse.floorplan.grid.height} cells, "
+            f"{self.num_chutes} chutes, {self.num_bins} bins"
+        )
+
+
+def generate_sorting_center(layout: Optional[SortingLayout] = None) -> SortingCenter:
+    """Generate a sorting-center map, its traffic system and reduction metadata."""
+    layout = layout or SortingLayout()
+    designed = generate_fulfillment_center(layout.to_fulfillment_layout())
+    return SortingCenter(designed=designed, layout=layout)

@@ -1,0 +1,248 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+This backend exists for two reasons:
+
+* **Self-containment / ablation.**  The paper solves its flow-synthesis
+  constraints with Z3; we reduce them to an ILP.  The primary backend is
+  HiGHS (via :mod:`scipy.optimize.milp`), but a from-scratch branch-and-bound
+  over an LP relaxation lets the benchmark suite quantify how much of the
+  methodology's speed comes from the model formulation vs. the solver engine
+  (experiment E10 in DESIGN.md).
+* **Determinism in unit tests.**  The search order is fully deterministic,
+  which makes small solver tests reproducible bit-for-bit.
+
+The LP relaxations are solved either with the internal tableau simplex
+(:mod:`repro.solver.simplex`) or with :func:`scipy.optimize.linprog`
+(default, much faster).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .model import ConstraintModel, StandardArrays
+from .result import SolveResult, SolveStatus
+from . import simplex as _simplex
+
+try:  # scipy is a hard dependency of the package, but keep the import local.
+    from scipy.optimize import linprog as _scipy_linprog
+except Exception:  # pragma: no cover - scipy is always present in this repo
+    _scipy_linprog = None
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class BnBOptions:
+    """Knobs for the branch-and-bound search."""
+
+    max_nodes: int = 20_000
+    time_limit: Optional[float] = None
+    lp_engine: str = "scipy"  # "scipy" or "simplex"
+    absolute_gap: float = 1e-6
+    #: Stop at the first integral solution; appropriate for pure feasibility
+    #: problems such as the paper's flow synthesis with no objective.
+    first_solution: bool = False
+
+
+@dataclass
+class _Node:
+    """A subproblem: extra bounds layered on top of the root relaxation."""
+
+    extra_lb: Tuple[Tuple[int, float], ...]
+    extra_ub: Tuple[Tuple[int, float], ...]
+    depth: int
+    parent_bound: float
+
+
+def _solve_relaxation(
+    arrays: StandardArrays,
+    node: _Node,
+    engine: str,
+) -> Tuple[str, Optional[np.ndarray], Optional[float]]:
+    """Solve the LP relaxation of a node; returns (status, x, objective)."""
+    bounds = [list(b) for b in arrays.bounds]
+    for idx, lb in node.extra_lb:
+        bounds[idx][0] = lb if bounds[idx][0] is None else max(bounds[idx][0], lb)
+    for idx, ub in node.extra_ub:
+        bounds[idx][1] = ub if bounds[idx][1] is None else min(bounds[idx][1], ub)
+    for lo, hi in bounds:
+        if lo is not None and hi is not None and lo > hi:
+            return "infeasible", None, None
+    bounds_t = [(lo, hi) for lo, hi in bounds]
+
+    if engine == "simplex" or _scipy_linprog is None:
+        sol = _simplex.solve_lp(
+            arrays.c, arrays.a_ub, arrays.b_ub, arrays.a_eq, arrays.b_eq, bounds_t
+        )
+        return sol.status, sol.x, sol.objective
+
+    res = _scipy_linprog(
+        arrays.c,
+        A_ub=arrays.a_ub if arrays.a_ub.size else None,
+        b_ub=arrays.b_ub if arrays.b_ub.size else None,
+        A_eq=arrays.a_eq if arrays.a_eq.size else None,
+        b_eq=arrays.b_eq if arrays.b_eq.size else None,
+        bounds=bounds_t,
+        method="highs",
+    )
+    if res.status == 0:
+        return "optimal", np.asarray(res.x), float(res.fun)
+    if res.status == 2:
+        return "infeasible", None, None
+    if res.status == 3:
+        return "unbounded", None, None
+    return "error", None, None
+
+
+def _most_fractional(x: np.ndarray, integrality: np.ndarray) -> Optional[int]:
+    """Index of the integer variable whose value is farthest from integral."""
+    best_idx: Optional[int] = None
+    best_frac = _INT_TOL
+    for idx in np.nonzero(integrality)[0]:
+        value = x[idx]
+        frac = abs(value - round(value))
+        if frac > best_frac:
+            dist_to_half = abs(frac - 0.5)
+            if best_idx is None or dist_to_half < abs(
+                abs(x[best_idx] - round(x[best_idx])) - 0.5
+            ):
+                best_idx = int(idx)
+                best_frac = max(best_frac, _INT_TOL)
+    return best_idx
+
+
+def solve_branch_and_bound(
+    model: ConstraintModel, options: Optional[BnBOptions] = None
+) -> SolveResult:
+    """Solve ``model`` with LP-relaxation branch-and-bound.
+
+    Returns a :class:`~repro.solver.result.SolveResult` whose ``stats`` carry
+    the number of explored nodes (``nodes``) and the wall-clock time
+    (``seconds``).
+    """
+    options = options or BnBOptions()
+    if model.num_variables == 0:
+        # Degenerate constant model; delegate to the shared trivial handler.
+        from .scipy_backend import _trivial_result
+
+        trivial = _trivial_result(model)
+        assert trivial is not None
+        return trivial
+    arrays = model.to_standard_arrays()
+    start = time.perf_counter()
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    nodes_explored = 0
+    status = SolveStatus.INFEASIBLE
+    message = ""
+
+    # Depth-first stack (LIFO) keeps memory small and finds feasible points
+    # quickly, which suits the feasibility-flavoured flow models.
+    stack: List[_Node] = [_Node(extra_lb=(), extra_ub=(), depth=0, parent_bound=-math.inf)]
+
+    while stack:
+        if nodes_explored >= options.max_nodes:
+            message = f"node limit {options.max_nodes} reached"
+            break
+        if (
+            options.time_limit is not None
+            and time.perf_counter() - start > options.time_limit
+        ):
+            message = f"time limit {options.time_limit}s reached"
+            break
+
+        node = stack.pop()
+        nodes_explored += 1
+
+        if node.parent_bound >= incumbent_obj - options.absolute_gap:
+            continue  # cannot improve on the incumbent
+
+        lp_status, x, objective = _solve_relaxation(arrays, node, options.lp_engine)
+        if lp_status == "infeasible":
+            continue
+        if lp_status == "unbounded":
+            # An unbounded relaxation at the root means the MILP is unbounded
+            # or infeasible; report unbounded and let the caller decide.
+            if node.depth == 0:
+                return SolveResult(
+                    status=SolveStatus.UNBOUNDED,
+                    stats={"nodes": nodes_explored,
+                           "seconds": time.perf_counter() - start},
+                )
+            continue
+        if lp_status == "error" or x is None or objective is None:
+            return SolveResult.error("LP relaxation failed inside branch-and-bound")
+
+        if objective >= incumbent_obj - options.absolute_gap:
+            continue
+
+        branch_idx = _most_fractional(x, arrays.integrality)
+        if branch_idx is None:
+            # Integral solution (within tolerance): new incumbent.
+            rounded = x.copy()
+            int_idx = np.nonzero(arrays.integrality)[0]
+            rounded[int_idx] = np.round(rounded[int_idx])
+            incumbent_x = rounded
+            incumbent_obj = objective
+            if options.first_solution:
+                status = SolveStatus.FEASIBLE
+                message = "stopped at first integral solution"
+                break
+            continue
+
+        value = x[branch_idx]
+        floor_val = math.floor(value + _INT_TOL)
+        ceil_val = floor_val + 1
+        # Explore the "floor" child last so it is popped first (DFS dives
+        # toward rounding down, which respects capacity-style constraints).
+        stack.append(
+            _Node(
+                extra_lb=node.extra_lb + ((branch_idx, float(ceil_val)),),
+                extra_ub=node.extra_ub,
+                depth=node.depth + 1,
+                parent_bound=objective,
+            )
+        )
+        stack.append(
+            _Node(
+                extra_lb=node.extra_lb,
+                extra_ub=node.extra_ub + ((branch_idx, float(floor_val)),),
+                depth=node.depth + 1,
+                parent_bound=objective,
+            )
+        )
+
+    elapsed = time.perf_counter() - start
+    if incumbent_x is None:
+        if message:
+            return SolveResult(
+                status=SolveStatus.LIMIT,
+                message=message,
+                stats={"nodes": nodes_explored, "seconds": elapsed},
+            )
+        return SolveResult(
+            status=SolveStatus.INFEASIBLE,
+            message="branch-and-bound exhausted the tree without a solution",
+            stats={"nodes": nodes_explored, "seconds": elapsed},
+        )
+
+    if not message and not stack:
+        status = SolveStatus.OPTIMAL
+    elif status is not SolveStatus.FEASIBLE:
+        status = SolveStatus.FEASIBLE
+
+    assignment = arrays.assignment_from_vector(incumbent_x)
+    return SolveResult(
+        status=status,
+        objective=arrays.objective_value(incumbent_x),
+        values=assignment,
+        stats={"nodes": float(nodes_explored), "seconds": elapsed},
+        message=message,
+    )

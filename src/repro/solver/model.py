@@ -1,0 +1,309 @@
+"""Constraint model: a backend-independent container for ILP/LP problems.
+
+A :class:`ConstraintModel` collects variables, linear constraints and an
+optional linear objective, and can export itself as dense/sparse numpy arrays
+for the solver backends (:mod:`repro.solver.scipy_backend`,
+:mod:`repro.solver.branch_and_bound`).
+
+The model is the meeting point between the contract layer and the solvers:
+:func:`repro.core.flow_synthesis.build_flow_model` compiles the conjunction of
+the traffic-system contract and the workload contract into one of these models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .expressions import (
+    EQ,
+    GE,
+    LE,
+    ExpressionError,
+    LinearConstraint,
+    LinearExpr,
+    Variable,
+)
+
+#: Objective senses accepted by :meth:`ConstraintModel.set_objective`.
+MINIMIZE = "min"
+MAXIMIZE = "max"
+
+
+class ModelError(ValueError):
+    """Raised for structural problems in a :class:`ConstraintModel`."""
+
+
+@dataclass
+class StandardArrays:
+    """Dense array form of a model, as consumed by the backends.
+
+    The model ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``,
+    ``A_eq @ x == b_eq`` and ``bounds[i][0] <= x[i] <= bounds[i][1]``.
+    ``integrality[i]`` is 1 for integer variables and 0 otherwise.
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: List[Tuple[Optional[float], Optional[float]]]
+    integrality: np.ndarray
+    variables: List[Variable]
+    objective_offset: float = 0.0
+    objective_sign: float = 1.0
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    def assignment_from_vector(self, x: Sequence[float]) -> Dict[Variable, float]:
+        """Map a solution vector back onto the model's variables."""
+        return {var: float(value) for var, value in zip(self.variables, x)}
+
+    def objective_value(self, x: Sequence[float]) -> float:
+        """Original-sense objective value of a solution vector."""
+        raw = float(np.dot(self.c, np.asarray(x, dtype=float))) + self.objective_offset
+        return self.objective_sign * raw
+
+
+class ConstraintModel:
+    """A mixed-integer linear model built from :mod:`repro.solver.expressions`.
+
+    Variables referenced by constraints but never added explicitly are
+    registered automatically the first time they are seen; this lets callers
+    (notably the contract layer) create variables stand-alone and only hand
+    the constraints to the model.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: List[Variable] = []
+        self._var_index: Dict[Variable, int] = {}
+        self._names: Dict[str, Variable] = {}
+        self._constraints: List[LinearConstraint] = []
+        self._objective: LinearExpr = LinearExpr()
+        self._objective_sense: str = MINIMIZE
+
+    # -- variables ----------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: Optional[float] = 0,
+        ub: Optional[float] = None,
+        integer: bool = False,
+    ) -> Variable:
+        """Create, register and return a new variable.
+
+        Raises :class:`ModelError` if a different variable with the same name
+        already exists.
+        """
+        existing = self._names.get(name)
+        if existing is not None:
+            raise ModelError(f"variable name {name!r} already used in model {self.name!r}")
+        var = Variable(name=name, lb=lb, ub=ub, integer=integer)
+        self._register(var)
+        return var
+
+    def register(self, var: Variable) -> Variable:
+        """Register an externally created variable (idempotent)."""
+        return self._register(var)
+
+    def _register(self, var: Variable) -> Variable:
+        if var in self._var_index:
+            return var
+        clash = self._names.get(var.name)
+        if clash is not None and clash != var:
+            raise ModelError(
+                f"two distinct variables named {var.name!r} in model {self.name!r}"
+            )
+        self._var_index[var] = len(self._variables)
+        self._variables.append(var)
+        self._names[var.name] = var
+        return var
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self._variables)
+
+    def variable_by_name(self, name: str) -> Variable:
+        try:
+            return self._names[name]
+        except KeyError as exc:
+            raise ModelError(f"no variable named {name!r} in model {self.name!r}") from exc
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    # -- constraints --------------------------------------------------------
+    def add_constraint(
+        self, constraint: LinearConstraint, name: str = ""
+    ) -> LinearConstraint:
+        """Add a constraint, auto-registering any new variables it mentions."""
+        if not isinstance(constraint, LinearConstraint):
+            raise ModelError(
+                "add_constraint expects a LinearConstraint; "
+                "did a comparison fall back to a plain bool?"
+            )
+        if name:
+            constraint = constraint.named(name)
+        for var in constraint.variables():
+            self._register(var)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[LinearConstraint]) -> None:
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    @property
+    def constraints(self) -> Tuple[LinearConstraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ----------------------------------------------------------
+    def set_objective(self, expr: LinearExpr, sense: str = MINIMIZE) -> None:
+        """Set the (linear) objective.  ``sense`` is ``'min'`` or ``'max'``."""
+        if sense not in (MINIMIZE, MAXIMIZE):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        expr = LinearExpr.from_operand(expr)
+        for var in expr.variables():
+            self._register(var)
+        self._objective = expr
+        self._objective_sense = sense
+
+    @property
+    def objective(self) -> LinearExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> str:
+        return self._objective_sense
+
+    # -- validation & evaluation ---------------------------------------------
+    def check_assignment(
+        self, assignment: Mapping[Variable, float], tol: float = 1e-6
+    ) -> List[LinearConstraint]:
+        """Return the constraints violated by ``assignment`` (bounds included).
+
+        Bound violations are reported as synthetic constraints so callers get a
+        uniform list of offending restrictions.
+        """
+        violated: List[LinearConstraint] = []
+        for var in self._variables:
+            if var not in assignment:
+                raise ExpressionError(f"assignment missing variable {var.name!r}")
+            value = float(assignment[var])
+            if var.lb is not None and value < var.lb - tol:
+                violated.append((LinearExpr({var: 1.0}) >= var.lb).named(f"lb[{var.name}]"))
+            if var.ub is not None and value > var.ub + tol:
+                violated.append((LinearExpr({var: 1.0}) <= var.ub).named(f"ub[{var.name}]"))
+            if var.integer and abs(value - round(value)) > tol:
+                violated.append(
+                    (LinearExpr({var: 1.0}) == round(value)).named(f"int[{var.name}]")
+                )
+        for constraint in self._constraints:
+            if not constraint.is_satisfied(assignment, tol=tol):
+                violated.append(constraint)
+        return violated
+
+    def objective_value(self, assignment: Mapping[Variable, float]) -> float:
+        return self._objective.evaluate(assignment)
+
+    # -- export -------------------------------------------------------------
+    def to_standard_arrays(self) -> StandardArrays:
+        """Export the model to the dense array form used by the backends.
+
+        The export always produces a *minimization*: for ``'max'`` objectives
+        the cost vector is negated and :attr:`StandardArrays.objective_sign`
+        records the flip so results can be reported in the original sense.
+        """
+        variables = list(self._variables)
+        index = {var: i for i, var in enumerate(variables)}
+        n = len(variables)
+
+        sign = 1.0 if self._objective_sense == MINIMIZE else -1.0
+        c = np.zeros(n, dtype=float)
+        for var, coeff in self._objective.coeffs.items():
+            c[index[var]] = sign * coeff
+        offset = sign * self._objective.constant
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self._constraints:
+            row = np.zeros(n, dtype=float)
+            for var, coeff in constraint.expr.coeffs.items():
+                row[index[var]] = coeff
+            rhs = -constraint.expr.constant
+            if constraint.sense == LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense == GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            elif constraint.sense == EQ:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+            else:  # pragma: no cover - guarded by LinearConstraint
+                raise ModelError(f"unknown sense {constraint.sense!r}")
+
+        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+        b_ub = np.asarray(ub_rhs, dtype=float)
+        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+        b_eq = np.asarray(eq_rhs, dtype=float)
+
+        bounds = [(None if v.lb is None else float(v.lb),
+                   None if v.ub is None else float(v.ub)) for v in variables]
+        integrality = np.array([1 if v.integer else 0 for v in variables], dtype=int)
+
+        return StandardArrays(
+            c=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            integrality=integrality,
+            variables=variables,
+            objective_offset=offset,
+            objective_sign=sign,
+        )
+
+    def relaxed(self) -> "ConstraintModel":
+        """A copy of this model with every integrality requirement dropped."""
+        relaxed = ConstraintModel(name=f"{self.name}-lp-relaxation")
+        substitution: Dict[Variable, Variable] = {}
+        for var in self._variables:
+            substitution[var] = relaxed.add_var(var.name, lb=var.lb, ub=var.ub, integer=False)
+
+        def substitute(expr: LinearExpr) -> LinearExpr:
+            return LinearExpr(
+                {substitution[v]: c for v, c in expr.coeffs.items()}, expr.constant
+            )
+
+        for constraint in self._constraints:
+            relaxed.add_constraint(
+                LinearConstraint(substitute(constraint.expr), constraint.sense, constraint.name)
+            )
+        relaxed.set_objective(substitute(self._objective), self._objective_sense)
+        return relaxed
+
+    def summary(self) -> str:
+        """One-line structural summary (used by logs and examples)."""
+        n_int = sum(1 for v in self._variables if v.integer)
+        return (
+            f"model {self.name!r}: {self.num_variables} vars "
+            f"({n_int} integer), {self.num_constraints} constraints"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstraintModel({self.summary()})"

@@ -1,0 +1,102 @@
+"""Solve status and result types shared by every solver backend."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .expressions import Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call.
+
+    ``OPTIMAL``     — an optimal (or, for feasibility problems, feasible) solution
+                      was found and proven.
+    ``FEASIBLE``    — a feasible solution was found but optimality was not proven
+                      (e.g. node/time limit hit with an incumbent).
+    ``INFEASIBLE``  — the model was proven infeasible.
+    ``UNBOUNDED``   — the objective is unbounded below.
+    ``LIMIT``       — a node/iteration/time limit was hit with no incumbent.
+    ``ERROR``       — the backend failed for another reason.
+    """
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    LIMIT = "limit"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """True when :attr:`SolveResult.values` carries a usable assignment."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class SolveResult:
+    """Result of solving a :class:`~repro.solver.model.ConstraintModel`.
+
+    Attributes
+    ----------
+    status:
+        Outcome classification.
+    objective:
+        Objective value of the returned assignment (``None`` when no solution).
+    values:
+        Mapping from :class:`Variable` to its value in the returned assignment.
+    stats:
+        Backend-specific counters (simplex iterations, branch-and-bound nodes,
+        wall-clock seconds, ...).  Keys are plain strings.
+    message:
+        Optional human-readable diagnostic from the backend.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[Variable, float] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    message: str = ""
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status.has_solution
+
+    def value(self, var: Variable, default: Optional[float] = None) -> Optional[float]:
+        """Value of ``var`` in the solution (``default`` when absent)."""
+        return self.values.get(var, default)
+
+    def int_value(self, var: Variable, default: int = 0) -> int:
+        """Value of ``var`` rounded to the nearest integer."""
+        raw = self.values.get(var)
+        if raw is None:
+            return default
+        return int(round(raw))
+
+    def as_named_dict(self) -> Dict[str, float]:
+        """Solution keyed by variable name (handy for serialization/tests)."""
+        return {var.name: value for var, value in self.values.items()}
+
+    @staticmethod
+    def infeasible(message: str = "") -> "SolveResult":
+        return SolveResult(status=SolveStatus.INFEASIBLE, message=message)
+
+    @staticmethod
+    def error(message: str) -> "SolveResult":
+        return SolveResult(status=SolveStatus.ERROR, message=message)
+
+    @staticmethod
+    def from_assignment(
+        assignment: Mapping[Variable, float],
+        objective: Optional[float],
+        status: SolveStatus = SolveStatus.OPTIMAL,
+        **stats: float,
+    ) -> "SolveResult":
+        return SolveResult(
+            status=status,
+            objective=objective,
+            values=dict(assignment),
+            stats=dict(stats),
+        )

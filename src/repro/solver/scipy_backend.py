@@ -1,0 +1,233 @@
+"""HiGHS-backed solver (via :mod:`scipy.optimize`) — the default MILP/LP engine.
+
+The paper solves its flow-synthesis constraints with Z3 over linear real
+arithmetic; we formulate them as a mixed-integer linear program and hand them
+to HiGHS, which is the fastest engine available offline.  Sparse constraint
+matrices are used so the paper-scale instances (tens of thousands of flow
+variables on the Fulfillment-2 map) stay well within laptop memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint as SciLinearConstraint
+from scipy.optimize import linprog, milp
+
+from .expressions import EQ, GE, LE
+from .model import ConstraintModel
+from .result import SolveResult, SolveStatus
+
+_INF = float("inf")
+
+
+def _build_sparse(model: ConstraintModel):
+    """Build sparse constraint matrices directly from the model.
+
+    Returns (c, constraint_matrix, lower, upper, bounds, integrality, variables,
+    objective_sign, objective_offset).  Both inequality senses and equalities
+    are encoded as two-sided row bounds, which is the native HiGHS form.
+    """
+    variables = list(model.variables)
+    index = {var: i for i, var in enumerate(variables)}
+    n = len(variables)
+
+    sign = 1.0 if model.objective_sense == "min" else -1.0
+    c = np.zeros(n)
+    for var, coeff in model.objective.coeffs.items():
+        c[index[var]] = sign * coeff
+    offset = sign * model.objective.constant
+
+    rows, cols, data = [], [], []
+    lower, upper = [], []
+    for r, constraint in enumerate(model.constraints):
+        for var, coeff in constraint.expr.coeffs.items():
+            rows.append(r)
+            cols.append(index[var])
+            data.append(coeff)
+        rhs = -constraint.expr.constant
+        if constraint.sense == LE:
+            lower.append(-_INF)
+            upper.append(rhs)
+        elif constraint.sense == GE:
+            lower.append(rhs)
+            upper.append(_INF)
+        elif constraint.sense == EQ:
+            lower.append(rhs)
+            upper.append(rhs)
+    matrix = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(model.num_constraints, n)
+    )
+
+    lb = np.array([-_INF if v.lb is None else float(v.lb) for v in variables])
+    ub = np.array([_INF if v.ub is None else float(v.ub) for v in variables])
+    integrality = np.array([1 if v.integer else 0 for v in variables])
+    return (
+        c,
+        matrix,
+        np.asarray(lower),
+        np.asarray(upper),
+        (lb, ub),
+        integrality,
+        variables,
+        sign,
+        offset,
+    )
+
+
+def _trivial_result(model: ConstraintModel) -> Optional[SolveResult]:
+    """Handle the degenerate zero-variable model without calling HiGHS.
+
+    Contract-algebra queries occasionally produce models with no variables at
+    all (e.g. checking compatibility of a contract with no assumptions); such a
+    model is satisfiable iff every (constant) constraint holds.
+    """
+    if model.num_variables > 0:
+        return None
+    for constraint in model.constraints:
+        if not constraint.is_satisfied({}):
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE,
+                message=f"constant constraint violated: {constraint!r}",
+            )
+    return SolveResult(
+        status=SolveStatus.OPTIMAL,
+        objective=model.objective.constant
+        * (1.0 if model.objective_sense == "min" else 1.0),
+        values={},
+    )
+
+
+def solve_with_scipy(
+    model: ConstraintModel,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: Optional[float] = None,
+) -> SolveResult:
+    """Solve ``model`` with HiGHS.
+
+    Uses :func:`scipy.optimize.milp` when the model has integer variables and
+    :func:`scipy.optimize.linprog` otherwise.  ``time_limit`` is in seconds.
+    """
+    trivial = _trivial_result(model)
+    if trivial is not None:
+        return trivial
+
+    (
+        c,
+        matrix,
+        row_lb,
+        row_ub,
+        (lb, ub),
+        integrality,
+        variables,
+        sign,
+        offset,
+    ) = _build_sparse(model)
+    start = time.perf_counter()
+
+    has_integers = bool(integrality.any())
+    if has_integers:
+        constraints = (
+            SciLinearConstraint(matrix, row_lb, row_ub)
+            if model.num_constraints
+            else ()
+        )
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        if mip_rel_gap is not None:
+            options["mip_rel_gap"] = float(mip_rel_gap)
+        res = milp(
+            c=c,
+            constraints=constraints,
+            bounds=Bounds(lb, ub),
+            integrality=integrality,
+            options=options or None,
+        )
+        elapsed = time.perf_counter() - start
+        if res.status == 0 and res.x is not None:
+            x = np.asarray(res.x)
+            int_idx = np.nonzero(integrality)[0]
+            x[int_idx] = np.round(x[int_idx])
+            values = {var: float(v) for var, v in zip(variables, x)}
+            objective = sign * (float(c @ x) + offset)
+            return SolveResult(
+                status=SolveStatus.OPTIMAL,
+                objective=objective,
+                values=values,
+                stats={"seconds": elapsed},
+                message=str(res.message),
+            )
+        if res.status == 2:
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE,
+                stats={"seconds": elapsed},
+                message=str(res.message),
+            )
+        if res.status == 3:
+            return SolveResult(
+                status=SolveStatus.UNBOUNDED,
+                stats={"seconds": elapsed},
+                message=str(res.message),
+            )
+        if res.status == 1 and res.x is not None:
+            # Iteration/time limit with an incumbent.
+            values = {var: float(v) for var, v in zip(variables, np.asarray(res.x))}
+            return SolveResult(
+                status=SolveStatus.FEASIBLE,
+                objective=sign * (float(c @ res.x) + offset),
+                values=values,
+                stats={"seconds": elapsed},
+                message=str(res.message),
+            )
+        return SolveResult(
+            status=SolveStatus.LIMIT if res.status == 1 else SolveStatus.ERROR,
+            stats={"seconds": elapsed},
+            message=str(res.message),
+        )
+
+    # Pure LP path.
+    a_ub_rows = []
+    b_ub_vals = []
+    a_eq_rows = []
+    b_eq_vals = []
+    dense = matrix.toarray() if model.num_constraints else np.zeros((0, len(variables)))
+    for r in range(dense.shape[0]):
+        lo, hi = row_lb[r], row_ub[r]
+        if lo == hi:
+            a_eq_rows.append(dense[r])
+            b_eq_vals.append(lo)
+        else:
+            if hi != _INF:
+                a_ub_rows.append(dense[r])
+                b_ub_vals.append(hi)
+            if lo != -_INF:
+                a_ub_rows.append(-dense[r])
+                b_ub_vals.append(-lo)
+    res = linprog(
+        c,
+        A_ub=np.vstack(a_ub_rows) if a_ub_rows else None,
+        b_ub=np.asarray(b_ub_vals) if b_ub_vals else None,
+        A_eq=np.vstack(a_eq_rows) if a_eq_rows else None,
+        b_eq=np.asarray(b_eq_vals) if b_eq_vals else None,
+        bounds=list(zip(lb, ub)),
+        method="highs",
+    )
+    elapsed = time.perf_counter() - start
+    if res.status == 0:
+        values = {var: float(v) for var, v in zip(variables, res.x)}
+        return SolveResult(
+            status=SolveStatus.OPTIMAL,
+            objective=sign * (float(res.fun) + offset),
+            values=values,
+            stats={"seconds": elapsed},
+        )
+    if res.status == 2:
+        return SolveResult(status=SolveStatus.INFEASIBLE, stats={"seconds": elapsed})
+    if res.status == 3:
+        return SolveResult(status=SolveStatus.UNBOUNDED, stats={"seconds": elapsed})
+    return SolveResult(status=SolveStatus.ERROR, stats={"seconds": elapsed},
+                       message=str(res.message))

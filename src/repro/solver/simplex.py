@@ -1,0 +1,343 @@
+"""A dense two-phase tableau simplex LP solver (pure numpy).
+
+This is the self-contained fallback LP engine used by the pure-Python
+branch-and-bound backend (:mod:`repro.solver.branch_and_bound`) and by the
+contract algebra when scipy is not wanted (e.g. for deterministic unit tests
+of the algebra itself).  It is **not** meant to compete with HiGHS — the
+problems it is pointed at (contract refinement queries, small flow models,
+ablation studies) have at most a few hundred variables.
+
+The solver accepts the general form
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lb <= x <= ub   (entries may be None / infinite)
+
+and internally converts it to standard form (equalities over non-negative
+variables) before running a two-phase tableau simplex with Bland's rule,
+which guarantees termination (no cycling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_TOL = 1e-9
+
+
+@dataclass
+class LPSolution:
+    """Raw LP outcome returned by :func:`solve_lp`.
+
+    ``status`` is one of ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    ``x`` is the primal solution in the *original* variable space (present only
+    for ``"optimal"``).
+    """
+
+    status: str
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    iterations: int = 0
+    message: str = ""
+    stats: dict = field(default_factory=dict)
+
+
+class _StandardForm:
+    """Conversion of a general LP into ``min c.x  s.t.  A x = b, x >= 0``.
+
+    Keeps enough bookkeeping to map a standard-form solution back to the
+    original variables.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        bounds: Sequence[Tuple[Optional[float], Optional[float]]],
+    ) -> None:
+        n_orig = len(c)
+        # Each original variable maps to one of:
+        #   ("shifted", col, lb)            x = lb + y            (y >= 0)
+        #   ("mirrored", col, ub)           x = ub - y            (y >= 0)
+        #   ("free", col_pos, col_neg)      x = y+ - y-           (y± >= 0)
+        self.mapping: List[Tuple] = []
+        columns = 0
+        extra_ub_rows: List[Tuple[int, float]] = []  # (std column, upper bound on y)
+
+        for j in range(n_orig):
+            lb, ub = bounds[j]
+            lb = None if lb is not None and np.isneginf(lb) else lb
+            ub = None if ub is not None and np.isposinf(ub) else ub
+            if lb is not None:
+                self.mapping.append(("shifted", columns, float(lb)))
+                if ub is not None:
+                    extra_ub_rows.append((columns, float(ub) - float(lb)))
+                columns += 1
+            elif ub is not None:
+                self.mapping.append(("mirrored", columns, float(ub)))
+                columns += 1
+            else:
+                self.mapping.append(("free", columns, columns + 1))
+                columns += 2
+
+        def expand_row(row: np.ndarray) -> Tuple[np.ndarray, float]:
+            """Rewrite a row over original variables into standard columns.
+
+            Returns the expanded row and the constant shift to subtract from
+            the right-hand side.
+            """
+            out = np.zeros(columns, dtype=float)
+            shift = 0.0
+            for j, coeff in enumerate(row):
+                if coeff == 0.0:
+                    continue
+                kind = self.mapping[j]
+                if kind[0] == "shifted":
+                    out[kind[1]] += coeff
+                    shift += coeff * kind[2]
+                elif kind[0] == "mirrored":
+                    out[kind[1]] -= coeff
+                    shift += coeff * kind[2]
+                else:
+                    out[kind[1]] += coeff
+                    out[kind[2]] -= coeff
+            return out, shift
+
+        # Objective.
+        self.c_std = np.zeros(columns, dtype=float)
+        self.obj_shift = 0.0
+        obj_row, obj_shift = expand_row(np.asarray(c, dtype=float))
+        self.c_std = obj_row
+        self.obj_shift = obj_shift
+
+        # Constraints: inequalities (including bound-induced ones) get slacks.
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        for i in range(a_ub.shape[0]):
+            row, shift = expand_row(a_ub[i])
+            ub_rows.append(row)
+            ub_rhs.append(float(b_ub[i]) - shift)
+        for col, cap in extra_ub_rows:
+            row = np.zeros(columns, dtype=float)
+            row[col] = 1.0
+            ub_rows.append(row)
+            ub_rhs.append(cap)
+
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for i in range(a_eq.shape[0]):
+            row, shift = expand_row(a_eq[i])
+            eq_rows.append(row)
+            eq_rhs.append(float(b_eq[i]) - shift)
+
+        n_slack = len(ub_rows)
+        total_cols = columns + n_slack
+        rows: List[np.ndarray] = []
+        rhs: List[float] = []
+        for k, (row, b) in enumerate(zip(ub_rows, ub_rhs)):
+            full = np.zeros(total_cols, dtype=float)
+            full[:columns] = row
+            full[columns + k] = 1.0
+            rows.append(full)
+            rhs.append(b)
+        for row, b in zip(eq_rows, eq_rhs):
+            full = np.zeros(total_cols, dtype=float)
+            full[:columns] = row
+            rows.append(full)
+            rhs.append(b)
+
+        self.a = np.vstack(rows) if rows else np.zeros((0, total_cols))
+        self.b = np.asarray(rhs, dtype=float)
+        self.n_structural = columns
+        self.n_total = total_cols
+        c_full = np.zeros(total_cols, dtype=float)
+        c_full[:columns] = self.c_std
+        self.c = c_full
+
+        # Normalize to b >= 0 for phase 1.
+        for i in range(self.a.shape[0]):
+            if self.b[i] < 0:
+                self.a[i] = -self.a[i]
+                self.b[i] = -self.b[i]
+
+    def recover(self, x_std: np.ndarray) -> np.ndarray:
+        """Map a standard-form solution back to the original variables."""
+        out = np.zeros(len(self.mapping), dtype=float)
+        for j, kind in enumerate(self.mapping):
+            if kind[0] == "shifted":
+                out[j] = kind[2] + x_std[kind[1]]
+            elif kind[0] == "mirrored":
+                out[j] = kind[2] - x_std[kind[1]]
+            else:
+                out[j] = x_std[kind[1]] - x_std[kind[2]]
+        return out
+
+
+def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
+    """Pivot the tableau on (row, col) and update the basis in place."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _TOL:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_core(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    basis: List[int],
+    max_iter: int,
+) -> Tuple[str, np.ndarray, List[int], int]:
+    """Run the simplex method from a basic feasible solution.
+
+    Returns (status, tableau, basis, iterations) where the tableau's last
+    column holds the basic variable values and its last row the reduced costs.
+    """
+    m, n = a.shape
+    tableau = np.zeros((m + 1, n + 1), dtype=float)
+    tableau[:m, :n] = a
+    tableau[:m, n] = b
+    tableau[m, :n] = c
+    # Price out the basic columns so the bottom row holds reduced costs.
+    for i, col in enumerate(basis):
+        if abs(tableau[m, col]) > _TOL:
+            tableau[m] -= tableau[m, col] * tableau[i]
+
+    iterations = 0
+    while iterations < max_iter:
+        reduced = tableau[m, :n]
+        # Bland's rule: entering variable = smallest index with negative cost.
+        entering = -1
+        for j in range(n):
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal", tableau, basis, iterations
+
+        # Ratio test, Bland tie-break on the leaving basic variable index.
+        leaving = -1
+        best_ratio = np.inf
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > _TOL:
+                ratio = tableau[i, n] / coeff
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded", tableau, basis, iterations
+
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+
+    return "iteration_limit", tableau, basis, iterations
+
+
+def solve_lp(
+    c: Sequence[float],
+    a_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+    max_iter: int = 50_000,
+) -> LPSolution:
+    """Solve a general-form LP with the two-phase tableau simplex.
+
+    Parameters mirror :func:`scipy.optimize.linprog`; ``bounds`` defaults to
+    ``(0, None)`` for every variable.
+    """
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    a_ub = np.zeros((0, n)) if a_ub is None else np.asarray(a_ub, dtype=float)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+    a_eq = np.zeros((0, n)) if a_eq is None else np.asarray(a_eq, dtype=float)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float)
+    if bounds is None:
+        bounds = [(0.0, None)] * n
+    if a_ub.shape[1] != n or a_eq.shape[1] != n or len(bounds) != n:
+        raise ValueError("inconsistent LP dimensions")
+
+    form = _StandardForm(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    a, b = form.a, form.b
+    m, total = a.shape
+
+    if m == 0:
+        # Only bounds: the minimum of each cost coefficient's sign at its bound.
+        x = np.zeros(total)
+        if np.any(form.c < -_TOL):
+            return LPSolution(status="unbounded", message="no constraints, negative cost")
+        x_orig = form.recover(x)
+        return LPSolution(status="optimal", x=x_orig, objective=float(c @ x_orig))
+
+    # Phase 1: artificial variables on every row.
+    a1 = np.hstack([a, np.eye(m)])
+    c1 = np.concatenate([np.zeros(total), np.ones(m)])
+    basis = list(range(total, total + m))
+    status, tableau, basis, it1 = _simplex_core(a1, b, c1, basis, max_iter)
+    if status == "iteration_limit":
+        return LPSolution(status="infeasible", iterations=it1,
+                          message="phase-1 iteration limit reached")
+    phase1_obj = tableau[m, -1]
+    if -phase1_obj > 1e-7 * max(1.0, np.abs(b).max() if m else 1.0):
+        # Reduced-cost row stores -(objective); positive sum of artificials
+        # means no feasible point exists.
+        return LPSolution(status="infeasible", iterations=it1,
+                          message="phase-1 optimum is positive")
+
+    # Drive any artificial variables out of the basis when possible.
+    a_work = tableau[:m, : total + m].copy()
+    b_work = tableau[:m, -1].copy()
+    for i in range(m):
+        if basis[i] >= total:
+            pivot_col = -1
+            for j in range(total):
+                if abs(a_work[i, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                temp = np.zeros((m + 1, total + m + 1))
+                temp[:m, : total + m] = a_work
+                temp[:m, -1] = b_work
+                _pivot(temp, basis, i, pivot_col)
+                a_work = temp[:m, : total + m]
+                b_work = temp[:m, -1]
+            # Otherwise the row is redundant (all-zero over structural
+            # columns); the artificial stays basic at value ~0, harmless.
+
+    # Phase 2 on the structural columns only (artificial columns removed by
+    # forbidding them: give them a prohibitive cost of +inf is not possible in
+    # a tableau, so instead keep them but with zero rows — simplest correct
+    # approach is to keep the columns and assign them a huge cost).
+    big = 1e9 * (np.abs(form.c).max() + 1.0)
+    c2 = np.concatenate([form.c, np.full(m, big)])
+    status, tableau, basis, it2 = _simplex_core(a_work, b_work, c2, basis, max_iter)
+    iterations = it1 + it2
+    if status == "unbounded":
+        return LPSolution(status="unbounded", iterations=iterations)
+    if status == "iteration_limit":
+        return LPSolution(status="infeasible", iterations=iterations,
+                          message="phase-2 iteration limit reached")
+
+    x_std = np.zeros(total + m)
+    for i, col in enumerate(basis):
+        x_std[col] = tableau[i, -1]
+    if np.any(x_std[total:] > 1e-6):
+        return LPSolution(status="infeasible", iterations=iterations,
+                          message="artificial variable remained positive")
+    x_orig = form.recover(x_std[:total])
+    objective = float(c @ x_orig)
+    return LPSolution(status="optimal", x=x_orig, objective=objective,
+                      iterations=iterations)

@@ -1,0 +1,33 @@
+"""The traffic-system design framework (Sec. IV-A of the paper).
+
+* :class:`Component` / :class:`ComponentKind` — one-way-road components
+  (shelving rows, station queues, transports);
+* :class:`TrafficSystem` — components + inlet/outlet wiring and the derived
+  traffic-system graph ``Gs``;
+* :func:`validate` / :func:`assert_valid` — the design-rule checker;
+* :mod:`repro.traffic.design` — utilities used by map generators to emit
+  valid traffic systems (path splitting, chaining, auto-connection).
+"""
+
+from .component import Component, ComponentKind, TrafficError, classify_vertices, make_component
+from .design import auto_connections, build_traffic_system, chain_connections, split_path
+from .system import ComponentId, TrafficSystem
+from .validation import RuleViolation, ValidationReport, assert_valid, validate
+
+__all__ = [
+    "Component",
+    "ComponentId",
+    "ComponentKind",
+    "RuleViolation",
+    "TrafficError",
+    "TrafficSystem",
+    "ValidationReport",
+    "assert_valid",
+    "auto_connections",
+    "build_traffic_system",
+    "chain_connections",
+    "classify_vertices",
+    "make_component",
+    "split_path",
+    "validate",
+]

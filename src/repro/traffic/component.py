@@ -1,0 +1,186 @@
+"""Traffic-system components (Sec. IV-A of the paper).
+
+A component is a *disjoint simple path* of floorplan vertices that behaves like
+a one-way road: agents enter at one end, traverse the path one cell at a time
+and leave from the other end.  Components come in three kinds:
+
+* **shelving row**   — contains at least one shelf-access vertex;
+* **station queue**  — contains at least one station vertex;
+* **transport**      — contains neither.
+
+A component may never contain both shelf-access and station vertices.
+
+Naming note.  The paper calls the two ends ``HEAD`` and ``TAIL`` but uses the
+terms inconsistently between Sec. IV-A and Algorithm 1 (see DESIGN.md).  We use
+the unambiguous names **entry** (where agents come in) and **exit** (where they
+leave); ``head``/``tail`` are provided as aliases of entry/exit to match the
+Sec. IV-A reading.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..warehouse.floorplan import FloorplanGraph, VertexId
+
+
+class TrafficError(ValueError):
+    """Raised for invalid components or traffic systems."""
+
+
+class ComponentKind(enum.Enum):
+    """The three component types of the traffic-system design framework."""
+
+    SHELVING_ROW = "shelving_row"
+    STATION_QUEUE = "station_queue"
+    TRANSPORT = "transport"
+
+
+@dataclass(frozen=True)
+class Component:
+    """A one-way road: an ordered simple path of floorplan vertices.
+
+    Parameters
+    ----------
+    index:
+        Dense id of the component within its traffic system.
+    name:
+        Human-readable name (e.g. ``"slice2/serpentine/1"``).
+    vertices:
+        The path, ordered from entry to exit.
+    kind:
+        The component kind; normally derived with :func:`classify_component`.
+    """
+
+    index: int
+    name: str
+    vertices: Tuple[VertexId, ...]
+    kind: ComponentKind
+    _positions: Dict[VertexId, int] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.vertices:
+            raise TrafficError(f"component {self.name!r} has no vertices")
+        if len(set(self.vertices)) != len(self.vertices):
+            raise TrafficError(f"component {self.name!r} repeats a vertex")
+        object.__setattr__(
+            self, "_positions", {v: i for i, v in enumerate(self.vertices)}
+        )
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of vertices |Ci| (used by the capacity rule ⌊|Ci|/2⌋)."""
+        return len(self.vertices)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of agent cycles through this component: ⌊|Ci|/2⌋."""
+        return self.length // 2
+
+    @property
+    def entry(self) -> VertexId:
+        """The vertex agents enter the component at."""
+        return self.vertices[0]
+
+    @property
+    def exit(self) -> VertexId:
+        """The vertex agents leave the component from."""
+        return self.vertices[-1]
+
+    # Aliases matching the paper's Sec. IV-A terminology.
+    @property
+    def head(self) -> VertexId:
+        return self.entry
+
+    @property
+    def tail(self) -> VertexId:
+        return self.exit
+
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._positions
+
+    def position_of(self, vertex: VertexId) -> int:
+        """Index of a vertex along the path (0 at the entry)."""
+        try:
+            return self._positions[vertex]
+        except KeyError as exc:
+            raise TrafficError(
+                f"vertex {vertex} is not part of component {self.name!r}"
+            ) from exc
+
+    def next_vertex(self, vertex: VertexId) -> Optional[VertexId]:
+        """The vertex following ``vertex`` on the way to the exit (NEXT(Ci, u))."""
+        position = self.position_of(vertex)
+        if position + 1 < self.length:
+            return self.vertices[position + 1]
+        return None
+
+    def distance_to_exit(self, vertex: VertexId) -> int:
+        return self.length - 1 - self.position_of(vertex)
+
+    # -- kind ----------------------------------------------------------------
+    @property
+    def is_shelving_row(self) -> bool:
+        return self.kind == ComponentKind.SHELVING_ROW
+
+    @property
+    def is_station_queue(self) -> bool:
+        return self.kind == ComponentKind.STATION_QUEUE
+
+    @property
+    def is_transport(self) -> bool:
+        return self.kind == ComponentKind.TRANSPORT
+
+    def summary(self) -> str:
+        return f"{self.name} [{self.kind.value}, {self.length} cells]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Component({self.summary()})"
+
+
+def classify_vertices(
+    floorplan: FloorplanGraph, vertices: Sequence[VertexId]
+) -> ComponentKind:
+    """Derive a component kind from the vertices it contains.
+
+    Raises :class:`TrafficError` when the vertex set mixes shelf-access and
+    station vertices, which the design rules forbid.
+    """
+    has_shelf = any(v in floorplan.shelf_access for v in vertices)
+    has_station = any(v in floorplan.stations for v in vertices)
+    if has_shelf and has_station:
+        raise TrafficError(
+            "a component may not contain both shelf-access and station vertices"
+        )
+    if has_shelf:
+        return ComponentKind.SHELVING_ROW
+    if has_station:
+        return ComponentKind.STATION_QUEUE
+    return ComponentKind.TRANSPORT
+
+
+def make_component(
+    floorplan: FloorplanGraph,
+    index: int,
+    name: str,
+    vertices: Sequence[VertexId],
+    kind: Optional[ComponentKind] = None,
+    check_path: bool = True,
+) -> Component:
+    """Build a component, deriving its kind and checking it is a simple path."""
+    vertices = tuple(vertices)
+    if check_path and not floorplan.induced_path_is_simple(vertices):
+        raise TrafficError(
+            f"component {name!r} is not a simple path in the floorplan graph"
+        )
+    derived = classify_vertices(floorplan, vertices)
+    if kind is not None and kind != derived:
+        raise TrafficError(
+            f"component {name!r} declared as {kind.value} but its vertices imply {derived.value}"
+        )
+    return Component(index=index, name=name, vertices=vertices, kind=derived)

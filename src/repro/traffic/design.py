@@ -1,0 +1,122 @@
+"""Helpers for designing traffic systems.
+
+The paper frames traffic-system design as a manual activity guided by the
+framework's rules ("an operator can construct a traffic system by dividing the
+vertices ... into disjoint simple paths").  In this repository the "operator"
+is usually a map generator (:mod:`repro.maps`), which knows its own geometry
+and emits the component paths and connections directly.  This module holds the
+generator-independent utilities:
+
+* :func:`split_path`            — split a long path into chained sub-components
+  no longer than a target length (keeps the cycle time ``tc = 2m`` small, which
+  is what gives the methodology its throughput — see DESIGN.md §2);
+* :func:`chain_connections`     — the (a→b, b→c, ...) connections of a chain;
+* :func:`auto_connections`      — derive connections from exit/entry adjacency
+  (useful for small hand-drawn maps);
+* :func:`build_traffic_system`  — assemble and validate a system from cell
+  paths and connections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..warehouse.grid import Cell
+from ..warehouse.warehouse import Warehouse
+from .component import TrafficError
+from .system import TrafficSystem
+from .validation import assert_valid
+
+
+def split_path(
+    cells: Sequence[Cell], max_length: int, min_length: int = 2
+) -> List[List[Cell]]:
+    """Split a path into consecutive pieces of at most ``max_length`` cells.
+
+    The pieces chain head-to-tail (each piece's last cell is adjacent to the
+    next piece's first cell because they are consecutive along the original
+    path).  The split is balanced so that no piece ends up shorter than
+    ``min_length`` — a component of length 1 would have capacity
+    ``⌊1/2⌋ = 0`` and block all flow through the chain.
+    """
+    cells = list(cells)
+    if max_length < min_length:
+        raise TrafficError(
+            f"max_length {max_length} must be at least min_length {min_length}"
+        )
+    if len(cells) <= max_length:
+        return [cells]
+    num_pieces = -(-len(cells) // max_length)  # ceil division
+    base, remainder = divmod(len(cells), num_pieces)
+    if base < min_length:
+        raise TrafficError(
+            f"cannot split a {len(cells)}-cell path into pieces of length "
+            f">= {min_length} and <= {max_length}"
+        )
+    pieces: List[List[Cell]] = []
+    start = 0
+    for piece_index in range(num_pieces):
+        size = base + (1 if piece_index < remainder else 0)
+        pieces.append(cells[start : start + size])
+        start += size
+    return pieces
+
+
+def chain_connections(names: Sequence[str]) -> List[Tuple[str, str]]:
+    """Connections of a simple chain: ``names[i] -> names[i + 1]``."""
+    return [(a, b) for a, b in zip(names, names[1:])]
+
+
+def auto_connections(
+    warehouse: Warehouse,
+    cell_paths: Sequence[Tuple[str, Sequence[Cell]]],
+    max_outlets: int = 2,
+) -> List[Tuple[str, str]]:
+    """Derive connections from floorplan adjacency between exits and entries.
+
+    A connection ``A → B`` is created whenever the last cell of ``A``'s path is
+    4-adjacent to the first cell of ``B``'s path.  When a component would end
+    up with more than ``max_outlets`` outlets, a :class:`TrafficError` is
+    raised — the caller should then specify connections explicitly (the rule
+    limit is part of the design framework, not something to silently trim).
+    """
+    floorplan = warehouse.floorplan
+    entries: Dict[str, Cell] = {name: tuple(cells)[0] for name, cells in cell_paths}
+    exits: Dict[str, Cell] = {name: tuple(cells)[-1] for name, cells in cell_paths}
+    connections: List[Tuple[str, str]] = []
+    for from_name, exit_cell in exits.items():
+        exit_vertex = floorplan.vertex_at(exit_cell)
+        outlets = []
+        for to_name, entry_cell in entries.items():
+            if to_name == from_name:
+                continue
+            entry_vertex = floorplan.vertex_at(entry_cell)
+            if floorplan.are_adjacent(exit_vertex, entry_vertex):
+                outlets.append(to_name)
+        if len(outlets) > max_outlets:
+            raise TrafficError(
+                f"component {from_name!r} would have {len(outlets)} outlets "
+                f"({outlets}); specify connections explicitly"
+            )
+        connections.extend((from_name, to_name) for to_name in outlets)
+    return connections
+
+
+def build_traffic_system(
+    warehouse: Warehouse,
+    cell_paths: Sequence[Tuple[str, Sequence[Cell]]],
+    connections: Optional[Sequence[Tuple[str, str]]] = None,
+    name: str = "traffic-system",
+    validate_rules: bool = True,
+) -> TrafficSystem:
+    """Assemble a traffic system from cell paths, then check the design rules.
+
+    When ``connections`` is omitted they are derived with
+    :func:`auto_connections`.
+    """
+    if connections is None:
+        connections = auto_connections(warehouse, cell_paths)
+    system = TrafficSystem.from_cell_paths(warehouse, cell_paths, connections, name=name)
+    if validate_rules:
+        assert_valid(system)
+    return system

@@ -1,0 +1,191 @@
+"""Design-rule checking for traffic systems (the rules of Sec. IV-A).
+
+The framework imposes the following rules on a traffic system; the validator
+reports every violation with a short explanation so a designer can fix the
+layout:
+
+1. every component is a non-empty *simple path* in the floorplan graph;
+2. components are pairwise vertex-disjoint;
+3. no component contains both shelf-access and station vertices;
+4. every shelf-access vertex and every station vertex belongs to a component
+   (other vertices may be left unused);
+5. every component has between 1 and 2 inlets and between 1 and 2 outlets;
+6. for every connection ``Ci → Cj`` there is a floorplan edge between the exit
+   of ``Ci`` and the entry of ``Cj``;
+7. the traffic-system graph is strongly connected.
+
+Rules 1–3 are enforced eagerly at construction time by
+:class:`~repro.traffic.component.Component` / :class:`TrafficSystem`; the
+validator re-checks them anyway so hand-built systems loaded from disk get a
+complete report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .component import ComponentKind
+from .system import TrafficSystem
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One violated design rule."""
+
+    rule: str
+    component: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] {self.component}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`."""
+
+    violations: List[RuleViolation]
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.violations
+
+    def by_rule(self, rule: str) -> Tuple[RuleViolation, ...]:
+        return tuple(v for v in self.violations if v.rule == rule)
+
+    def summary(self) -> str:
+        if self.is_valid:
+            return "traffic system satisfies all design rules"
+        return f"traffic system violates {len(self.violations)} design rule(s)"
+
+
+def validate(system: TrafficSystem) -> ValidationReport:
+    """Check every design rule and return a full report."""
+    violations: List[RuleViolation] = []
+    floorplan = system.floorplan
+
+    # Rule 1: simple paths.
+    for component in system.components:
+        if not floorplan.induced_path_is_simple(component.vertices):
+            violations.append(
+                RuleViolation("simple-path", component.name, "vertices do not form a simple path")
+            )
+
+    # Rule 2: disjointness (TrafficSystem enforces it at construction; re-derive
+    # here for systems built by other means).
+    seen = {}
+    for component in system.components:
+        for vertex in component.vertices:
+            if vertex in seen and seen[vertex] != component.index:
+                violations.append(
+                    RuleViolation(
+                        "disjoint",
+                        component.name,
+                        f"vertex {vertex} also belongs to "
+                        f"{system.component(seen[vertex]).name!r}",
+                    )
+                )
+            seen.setdefault(vertex, component.index)
+
+    # Rule 3: no mixing of shelf-access and station vertices.
+    for component in system.components:
+        has_shelf = any(v in floorplan.shelf_access for v in component.vertices)
+        has_station = any(v in floorplan.stations for v in component.vertices)
+        if has_shelf and has_station:
+            violations.append(
+                RuleViolation(
+                    "no-mixing", component.name, "contains both shelf-access and station vertices"
+                )
+            )
+        expected = (
+            ComponentKind.SHELVING_ROW
+            if has_shelf
+            else ComponentKind.STATION_QUEUE
+            if has_station
+            else ComponentKind.TRANSPORT
+        )
+        if not (has_shelf and has_station) and component.kind != expected:
+            violations.append(
+                RuleViolation(
+                    "kind",
+                    component.name,
+                    f"classified as {component.kind.value} but vertices imply {expected.value}",
+                )
+            )
+
+    # Rule 4: coverage of shelf-access and station vertices.
+    for vertex in sorted(floorplan.shelf_access):
+        if system.owner_of(vertex) is None:
+            violations.append(
+                RuleViolation(
+                    "coverage",
+                    "<floorplan>",
+                    f"shelf-access vertex {vertex} ({floorplan.cell_of(vertex)}) "
+                    "is not contained in any component",
+                )
+            )
+    for vertex in sorted(floorplan.stations):
+        if system.owner_of(vertex) is None:
+            violations.append(
+                RuleViolation(
+                    "coverage",
+                    "<floorplan>",
+                    f"station vertex {vertex} ({floorplan.cell_of(vertex)}) "
+                    "is not contained in any component",
+                )
+            )
+
+    # Rule 5: inlet / outlet counts.
+    for component in system.components:
+        n_out = len(system.outlets_of(component.index))
+        n_in = len(system.inlets_of(component.index))
+        if not 1 <= n_out <= 2:
+            violations.append(
+                RuleViolation(
+                    "outlet-count", component.name, f"has {n_out} outlets (must be 1 or 2)"
+                )
+            )
+        if not 1 <= n_in <= 2:
+            violations.append(
+                RuleViolation(
+                    "inlet-count", component.name, f"has {n_in} inlets (must be 1 or 2)"
+                )
+            )
+
+    # Rule 6: exit/entry adjacency of every connection.
+    for source, target in system.edges():
+        exit_vertex = system.component(source).exit
+        entry_vertex = system.component(target).entry
+        if not floorplan.are_adjacent(exit_vertex, entry_vertex):
+            violations.append(
+                RuleViolation(
+                    "connection-adjacency",
+                    system.component(source).name,
+                    f"exit {floorplan.cell_of(exit_vertex)} is not adjacent to the entry "
+                    f"{floorplan.cell_of(entry_vertex)} of {system.component(target).name!r}",
+                )
+            )
+
+    # Rule 7: strong connectivity of Gs.
+    if not system.is_strongly_connected():
+        violations.append(
+            RuleViolation(
+                "strong-connectivity", "<traffic-system>", "the component graph is not strongly connected"
+            )
+        )
+
+    return ValidationReport(violations=violations)
+
+
+def assert_valid(system: TrafficSystem) -> None:
+    """Raise ``TrafficError`` with a readable message when any rule is violated."""
+    from .component import TrafficError
+
+    report = validate(system)
+    if not report.is_valid:
+        details = "\n  ".join(str(v) for v in report.violations[:20])
+        more = "" if len(report.violations) <= 20 else f"\n  (+{len(report.violations) - 20} more)"
+        raise TrafficError(
+            f"traffic system {system.name!r} violates design rules:\n  {details}{more}"
+        )

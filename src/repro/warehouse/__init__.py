@@ -1,0 +1,80 @@
+"""Warehouse model substrate: grids, floorplan graphs, products, workloads, plans.
+
+This package implements the formal objects of Sec. III of the paper:
+
+* :class:`GridMap` / :class:`FloorplanGraph` — the warehouse geometry and the
+  floorplan graph ``G = (V, E)``;
+* :class:`ProductCatalog` / :class:`LocationMatrix` — the product vector ``ρ``
+  and location matrix ``Λ``;
+* :class:`Workload` — the demand vector ``w``;
+* :class:`Warehouse` / :class:`WSPInstance` — the 5-tuple ``W`` and Problem 3.1;
+* :class:`Plan` / :class:`PlanValidator` — plans ``(π, φ)``, the three
+  feasibility conditions, and workload-service checking.
+"""
+
+from .floorplan import FloorplanError, FloorplanGraph, VertexId
+from .grid import (
+    EMPTY,
+    NEIGHBOR_OFFSETS,
+    OBSTACLE,
+    SHELF,
+    STATION,
+    Cell,
+    GridError,
+    GridMap,
+    build_grid,
+)
+from .plan import (
+    Plan,
+    PlanError,
+    PlanValidationReport,
+    PlanValidator,
+    PlanViolation,
+    empty_plan,
+)
+from .products import (
+    EMPTY_HANDED,
+    LocationMatrix,
+    ProductCatalog,
+    ProductError,
+    ProductId,
+    products_at,
+    stock_summary,
+)
+from .warehouse import Warehouse, WarehouseError, WSPInstance, build_warehouse
+from .workload import Workload, WorkloadError, check_workload_stock
+
+__all__ = [
+    "Cell",
+    "EMPTY",
+    "EMPTY_HANDED",
+    "FloorplanError",
+    "FloorplanGraph",
+    "GridError",
+    "GridMap",
+    "LocationMatrix",
+    "NEIGHBOR_OFFSETS",
+    "OBSTACLE",
+    "Plan",
+    "PlanError",
+    "PlanValidationReport",
+    "PlanValidator",
+    "PlanViolation",
+    "ProductCatalog",
+    "ProductError",
+    "ProductId",
+    "SHELF",
+    "STATION",
+    "VertexId",
+    "WSPInstance",
+    "Warehouse",
+    "WarehouseError",
+    "Workload",
+    "WorkloadError",
+    "build_grid",
+    "build_warehouse",
+    "check_workload_stock",
+    "empty_plan",
+    "products_at",
+    "stock_summary",
+]

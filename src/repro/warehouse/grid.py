@@ -1,0 +1,227 @@
+"""Grid maps: the cell-level description of a warehouse floorplan.
+
+A :class:`GridMap` is a rectangular grid of cells, each of which is one of:
+
+* ``EMPTY``    (``.``) — open floor an agent can occupy;
+* ``OBSTACLE`` (``@``) — a wall or unusable area;
+* ``SHELF``    (``S``) — a storage shelf (agents cannot occupy it; products are
+  picked from the *adjacent* open cells, the shelf-access cells);
+* ``STATION``  (``T``) — a packing / picking station cell (agents can occupy it
+  and hand a product to a worker there).
+
+The grid is the concrete artifact of Fig. 1 (left), Fig. 4 and Fig. 5 of the
+paper; the *floorplan graph* of Fig. 1 (right) is derived from it by
+:class:`repro.warehouse.floorplan.FloorplanGraph`.
+
+Coordinates are ``(x, y)`` with ``x`` the column (0 at the left) and ``y`` the
+row (0 at the *bottom*), matching the paper's ``v_{x,y}`` convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+Cell = Tuple[int, int]
+
+#: Cell type characters (also the ASCII map format).
+EMPTY = "."
+OBSTACLE = "@"
+SHELF = "S"
+STATION = "T"
+
+_VALID_CELLS = {EMPTY, OBSTACLE, SHELF, STATION}
+
+#: Cells an agent may occupy.
+TRAVERSABLE = {EMPTY, STATION}
+
+#: 4-connected neighborhood offsets (E, W, N, S).
+NEIGHBOR_OFFSETS: Tuple[Cell, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+class GridError(ValueError):
+    """Raised for malformed grids or out-of-range cell queries."""
+
+
+@dataclass(frozen=True)
+class GridMap:
+    """An immutable rectangular warehouse grid.
+
+    Parameters
+    ----------
+    width, height:
+        Grid dimensions in cells.
+    cells:
+        Mapping from ``(x, y)`` to a cell-type character.  Cells not present
+        default to ``OBSTACLE`` (this keeps sparse construction convenient).
+    name:
+        Optional human-readable map name (used in reports).
+    """
+
+    width: int
+    height: int
+    cells: Dict[Cell, str]
+    name: str = "grid"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GridError(f"grid dimensions must be positive, got {self.width}x{self.height}")
+        for cell, kind in self.cells.items():
+            if kind not in _VALID_CELLS:
+                raise GridError(f"unknown cell type {kind!r} at {cell}")
+            if not self.in_bounds(cell):
+                raise GridError(f"cell {cell} outside {self.width}x{self.height} grid")
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def from_ascii(text: str, name: str = "grid") -> "GridMap":
+        """Parse an ASCII drawing into a grid.
+
+        The *last* text line is row ``y = 0`` (so the drawing looks like the
+        warehouse seen from above, with the origin at the bottom-left).  Blank
+        lines and surrounding whitespace-only lines are ignored.  Spaces are
+        treated as obstacles.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise GridError("empty ASCII map")
+        height = len(lines)
+        width = max(len(line) for line in lines)
+        cells: Dict[Cell, str] = {}
+        for row_index, line in enumerate(lines):
+            y = height - 1 - row_index
+            for x in range(width):
+                char = line[x] if x < len(line) else " "
+                if char == " ":
+                    char = OBSTACLE
+                if char not in _VALID_CELLS:
+                    raise GridError(f"unknown map character {char!r} at ({x}, {y})")
+                cells[(x, y)] = char
+        return GridMap(width=width, height=height, cells=cells, name=name)
+
+    def to_ascii(self) -> str:
+        """Render the grid back to the ASCII format accepted by :meth:`from_ascii`."""
+        rows: List[str] = []
+        for y in range(self.height - 1, -1, -1):
+            rows.append("".join(self.cell_type((x, y)) for x in range(self.width)))
+        return "\n".join(rows)
+
+    def with_name(self, name: str) -> "GridMap":
+        return GridMap(width=self.width, height=self.height, cells=dict(self.cells), name=name)
+
+    # -- basic queries --------------------------------------------------------
+    def in_bounds(self, cell: Cell) -> bool:
+        x, y = cell
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def cell_type(self, cell: Cell) -> str:
+        """Cell type at ``cell`` (``OBSTACLE`` for unknown in-bounds cells)."""
+        if not self.in_bounds(cell):
+            raise GridError(f"cell {cell} outside {self.width}x{self.height} grid")
+        return self.cells.get(cell, OBSTACLE)
+
+    def is_traversable(self, cell: Cell) -> bool:
+        return self.in_bounds(cell) and self.cell_type(cell) in TRAVERSABLE
+
+    def is_shelf(self, cell: Cell) -> bool:
+        return self.in_bounds(cell) and self.cell_type(cell) == SHELF
+
+    def is_station(self, cell: Cell) -> bool:
+        return self.in_bounds(cell) and self.cell_type(cell) == STATION
+
+    # -- enumeration ----------------------------------------------------------
+    def all_cells(self) -> Iterator[Cell]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    def traversable_cells(self) -> List[Cell]:
+        """Open cells an agent may occupy, in row-major order."""
+        return [cell for cell in self.all_cells() if self.is_traversable(cell)]
+
+    def shelf_cells(self) -> List[Cell]:
+        return [cell for cell in self.all_cells() if self.is_shelf(cell)]
+
+    def station_cells(self) -> List[Cell]:
+        return [cell for cell in self.all_cells() if self.is_station(cell)]
+
+    def neighbors(self, cell: Cell) -> List[Cell]:
+        """Traversable 4-neighbors of a traversable cell."""
+        result = []
+        for dx, dy in NEIGHBOR_OFFSETS:
+            candidate = (cell[0] + dx, cell[1] + dy)
+            if self.in_bounds(candidate) and self.is_traversable(candidate):
+                result.append(candidate)
+        return result
+
+    def adjacent_shelves(self, cell: Cell) -> List[Cell]:
+        """Shelf cells 4-adjacent to ``cell`` (non-empty iff it is a shelf-access cell)."""
+        result = []
+        for dx, dy in NEIGHBOR_OFFSETS:
+            candidate = (cell[0] + dx, cell[1] + dy)
+            if self.in_bounds(candidate) and self.is_shelf(candidate):
+                result.append(candidate)
+        return result
+
+    def shelf_access_cells(self) -> List[Cell]:
+        """Traversable cells adjacent to at least one shelf (the set ``S`` of the paper)."""
+        return [
+            cell
+            for cell in self.traversable_cells()
+            if self.adjacent_shelves(cell)
+        ]
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def num_traversable(self) -> int:
+        return len(self.traversable_cells())
+
+    @property
+    def num_shelves(self) -> int:
+        return len(self.shelf_cells())
+
+    @property
+    def num_stations(self) -> int:
+        return len(self.station_cells())
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.width}x{self.height}, "
+            f"{self.num_traversable} open cells, {self.num_shelves} shelves, "
+            f"{self.num_stations} stations"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridMap({self.summary()})"
+
+
+def build_grid(
+    width: int,
+    height: int,
+    shelves: Sequence[Cell] = (),
+    stations: Sequence[Cell] = (),
+    obstacles: Sequence[Cell] = (),
+    name: str = "grid",
+) -> GridMap:
+    """Construct a grid from explicit shelf / station / obstacle cell lists.
+
+    Every other in-bounds cell is open floor.  Overlaps are rejected so map
+    generators cannot silently place a station on top of a shelf.
+    """
+    cells: Dict[Cell, str] = {(x, y): EMPTY for x in range(width) for y in range(height)}
+
+    def place(cell_list: Sequence[Cell], kind: str) -> None:
+        for cell in cell_list:
+            x, y = cell
+            if not (0 <= x < width and 0 <= y < height):
+                raise GridError(f"{kind} cell {cell} outside {width}x{height} grid")
+            if cells[cell] != EMPTY:
+                raise GridError(
+                    f"cell {cell} assigned twice ({cells[cell]!r} then {kind!r})"
+                )
+            cells[cell] = kind
+
+    place(tuple(obstacles), OBSTACLE)
+    place(tuple(shelves), SHELF)
+    place(tuple(stations), STATION)
+    return GridMap(width=width, height=height, cells=cells, name=name)

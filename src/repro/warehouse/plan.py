@@ -1,0 +1,404 @@
+"""Plans ``(π, φ)`` and the plan feasibility validator (Sec. III of the paper).
+
+A :class:`Plan` stores, for every agent and every timestep, the vertex the
+agent occupies and the product it carries (0 = ρ0, empty-handed).  The
+:class:`PlanValidator` checks the three feasibility conditions of the paper —
+unit moves, collision freedom, and the pickup/drop-off rules — and counts the
+units actually delivered to stations so a plan can be checked against a
+workload ("the plan *services* w").
+
+The validator is deliberately independent of the planner: it re-derives
+everything from the raw (π, φ) matrices and the warehouse, so it can catch
+bugs in the realization algorithm as well as in the MAPF baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .products import EMPTY_HANDED, ProductId
+from .warehouse import Warehouse
+from .workload import Workload
+
+VertexId = int
+
+
+class PlanError(ValueError):
+    """Raised for structurally malformed plans."""
+
+
+@dataclass
+class Plan:
+    """A T-timestep plan for a team of agents.
+
+    Attributes
+    ----------
+    positions:
+        ``(num_agents, T)`` integer array; ``positions[i, t]`` is the vertex
+        agent ``i`` occupies at timestep ``t`` (0-based timesteps).
+    carrying:
+        ``(num_agents, T)`` integer array; ``carrying[i, t]`` is the product
+        agent ``i`` holds at timestep ``t`` (0 when empty-handed).
+    warehouse:
+        The warehouse the plan refers to (vertex ids index its floorplan).
+    """
+
+    positions: np.ndarray
+    carrying: np.ndarray
+    warehouse: Warehouse
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        self.carrying = np.asarray(self.carrying, dtype=np.int64)
+        if self.positions.ndim != 2 or self.carrying.ndim != 2:
+            raise PlanError("positions and carrying must be 2-D (agents x timesteps)")
+        if self.positions.shape != self.carrying.shape:
+            raise PlanError(
+                f"positions shape {self.positions.shape} != carrying shape {self.carrying.shape}"
+            )
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def horizon(self) -> int:
+        """Number of timesteps covered by the plan (the paper's T)."""
+        return int(self.positions.shape[1])
+
+    # -- per-agent views --------------------------------------------------------
+    def agent_positions(self, agent: int) -> np.ndarray:
+        return self.positions[agent]
+
+    def agent_carrying(self, agent: int) -> np.ndarray:
+        return self.carrying[agent]
+
+    def state(self, agent: int, t: int) -> Tuple[VertexId, ProductId]:
+        """The state ``(π_{i,t}, φ_{i,t})`` of an agent at a timestep."""
+        return int(self.positions[agent, t]), int(self.carrying[agent, t])
+
+    # -- deliveries ---------------------------------------------------------------
+    def deliveries(self) -> List[Tuple[int, int, ProductId]]:
+        """All drop-off events as ``(agent, timestep, product)`` triples.
+
+        A delivery happens at step ``t+1`` when an agent that carried product
+        ``k`` at ``t`` while standing on a station vertex is empty-handed at
+        ``t+1``.
+        """
+        events: List[Tuple[int, int, ProductId]] = []
+        stations = self.warehouse.station_vertices
+        for agent in range(self.num_agents):
+            carrying = self.carrying[agent]
+            positions = self.positions[agent]
+            for t in range(self.horizon - 1):
+                if (
+                    carrying[t] != EMPTY_HANDED
+                    and carrying[t + 1] == EMPTY_HANDED
+                    and int(positions[t]) in stations
+                ):
+                    events.append((agent, t + 1, int(carrying[t])))
+        return events
+
+    def delivered_units(self) -> Dict[ProductId, int]:
+        """Units of each product delivered to stations over the whole plan."""
+        totals: Dict[ProductId, int] = {}
+        for _, _, product in self.deliveries():
+            totals[product] = totals.get(product, 0) + 1
+        return totals
+
+    def total_delivered(self) -> int:
+        return sum(self.delivered_units().values())
+
+    def services(self, workload: Workload) -> bool:
+        """True when the plan delivers at least the demanded units of every product."""
+        return workload.is_satisfied_by(self.delivered_units())
+
+    # -- misc ---------------------------------------------------------------------
+    def truncated(self, horizon: int) -> "Plan":
+        """The plan restricted to its first ``horizon`` timesteps."""
+        if horizon <= 0 or horizon > self.horizon:
+            raise PlanError(f"cannot truncate a {self.horizon}-step plan to {horizon} steps")
+        return Plan(
+            positions=self.positions[:, :horizon].copy(),
+            carrying=self.carrying[:, :horizon].copy(),
+            warehouse=self.warehouse,
+            metadata=dict(self.metadata),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"plan: {self.num_agents} agents, {self.horizon} timesteps, "
+            f"{self.total_delivered()} units delivered"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Plan({self.summary()})"
+
+
+@dataclass
+class PlanViolation:
+    """One violated feasibility condition, with enough context to debug it."""
+
+    condition: str
+    agent: int
+    timestep: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.condition}] agent {self.agent} @ t={self.timestep}: {self.detail}"
+
+
+@dataclass
+class PlanValidationReport:
+    """Outcome of :meth:`PlanValidator.validate`."""
+
+    violations: List[PlanViolation]
+    delivered: Dict[ProductId, int]
+    pickups: Dict[ProductId, int]
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "feasible" if self.is_feasible else f"{len(self.violations)} violations"
+        return (
+            f"plan validation: {status}; "
+            f"{sum(self.delivered.values())} delivered, {sum(self.pickups.values())} picked up"
+        )
+
+
+class PlanValidator:
+    """Checks the three feasibility conditions of Sec. III against a warehouse.
+
+    Parameters
+    ----------
+    warehouse:
+        The warehouse whose floorplan, stations and stock the plan must respect.
+    track_inventory:
+        When True (default), pickups consume stock from a working copy of the
+        location matrix and picking from an empty shelf is a violation.  The
+        paper's condition (3) is stated against the static PRODUCTSAT set; the
+        tracked variant is strictly stronger and is what a physical warehouse
+        requires.
+    max_violations:
+        Stop collecting violations after this many (keeps pathological plans
+        from producing megabyte-sized reports).
+    """
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        track_inventory: bool = True,
+        max_violations: int = 100,
+    ) -> None:
+        self.warehouse = warehouse
+        self.track_inventory = track_inventory
+        self.max_violations = max_violations
+
+    # -- public API ---------------------------------------------------------------
+    def validate(self, plan: Plan) -> PlanValidationReport:
+        """Run all feasibility checks and count pickups / deliveries."""
+        violations: List[PlanViolation] = []
+        delivered: Dict[ProductId, int] = {}
+        pickups: Dict[ProductId, int] = {}
+
+        def add(violation: PlanViolation) -> bool:
+            if len(violations) < self.max_violations:
+                violations.append(violation)
+            return len(violations) < self.max_violations
+
+        self._check_vertices_exist(plan, add)
+        self._check_moves(plan, add)
+        self._check_collisions(plan, add)
+        self._check_products(plan, add, delivered, pickups)
+        return PlanValidationReport(violations=violations, delivered=delivered, pickups=pickups)
+
+    def is_feasible(self, plan: Plan) -> bool:
+        return self.validate(plan).is_feasible
+
+    # -- condition checks -----------------------------------------------------------
+    def _check_vertices_exist(self, plan: Plan, add) -> None:
+        num_vertices = self.warehouse.floorplan.num_vertices
+        bad = np.argwhere((plan.positions < 0) | (plan.positions >= num_vertices))
+        for agent, t in bad:
+            if not add(
+                PlanViolation(
+                    "vertex-range",
+                    int(agent),
+                    int(t),
+                    f"vertex {int(plan.positions[agent, t])} outside floorplan",
+                )
+            ):
+                return
+
+    def _check_moves(self, plan: Plan, add) -> None:
+        """Condition (1): an agent moves by zero or one edge per timestep."""
+        floorplan = self.warehouse.floorplan
+        num_vertices = floorplan.num_vertices
+        for agent in range(plan.num_agents):
+            path = plan.positions[agent]
+            for t in range(plan.horizon - 1):
+                u, v = int(path[t]), int(path[t + 1])
+                if u == v:
+                    continue
+                if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                    continue  # already reported by the vertex-range check
+                if not floorplan.are_adjacent(u, v):
+                    if not add(
+                        PlanViolation(
+                            "movement",
+                            agent,
+                            t + 1,
+                            f"jump from {floorplan.cell_of(u)} to {floorplan.cell_of(v)}",
+                        )
+                    ):
+                        return
+
+    def _check_collisions(self, plan: Plan, add) -> None:
+        """Condition (2): no vertex collisions, no edge (swap) collisions."""
+        positions = plan.positions
+        for t in range(plan.horizon):
+            column = positions[:, t]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            duplicates = np.nonzero(sorted_vals[1:] == sorted_vals[:-1])[0]
+            for d in duplicates:
+                agent_a, agent_b = int(order[d]), int(order[d + 1])
+                if not add(
+                    PlanViolation(
+                        "vertex-collision",
+                        agent_b,
+                        t,
+                        f"agents {agent_a} and {agent_b} both at vertex {int(sorted_vals[d])}",
+                    )
+                ):
+                    return
+        for t in range(plan.horizon - 1):
+            now = positions[:, t]
+            nxt = positions[:, t + 1]
+            moves = {}
+            for agent in range(plan.num_agents):
+                u, v = int(now[agent]), int(nxt[agent])
+                if u != v:
+                    moves[(u, v)] = agent
+            for (u, v), agent in moves.items():
+                other = moves.get((v, u))
+                if other is not None and other != agent and agent < other:
+                    if not add(
+                        PlanViolation(
+                            "edge-collision",
+                            agent,
+                            t + 1,
+                            f"agents {agent} and {other} swap across edge ({u}, {v})",
+                        )
+                    ):
+                        return
+
+    def _check_products(
+        self,
+        plan: Plan,
+        add,
+        delivered: Dict[ProductId, int],
+        pickups: Dict[ProductId, int],
+    ) -> None:
+        """Condition (3): pickups only at stocked shelf-access vertices, drop-offs at stations."""
+        warehouse = self.warehouse
+        stations = warehouse.station_vertices
+        stock = warehouse.stock.copy() if self.track_inventory else None
+        num_products = warehouse.num_products
+        num_vertices = warehouse.floorplan.num_vertices
+
+        for agent in range(plan.num_agents):
+            carrying = plan.carrying[agent]
+            positions = plan.positions[agent]
+            initial = int(carrying[0])
+            if initial != EMPTY_HANDED and not 1 <= initial <= num_products:
+                add(PlanViolation("product-range", agent, 0, f"unknown product {initial}"))
+            for t in range(plan.horizon - 1):
+                before, after = int(carrying[t]), int(carrying[t + 1])
+                vertex = int(positions[t])
+                if after != EMPTY_HANDED and not 1 <= after <= num_products:
+                    if not add(
+                        PlanViolation("product-range", agent, t + 1, f"unknown product {after}")
+                    ):
+                        return
+                    continue
+                if before == after:
+                    continue
+                if not 0 <= vertex < num_vertices:
+                    continue  # already reported by the vertex-range check
+                if before == EMPTY_HANDED:
+                    # Pickup: the vertex must be a stocked shelf-access vertex.
+                    available = warehouse.products_at(vertex)
+                    if after not in available:
+                        if not add(
+                            PlanViolation(
+                                "pickup",
+                                agent,
+                                t + 1,
+                                f"picked product {after} at vertex {vertex} "
+                                f"which offers {sorted(available)}",
+                            )
+                        ):
+                            return
+                        continue
+                    if stock is not None:
+                        if stock.units_at(after, vertex) <= 0:
+                            if not add(
+                                PlanViolation(
+                                    "inventory",
+                                    agent,
+                                    t + 1,
+                                    f"picked product {after} at vertex {vertex} but stock is exhausted",
+                                )
+                            ):
+                                return
+                            continue
+                        stock.remove(after, vertex, 1)
+                    pickups[after] = pickups.get(after, 0) + 1
+                elif after == EMPTY_HANDED:
+                    # Drop-off: only allowed at a station vertex.
+                    if vertex not in stations:
+                        if not add(
+                            PlanViolation(
+                                "dropoff",
+                                agent,
+                                t + 1,
+                                f"dropped product {before} at non-station vertex {vertex}",
+                            )
+                        ):
+                            return
+                        continue
+                    delivered[before] = delivered.get(before, 0) + 1
+                else:
+                    # Swapping one product for another in a single step is never allowed.
+                    if not add(
+                        PlanViolation(
+                            "swap",
+                            agent,
+                            t + 1,
+                            f"carried product changed {before} -> {after} without dropping off",
+                        )
+                    ):
+                        return
+
+
+def empty_plan(warehouse: Warehouse, num_agents: int, horizon: int) -> Plan:
+    """A plan of stationary, empty-handed agents parked on distinct vertices.
+
+    Useful as a neutral starting point in tests; the agents are placed on the
+    lowest-numbered traversable vertices.
+    """
+    if num_agents > warehouse.floorplan.num_vertices:
+        raise PlanError("more agents than vertices")
+    positions = np.tile(
+        np.arange(num_agents, dtype=np.int64).reshape(-1, 1), (1, horizon)
+    )
+    carrying = np.zeros((num_agents, horizon), dtype=np.int64)
+    return Plan(positions=positions, carrying=carrying, warehouse=warehouse)

@@ -1,0 +1,205 @@
+"""Products and the location matrix Λ (Sec. III of the paper).
+
+Products are identified by integer ids ``1..n``; id ``0`` is reserved for
+``ρ0`` — "not carrying anything".  The :class:`LocationMatrix` records how many
+units of each product are accessible from each shelf-access vertex
+(``Λ[k, l]`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .floorplan import FloorplanGraph, VertexId
+
+#: Reserved product id meaning "the agent carries nothing" (ρ0).
+EMPTY_HANDED = 0
+
+ProductId = int
+
+
+class ProductError(ValueError):
+    """Raised for invalid product ids or inconsistent inventory data."""
+
+
+@dataclass(frozen=True)
+class ProductCatalog:
+    """The product vector ρ: names for products ``1..n``.
+
+    ``names[k - 1]`` is the display name of product ``k``.
+    """
+
+    names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.names)) != len(self.names):
+            raise ProductError("product names must be unique")
+
+    @staticmethod
+    def numbered(count: int, prefix: str = "product") -> "ProductCatalog":
+        """A catalog of ``count`` generically named products."""
+        if count < 1:
+            raise ProductError("a catalog needs at least one product")
+        return ProductCatalog(tuple(f"{prefix}-{k}" for k in range(1, count + 1)))
+
+    @property
+    def num_products(self) -> int:
+        return len(self.names)
+
+    @property
+    def product_ids(self) -> range:
+        """Valid product ids (1-based; excludes ρ0)."""
+        return range(1, self.num_products + 1)
+
+    def name_of(self, product: ProductId) -> str:
+        if product == EMPTY_HANDED:
+            return "(empty handed)"
+        if not 1 <= product <= self.num_products:
+            raise ProductError(f"unknown product id {product}")
+        return self.names[product - 1]
+
+    def id_of(self, name: str) -> ProductId:
+        try:
+            return self.names.index(name) + 1
+        except ValueError as exc:
+            raise ProductError(f"unknown product name {name!r}") from exc
+
+
+@dataclass
+class LocationMatrix:
+    """Units of each product accessible from each shelf-access vertex.
+
+    Internally a dense ``(num_products + 1, num_vertices)`` int array indexed
+    by ``[product_id, vertex_id]``; row 0 (ρ0) is always zero.  Only
+    shelf-access vertices may hold stock.
+    """
+
+    catalog: ProductCatalog
+    floorplan: FloorplanGraph
+    _units: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._units is None:
+            self._units = np.zeros(
+                (self.catalog.num_products + 1, self.floorplan.num_vertices), dtype=np.int64
+            )
+        expected = (self.catalog.num_products + 1, self.floorplan.num_vertices)
+        if self._units.shape != expected:
+            raise ProductError(
+                f"location matrix shape {self._units.shape} does not match {expected}"
+            )
+
+    # -- mutation ---------------------------------------------------------------
+    def place(self, product: ProductId, vertex: VertexId, units: int) -> None:
+        """Add ``units`` of ``product`` accessible from shelf-access vertex ``vertex``."""
+        self._check_product(product)
+        if units < 0:
+            raise ProductError("cannot place a negative number of units")
+        if not self.floorplan.is_shelf_access(vertex):
+            raise ProductError(
+                f"vertex {vertex} ({self.floorplan.cell_of(vertex)}) is not a shelf-access vertex"
+            )
+        self._units[product, vertex] += units
+
+    def remove(self, product: ProductId, vertex: VertexId, units: int = 1) -> None:
+        """Remove units (e.g. when an agent picks a product up)."""
+        self._check_product(product)
+        if self._units[product, vertex] < units:
+            raise ProductError(
+                f"cannot remove {units} units of product {product} from vertex {vertex}: "
+                f"only {self._units[product, vertex]} present"
+            )
+        self._units[product, vertex] -= units
+
+    # -- queries ------------------------------------------------------------------
+    def units_at(self, product: ProductId, vertex: VertexId) -> int:
+        self._check_product(product)
+        return int(self._units[product, vertex])
+
+    def products_at(self, vertex: VertexId) -> List[ProductId]:
+        """Products with at least one unit accessible from ``vertex`` (PRODUCTSAT)."""
+        return [int(k) for k in np.nonzero(self._units[:, vertex])[0] if k != EMPTY_HANDED]
+
+    def total_units(self, product: ProductId) -> int:
+        self._check_product(product)
+        return int(self._units[product].sum())
+
+    def total_units_all(self) -> int:
+        return int(self._units[1:].sum())
+
+    def vertices_with(self, product: ProductId) -> List[VertexId]:
+        self._check_product(product)
+        return [int(v) for v in np.nonzero(self._units[product])[0]]
+
+    def stocked_vertices(self) -> List[VertexId]:
+        """Shelf-access vertices holding at least one unit of anything."""
+        return [int(v) for v in np.nonzero(self._units[1:].sum(axis=0))[0]]
+
+    def as_array(self) -> np.ndarray:
+        """Copy of the underlying ``(num_products + 1, num_vertices)`` array."""
+        return self._units.copy()
+
+    def copy(self) -> "LocationMatrix":
+        return LocationMatrix(self.catalog, self.floorplan, self._units.copy())
+
+    def _check_product(self, product: ProductId) -> None:
+        if not 1 <= product <= self.catalog.num_products:
+            raise ProductError(f"invalid product id {product}")
+
+    # -- constructors ----------------------------------------------------------------
+    @staticmethod
+    def from_placements(
+        catalog: ProductCatalog,
+        floorplan: FloorplanGraph,
+        placements: Iterable[Tuple[ProductId, VertexId, int]],
+    ) -> "LocationMatrix":
+        matrix = LocationMatrix(catalog, floorplan)
+        for product, vertex, units in placements:
+            matrix.place(product, vertex, units)
+        return matrix
+
+    @staticmethod
+    def spread_evenly(
+        catalog: ProductCatalog,
+        floorplan: FloorplanGraph,
+        units_per_product: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LocationMatrix":
+        """Distribute each product's stock over randomly chosen shelf-access vertices.
+
+        Mirrors how the paper's evaluation maps are stocked: every product has
+        ample supply spread over a handful of shelving locations.
+        """
+        rng = rng or np.random.default_rng(0)
+        access = sorted(floorplan.shelf_access)
+        if not access:
+            raise ProductError("floorplan has no shelf-access vertices to stock")
+        matrix = LocationMatrix(catalog, floorplan)
+        for product in catalog.product_ids:
+            locations = max(1, min(len(access), units_per_product // 4 or 1))
+            chosen = rng.choice(len(access), size=locations, replace=False)
+            base, remainder = divmod(units_per_product, locations)
+            for i, idx in enumerate(sorted(chosen)):
+                units = base + (1 if i < remainder else 0)
+                if units:
+                    matrix.place(product, access[idx], units)
+        return matrix
+
+
+def products_at(
+    location_matrix: LocationMatrix, vertex: VertexId
+) -> List[ProductId]:
+    """Module-level alias of PRODUCTSAT(v) used by the plan validator."""
+    return location_matrix.products_at(vertex)
+
+
+def stock_summary(matrix: LocationMatrix) -> Dict[str, int]:
+    """Aggregate statistics used by reports and examples."""
+    return {
+        "products": matrix.catalog.num_products,
+        "stocked_vertices": len(matrix.stocked_vertices()),
+        "total_units": matrix.total_units_all(),
+    }

@@ -1,0 +1,153 @@
+"""Workloads: the demand vector ``w`` of a WSP instance.
+
+A workload assigns to each product the number of units that must reach a
+station within the time limit.  The module also provides the workload
+generators used by the benchmark harness to regenerate the nine Table-I
+instances (uniform and Zipf-skewed demand at a target total number of units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .products import ProductCatalog, ProductError, ProductId
+
+
+class WorkloadError(ValueError):
+    """Raised for invalid workload specifications."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Demand vector ``w``: ``demands[k]`` units of product ``k`` must be delivered."""
+
+    demands: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(d < 0 for d in self.demands):
+            raise WorkloadError("demands must be non-negative")
+
+    # -- constructors -----------------------------------------------------------
+    @staticmethod
+    def from_mapping(catalog: ProductCatalog, demand: Mapping[ProductId, int]) -> "Workload":
+        """Build a workload from a sparse ``{product_id: units}`` mapping."""
+        demands = [0] * catalog.num_products
+        for product, units in demand.items():
+            if not 1 <= product <= catalog.num_products:
+                raise WorkloadError(f"unknown product id {product}")
+            if units < 0:
+                raise WorkloadError("demands must be non-negative")
+            demands[product - 1] = int(units)
+        return Workload(tuple(demands))
+
+    @staticmethod
+    def uniform(catalog: ProductCatalog, total_units: int) -> "Workload":
+        """Spread ``total_units`` as evenly as possible over all products.
+
+        This is the shape of the paper's Table-I instances: e.g. 55 products /
+        550 units is exactly 10 units per product.
+        """
+        n = catalog.num_products
+        base, remainder = divmod(int(total_units), n)
+        demands = [base + (1 if k < remainder else 0) for k in range(n)]
+        return Workload(tuple(demands))
+
+    @staticmethod
+    def zipf(
+        catalog: ProductCatalog,
+        total_units: int,
+        exponent: float = 1.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Workload":
+        """A skewed workload where a few products dominate the demand.
+
+        Real order streams are heavy-tailed; this generator is used by the
+        extension benchmarks to probe sensitivity to demand skew.
+        """
+        if total_units < 0:
+            raise WorkloadError("total_units must be non-negative")
+        rng = rng or np.random.default_rng(0)
+        n = catalog.num_products
+        weights = 1.0 / np.arange(1, n + 1, dtype=float) ** exponent
+        rng.shuffle(weights)
+        weights /= weights.sum()
+        demands = np.floor(weights * total_units).astype(int)
+        shortfall = int(total_units - demands.sum())
+        if shortfall > 0:
+            extra = rng.choice(n, size=shortfall, replace=True, p=weights)
+            for idx in extra:
+                demands[idx] += 1
+        return Workload(tuple(int(d) for d in demands))
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def num_products(self) -> int:
+        return len(self.demands)
+
+    @property
+    def total_units(self) -> int:
+        return int(sum(self.demands))
+
+    @property
+    def num_requested_products(self) -> int:
+        """Number of distinct products with non-zero demand."""
+        return sum(1 for d in self.demands if d > 0)
+
+    def demand(self, product: ProductId) -> int:
+        if not 1 <= product <= len(self.demands):
+            raise WorkloadError(f"unknown product id {product}")
+        return self.demands[product - 1]
+
+    def requested_products(self) -> Tuple[ProductId, ...]:
+        return tuple(k + 1 for k, d in enumerate(self.demands) if d > 0)
+
+    def as_dict(self) -> Dict[ProductId, int]:
+        return {k + 1: d for k, d in enumerate(self.demands) if d > 0}
+
+    def scaled(self, factor: float) -> "Workload":
+        """A workload with every demand scaled and rounded (at least 1 where demand existed)."""
+        if factor < 0:
+            raise WorkloadError("scale factor must be non-negative")
+        return Workload(
+            tuple(
+                int(round(d * factor)) if d * factor >= 1 or d == 0 else 1
+                for d in self.demands
+            )
+        )
+
+    def is_satisfied_by(self, delivered: Mapping[ProductId, int]) -> bool:
+        """True when ``delivered`` covers every product's demand."""
+        return all(delivered.get(k + 1, 0) >= d for k, d in enumerate(self.demands))
+
+    def shortfall(self, delivered: Mapping[ProductId, int]) -> Dict[ProductId, int]:
+        """Per-product units still missing under ``delivered`` (empty when satisfied)."""
+        missing = {}
+        for k, d in enumerate(self.demands):
+            got = delivered.get(k + 1, 0)
+            if got < d:
+                missing[k + 1] = d - got
+        return missing
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workload({self.total_units} units over "
+            f"{self.num_requested_products}/{self.num_products} products)"
+        )
+
+
+def check_workload_stock(workload: Workload, total_stock: Mapping[ProductId, int]) -> None:
+    """Raise when a workload demands more units than the warehouse holds.
+
+    The flow-synthesis stage would discover this as an infeasibility, but the
+    error message here is far more actionable for a user.
+    """
+    for product, demand in workload.as_dict().items():
+        stock = total_stock.get(product, 0)
+        if demand > stock:
+            raise WorkloadError(
+                f"workload requests {demand} units of product {product} "
+                f"but only {stock} are stocked"
+            )

@@ -1,0 +1,135 @@
+"""Tests for metrics, reporting and ASCII visualization."""
+
+import pytest
+
+from repro.analysis import (
+    BenchmarkRow,
+    agent_utilization,
+    compute_plan_metrics,
+    format_markdown_table,
+    format_table,
+    paper_runtime,
+    render_component_legend,
+    render_grid,
+    render_plan_frame,
+    render_traffic_system,
+    scaling_report,
+    service_makespan,
+    table1_report,
+)
+from repro.core import WSPSolver
+from repro.maps import toy_warehouse
+from repro.warehouse import Workload
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return toy_warehouse()
+
+
+@pytest.fixture(scope="module")
+def solution(designed):
+    workload = Workload.uniform(designed.warehouse.catalog, 8)
+    result = WSPSolver(designed.traffic_system).solve(workload, horizon=600)
+    assert result.succeeded
+    return result
+
+
+class TestMetrics:
+    def test_plan_metrics(self, solution):
+        metrics = compute_plan_metrics(solution.plan, solution.instance.workload)
+        assert metrics.num_agents == solution.plan.num_agents
+        assert metrics.units_delivered == solution.plan.total_delivered()
+        assert metrics.service_makespan is not None
+        assert metrics.service_makespan <= solution.plan.horizon
+        assert 0 < metrics.throughput
+        assert 0 < metrics.move_ratio <= 1
+        assert 0 < metrics.loaded_ratio <= 1
+        assert metrics.total_distance > 0
+        assert metrics.as_dict()["num_agents"] == metrics.num_agents
+
+    def test_service_makespan_unserviced(self, solution, designed):
+        heavy = Workload.uniform(designed.warehouse.catalog, 10_000)
+        assert service_makespan(solution.plan, heavy) is None
+
+    def test_service_makespan_empty_workload(self, solution, designed):
+        empty = Workload.from_mapping(designed.warehouse.catalog, {})
+        assert service_makespan(solution.plan, empty) == 0
+
+    def test_agent_utilization(self, solution):
+        utilization = agent_utilization(solution.plan)
+        assert utilization.shape == (solution.plan.num_agents,)
+        assert (utilization > 0).all()
+        assert (utilization <= 1).all()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table([["a", "1"], ["bb", "22"]], headers=["col", "x"], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table([["a"]], headers=["x", "y"])
+
+    def test_markdown_table(self):
+        markdown = format_markdown_table([["a", "b"]], headers=["h1", "h2"])
+        assert markdown.splitlines()[1] == "|---|---|"
+
+    def test_paper_runtime_lookup(self):
+        assert paper_runtime("fulfillment-1", 55, 550) == pytest.approx(6.939)
+        assert paper_runtime("fulfillment-1", 55, 999) is None
+
+    def test_table1_report(self):
+        rows = [
+            BenchmarkRow(
+                map_name="fulfillment-1",
+                unique_products=55,
+                units_moved=550,
+                runtime_seconds=5.5,
+                num_agents=64,
+                units_delivered=600,
+                plan_feasible=True,
+                workload_serviced=True,
+            )
+        ]
+        text = table1_report(rows)
+        assert "fulfillment-1" in text
+        assert "6.939" in text  # the paper's runtime is filled in automatically
+        markdown = table1_report(rows, markdown=True)
+        assert markdown.startswith("| Map |")
+
+    def test_scaling_report(self):
+        text = scaling_report([("ours", 10, 1.0), ("eecbs", 10, 60.0)])
+        assert "ours" in text and "eecbs" in text
+
+
+class TestVisualization:
+    def test_render_grid_dimensions(self, designed):
+        grid = designed.warehouse.grid
+        text = render_grid(grid)
+        lines = text.splitlines()
+        assert len(lines) == grid.height
+        assert all(len(line) == grid.width for line in lines)
+        assert "#" in text and "T" in text
+
+    def test_render_traffic_system_marks_exits(self, designed):
+        text = render_traffic_system(designed.traffic_system)
+        assert text.count("!") == designed.traffic_system.num_components
+        assert ">" in text or "<" in text
+
+    def test_render_plan_frame(self, solution):
+        frame = render_plan_frame(solution.plan, 0)
+        agents = frame.count("a") + frame.count("A")
+        assert agents == solution.plan.num_agents
+        with pytest.raises(ValueError):
+            render_plan_frame(solution.plan, solution.plan.horizon + 5)
+
+    def test_component_legend(self, designed):
+        legend = render_component_legend(designed.traffic_system, max_components=3)
+        assert "more components" in legend
+        full = render_component_legend(designed.traffic_system)
+        assert len(full.splitlines()) == designed.traffic_system.num_components

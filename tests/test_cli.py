@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_json, plan_from_dict
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_map_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["show", "--map", "no-such-map"])
+
+    def test_solve_requires_units(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--map", "sorting-center-small"])
+
+
+class TestMapsCommand:
+    def test_lists_presets_and_paper_stats(self, capsys):
+        assert main(["maps"]) == 0
+        output = capsys.readouterr().out
+        assert "fulfillment-1" in output
+        assert "sorting-center-small" in output
+        assert "(paper)" in output
+
+
+class TestShowCommand:
+    def test_renders_traffic_system(self, capsys, tmp_path):
+        map_file = tmp_path / "toy.map"
+        assert main(["show", "--map", "sorting-center-small", "--save-map", str(map_file)]) == 0
+        output = capsys.readouterr().out
+        assert "!" in output  # component exits are marked
+        assert map_file.exists()
+        assert "type warehouse" in map_file.read_text()
+
+
+class TestSolveCommand:
+    def test_solves_and_saves_plan(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        code = main(
+            [
+                "solve",
+                "--map",
+                "sorting-center-small",
+                "--units",
+                "8",
+                "--horizon",
+                "1200",
+                "--save-plan",
+                str(plan_file),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workload serviced:  True" in output
+        plan = plan_from_dict(load_json(plan_file))
+        assert plan.num_agents > 0
+
+    def test_infeasible_instance_returns_nonzero(self, capsys):
+        code = main(
+            ["solve", "--map", "sorting-center-small", "--units", "4000", "--horizon", "1200"]
+        )
+        assert code == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+
+class TestTable1Command:
+    def test_small_scale_table(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "fulfillment-1-small" in output
+        assert "sorting-center-small" in output
+
+    def test_markdown_output(self, capsys):
+        assert main(["table1", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert "| Map |" in output
+
+
+class TestValidateCommand:
+    def test_validate_round_trip(self, capsys, tmp_path):
+        plan_file = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    "--map",
+                    "sorting-center-small",
+                    "--units",
+                    "6",
+                    "--horizon",
+                    "1200",
+                    "--save-plan",
+                    str(plan_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["validate", "--plan", str(plan_file)]) == 0
+        output = capsys.readouterr().out
+        assert "feasible" in output

@@ -1,0 +1,195 @@
+"""Tests for the contract decision procedures (entailment, refinement, ...)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts import (
+    AGContract,
+    check_composition_consistency,
+    entails,
+    entails_all,
+    is_compatible,
+    is_consistent,
+    is_satisfiable,
+    negation_constraints,
+    refines,
+    strongest_bound,
+)
+from repro.solver.expressions import LinearExpr, Variable
+
+
+@pytest.fixture()
+def vars3():
+    x = Variable("x", lb=0, ub=10)
+    y = Variable("y", lb=0, ub=10)
+    z = Variable("z", lb=0, ub=10)
+    return x, y, z
+
+
+class TestSatisfiability:
+    def test_satisfiable_box(self, vars3):
+        x, y, _ = vars3
+        assert is_satisfiable([x + y <= 5, x >= 1])
+
+    def test_unsatisfiable(self, vars3):
+        x, _, _ = vars3
+        assert not is_satisfiable([x >= 6, x <= 3])
+
+    def test_integer_gap(self):
+        v = Variable("v", lb=0, ub=4, integer=True)
+        constraints = [2 * v >= 3, 2 * v <= 3]
+        # Rationally satisfiable (v = 1.5) but integrally unsatisfiable.
+        assert is_satisfiable(constraints, integer=False)
+        assert not is_satisfiable(constraints, integer=True)
+
+
+class TestNegation:
+    def test_le_negation(self, vars3):
+        x, _, _ = vars3
+        cases = negation_constraints(x <= 3)
+        assert len(cases) == 1
+        assert not cases[0][0].is_satisfied({x: 3})
+        assert cases[0][0].is_satisfied({x: 4})
+
+    def test_eq_negation_two_cases(self, vars3):
+        x, _, _ = vars3
+        cases = negation_constraints(1 * x == 3)
+        assert len(cases) == 2
+
+
+class TestEntailment:
+    def test_transitive_bound(self, vars3):
+        x, y, _ = vars3
+        assert entails([x <= 3, y <= x], y <= 3)
+
+    def test_non_entailment(self, vars3):
+        x, y, _ = vars3
+        assert not entails([x <= 3], y <= 3)
+
+    def test_equality_entailment(self, vars3):
+        x, y, _ = vars3
+        assert entails([1 * x == 2, 1 * y == 3], x + y == 5)
+
+    def test_entails_all(self, vars3):
+        x, y, _ = vars3
+        premises = [x <= 2, y <= 2]
+        assert entails_all(premises, [x + y <= 4, x <= 5])
+        assert not entails_all(premises, [x + y <= 3])
+
+    def test_variable_bounds_are_premises(self, vars3):
+        x, _, _ = vars3
+        # x has declared bounds [0, 10]; entailment may rely on them.
+        assert entails([], x <= 10)
+        assert not entails([], x <= 9)
+
+
+class TestRefinement:
+    def test_reflexive(self, vars3):
+        x, y, _ = vars3
+        c = AGContract("c", assumptions=(x <= 4,), guarantees=(y <= x,))
+        assert refines(c, c).holds
+
+    def test_stronger_guarantee_refines(self, vars3):
+        x, y, _ = vars3
+        abstract = AGContract("abs", assumptions=(x <= 4,), guarantees=(y <= 8,))
+        refined = AGContract("ref", assumptions=(x <= 6,), guarantees=(y <= x,))
+        # refined assumes less (x <= 6 is weaker than x <= 4 under A_abs) and,
+        # under the abstract assumptions, guarantees more (y <= x <= 4 <= 8).
+        assert refines(refined, abstract).holds
+
+    def test_assuming_more_breaks_refinement(self, vars3):
+        x, y, _ = vars3
+        abstract = AGContract("abs", assumptions=(x <= 6,), guarantees=(y <= 8,))
+        refined = AGContract("ref", assumptions=(x <= 2,), guarantees=(y <= 8,))
+        report = refines(refined, abstract)
+        assert not report.holds
+        assert report.failed_assumptions
+
+    def test_weaker_guarantee_breaks_refinement(self, vars3):
+        x, y, _ = vars3
+        abstract = AGContract("abs", guarantees=(y <= 3,))
+        refined = AGContract("ref", guarantees=(y <= 7,))
+        report = refines(refined, abstract)
+        assert not report.holds
+        assert report.failed_guarantees
+
+    def test_transitivity_on_chain(self, vars3):
+        x, y, _ = vars3
+        c_tight = AGContract("tight", guarantees=(y <= 2,))
+        c_mid = AGContract("mid", guarantees=(y <= 5,))
+        c_loose = AGContract("loose", guarantees=(y <= 9,))
+        assert refines(c_tight, c_mid).holds
+        assert refines(c_mid, c_loose).holds
+        assert refines(c_tight, c_loose).holds
+
+
+class TestConsistencyCompatibility:
+    def test_consistent_and_compatible(self, vars3):
+        x, y, _ = vars3
+        c = AGContract("c", assumptions=(x <= 4,), guarantees=(y <= x,))
+        assert is_consistent(c)
+        assert is_compatible(c)
+
+    def test_inconsistent_contract(self, vars3):
+        x, _, _ = vars3
+        c = AGContract("c", guarantees=(x >= 6, x <= 2))
+        assert not is_consistent(c)
+
+    def test_composition_check_reports_offender(self, vars3):
+        x, y, _ = vars3
+        good = AGContract("good", guarantees=(y <= x,))
+        bad = AGContract("bad", guarantees=(x >= 6, x <= 2))
+        message = check_composition_consistency([good, bad])
+        assert message is not None
+        assert "bad" in message
+
+    def test_composition_check_detects_joint_conflict(self, vars3):
+        x, _, _ = vars3
+        c1 = AGContract("c1", guarantees=(x >= 6,))
+        c2 = AGContract("c2", guarantees=(x <= 2,))
+        # Individually fine, jointly unsatisfiable.
+        message = check_composition_consistency([c1, c2])
+        assert message is not None
+        assert "composed" in message
+
+    def test_composition_check_passes(self, vars3):
+        x, y, _ = vars3
+        c1 = AGContract("c1", guarantees=(x <= 4,))
+        c2 = AGContract("c2", guarantees=(y <= x,))
+        assert check_composition_consistency([c1, c2]) is None
+
+    def test_empty_composition(self):
+        assert check_composition_consistency([]) is None
+
+
+class TestStrongestBound:
+    def test_max_bound(self, vars3):
+        x, y, _ = vars3
+        bound = strongest_bound([x + y <= 7], LinearExpr({x: 1.0, y: 1.0}), sense="max")
+        assert bound == pytest.approx(7.0)
+
+    def test_unbounded_returns_none(self):
+        free = Variable("free", lb=0, ub=None)
+        assert strongest_bound([], LinearExpr({free: 1.0}), sense="max") is None
+
+    def test_bound_with_fresh_objective_variable(self, vars3):
+        x, _, _ = vars3
+        other = Variable("other", lb=0, ub=3)
+        bound = strongest_bound([x <= 2], LinearExpr({x: 1.0, other: 1.0}), sense="max")
+        assert bound == pytest.approx(5.0)
+
+
+class TestAlgebraPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        bounds=st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=2),
+    )
+    def test_tighter_box_refines_looser_box(self, bounds):
+        lo, hi = sorted(bounds)
+        x = Variable("x", lb=0, ub=20)
+        tight = AGContract("tight", guarantees=(x <= lo,))
+        loose = AGContract("loose", guarantees=(x <= hi,))
+        assert refines(tight, loose).holds
+        if hi > lo:
+            assert not refines(loose, tight).holds

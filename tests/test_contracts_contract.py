@@ -1,0 +1,117 @@
+"""Unit tests for the assume-guarantee contract objects."""
+
+import pytest
+
+from repro.contracts import AGContract, ContractError, compose_all, top_contract, variable_index
+from repro.solver.expressions import Variable
+
+
+@pytest.fixture()
+def flow_vars():
+    f_in = Variable("f_in", lb=0, ub=10, integer=True)
+    f_out = Variable("f_out", lb=0, ub=10, integer=True)
+    return f_in, f_out
+
+
+class TestConstruction:
+    def test_variables_inferred(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract("c", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in,))
+        assert set(contract.variables) == {f_in, f_out}
+
+    def test_explicit_variables_checked(self, flow_vars):
+        f_in, f_out = flow_vars
+        with pytest.raises(ContractError):
+            AGContract("c", guarantees=(f_out <= f_in,), variables=(f_in,))
+
+    def test_bool_guard(self, flow_vars):
+        f_in, _ = flow_vars
+        with pytest.raises(ContractError):
+            AGContract("c", guarantees=(True,))  # type: ignore[arg-type]
+
+    def test_counts_and_summary(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract(
+            "c", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in, f_out >= 0)
+        )
+        assert contract.num_assumptions == 1
+        assert contract.num_guarantees == 2
+        assert "|A|=1" in contract.summary()
+
+    def test_from_constraints_and_renamed(self, flow_vars):
+        f_in, _ = flow_vars
+        contract = AGContract.from_constraints("orig", guarantees=[f_in <= 2])
+        renamed = contract.renamed("new")
+        assert renamed.name == "new"
+        assert renamed.guarantees == contract.guarantees
+
+    def test_variable_index(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract("c", guarantees=(f_out <= f_in,))
+        index = variable_index(contract)
+        assert index["f_in"] is f_in
+        assert index["f_out"] is f_out
+
+
+class TestSatisfaction:
+    def test_satisfied_by(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract("c", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in,))
+        assert contract.satisfied_by({f_in: 3, f_out: 2})
+        assert not contract.satisfied_by({f_in: 3, f_out: 5})
+
+    def test_violated_constraints_reported(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract(
+            "c",
+            assumptions=((f_in <= 4).named("cap"),),
+            guarantees=((f_out <= f_in).named("conserve"),),
+        )
+        violated = contract.violated_constraints({f_in: 6, f_out: 8})
+        assert {c.name for c in violated} == {"cap", "conserve"}
+
+
+class TestAlgebraicStructure:
+    def test_compose_unions_constraints(self, flow_vars):
+        f_in, f_out = flow_vars
+        c1 = AGContract("c1", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in,))
+        c2 = AGContract("c2", assumptions=(f_out <= 3,), guarantees=(f_in >= 1,))
+        composed = c1.compose(c2)
+        assert set(composed.assumptions) == set(c1.assumptions) | set(c2.assumptions)
+        assert set(composed.guarantees) == set(c1.guarantees) | set(c2.guarantees)
+
+    def test_operator_aliases(self, flow_vars):
+        f_in, f_out = flow_vars
+        c1 = AGContract("c1", guarantees=(f_out <= f_in,))
+        c2 = AGContract("c2", guarantees=(f_in <= 5,))
+        assert set((c1 * c2).guarantees) == set(c1.compose(c2).guarantees)
+        assert set((c1 & c2).guarantees) == set(c1.conjoin(c2).guarantees)
+
+    def test_compose_all_matches_pairwise(self, flow_vars):
+        f_in, f_out = flow_vars
+        c1 = AGContract("c1", guarantees=(f_out <= f_in,))
+        c2 = AGContract("c2", guarantees=(f_in <= 5,))
+        c3 = AGContract("c3", assumptions=(f_out >= 0,))
+        bulk = compose_all([c1, c2, c3])
+        pairwise = c1.compose(c2).compose(c3)
+        assert set(bulk.all_constraints()) == set(pairwise.all_constraints())
+
+    def test_top_contract_is_identity(self, flow_vars):
+        f_in, f_out = flow_vars
+        c = AGContract("c", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in,))
+        composed = c.compose(top_contract())
+        assert set(composed.all_constraints()) == set(c.all_constraints())
+
+    def test_compose_all_empty(self):
+        empty = compose_all([])
+        assert empty.num_assumptions == 0
+        assert empty.num_guarantees == 0
+
+
+class TestExport:
+    def test_to_model_contains_everything(self, flow_vars):
+        f_in, f_out = flow_vars
+        contract = AGContract("c", assumptions=(f_in <= 4,), guarantees=(f_out <= f_in,))
+        model = contract.to_model()
+        assert model.num_constraints == 2
+        assert set(model.variables) == {f_in, f_out}

@@ -1,0 +1,183 @@
+"""Tests for agent cycles, cycle sets and delivery schedules."""
+
+import pytest
+
+from repro.core import (
+    AgentCycle,
+    AgentCycleSet,
+    CycleAction,
+    CycleError,
+    DeliverySchedule,
+)
+from repro.core.agent_cycles import DROPOFF, PICKUP
+from repro.maps import toy_warehouse
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return toy_warehouse()
+
+
+@pytest.fixture(scope="module")
+def system(designed):
+    return designed.traffic_system
+
+
+def build_cycle(system, index=0):
+    """A simple valid cycle within slice 0 of the toy warehouse."""
+    station = system.component_by_name("slice0/station")
+    serp0 = system.component_by_name("slice0/serpentine/0")
+    serp1 = system.component_by_name("slice0/serpentine/1")
+    top = system.component_by_name("slice0/top")
+    down = system.component_by_name("slice0/down")
+    components = (station.index, serp0.index, serp1.index, top.index, down.index)
+    actions = (CycleAction(DROPOFF), CycleAction(PICKUP), None, None, None)
+    return AgentCycle(index=index, components=components, actions=actions)
+
+
+class TestCycleAction:
+    def test_kinds(self):
+        assert CycleAction(PICKUP).is_pickup
+        assert CycleAction(DROPOFF).is_dropoff
+        with pytest.raises(CycleError):
+            CycleAction("teleport")
+
+
+class TestAgentCycle:
+    def test_basic_properties(self, system):
+        cycle = build_cycle(system)
+        assert cycle.length == 5
+        assert cycle.num_agents == 5
+        assert cycle.deliveries_per_period == 1
+        assert cycle.pickup_positions() == (1,)
+        assert cycle.dropoff_positions() == (0,)
+
+    def test_pickup_and_dropoff_components(self, system):
+        cycle = build_cycle(system)
+        assert cycle.pickup_components() == (
+            system.component_by_name("slice0/serpentine/0").index,
+        )
+        assert cycle.dropoff_components() == (
+            system.component_by_name("slice0/station").index,
+        )
+
+    def test_loaded_segment(self, system):
+        cycle = build_cycle(system)
+        # Positions 1..4 (pickup row through down corridor) are loaded; the
+        # drop-off position 0 is empty after its action.
+        assert cycle.is_loaded_at(1)
+        assert cycle.is_loaded_at(3)
+        assert not cycle.is_loaded_at(0)
+        assert cycle.preceding_pickup(4) == 1
+
+    def test_requires_pickup_and_dropoff(self, system):
+        station = system.component_by_name("slice0/station")
+        serp = system.component_by_name("slice0/serpentine/0")
+        with pytest.raises(CycleError):
+            AgentCycle(0, (station.index, serp.index), (None, CycleAction(PICKUP)))
+
+    def test_requires_balanced_actions(self, system):
+        cycle = build_cycle(system)
+        actions = list(cycle.actions)
+        actions[2] = CycleAction(PICKUP)
+        with pytest.raises(CycleError):
+            AgentCycle(0, cycle.components, tuple(actions))
+
+    def test_rejects_consecutive_pickups(self, system):
+        cycle = build_cycle(system)
+        actions = list(cycle.actions)
+        actions[2] = CycleAction(PICKUP)
+        actions[3] = CycleAction(DROPOFF)
+        with pytest.raises(CycleError):
+            AgentCycle(0, cycle.components, tuple(actions))
+
+    def test_mismatched_lengths_rejected(self, system):
+        cycle = build_cycle(system)
+        with pytest.raises(CycleError):
+            AgentCycle(0, cycle.components, cycle.actions[:-1])
+
+
+class TestAgentCycleSet:
+    def make_set(self, system, cycles=None):
+        cycles = cycles if cycles is not None else (build_cycle(system),)
+        return AgentCycleSet(system=system, cycles=cycles, cycle_time=14, num_periods=10)
+
+    def test_aggregates(self, system):
+        cycle_set = self.make_set(system)
+        assert cycle_set.num_cycles == 1
+        assert cycle_set.num_agents == 5
+        assert cycle_set.deliveries_per_period() == 1
+        assert cycle_set.expected_deliveries() == 10
+
+    def test_component_load_and_pickups(self, system):
+        cycle_set = self.make_set(system, (build_cycle(system, 0), build_cycle(system, 1)))
+        load = cycle_set.component_load()
+        station = system.component_by_name("slice0/station")
+        assert load[station.index] == 2
+        serp = system.component_by_name("slice0/serpentine/0")
+        assert cycle_set.pickups_per_period(serp.index) == 2
+
+    def test_validate_passes_for_valid_set(self, system):
+        self.make_set(system).validate()
+
+    def test_capacity_violation_detected(self, system):
+        station = system.component_by_name("slice0/station")
+        too_many = tuple(build_cycle(system, i) for i in range(station.capacity + 1))
+        cycle_set = self.make_set(system, too_many)
+        problems = cycle_set.check_capacity()
+        assert problems
+        with pytest.raises(CycleError):
+            cycle_set.validate()
+
+    def test_connectivity_violation_detected(self, system):
+        station = system.component_by_name("slice0/station")
+        serp = system.component_by_name("slice0/serpentine/0")
+        other_top = system.component_by_name("slice1/top")
+        cycle = AgentCycle(
+            0,
+            (station.index, serp.index, other_top.index),
+            (CycleAction(DROPOFF), CycleAction(PICKUP), None),
+        )
+        cycle_set = self.make_set(system, (cycle,))
+        assert cycle_set.check_connectivity()
+
+    def test_kind_violation_detected(self, system):
+        station = system.component_by_name("slice0/station")
+        serp = system.component_by_name("slice0/serpentine/0")
+        # Swap the action kinds: pickup on the station queue, drop-off on the
+        # shelving row.
+        cycle = AgentCycle(
+            0,
+            (
+                station.index,
+                serp.index,
+                system.component_by_name("slice0/serpentine/1").index,
+                system.component_by_name("slice0/top").index,
+                system.component_by_name("slice0/down").index,
+            ),
+            (CycleAction(PICKUP), CycleAction(DROPOFF), None, None, None),
+        )
+        cycle_set = self.make_set(system, (cycle,))
+        assert cycle_set.check_kinds()
+
+
+class TestDeliverySchedule:
+    def test_fifo_and_remaining(self):
+        schedule = DeliverySchedule({1: [3, 4, 3], 2: [5]})
+        assert schedule.remaining() == 4
+        assert schedule.remaining(1) == 3
+        assert schedule.next_product(1) == 3
+        assert schedule.next_product(1) == 4
+        assert schedule.remaining(1) == 1
+        assert schedule.next_product(99) is None
+
+    def test_scheduled_units(self):
+        schedule = DeliverySchedule({1: [3, 4, 3], 2: [5]})
+        assert schedule.scheduled_units() == {3: 2, 4: 1, 5: 1}
+
+    def test_copy_is_independent(self):
+        schedule = DeliverySchedule({1: [3, 4]})
+        clone = schedule.copy()
+        clone.next_product(1)
+        assert schedule.remaining(1) == 2
+        assert clone.remaining(1) == 1

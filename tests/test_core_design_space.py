@@ -1,0 +1,107 @@
+"""Tests for the topology design-space exploration (co-design loop)."""
+
+import pytest
+
+from repro.core import (
+    DesignPoint,
+    DesignSpaceError,
+    best_design,
+    candidate_lengths,
+    explore_component_lengths,
+)
+from repro.maps import FulfillmentLayout
+from repro.traffic import validate
+
+LAYOUT = FulfillmentLayout(
+    num_slices=2,
+    shelf_columns=4,
+    shelf_bands=3,
+    shelf_depth=1,
+    num_stations=2,
+    num_products=4,
+    name="design-space-test",
+)
+
+
+class TestCandidateLengths:
+    def test_candidates_are_increasing_and_bounded(self):
+        lengths = candidate_lengths(LAYOUT)
+        assert lengths == sorted(lengths)
+        assert len(lengths) >= 3
+        serpentine = (LAYOUT.shelf_bands + 1) * (LAYOUT.shelf_columns + 2) + LAYOUT.shelf_bands
+        assert all(4 <= value <= serpentine for value in lengths)
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return explore_component_lengths(
+            LAYOUT, workload_units=8, horizon=1200, lengths=[7, 12, 27], solve=True
+        )
+
+    def test_one_point_per_length(self, points):
+        assert [p.max_component_length for p in points] == [7, 12, 27]
+
+    def test_geometry_trends(self, points):
+        # Longer components -> fewer components and longer cycle times.
+        assert points[0].num_components > points[-1].num_components
+        assert points[0].cycle_time <= points[-1].cycle_time
+        for point in points:
+            assert point.longest_component <= max(point.max_component_length,
+                                                  LAYOUT.slice_width,
+                                                  LAYOUT.height - 2)
+
+    def test_designs_are_rule_valid(self, points):
+        for point in points:
+            assert validate(point.designed.traffic_system).is_valid
+
+    def test_capacity_accounting(self, points):
+        for point in points:
+            assert point.total_capacity == point.capacity_per_period * point.num_periods
+            assert point.capacity_feasible == (point.total_capacity >= 8 and point.num_periods > 0)
+
+    def test_feasible_points_are_solved(self, points):
+        for point in points:
+            if point.capacity_feasible:
+                assert point.solved
+                assert point.num_agents > 0
+                assert point.synthesis_seconds >= 0
+            assert "max_len" in point.summary()
+
+    def test_analysis_only_mode(self):
+        points = explore_component_lengths(
+            LAYOUT, workload_units=8, horizon=1200, lengths=[12], solve=False
+        )
+        assert not points[0].solved
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            explore_component_lengths(LAYOUT, workload_units=-1, horizon=1200)
+        with pytest.raises(DesignSpaceError):
+            explore_component_lengths(LAYOUT, workload_units=4, horizon=1200, lengths=[])
+
+
+class TestBestDesign:
+    def test_prefers_fewest_agents(self):
+        a = DesignPoint(10, 12, 10, 20, 30, 5, 150, True, num_agents=20, synthesis_seconds=0.1,
+                        services_workload=True)
+        b = DesignPoint(20, 8, 20, 40, 15, 6, 90, True, num_agents=14, synthesis_seconds=0.1,
+                        services_workload=True)
+        assert best_design([a, b]) is b
+
+    def test_falls_back_to_capacity(self):
+        a = DesignPoint(10, 12, 10, 20, 30, 5, 150, False)
+        b = DesignPoint(20, 8, 20, 40, 15, 6, 240, False)
+        assert best_design([a, b]) is b
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            best_design([])
+
+    def test_end_to_end_pick(self):
+        points = explore_component_lengths(
+            LAYOUT, workload_units=8, horizon=1200, lengths=[7, 27], solve=True
+        )
+        chosen = best_design(points)
+        assert chosen.solved
+        assert chosen in points

@@ -1,0 +1,126 @@
+"""Tests for the realization algorithm (Algorithm 1) and its guarantees."""
+
+import pytest
+
+from repro.core import (
+    RealizationOptions,
+    build_delivery_schedule,
+    decompose_flow_set,
+    realize_cycle_set,
+    synthesize_flows,
+)
+from repro.maps import toy_warehouse
+from repro.warehouse import PlanValidator, Workload
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return toy_warehouse()
+
+
+@pytest.fixture(scope="module")
+def system(designed):
+    return designed.traffic_system
+
+
+@pytest.fixture(scope="module")
+def workload(designed):
+    return Workload.uniform(designed.warehouse.catalog, 8)
+
+
+@pytest.fixture(scope="module")
+def pieces(system, workload):
+    result = synthesize_flows(system, workload, horizon=600)
+    assert result.succeeded
+    cycle_set = decompose_flow_set(result.flow_set)
+    schedule = build_delivery_schedule(result.flow_set, workload)
+    return cycle_set, schedule
+
+
+@pytest.fixture(scope="module")
+def realization(pieces):
+    cycle_set, schedule = pieces
+    return realize_cycle_set(cycle_set, schedule)
+
+
+class TestRealizedPlan:
+    def test_plan_shape(self, realization, pieces):
+        cycle_set, _ = pieces
+        plan = realization.plan
+        assert plan.num_agents == cycle_set.num_agents
+        assert plan.horizon == cycle_set.num_periods * cycle_set.cycle_time + 1
+
+    def test_plan_is_feasible(self, realization, designed):
+        report = PlanValidator(designed.warehouse).validate(realization.plan)
+        assert report.is_feasible, [str(v) for v in report.violations[:5]]
+
+    def test_property_41_holds(self, realization):
+        assert realization.property41_violations == 0
+
+    def test_deliveries_match_plan(self, realization):
+        assert realization.deliveries == realization.plan.delivered_units()
+
+    def test_workload_serviced(self, realization, workload):
+        assert realization.plan.services(workload)
+
+    def test_throughput_close_to_nominal(self, realization, pieces):
+        cycle_set, _ = pieces
+        expected = cycle_set.expected_deliveries()
+        # Warm-up / in-flight effects may cost a handful of deliveries but the
+        # realized throughput must stay close to one unit per cycle per period.
+        assert realization.total_delivered >= expected - 2 * cycle_set.num_cycles
+
+    def test_agents_advance_every_period(self, realization, pieces, system):
+        cycle_set, _ = pieces
+        plan = realization.plan
+        tc = cycle_set.cycle_time
+        owner = system.owner_of
+        for agent in range(plan.num_agents):
+            previous = None
+            for period in range(cycle_set.num_periods + 1):
+                t = min(period * tc, plan.horizon - 1)
+                component = owner(int(plan.positions[agent, t]))
+                if previous is not None:
+                    assert component != previous or cycle_set.num_periods == 0, (
+                        f"agent {agent} stayed in component {component} across period {period}"
+                    )
+                previous = component
+
+    def test_pickups_at_least_deliveries(self, realization):
+        total_picked = sum(realization.pickups.values())
+        preloaded = sum(
+            1 for c in realization.plan.carrying[:, 0] if int(c) != 0
+        )
+        assert total_picked + preloaded >= realization.total_delivered
+
+
+class TestRealizationOptions:
+    def test_without_preloading_still_feasible(self, pieces, designed, workload):
+        cycle_set, schedule = pieces
+        result = realize_cycle_set(
+            cycle_set, schedule, RealizationOptions(preload_agents=False)
+        )
+        report = PlanValidator(designed.warehouse).validate(result.plan)
+        assert report.is_feasible
+        assert result.property41_violations == 0
+        # Without preloading the first deliveries lag by the pickup->drop-off
+        # distance, so the total is lower than with preloading but still
+        # substantial.
+        assert result.total_delivered > 0
+
+    def test_preloading_delivers_at_least_as_much(self, pieces):
+        cycle_set, schedule = pieces
+        with_preload = realize_cycle_set(cycle_set, schedule, RealizationOptions())
+        without = realize_cycle_set(
+            cycle_set, schedule, RealizationOptions(preload_agents=False)
+        )
+        assert with_preload.total_delivered >= without.total_delivered
+
+    def test_initial_positions_are_distinct(self, realization):
+        first_column = realization.plan.positions[:, 0]
+        assert len(set(int(v) for v in first_column)) == len(first_column)
+
+    def test_carried_products_only_from_catalog(self, realization, designed):
+        carried = set(int(p) for p in realization.plan.carrying.flatten())
+        allowed = {0} | set(designed.warehouse.catalog.product_ids)
+        assert carried <= allowed

@@ -1,0 +1,145 @@
+"""Failure-injection tests: corrupted intermediate artifacts must be caught.
+
+The pipeline's stages hand each other structured artifacts (flow sets, cycle
+sets, schedules).  Downstream stages and validators must detect corrupted
+inputs with clear errors instead of silently producing wrong plans — that is
+what makes the independent validation layer trustworthy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    DecompositionError,
+    RealizationError,
+    build_delivery_schedule,
+    decompose_flow_set,
+    realize_cycle_set,
+    synthesize_flows,
+)
+from repro.core.agent_cycles import DROPOFF, PICKUP, AgentCycle, AgentCycleSet, CycleAction, DeliverySchedule
+from repro.maps import toy_warehouse
+from repro.warehouse import PlanValidator, Workload
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return toy_warehouse()
+
+
+@pytest.fixture(scope="module")
+def artifacts(designed):
+    workload = Workload.uniform(designed.warehouse.catalog, 8)
+    result = synthesize_flows(designed.traffic_system, workload, horizon=600)
+    assert result.succeeded
+    flow_set = result.flow_set
+    cycle_set = decompose_flow_set(flow_set)
+    schedule = build_delivery_schedule(flow_set, workload)
+    return workload, flow_set, cycle_set, schedule
+
+
+class TestCorruptedFlowSets:
+    def test_broken_conservation_detected(self, artifacts):
+        _, flow_set, _, _ = artifacts
+        corrupted = dataclasses.replace(
+            flow_set, loaded_flows=dict(flow_set.loaded_flows), empty_flows=dict(flow_set.empty_flows)
+        )
+        edge = next(iter(corrupted.loaded_flows))
+        corrupted.loaded_flows[edge] += 1
+        assert corrupted.check_conservation()
+
+    def test_broken_capacity_detected(self, artifacts, designed):
+        _, flow_set, _, _ = artifacts
+        corrupted = dataclasses.replace(flow_set, loaded_flows=dict(flow_set.loaded_flows))
+        # Push one edge far above its target component's capacity.
+        (src, dst) = next(iter(corrupted.loaded_flows))
+        corrupted.loaded_flows[(src, dst)] = designed.traffic_system.component(dst).capacity + 5
+        assert corrupted.check_capacity()
+
+    def test_unbalanced_pickups_fail_decomposition(self, artifacts):
+        _, flow_set, _, _ = artifacts
+        corrupted = dataclasses.replace(flow_set, pickups=dict(flow_set.pickups))
+        row = next(iter(corrupted.pickups))
+        corrupted.pickups[row] += 1
+        with pytest.raises(DecompositionError):
+            decompose_flow_set(corrupted)
+
+    def test_missing_empty_flow_fails_decomposition(self, artifacts):
+        _, flow_set, _, _ = artifacts
+        corrupted = dataclasses.replace(flow_set, empty_flows=dict(flow_set.empty_flows))
+        edge = next(iter(corrupted.empty_flows))
+        del corrupted.empty_flows[edge]
+        with pytest.raises(DecompositionError):
+            decompose_flow_set(corrupted)
+
+
+class TestCorruptedCycleSets:
+    def test_overloaded_component_rejected_by_realizer(self, artifacts, designed):
+        workload, flow_set, cycle_set, schedule = artifacts
+        # Duplicate the cycles until some component exceeds its capacity.
+        cycles = list(cycle_set.cycles)
+        clones = []
+        index = len(cycles)
+        for _ in range(10):
+            for cycle in cycle_set.cycles:
+                clones.append(
+                    AgentCycle(index=index, components=cycle.components, actions=cycle.actions)
+                )
+                index += 1
+        overloaded = AgentCycleSet(
+            system=cycle_set.system,
+            cycles=tuple(cycles + clones),
+            cycle_time=cycle_set.cycle_time,
+            num_periods=cycle_set.num_periods,
+        )
+        with pytest.raises((CycleError, RealizationError)):
+            realize_cycle_set(overloaded, schedule.copy())
+
+    def test_disconnected_cycle_rejected(self, designed, artifacts):
+        _, _, cycle_set, schedule = artifacts
+        system = designed.traffic_system
+        station = system.component_by_name("slice0/station")
+        serp = system.component_by_name("slice0/serpentine/0")
+        far_top = system.component_by_name("slice1/top")
+        bogus = AgentCycle(
+            index=0,
+            components=(station.index, serp.index, far_top.index),
+            actions=(CycleAction(DROPOFF), CycleAction(PICKUP), None),
+        )
+        broken = AgentCycleSet(
+            system=system,
+            cycles=(bogus,),
+            cycle_time=cycle_set.cycle_time,
+            num_periods=cycle_set.num_periods,
+        )
+        with pytest.raises(CycleError):
+            realize_cycle_set(broken, schedule.copy())
+
+
+class TestCorruptedSchedules:
+    def test_empty_schedule_still_produces_feasible_plan(self, artifacts, designed):
+        """With no scheduled products, agents cycle empty: feasible but useless."""
+        workload, _, cycle_set, _ = artifacts
+        result = realize_cycle_set(cycle_set, DeliverySchedule())
+        assert result.total_delivered == 0
+        assert PlanValidator(designed.warehouse).is_feasible(result.plan)
+        assert not result.plan.services(workload)
+
+    def test_schedule_with_unstocked_product_is_skipped(self, artifacts, designed):
+        """Scheduling a product a row does not stock simply yields no pickup there."""
+        workload, flow_set, cycle_set, _ = artifacts
+        row = next(iter(flow_set.pickups))
+        # Find a product with no stock at this row.
+        unstocked = None
+        for product in designed.warehouse.catalog.product_ids:
+            if designed.traffic_system.units_at(row, product) == 0:
+                unstocked = product
+                break
+        if unstocked is None:
+            pytest.skip("every product is stocked at this row")
+        schedule = DeliverySchedule({row: [unstocked] * 5})
+        result = realize_cycle_set(cycle_set, schedule)
+        assert result.deliveries.get(unstocked, 0) == 0
+        assert PlanValidator(designed.warehouse).is_feasible(result.plan)

@@ -1,0 +1,139 @@
+"""Tests for map-file and JSON serialization round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WSPSolver
+from repro.io import (
+    MapFormatError,
+    SerializationError,
+    dumps_map,
+    load_json,
+    load_map,
+    loads_map,
+    plan_from_dict,
+    plan_to_dict,
+    save_json,
+    save_map,
+    traffic_system_from_dict,
+    traffic_system_to_dict,
+    warehouse_from_dict,
+    warehouse_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.maps import figure1_grid, figure1_warehouse, toy_warehouse
+from repro.traffic import validate
+from repro.warehouse import GridMap, PlanValidator, Workload, build_grid
+
+
+class TestMapFormat:
+    def test_round_trip(self):
+        grid = figure1_grid()
+        text = dumps_map(grid)
+        parsed = loads_map(text, name="fig1")
+        assert parsed.cells == grid.cells
+        assert "type warehouse" in text
+
+    def test_file_round_trip(self, tmp_path):
+        grid = figure1_grid()
+        path = tmp_path / "fig1.map"
+        save_map(grid, path)
+        loaded = load_map(path)
+        assert loaded.cells == grid.cells
+        assert loaded.name == "fig1"
+
+    def test_missing_map_section(self):
+        with pytest.raises(MapFormatError):
+            loads_map("type warehouse\nheight 2\nwidth 2\n..\n..")
+
+    def test_wrong_row_count(self):
+        with pytest.raises(MapFormatError):
+            loads_map("type x\nheight 3\nwidth 2\nmap\n..\n..")
+
+    def test_short_row_rejected(self):
+        with pytest.raises(MapFormatError):
+            loads_map("type x\nheight 2\nwidth 3\nmap\n...\n..")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=7),
+        height=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_property_round_trip(self, width, height, seed):
+        import random
+
+        rng = random.Random(seed)
+        cells = {
+            (x, y): rng.choice(".@ST")
+            for x in range(width)
+            for y in range(height)
+        }
+        grid = GridMap(width=width, height=height, cells=cells)
+        assert loads_map(dumps_map(grid)).cells == grid.cells
+
+
+class TestWarehouseSerialization:
+    def test_round_trip(self):
+        warehouse = figure1_warehouse()
+        document = warehouse_to_dict(warehouse)
+        restored = warehouse_from_dict(document)
+        assert restored.name == warehouse.name
+        assert restored.catalog.names == warehouse.catalog.names
+        assert restored.total_stock() == warehouse.total_stock()
+        assert restored.floorplan.num_vertices == warehouse.floorplan.num_vertices
+
+    def test_schema_checked(self):
+        with pytest.raises(SerializationError):
+            warehouse_from_dict({"schema": "plan"})
+
+    def test_json_file_round_trip(self, tmp_path):
+        warehouse = figure1_warehouse()
+        path = tmp_path / "warehouse.json"
+        save_json(warehouse_to_dict(warehouse), path)
+        restored = warehouse_from_dict(load_json(path))
+        assert restored.total_stock() == warehouse.total_stock()
+
+
+class TestTrafficSystemSerialization:
+    def test_round_trip_preserves_structure_and_validity(self):
+        designed = toy_warehouse()
+        document = traffic_system_to_dict(designed.traffic_system)
+        restored = traffic_system_from_dict(document)
+        assert restored.num_components == designed.traffic_system.num_components
+        assert len(restored.edges()) == len(designed.traffic_system.edges())
+        assert validate(restored).is_valid
+        assert restored.max_component_length == designed.traffic_system.max_component_length
+
+
+class TestWorkloadAndPlanSerialization:
+    def test_workload_round_trip(self):
+        designed = toy_warehouse()
+        workload = Workload.uniform(designed.warehouse.catalog, 9)
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.demands == workload.demands
+
+    def test_plan_round_trip_preserves_feasibility(self):
+        designed = toy_warehouse()
+        workload = Workload.uniform(designed.warehouse.catalog, 4)
+        solution = WSPSolver(designed.traffic_system).solve(workload, horizon=600)
+        assert solution.succeeded
+        document = plan_to_dict(solution.plan)
+        restored = plan_from_dict(document)
+        assert restored.num_agents == solution.plan.num_agents
+        assert restored.horizon == solution.plan.horizon
+        assert restored.delivered_units() == solution.plan.delivered_units()
+        assert PlanValidator(restored.warehouse).is_feasible(restored)
+
+    def test_gridless_warehouse_rejected(self):
+        from repro.warehouse import FloorplanGraph, LocationMatrix, ProductCatalog, Warehouse
+
+        grid = build_grid(4, 3, shelves=[(1, 1)], stations=[(3, 0)])
+        floorplan = FloorplanGraph.from_grid(grid)
+        floorplan.grid = None
+        catalog = ProductCatalog.numbered(1)
+        warehouse = Warehouse(floorplan, catalog, LocationMatrix(catalog, floorplan), name="x")
+        with pytest.raises(SerializationError):
+            warehouse_to_dict(warehouse)

@@ -1,0 +1,197 @@
+"""Tests for the MAPF substrate: space-time A*, constraints, reservations."""
+
+import pytest
+
+from repro.mapf import (
+    Constraint,
+    ConstraintSet,
+    MAPFProblem,
+    ReservationTable,
+    SearchStats,
+    count_path_conflicts,
+    find_conflicts,
+    first_conflict,
+    position_at,
+    shortest_path_lengths,
+    space_time_astar,
+    space_time_focal_astar,
+)
+from repro.warehouse import FloorplanGraph, build_grid
+
+OPEN_5X3 = build_grid(5, 3)
+
+
+@pytest.fixture()
+def floorplan():
+    return FloorplanGraph.from_grid(OPEN_5X3)
+
+
+def v(floorplan, x, y):
+    return floorplan.vertex_at((x, y))
+
+
+class TestConflictDetection:
+    def test_vertex_conflict(self, floorplan):
+        a = (v(floorplan, 0, 0), v(floorplan, 1, 0))
+        b = (v(floorplan, 2, 0), v(floorplan, 1, 0))
+        conflicts = find_conflicts([a, b])
+        assert len(conflicts) == 1
+        assert conflicts[0].kind == "vertex"
+        assert conflicts[0].timestep == 1
+
+    def test_edge_conflict(self, floorplan):
+        a = (v(floorplan, 0, 0), v(floorplan, 1, 0))
+        b = (v(floorplan, 1, 0), v(floorplan, 0, 0))
+        conflicts = find_conflicts([a, b])
+        assert any(c.kind == "edge" for c in conflicts)
+
+    def test_following_is_fine(self, floorplan):
+        a = (v(floorplan, 1, 0), v(floorplan, 2, 0))
+        b = (v(floorplan, 0, 0), v(floorplan, 1, 0))
+        assert find_conflicts([a, b]) == []
+
+    def test_parked_agent_conflicts_after_path_end(self, floorplan):
+        a = (v(floorplan, 2, 0),)
+        b = (v(floorplan, 0, 0), v(floorplan, 1, 0), v(floorplan, 2, 0))
+        conflict = first_conflict([a, b])
+        assert conflict is not None
+        assert conflict.timestep == 2
+
+    def test_position_at_extends_goal(self, floorplan):
+        path = (v(floorplan, 0, 0), v(floorplan, 1, 0))
+        assert position_at(path, 0) == path[0]
+        assert position_at(path, 99) == path[1]
+
+
+class TestSpaceTimeAStar:
+    def test_straight_line(self, floorplan):
+        path = space_time_astar(floorplan, v(floorplan, 0, 0), v(floorplan, 4, 0))
+        assert path is not None
+        assert len(path) == 5
+        assert path[0] == v(floorplan, 0, 0)
+        assert path[-1] == v(floorplan, 4, 0)
+
+    def test_heuristic_matches_bfs(self, floorplan):
+        distances = shortest_path_lengths(floorplan, v(floorplan, 4, 2))
+        assert distances[v(floorplan, 0, 0)] == 6
+
+    def test_vertex_constraint_forces_detour_or_wait(self, floorplan):
+        start, goal = v(floorplan, 0, 0), v(floorplan, 2, 0)
+        constraints = ConstraintSet([Constraint(0, v(floorplan, 1, 0), 1)])
+        path = space_time_astar(floorplan, start, goal, agent=0, constraints=constraints)
+        assert path is not None
+        assert len(path) > 3 or path[1] != v(floorplan, 1, 0)
+        assert path[-1] == goal
+
+    def test_edge_constraint_respected(self, floorplan):
+        start, goal = v(floorplan, 0, 0), v(floorplan, 1, 0)
+        constraints = ConstraintSet(
+            [Constraint(0, v(floorplan, 1, 0), 1, edge_from=v(floorplan, 0, 0))]
+        )
+        path = space_time_astar(floorplan, start, goal, agent=0, constraints=constraints)
+        assert path is not None
+        assert not (path[0] == start and path[1] == goal)
+
+    def test_goal_constraint_delays_arrival(self, floorplan):
+        start, goal = v(floorplan, 0, 0), v(floorplan, 1, 0)
+        constraints = ConstraintSet([Constraint(0, goal, 5)])
+        path = space_time_astar(floorplan, start, goal, agent=0, constraints=constraints)
+        assert path is not None
+        # The agent may not sit on the goal at t=5, so it must arrive later.
+        assert len(path) - 1 > 5
+        assert position_at(path, 5) != goal
+
+    def test_reservations_respected(self, floorplan):
+        table = ReservationTable()
+        other = (v(floorplan, 1, 0), v(floorplan, 1, 0), v(floorplan, 1, 0))
+        table.reserve_path(other, park_at_goal=False)
+        path = space_time_astar(
+            floorplan,
+            v(floorplan, 0, 0),
+            v(floorplan, 2, 0),
+            reservations=table,
+        )
+        assert path is not None
+        for t, vertex in enumerate(path):
+            assert not (vertex == v(floorplan, 1, 0) and t <= 2)
+
+    def test_parked_reservation_blocks_forever(self, floorplan):
+        table = ReservationTable()
+        table.reserve_path((v(floorplan, 1, 0),), park_at_goal=True)
+        path = space_time_astar(
+            floorplan, v(floorplan, 0, 0), v(floorplan, 2, 0), reservations=table
+        )
+        assert path is not None
+        assert v(floorplan, 1, 0) not in path
+
+    def test_unreachable_goal(self):
+        grid = build_grid(3, 1, obstacles=[(1, 0)])
+        floorplan = FloorplanGraph.from_grid(grid)
+        path = space_time_astar(
+            floorplan, floorplan.vertex_at((0, 0)), floorplan.vertex_at((2, 0))
+        )
+        assert path is None
+
+    def test_stats_recorded(self, floorplan):
+        stats = SearchStats()
+        space_time_astar(
+            floorplan, v(floorplan, 0, 0), v(floorplan, 4, 2), stats=stats
+        )
+        assert stats.expansions > 0
+        assert stats.generated > 0
+
+
+class TestFocalAStar:
+    def test_same_cost_as_optimal_when_unconstrained(self, floorplan):
+        result = space_time_focal_astar(
+            floorplan,
+            v(floorplan, 0, 0),
+            v(floorplan, 4, 0),
+            agent=0,
+            constraints=ConstraintSet(),
+            other_paths=[],
+            suboptimality=1.5,
+        )
+        assert result is not None
+        path, bound = result
+        assert len(path) - 1 == 4
+        assert bound <= len(path) - 1
+
+    def test_avoids_other_paths_when_cheap(self, floorplan):
+        # Another agent sits on the straight-line route; the focal search picks
+        # a same-cost path around it when one exists.
+        blocker = tuple([v(floorplan, 2, 0)] * 6)
+        result = space_time_focal_astar(
+            floorplan,
+            v(floorplan, 0, 0),
+            v(floorplan, 4, 0),
+            agent=0,
+            constraints=ConstraintSet(),
+            other_paths=[blocker],
+            suboptimality=2.0,
+        )
+        assert result is not None
+        path, _ = result
+        assert count_path_conflicts(path, [blocker]) == 0
+
+    def test_count_path_conflicts(self, floorplan):
+        a = (v(floorplan, 0, 0), v(floorplan, 1, 0))
+        b = (v(floorplan, 1, 0), v(floorplan, 1, 0))
+        assert count_path_conflicts(a, [b]) >= 1
+
+
+class TestProblemValidation:
+    def test_duplicate_starts_rejected(self, floorplan):
+        from repro.mapf import MAPFError
+
+        with pytest.raises(MAPFError):
+            MAPFProblem.from_pairs(
+                floorplan,
+                [(v(floorplan, 0, 0), v(floorplan, 1, 0)), (v(floorplan, 0, 0), v(floorplan, 2, 0))],
+            )
+
+    def test_out_of_range_vertex_rejected(self, floorplan):
+        from repro.mapf import MAPFError
+
+        with pytest.raises(MAPFError):
+            MAPFProblem.from_pairs(floorplan, [(0, 99999)])

@@ -1,0 +1,221 @@
+"""Tests for the map generators (example, fulfillment centers, sorting center)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maps import (
+    FULFILLMENT_1_LAYOUT,
+    FULFILLMENT_2_LAYOUT,
+    MAP_REGISTRY,
+    PAPER_MAP_STATS,
+    SORTING_CENTER_LAYOUT,
+    FulfillmentLayout,
+    SortingLayout,
+    figure1_grid,
+    figure1_warehouse,
+    generate_fulfillment_center,
+    generate_sorting_center,
+    scaled_down,
+    toy_instance,
+    toy_warehouse,
+)
+from repro.traffic import validate
+from repro.warehouse import WarehouseError, Workload
+
+
+class TestFigure1:
+    def test_grid_dimensions(self):
+        grid = figure1_grid()
+        assert (grid.width, grid.height) == (5, 4)
+        assert grid.num_shelves == 2
+        assert grid.num_stations == 2
+
+    def test_warehouse_matches_paper_model(self):
+        warehouse = figure1_warehouse()
+        floorplan = warehouse.floorplan
+        # S contains the paper's {v_{0,2}, v_{2,2}, v_{4,2}}.
+        access_cells = {floorplan.cell_of(v) for v in floorplan.shelf_access}
+        assert {(0, 2), (2, 2), (4, 2)} <= access_cells
+        # R = {v_{1,0}, v_{3,0}}.
+        assert {floorplan.cell_of(v) for v in floorplan.stations} == {(1, 0), (3, 0)}
+        # 10 units of each product, split over the two access cells of its shelf.
+        assert warehouse.total_stock() == {1: 10, 2: 10}
+        warehouse.validate()
+
+
+class TestToyWarehouse:
+    def test_traffic_system_valid(self):
+        designed = toy_warehouse()
+        assert validate(designed.traffic_system).is_valid
+        designed.warehouse.validate()
+
+    def test_toy_instance(self):
+        instance = toy_instance(total_units=8, horizon=500)
+        instance.validate()
+        assert instance.workload.total_units == 8
+
+
+class TestLayoutGeometry:
+    def test_derived_counts(self):
+        layout = FulfillmentLayout(
+            num_slices=3, shelf_columns=6, shelf_bands=3, shelf_depth=2, num_products=10
+        )
+        assert layout.slice_width == 9
+        assert layout.width == 27
+        assert layout.height == 3 + 3 * 3
+        assert layout.num_shelves == 3 * 6 * 2 * 3
+        assert len(layout.aisle_rows) == 4
+
+    def test_generated_grid_matches_layout(self):
+        layout = FulfillmentLayout(
+            num_slices=2, shelf_columns=4, shelf_bands=3, shelf_depth=1, num_products=6,
+            num_stations=2,
+        )
+        designed = generate_fulfillment_center(layout)
+        grid = designed.warehouse.floorplan.grid
+        assert (grid.width, grid.height) == (layout.width, layout.height)
+        assert grid.num_shelves == layout.num_shelves
+        assert grid.num_stations == layout.num_stations * layout.station_cells
+        assert designed.warehouse.num_products == layout.num_products
+
+    def test_every_product_is_stocked(self):
+        layout = FulfillmentLayout(
+            num_slices=2, shelf_columns=4, shelf_bands=1, shelf_depth=1, num_products=20
+        )
+        designed = generate_fulfillment_center(layout)
+        stock = designed.warehouse.total_stock()
+        assert all(stock[k] > 0 for k in designed.warehouse.catalog.product_ids)
+
+    def test_even_bands_rejected(self):
+        with pytest.raises(WarehouseError):
+            generate_fulfillment_center(FulfillmentLayout(shelf_bands=2))
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(WarehouseError):
+            FulfillmentLayout(shelf_depth=3).validate()
+
+    def test_too_many_station_cells_rejected(self):
+        layout = FulfillmentLayout(
+            num_slices=1, shelf_columns=2, num_stations=9, station_cells=2
+        )
+        with pytest.raises(WarehouseError):
+            layout.validate()
+
+    def test_scaled_down_is_smaller_and_valid(self):
+        small = scaled_down(FULFILLMENT_1_LAYOUT)
+        assert small.num_cells < FULFILLMENT_1_LAYOUT.num_cells
+        designed = generate_fulfillment_center(small)
+        assert validate(designed.traffic_system).is_valid
+
+
+class TestPaperPresets:
+    @pytest.mark.parametrize("name", ["fulfillment-1", "fulfillment-2", "sorting-center"])
+    def test_preset_statistics_track_paper(self, name):
+        obj = MAP_REGISTRY[name]()
+        designed = obj.designed if hasattr(obj, "designed") else obj
+        grid = designed.warehouse.floorplan.grid
+        paper_cells, paper_shelves, paper_stations, paper_products = PAPER_MAP_STATS[name]
+        # Cell counts within 25% of the paper's maps; shelf and product counts
+        # match the paper's presets (see maps/catalog.py for the documented
+        # deviations on stations and the sorting-center chute count).
+        assert abs(grid.width * grid.height - paper_cells) / paper_cells < 0.25
+        assert designed.warehouse.num_products == paper_products
+        if name != "sorting-center":
+            assert grid.num_shelves == paper_shelves
+
+    @pytest.mark.parametrize("name", list(MAP_REGISTRY))
+    def test_all_registry_maps_are_valid(self, name):
+        obj = MAP_REGISTRY[name]()
+        designed = obj.designed if hasattr(obj, "designed") else obj
+        designed.warehouse.validate()
+        report = validate(designed.traffic_system)
+        assert report.is_valid, [str(v) for v in report.violations]
+
+    def test_fulfillment_1_has_four_station_queues(self):
+        designed = MAP_REGISTRY["fulfillment-1"]()
+        assert len(designed.traffic_system.station_queues()) == 4
+
+    def test_fulfillment_2_station_area_is_spread(self):
+        designed = MAP_REGISTRY["fulfillment-2"]()
+        # The single logical station is modelled as a spread station area, so
+        # several station-queue components exist (documented deviation).
+        assert len(designed.traffic_system.station_queues()) >= 3
+
+    def test_throughput_capacity_covers_table1_workloads(self):
+        # Largest Table-I workload per map must fit under the traffic system's
+        # per-period delivery capacity over T = 3600 timesteps.
+        requirements = {
+            "fulfillment-1": 1100,
+            "fulfillment-2": 1440,
+            "sorting-center": 480,
+        }
+        for name, units in requirements.items():
+            obj = MAP_REGISTRY[name]()
+            designed = obj.designed if hasattr(obj, "designed") else obj
+            system = designed.traffic_system
+            periods = 3600 // system.cycle_time()
+            assert periods * system.station_throughput_capacity() >= units
+
+
+class TestSortingCenter:
+    def test_reduction_metadata(self):
+        center = generate_sorting_center(SORTING_CENTER_LAYOUT)
+        assert center.num_chutes == center.warehouse.num_products
+        assert center.num_bins == SORTING_CENTER_LAYOUT.num_bins
+        assert center.chute_product(0) == 1
+        with pytest.raises(ValueError):
+            center.chute_product(center.num_chutes)
+
+    def test_package_workload(self):
+        center = generate_sorting_center(
+            SortingLayout(num_slices=2, chute_columns=5, num_bins=2, name="sc-test")
+        )
+        workload = center.workload_for_packages({0: 3, 2: 5})
+        assert workload.demand(center.chute_product(0)) == 3
+        assert workload.demand(center.chute_product(2)) == 5
+        assert workload.total_units == 8
+
+    def test_uniform_workload_and_instance(self):
+        center = generate_sorting_center(
+            SortingLayout(num_slices=2, chute_columns=5, num_bins=2, name="sc-test2")
+        )
+        workload = center.uniform_workload(center.num_chutes * 2)
+        instance = center.wsp_instance(workload, horizon=1000)
+        instance.validate()
+
+    def test_chutes_are_isolated(self):
+        center = generate_sorting_center(SORTING_CENTER_LAYOUT)
+        grid = center.warehouse.floorplan.grid
+        # With chute_spacing = 2, no two chutes are horizontally adjacent.
+        for (x, y) in grid.shelf_cells():
+            assert not grid.is_shelf((x + 1, y)) or not grid.in_bounds((x + 1, y))
+
+
+class TestLayoutPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_slices=st.integers(min_value=1, max_value=3),
+        shelf_columns=st.integers(min_value=2, max_value=6),
+        shelf_bands=st.sampled_from([1, 3]),
+        shelf_depth=st.sampled_from([1, 2]),
+        num_products=st.integers(min_value=1, max_value=6),
+    )
+    def test_any_valid_layout_produces_valid_traffic_system(
+        self, num_slices, shelf_columns, shelf_bands, shelf_depth, num_products
+    ):
+        layout = FulfillmentLayout(
+            num_slices=num_slices,
+            shelf_columns=shelf_columns,
+            shelf_bands=shelf_bands,
+            shelf_depth=shelf_depth,
+            num_products=num_products,
+            num_stations=min(num_slices, 2),
+            name="hypothesis-layout",
+        )
+        designed = generate_fulfillment_center(layout)
+        designed.warehouse.validate()
+        report = validate(designed.traffic_system)
+        assert report.is_valid, [str(v) for v in report.violations]
+        grid = designed.warehouse.floorplan.grid
+        assert grid.num_shelves == layout.num_shelves

@@ -1,0 +1,94 @@
+"""End-to-end property-based tests of the methodology's core invariants.
+
+For randomly drawn (small) layouts and workloads, whenever the pipeline
+reports success the following must hold:
+
+* the synthesized flow set conserves agents and respects every capacity;
+* the cycle set preserves the flow set's throughput and per-component load;
+* the realized plan satisfies all three feasibility conditions of Sec. III
+  (checked by the independent validator);
+* Property 4.1 holds (every agent advances one component per cycle period);
+* the plan services the workload within the horizon.
+
+These are the invariants the paper's correctness argument rests on; running
+them over a randomized family of layouts guards every stage against
+regressions that the fixed-map unit tests might miss.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import WSPSolver
+from repro.maps import FulfillmentLayout, generate_fulfillment_center
+from repro.traffic import validate
+from repro.warehouse import PlanValidator, Workload
+
+
+@st.composite
+def small_layouts(draw):
+    return FulfillmentLayout(
+        num_slices=draw(st.integers(min_value=1, max_value=3)),
+        shelf_columns=draw(st.integers(min_value=3, max_value=6)),
+        shelf_bands=draw(st.sampled_from([1, 3])),
+        shelf_depth=draw(st.sampled_from([1, 2])),
+        num_stations=draw(st.integers(min_value=1, max_value=2)),
+        num_products=draw(st.integers(min_value=1, max_value=5)),
+        name="hypothesis-e2e",
+    )
+
+
+class TestEndToEndInvariants:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(layout=small_layouts(), data=st.data())
+    def test_pipeline_invariants(self, layout, data):
+        designed = generate_fulfillment_center(layout)
+        assert validate(designed.traffic_system).is_valid
+
+        # Draw a workload the traffic system can plausibly carry.
+        horizon = 1500
+        system = designed.traffic_system
+        periods = horizon // system.cycle_time()
+        ceiling = max(2, min(40, periods * system.station_throughput_capacity() // 4))
+        units = data.draw(st.integers(min_value=1, max_value=ceiling), label="units")
+        workload = Workload.uniform(designed.warehouse.catalog, units)
+
+        solution = WSPSolver(system).solve(workload, horizon=horizon)
+        if not solution.succeeded:
+            # Infeasibility is a legitimate outcome for tight draws; the
+            # invariants below only apply to reported successes.
+            return
+
+        flow_set = solution.flow_set
+        assert flow_set.check_conservation() == []
+        assert flow_set.check_capacity() == []
+
+        cycle_set = solution.cycle_set
+        assert cycle_set.deliveries_per_period() == flow_set.deliveries_per_period()
+        assert cycle_set.num_agents == flow_set.num_agents
+        load = cycle_set.component_load()
+        for component in system.components:
+            assert load.get(component.index, 0) <= component.capacity
+
+        assert solution.realization.property41_violations == 0
+        report = PlanValidator(designed.warehouse).validate(solution.plan)
+        assert report.is_feasible, [str(v) for v in report.violations[:5]]
+        assert solution.plan.services(workload)
+
+    @settings(max_examples=8, deadline=None)
+    @given(layout=small_layouts())
+    def test_schedule_covers_demand_products(self, layout):
+        designed = generate_fulfillment_center(layout)
+        workload = Workload.uniform(designed.warehouse.catalog, 6)
+        solution = WSPSolver(designed.traffic_system).solve(workload, horizon=1500)
+        if not solution.succeeded:
+            return
+        scheduled = solution.schedule.scheduled_units()
+        delivered = solution.plan.delivered_units()
+        for product in workload.requested_products():
+            assert scheduled.get(product, 0) >= workload.demand(product)
+            assert delivered.get(product, 0) >= workload.demand(product)

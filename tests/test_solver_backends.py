@@ -1,0 +1,178 @@
+"""Tests for the MILP backends (HiGHS, branch-and-bound) and the dispatcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.solver import (
+    BnBOptions,
+    ConstraintModel,
+    SolveStatus,
+    solve_branch_and_bound,
+    solve_model,
+    solve_with_scipy,
+)
+from repro.solver.expressions import LinearExpr
+
+
+def knapsack_model():
+    """0/1 knapsack: values (10, 13, 7), weights (3, 4, 2), capacity 6 -> 20.
+
+    Two optima exist ({0, 2} and {1, 2}); item 2 is in both.
+    """
+    model = ConstraintModel("knapsack")
+    x = [model.add_var(f"x{i}", lb=0, ub=1, integer=True) for i in range(3)]
+    model.add_constraint(3 * x[0] + 4 * x[1] + 2 * x[2] <= 6)
+    model.set_objective(10 * x[0] + 13 * x[1] + 7 * x[2], sense="max")
+    return model, x
+
+
+def integer_flow_model():
+    """A tiny conservation-style ILP with a unique optimum."""
+    model = ConstraintModel("flow")
+    a = model.add_var("a", lb=0, ub=5, integer=True)
+    b = model.add_var("b", lb=0, ub=5, integer=True)
+    c = model.add_var("c", lb=0, ub=5, integer=True)
+    model.add_constraint(a + b == 4)
+    model.add_constraint(b + c == 3)
+    model.add_constraint(a >= 1)
+    model.set_objective(a + 2 * b + 3 * c)
+    return model
+
+
+class TestScipyBackend:
+    def test_knapsack_optimum(self):
+        model, x = knapsack_model()
+        result = solve_with_scipy(model)
+        assert result.status == SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(20.0)
+        assert result.int_value(x[2]) == 1
+
+    def test_infeasible_detected(self):
+        model = ConstraintModel()
+        v = model.add_var("v", lb=0, ub=1, integer=True)
+        model.add_constraint(v >= 2)
+        result = solve_with_scipy(model)
+        assert result.status == SolveStatus.INFEASIBLE
+
+    def test_pure_lp_path(self):
+        model = ConstraintModel()
+        x = model.add_var("x", lb=0, ub=4)
+        y = model.add_var("y", lb=0, ub=4)
+        model.add_constraint(x + y <= 6)
+        model.set_objective(x + 2 * y, sense="max")
+        result = solve_with_scipy(model)
+        assert result.status == SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(10.0)
+
+    def test_named_dict(self):
+        model, _ = knapsack_model()
+        result = solve_with_scipy(model)
+        named = result.as_named_dict()
+        assert set(named) == {"x0", "x1", "x2"}
+
+
+class TestBranchAndBound:
+    def test_knapsack_optimum(self):
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(model)
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        assert result.objective == pytest.approx(20.0)
+
+    def test_integer_flow(self):
+        model = integer_flow_model()
+        result = solve_branch_and_bound(model)
+        assert result.is_feasible
+        reference = solve_with_scipy(model)
+        assert result.objective == pytest.approx(reference.objective)
+
+    def test_infeasible(self):
+        model = ConstraintModel()
+        v = model.add_var("v", lb=0, ub=3, integer=True)
+        model.add_constraint(2 * v == 5)  # no integer solution
+        result = solve_branch_and_bound(model)
+        assert result.status == SolveStatus.INFEASIBLE
+
+    def test_first_solution_mode(self):
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(model, BnBOptions(first_solution=True))
+        assert result.is_feasible
+        assert not model.check_assignment(result.values)
+
+    def test_node_limit_reported(self):
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(model, BnBOptions(max_nodes=1))
+        # With a single node the root relaxation may already be integral;
+        # either way the result must be sane.
+        assert result.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+            SolveStatus.LIMIT,
+        )
+
+    def test_simplex_engine(self):
+        model = integer_flow_model()
+        result = solve_branch_and_bound(model, BnBOptions(lp_engine="simplex"))
+        assert result.is_feasible
+        assert not model.check_assignment(result.values)
+
+    def test_stats_populated(self):
+        model, _ = knapsack_model()
+        result = solve_branch_and_bound(model)
+        assert result.stats["nodes"] >= 1
+        assert result.stats["seconds"] >= 0
+
+
+class TestDispatcher:
+    def test_unknown_backend_rejected(self):
+        model, _ = knapsack_model()
+        with pytest.raises(ValueError):
+            solve_model(model, backend="cplex")
+
+    @pytest.mark.parametrize("backend", ["auto", "highs", "bnb", "simplex-bnb"])
+    def test_backends_agree_on_knapsack(self, backend):
+        model, _ = knapsack_model()
+        result = solve_model(model, backend=backend)
+        assert result.is_feasible
+        assert result.objective == pytest.approx(20.0)
+
+
+@st.composite
+def random_ilp(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=1, max_value=3))
+    c = [draw(st.integers(min_value=-4, max_value=4)) for _ in range(n)]
+    rows = [
+        [draw(st.integers(min_value=-2, max_value=3)) for _ in range(n)]
+        for _ in range(m)
+    ]
+    rhs = [draw(st.integers(min_value=0, max_value=10)) for _ in range(m)]
+    ub = [draw(st.integers(min_value=1, max_value=4)) for _ in range(n)]
+    return c, rows, rhs, ub
+
+
+class TestBnBAgainstHiGHS:
+    @settings(max_examples=40, deadline=None)
+    @given(random_ilp())
+    def test_same_optimum_as_milp(self, ilp):
+        c, rows, rhs, ub = ilp
+        n = len(c)
+        model = ConstraintModel()
+        xs = [model.add_var(f"x{i}", lb=0, ub=ub[i], integer=True) for i in range(n)]
+        for row, b in zip(rows, rhs):
+            model.add_constraint(LinearExpr.sum(coef * x for coef, x in zip(row, xs)) <= b)
+        model.set_objective(LinearExpr.sum(coef * x for coef, x in zip(c, xs)))
+
+        ours = solve_branch_and_bound(model)
+        a = np.array(rows, dtype=float)
+        ref = milp(
+            c=np.array(c, dtype=float),
+            constraints=LinearConstraint(a, -np.inf * np.ones(len(rhs)), np.array(rhs, dtype=float)),
+            bounds=Bounds(np.zeros(n), np.array(ub, dtype=float)),
+            integrality=np.ones(n),
+        )
+        assert ref.status == 0  # box-bounded, always feasible (x = 0 unless rhs < 0)
+        assert ours.is_feasible
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

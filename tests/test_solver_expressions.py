@@ -1,0 +1,155 @@
+"""Unit tests for the linear expression layer."""
+
+import pytest
+
+from repro.solver.expressions import (
+    EQ,
+    GE,
+    LE,
+    ExpressionError,
+    LinearConstraint,
+    LinearExpr,
+    Variable,
+    variables_of,
+)
+
+
+@pytest.fixture()
+def xy():
+    return Variable("x", lb=0, ub=10), Variable("y", lb=0, ub=10)
+
+
+class TestVariable:
+    def test_defaults(self):
+        v = Variable("v")
+        assert v.lb == 0
+        assert v.ub is None
+        assert not v.integer
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ExpressionError):
+            Variable("v", lb=3, ub=2)
+
+    def test_hashable_and_distinct(self):
+        a = Variable("a", lb=0, ub=1)
+        b = Variable("a", lb=0, ub=2)
+        assert hash(a) != hash(b) or a != b
+        assert len({a, b}) == 2
+
+    def test_negation_builds_expr(self):
+        v = Variable("v")
+        expr = -v
+        assert expr.coefficient(v) == -1.0
+
+
+class TestLinearExpr:
+    def test_addition_and_scaling(self, xy):
+        x, y = xy
+        expr = 2 * x + 3 * y + 4
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 3.0
+        assert expr.constant == 4.0
+
+    def test_subtraction_cancels(self, xy):
+        x, y = xy
+        expr = (x + y) - (x + y)
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 5 - x
+        assert expr.coefficient(x) == -1.0
+        assert expr.constant == 5.0
+
+    def test_sum_builder(self, xy):
+        x, y = xy
+        expr = LinearExpr.sum([x, y, x, 2.5])
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 2.5
+
+    def test_sum_of_empty_iterable(self):
+        expr = LinearExpr.sum([])
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+    def test_evaluate(self, xy):
+        x, y = xy
+        expr = 2 * x - y + 1
+        assert expr.evaluate({x: 3, y: 4}) == pytest.approx(3.0)
+
+    def test_evaluate_missing_variable(self, xy):
+        x, y = xy
+        expr = x + y
+        with pytest.raises(ExpressionError):
+            expr.evaluate({x: 1})
+
+    def test_zero_coefficients_dropped(self, xy):
+        x, y = xy
+        expr = 0 * x + y
+        assert x not in expr.coeffs
+        assert expr.coefficient(x) == 0.0
+
+    def test_scale_by_expression_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(ExpressionError):
+            (x + 1) * (y + 1)  # type: ignore[operator]
+
+    def test_invalid_operand(self):
+        with pytest.raises(ExpressionError):
+            LinearExpr.from_operand("not a number")  # type: ignore[arg-type]
+
+
+class TestLinearConstraint:
+    def test_le_normalization(self, xy):
+        x, y = xy
+        constraint = x + y <= 5
+        assert constraint.sense == LE
+        assert constraint.expr.constant == -5.0
+
+    def test_ge_and_eq(self, xy):
+        x, y = xy
+        assert (x >= 2).sense == GE
+        assert (x + y == 3).sense == EQ
+
+    def test_satisfaction(self, xy):
+        x, y = xy
+        constraint = x + 2 * y <= 10
+        assert constraint.is_satisfied({x: 2, y: 4})
+        assert not constraint.is_satisfied({x: 5, y: 4})
+
+    def test_violation_amount(self, xy):
+        x, _ = xy
+        constraint = x <= 3
+        assert constraint.violation({x: 5}) == pytest.approx(2.0)
+        assert constraint.violation({x: 1}) == 0.0
+
+    def test_eq_violation(self, xy):
+        x, _ = xy
+        # Equality constraints on a single variable are written by lifting the
+        # variable into an expression first (plain ``x == 4`` keeps Python's
+        # value-equality semantics because variables are used as dict keys).
+        constraint = 1 * x == 4
+        assert constraint.violation({x: 2.5}) == pytest.approx(1.5)
+
+    def test_plain_variable_equality_is_not_a_constraint(self, xy):
+        x, y = xy
+        assert (x == y) is False
+        assert x == Variable("x", lb=0, ub=10)
+
+    def test_named(self, xy):
+        x, _ = xy
+        constraint = (x <= 3).named("cap")
+        assert constraint.name == "cap"
+        assert constraint.sense == LE
+
+    def test_invalid_sense_rejected(self, xy):
+        x, _ = xy
+        with pytest.raises(ExpressionError):
+            LinearConstraint(LinearExpr({x: 1.0}), "<")
+
+    def test_variables_of(self, xy):
+        x, y = xy
+        constraints = [x <= 1, y >= 0, x + y == 2]
+        assert set(variables_of(constraints)) == {x, y}

@@ -1,0 +1,143 @@
+"""Unit and property tests for the pure-Python tableau simplex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.solver.simplex import solve_lp
+
+
+class TestKnownLPs:
+    def test_simple_maximization_as_min(self):
+        # max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> (4, 0), obj 12
+        sol = solve_lp(
+            c=[-3, -2],
+            a_ub=np.array([[1, 1], [1, 3]], dtype=float),
+            b_ub=[4, 6],
+        )
+        assert sol.status == "optimal"
+        assert sol.objective == pytest.approx(-12.0)
+        assert sol.x[0] == pytest.approx(4.0)
+
+    def test_equality_constraints(self):
+        # min x + y s.t. x + y == 5, x - y == 1 -> (3, 2)
+        sol = solve_lp(
+            c=[1, 1],
+            a_eq=np.array([[1, 1], [1, -1]], dtype=float),
+            b_eq=[5, 1],
+        )
+        assert sol.status == "optimal"
+        assert sol.x == pytest.approx([3.0, 2.0])
+
+    def test_infeasible(self):
+        sol = solve_lp(
+            c=[1],
+            a_ub=np.array([[1.0], [-1.0]]),
+            b_ub=[1.0, -3.0],  # x <= 1 and x >= 3
+        )
+        assert sol.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x with x >= 0 and no upper restriction.
+        sol = solve_lp(c=[-1], a_ub=np.zeros((0, 1)), b_ub=[])
+        assert sol.status == "unbounded"
+
+    def test_upper_bounds_respected(self):
+        sol = solve_lp(c=[-1, -1], bounds=[(0, 2), (0, 3)])
+        assert sol.status == "optimal"
+        assert sol.x == pytest.approx([2.0, 3.0])
+
+    def test_negative_lower_bounds(self):
+        # min x subject to x >= -5.
+        sol = solve_lp(c=[1], bounds=[(-5, 5)])
+        assert sol.status == "optimal"
+        assert sol.x[0] == pytest.approx(-5.0)
+
+    def test_free_variable(self):
+        # min x s.t. x >= -7 expressed via a constraint, variable itself free.
+        sol = solve_lp(
+            c=[1],
+            a_ub=np.array([[-1.0]]),
+            b_ub=[7.0],
+            bounds=[(None, None)],
+        )
+        assert sol.status == "optimal"
+        assert sol.x[0] == pytest.approx(-7.0)
+
+    def test_degenerate_problem_terminates(self):
+        # Classic degenerate LP; Bland's rule must not cycle.
+        a_ub = np.array(
+            [
+                [0.5, -5.5, -2.5, 9.0],
+                [0.5, -1.5, -0.5, 1.0],
+                [1.0, 0.0, 0.0, 0.0],
+            ]
+        )
+        b_ub = [0.0, 0.0, 1.0]
+        c = [-10.0, 57.0, 9.0, 24.0]
+        sol = solve_lp(c=c, a_ub=a_ub, b_ub=b_ub)
+        assert sol.status == "optimal"
+        assert sol.objective == pytest.approx(-1.0, abs=1e-6)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp(c=[1, 2], a_ub=np.array([[1.0]]), b_ub=[1.0])
+
+    def test_transportation_like_flow(self):
+        # Two sources (supply 3, 2), two sinks (demand 2, 3); min cost.
+        # Variables: x11, x12, x21, x22.
+        a_eq = np.array(
+            [
+                [1, 1, 0, 0],
+                [0, 0, 1, 1],
+                [1, 0, 1, 0],
+                [0, 1, 0, 1],
+            ],
+            dtype=float,
+        )
+        b_eq = [3, 2, 2, 3]
+        c = [4, 6, 5, 3]
+        sol = solve_lp(c=c, a_eq=a_eq, b_eq=b_eq)
+        assert sol.status == "optimal"
+        ref = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * 4, method="highs")
+        assert sol.objective == pytest.approx(ref.fun, abs=1e-6)
+
+
+@st.composite
+def random_lp(draw):
+    """Random bounded-feasible LPs: box bounds guarantee boundedness."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=0, max_value=4))
+    c = [draw(st.integers(min_value=-5, max_value=5)) for _ in range(n)]
+    a_rows = [
+        [draw(st.integers(min_value=-3, max_value=3)) for _ in range(n)]
+        for _ in range(m)
+    ]
+    b = [draw(st.integers(min_value=0, max_value=12)) for _ in range(m)]
+    ub = [draw(st.integers(min_value=1, max_value=8)) for _ in range(n)]
+    return c, a_rows, b, ub
+
+
+class TestAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_matches_highs_on_random_boxed_lps(self, lp):
+        c, a_rows, b, ub = lp
+        n = len(c)
+        a_ub = np.array(a_rows, dtype=float) if a_rows else np.zeros((0, n))
+        bounds = [(0.0, float(u)) for u in ub]
+        ours = solve_lp(c=c, a_ub=a_ub, b_ub=b, bounds=bounds)
+        ref = linprog(
+            c,
+            A_ub=a_ub if a_ub.size else None,
+            b_ub=b if b else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if ref.status == 0:
+            assert ours.status == "optimal"
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+        elif ref.status == 2:
+            assert ours.status == "infeasible"

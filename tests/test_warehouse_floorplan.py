@@ -1,0 +1,131 @@
+"""Tests for the floorplan graph derived from a grid."""
+
+import pytest
+
+from repro.warehouse import FloorplanError, FloorplanGraph, GridMap, build_grid
+
+FIG1_ASCII = """
+.....
+.S.S.
+.....
+@T@T@
+""".strip("\n")
+
+
+@pytest.fixture()
+def fig1():
+    return FloorplanGraph.from_grid(GridMap.from_ascii(FIG1_ASCII, name="fig1"))
+
+
+class TestConstruction:
+    def test_vertex_count_excludes_blocked(self, fig1):
+        # 5x4 = 20 cells, minus 2 shelves and 3 obstacles = 15 vertices.
+        assert fig1.num_vertices == 15
+
+    def test_cell_vertex_round_trip(self, fig1):
+        for vertex in range(fig1.num_vertices):
+            assert fig1.vertex_at(fig1.cell_of(vertex)) == vertex
+
+    def test_vertex_at_unknown_cell(self, fig1):
+        with pytest.raises(FloorplanError):
+            fig1.vertex_at((0, 0))  # obstacle
+        assert not fig1.has_vertex_at((0, 0))
+
+    def test_shelf_access_matches_paper_row(self, fig1):
+        # The paper lists S = {v_{0,2}, v_{2,2}, v_{4,2}} for this warehouse
+        # (east/west shelf access); our derivation also includes the cells
+        # above and below each shelf because they are 4-adjacent open cells.
+        access_cells = {fig1.cell_of(v) for v in fig1.shelf_access}
+        assert {(0, 2), (2, 2), (4, 2)} <= access_cells
+
+    def test_station_vertices(self, fig1):
+        station_cells = {fig1.cell_of(v) for v in fig1.stations}
+        assert station_cells == {(1, 0), (3, 0)}
+
+    def test_adjacency_is_symmetric(self, fig1):
+        for u in range(fig1.num_vertices):
+            for v in fig1.neighbors(u):
+                assert u in fig1.neighbors(v)
+
+    def test_edge_count(self, fig1):
+        total_degree = sum(fig1.degree(v) for v in range(fig1.num_vertices))
+        assert fig1.num_edges == total_degree // 2
+
+    def test_mismatched_adjacency_rejected(self, fig1):
+        with pytest.raises(FloorplanError):
+            FloorplanGraph(
+                cells=fig1.cells,
+                adjacency=fig1.adjacency[:-1],
+                shelf_access=fig1.shelf_access,
+                stations=fig1.stations,
+            )
+
+    def test_out_of_range_annotation_rejected(self, fig1):
+        with pytest.raises(FloorplanError):
+            FloorplanGraph(
+                cells=fig1.cells,
+                adjacency=fig1.adjacency,
+                shelf_access=frozenset({999}),
+                stations=fig1.stations,
+            )
+
+
+class TestAlgorithms:
+    def test_bfs_distances(self, fig1):
+        station = fig1.vertex_at((1, 0))
+        distances = fig1.bfs_distances(station)
+        assert distances[station] == 0
+        assert distances[fig1.vertex_at((1, 1))] == 1
+        assert distances[fig1.vertex_at((0, 2))] == 3
+
+    def test_shortest_path_endpoints_and_length(self, fig1):
+        a = fig1.vertex_at((1, 0))
+        b = fig1.vertex_at((4, 2))
+        path = fig1.shortest_path(a, b)
+        assert path is not None
+        assert path[0] == a and path[-1] == b
+        assert len(path) - 1 == fig1.bfs_distances(a)[b]
+        assert fig1.induced_path_is_simple(path)
+
+    def test_shortest_path_same_vertex(self, fig1):
+        v = fig1.vertex_at((2, 2))
+        assert fig1.shortest_path(v, v) == [v]
+
+    def test_unreachable_path(self):
+        grid = GridMap.from_ascii(".@.")
+        plan = FloorplanGraph.from_grid(grid)
+        a, b = plan.vertex_at((0, 0)), plan.vertex_at((2, 0))
+        assert plan.shortest_path(a, b) is None
+        assert not plan.is_connected()
+
+    def test_is_connected_full_and_subset(self, fig1):
+        assert fig1.is_connected()
+        subset = [fig1.vertex_at((0, 2)), fig1.vertex_at((1, 3))]
+        # These two are not adjacent to each other directly but the induced
+        # subgraph only contains them, so it is disconnected.
+        assert not fig1.is_connected(subset)
+        assert fig1.is_connected([])
+
+    def test_to_networkx(self, fig1):
+        graph = fig1.to_networkx()
+        assert graph.number_of_nodes() == fig1.num_vertices
+        assert graph.number_of_edges() == fig1.num_edges
+        station = fig1.vertex_at((1, 0))
+        assert graph.nodes[station]["station"]
+
+    def test_induced_path_rejects_repeats_and_jumps(self, fig1):
+        a = fig1.vertex_at((0, 1))
+        b = fig1.vertex_at((0, 2))
+        far = fig1.vertex_at((4, 2))
+        assert fig1.induced_path_is_simple([a, b])
+        assert not fig1.induced_path_is_simple([a, b, a])
+        assert not fig1.induced_path_is_simple([a, far])
+
+
+class TestOpenGrid:
+    def test_full_grid_edge_count(self):
+        # 3x3 open grid: 9 vertices, 12 edges.
+        plan = FloorplanGraph.from_grid(build_grid(3, 3))
+        assert plan.num_vertices == 9
+        assert plan.num_edges == 12
+        assert plan.is_connected()

@@ -1,0 +1,139 @@
+"""Tests for grid maps (construction, parsing, queries)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.warehouse import EMPTY, OBSTACLE, SHELF, STATION, GridError, GridMap, build_grid
+
+#: The Fig. 1 example warehouse: two shelves accessed from east and west,
+#: two stations on the bottom row.
+FIG1_ASCII = """
+.....
+.S.S.
+.....
+@T@T@
+""".strip("\n")
+
+
+@pytest.fixture()
+def fig1_grid():
+    return GridMap.from_ascii(FIG1_ASCII, name="fig1")
+
+
+class TestParsing:
+    def test_dimensions(self, fig1_grid):
+        assert fig1_grid.width == 5
+        assert fig1_grid.height == 4
+
+    def test_origin_is_bottom_left(self, fig1_grid):
+        # Bottom row (y = 0) has obstacles at x = 0, 2, 4 and stations at 1, 3.
+        assert fig1_grid.cell_type((0, 0)) == OBSTACLE
+        assert fig1_grid.cell_type((1, 0)) == STATION
+        assert fig1_grid.cell_type((3, 0)) == STATION
+        assert fig1_grid.cell_type((1, 2)) == SHELF
+
+    def test_round_trip(self, fig1_grid):
+        assert GridMap.from_ascii(fig1_grid.to_ascii()).cells == fig1_grid.cells
+
+    def test_spaces_become_obstacles(self):
+        grid = GridMap.from_ascii("._.".replace("_", " "))
+        assert grid.cell_type((1, 0)) == OBSTACLE
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(GridError):
+            GridMap.from_ascii("..X..")
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(GridError):
+            GridMap.from_ascii("   \n  ")
+
+    def test_ragged_lines_padded(self):
+        grid = GridMap.from_ascii("...\n.")
+        assert grid.width == 3
+        assert grid.cell_type((2, 0)) == OBSTACLE
+
+
+class TestQueries:
+    def test_traversable_cells(self, fig1_grid):
+        traversable = set(fig1_grid.traversable_cells())
+        assert (1, 0) in traversable  # station
+        assert (1, 2) not in traversable  # shelf
+        assert (0, 0) not in traversable  # obstacle
+        assert fig1_grid.num_traversable == len(traversable)
+
+    def test_neighbors_exclude_blocked(self, fig1_grid):
+        # (0, 2) neighbors: (0, 1) open, (0, 3) open, (1, 2) shelf (excluded).
+        assert set(fig1_grid.neighbors((0, 2))) == {(0, 1), (0, 3)}
+
+    def test_shelf_access_cells(self, fig1_grid):
+        access = set(fig1_grid.shelf_access_cells())
+        # Each shelf at (1,2) and (3,2) is reachable from east/west/north/south
+        # open cells in row y=2 and the cell above/below.
+        assert (0, 2) in access
+        assert (2, 2) in access
+        assert (4, 2) in access
+        assert (1, 3) in access  # above the shelf
+        assert (1, 1) in access  # below the shelf
+
+    def test_counts(self, fig1_grid):
+        assert fig1_grid.num_shelves == 2
+        assert fig1_grid.num_stations == 2
+
+    def test_out_of_bounds_rejected(self, fig1_grid):
+        with pytest.raises(GridError):
+            fig1_grid.cell_type((99, 0))
+
+    def test_summary_mentions_name(self, fig1_grid):
+        assert "fig1" in fig1_grid.summary()
+
+
+class TestBuildGrid:
+    def test_explicit_placement(self):
+        grid = build_grid(4, 3, shelves=[(1, 1)], stations=[(3, 0)], obstacles=[(0, 0)])
+        assert grid.cell_type((1, 1)) == SHELF
+        assert grid.cell_type((3, 0)) == STATION
+        assert grid.cell_type((0, 0)) == OBSTACLE
+        assert grid.cell_type((2, 2)) == EMPTY
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GridError):
+            build_grid(3, 3, shelves=[(1, 1)], stations=[(1, 1)])
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(GridError):
+            build_grid(3, 3, shelves=[(5, 5)])
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(GridError):
+            build_grid(0, 3)
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=8),
+        height=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_ascii_round_trip(self, width, height, seed):
+        import random
+
+        rng = random.Random(seed)
+        cells = {}
+        for x in range(width):
+            for y in range(height):
+                cells[(x, y)] = rng.choice([EMPTY, OBSTACLE, SHELF, STATION])
+        grid = GridMap(width=width, height=height, cells=cells)
+        assert GridMap.from_ascii(grid.to_ascii()).cells == grid.cells
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.integers(min_value=2, max_value=8),
+        height=st.integers(min_value=2, max_value=8),
+    )
+    def test_neighbors_are_symmetric(self, width, height):
+        grid = build_grid(width, height)
+        for cell in grid.traversable_cells():
+            for neighbor in grid.neighbors(cell):
+                assert cell in grid.neighbors(neighbor)

@@ -1,0 +1,257 @@
+"""Tests for plans, the feasibility validator, and workload servicing."""
+
+import numpy as np
+import pytest
+
+from repro.warehouse import (
+    FloorplanGraph,
+    GridMap,
+    LocationMatrix,
+    Plan,
+    PlanError,
+    PlanValidator,
+    ProductCatalog,
+    Warehouse,
+    Workload,
+    WSPInstance,
+    WarehouseError,
+    build_warehouse,
+    empty_plan,
+)
+
+FIG1_ASCII = """
+.....
+.S.S.
+.....
+@T@T@
+""".strip("\n")
+
+
+def fig1_warehouse(units=10):
+    grid = GridMap.from_ascii(FIG1_ASCII, name="fig1")
+    floorplan = FloorplanGraph.from_grid(grid)
+    catalog = ProductCatalog.numbered(2)
+    stock = LocationMatrix(catalog, floorplan)
+    stock.place(1, floorplan.vertex_at((0, 2)), units)
+    stock.place(2, floorplan.vertex_at((4, 2)), units)
+    return Warehouse(floorplan=floorplan, catalog=catalog, stock=stock, name="fig1")
+
+
+def path_plan(warehouse, cells, carrying):
+    """Build a 1-agent plan from cell coordinates and a carrying sequence."""
+    floorplan = warehouse.floorplan
+    positions = np.array([[floorplan.vertex_at(c) for c in cells]])
+    return Plan(positions=positions, carrying=np.array([carrying]), warehouse=warehouse)
+
+
+class TestWarehouseModel:
+    def test_validate_ok(self):
+        warehouse = fig1_warehouse()
+        warehouse.validate()
+        assert "fig1" in warehouse.summary()
+
+    def test_products_at(self):
+        warehouse = fig1_warehouse()
+        west = warehouse.floorplan.vertex_at((0, 2))
+        station = warehouse.floorplan.vertex_at((1, 0))
+        assert warehouse.products_at(west) == (1,)
+        assert warehouse.products_at(station) == ()
+
+    def test_total_stock(self):
+        warehouse = fig1_warehouse(units=7)
+        assert warehouse.total_stock() == {1: 7, 2: 7}
+
+    def test_missing_station_rejected(self):
+        grid = GridMap.from_ascii("...\n.S.\n...")
+        warehouse = build_warehouse(grid, num_products=1)
+        with pytest.raises(WarehouseError):
+            warehouse.validate()
+
+    def test_wsp_instance_validation(self):
+        warehouse = fig1_warehouse(units=3)
+        workload = Workload.from_mapping(warehouse.catalog, {1: 2})
+        WSPInstance(warehouse, workload, horizon=100).validate()
+        over = Workload.from_mapping(warehouse.catalog, {1: 5})
+        with pytest.raises(WarehouseError):
+            WSPInstance(warehouse, over, horizon=100).validate()
+
+    def test_wsp_instance_rejects_bad_horizon(self):
+        warehouse = fig1_warehouse()
+        workload = Workload.uniform(warehouse.catalog, 2)
+        with pytest.raises(WarehouseError):
+            WSPInstance(warehouse, workload, horizon=0)
+
+    def test_wsp_instance_rejects_wrong_catalog_size(self):
+        warehouse = fig1_warehouse()
+        workload = Workload((1, 1, 1))
+        with pytest.raises(WarehouseError):
+            WSPInstance(warehouse, workload, horizon=10)
+
+
+class TestPlanBasics:
+    def test_shape_validation(self):
+        warehouse = fig1_warehouse()
+        with pytest.raises(PlanError):
+            Plan(np.zeros((2, 3)), np.zeros((2, 4)), warehouse)
+        with pytest.raises(PlanError):
+            Plan(np.zeros(3), np.zeros(3), warehouse)
+
+    def test_empty_plan_is_feasible(self):
+        warehouse = fig1_warehouse()
+        plan = empty_plan(warehouse, num_agents=3, horizon=5)
+        assert PlanValidator(warehouse).is_feasible(plan)
+        assert plan.total_delivered() == 0
+
+    def test_truncated(self):
+        warehouse = fig1_warehouse()
+        plan = empty_plan(warehouse, num_agents=2, horizon=6)
+        assert plan.truncated(3).horizon == 3
+        with pytest.raises(PlanError):
+            plan.truncated(0)
+
+    def test_state_accessor(self):
+        warehouse = fig1_warehouse()
+        plan = empty_plan(warehouse, num_agents=1, horizon=2)
+        vertex, product = plan.state(0, 0)
+        assert product == 0
+
+
+class TestDeliveryCounting:
+    def test_single_delivery_counted(self):
+        warehouse = fig1_warehouse()
+        # Agent: shelf access (0,2) -> (0,1) -> (1,1) -> (1,0)=station, drops.
+        cells = [(0, 2), (0, 2), (0, 1), (1, 1), (1, 0), (1, 0)]
+        carrying = [0, 1, 1, 1, 1, 0]
+        plan = path_plan(warehouse, cells, carrying)
+        report = PlanValidator(warehouse).validate(plan)
+        assert report.is_feasible, [str(v) for v in report.violations]
+        assert report.delivered == {1: 1}
+        assert report.pickups == {1: 1}
+        assert plan.delivered_units() == {1: 1}
+        assert plan.services(Workload.from_mapping(warehouse.catalog, {1: 1}))
+        assert not plan.services(Workload.from_mapping(warehouse.catalog, {1: 2}))
+
+    def test_initially_loaded_agent_can_deliver(self):
+        warehouse = fig1_warehouse()
+        cells = [(1, 1), (1, 0), (1, 0)]
+        carrying = [2, 2, 0]
+        plan = path_plan(warehouse, cells, carrying)
+        report = PlanValidator(warehouse).validate(plan)
+        assert report.is_feasible
+        assert report.delivered == {2: 1}
+
+
+class TestFeasibilityViolations:
+    def test_teleport_detected(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(0, 2), (4, 2)], [0, 0])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "movement" for v in report.violations)
+
+    def test_waiting_and_moving_ok(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(0, 2), (0, 2), (0, 1)], [0, 0, 0])
+        assert PlanValidator(warehouse).is_feasible(plan)
+
+    def test_vertex_collision_detected(self):
+        warehouse = fig1_warehouse()
+        v = warehouse.floorplan.vertex_at((2, 1))
+        positions = np.array([[v, v], [v, v]])
+        carrying = np.zeros((2, 2), dtype=int)
+        plan = Plan(positions, carrying, warehouse)
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "vertex-collision" for v in report.violations)
+
+    def test_edge_swap_detected(self):
+        warehouse = fig1_warehouse()
+        a = warehouse.floorplan.vertex_at((2, 1))
+        b = warehouse.floorplan.vertex_at((3, 1))
+        positions = np.array([[a, b], [b, a]])
+        carrying = np.zeros((2, 2), dtype=int)
+        plan = Plan(positions, carrying, warehouse)
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "edge-collision" for v in report.violations)
+
+    def test_following_is_not_a_collision(self):
+        warehouse = fig1_warehouse()
+        a = warehouse.floorplan.vertex_at((2, 1))
+        b = warehouse.floorplan.vertex_at((3, 1))
+        c = warehouse.floorplan.vertex_at((4, 1))
+        positions = np.array([[b, c], [a, b]])
+        carrying = np.zeros((2, 2), dtype=int)
+        plan = Plan(positions, carrying, warehouse)
+        assert PlanValidator(warehouse).is_feasible(plan)
+
+    def test_pickup_away_from_shelf_detected(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(2, 1), (2, 1)], [0, 1])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "pickup" for v in report.violations)
+
+    def test_pickup_of_wrong_product_detected(self):
+        warehouse = fig1_warehouse()
+        # (0, 2) stocks product 1, not product 2.
+        plan = path_plan(warehouse, [(0, 2), (0, 2)], [0, 2])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "pickup" for v in report.violations)
+
+    def test_dropoff_away_from_station_detected(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(0, 2), (0, 2), (0, 1), (0, 1)], [0, 1, 1, 0])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "dropoff" for v in report.violations)
+
+    def test_product_swap_detected(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(0, 2), (0, 2)], [1, 2])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "swap" for v in report.violations)
+
+    def test_inventory_exhaustion_detected(self):
+        warehouse = fig1_warehouse(units=1)
+        # Two pickups of product 1 at a vertex holding a single unit.
+        cells = [(0, 2)] * 5
+        positions = np.array([[warehouse.floorplan.vertex_at(c) for c in cells]] * 2)
+        carrying = np.array([[0, 1, 1, 1, 1], [0, 0, 1, 1, 1]])
+        # Park the second agent on a different vertex to avoid collisions.
+        positions[1, :] = warehouse.floorplan.vertex_at((1, 3))
+        plan = Plan(positions, carrying, warehouse)
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition in ("inventory", "pickup") for v in report.violations)
+
+    def test_inventory_tracking_can_be_disabled(self):
+        # One agent delivers the single stocked unit of product 1, then comes
+        # back and picks "the same" unit up again: a violation only when the
+        # validator tracks inventory.
+        warehouse = fig1_warehouse(units=1)
+        cells = [(0, 2), (0, 2), (0, 1), (1, 1), (1, 0), (1, 0), (1, 1), (0, 1), (0, 2), (0, 2)]
+        carrying = [0, 1, 1, 1, 1, 0, 0, 0, 0, 1]
+        plan = path_plan(warehouse, cells, carrying)
+        strict = PlanValidator(warehouse, track_inventory=True).validate(plan)
+        assert any(v.condition == "inventory" for v in strict.violations)
+        lenient = PlanValidator(warehouse, track_inventory=False).validate(plan)
+        assert lenient.is_feasible
+
+    def test_unknown_product_detected(self):
+        warehouse = fig1_warehouse()
+        plan = path_plan(warehouse, [(0, 2), (0, 2)], [0, 99])
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "product-range" for v in report.violations)
+
+    def test_out_of_range_vertex_detected(self):
+        warehouse = fig1_warehouse()
+        positions = np.array([[0, 9999]])
+        carrying = np.zeros((1, 2), dtype=int)
+        plan = Plan(positions, carrying, warehouse)
+        report = PlanValidator(warehouse).validate(plan)
+        assert any(v.condition == "vertex-range" for v in report.violations)
+
+    def test_violation_cap(self):
+        warehouse = fig1_warehouse()
+        v = warehouse.floorplan.vertex_at((2, 1))
+        positions = np.full((5, 50), v, dtype=int)
+        carrying = np.zeros((5, 50), dtype=int)
+        plan = Plan(positions, carrying, warehouse)
+        report = PlanValidator(warehouse, max_violations=10).validate(plan)
+        assert len(report.violations) <= 10
+        assert not report.is_feasible

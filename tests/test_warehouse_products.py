@@ -1,0 +1,125 @@
+"""Tests for the product catalog and location matrix."""
+
+import numpy as np
+import pytest
+
+from repro.warehouse import (
+    FloorplanGraph,
+    GridMap,
+    LocationMatrix,
+    ProductCatalog,
+    ProductError,
+    stock_summary,
+)
+
+FIG1_ASCII = """
+.....
+.S.S.
+.....
+@T@T@
+""".strip("\n")
+
+
+@pytest.fixture()
+def floorplan():
+    return FloorplanGraph.from_grid(GridMap.from_ascii(FIG1_ASCII))
+
+
+@pytest.fixture()
+def catalog():
+    return ProductCatalog.numbered(2)
+
+
+class TestCatalog:
+    def test_numbered(self, catalog):
+        assert catalog.num_products == 2
+        assert list(catalog.product_ids) == [1, 2]
+        assert catalog.name_of(1) == "product-1"
+
+    def test_name_round_trip(self, catalog):
+        assert catalog.id_of(catalog.name_of(2)) == 2
+
+    def test_empty_handed_name(self, catalog):
+        assert "empty" in catalog.name_of(0)
+
+    def test_unknown_ids_rejected(self, catalog):
+        with pytest.raises(ProductError):
+            catalog.name_of(3)
+        with pytest.raises(ProductError):
+            catalog.id_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ProductError):
+            ProductCatalog(("a", "a"))
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ProductError):
+            ProductCatalog.numbered(0)
+
+
+class TestLocationMatrix:
+    def test_place_and_query(self, catalog, floorplan):
+        matrix = LocationMatrix(catalog, floorplan)
+        west = floorplan.vertex_at((0, 2))
+        east = floorplan.vertex_at((2, 2))
+        matrix.place(1, west, 10)
+        matrix.place(2, east, 5)
+        assert matrix.units_at(1, west) == 10
+        assert matrix.products_at(west) == [1]
+        assert matrix.total_units(1) == 10
+        assert matrix.total_units_all() == 15
+        assert set(matrix.stocked_vertices()) == {west, east}
+        assert matrix.vertices_with(2) == [east]
+
+    def test_place_rejects_non_shelf_access(self, catalog, floorplan):
+        matrix = LocationMatrix(catalog, floorplan)
+        station = floorplan.vertex_at((1, 0))
+        with pytest.raises(ProductError):
+            matrix.place(1, station, 1)
+
+    def test_place_rejects_bad_product_and_units(self, catalog, floorplan):
+        matrix = LocationMatrix(catalog, floorplan)
+        access = floorplan.vertex_at((0, 2))
+        with pytest.raises(ProductError):
+            matrix.place(9, access, 1)
+        with pytest.raises(ProductError):
+            matrix.place(1, access, -1)
+
+    def test_remove_tracks_inventory(self, catalog, floorplan):
+        matrix = LocationMatrix(catalog, floorplan)
+        access = floorplan.vertex_at((0, 2))
+        matrix.place(1, access, 2)
+        matrix.remove(1, access)
+        assert matrix.units_at(1, access) == 1
+        with pytest.raises(ProductError):
+            matrix.remove(1, access, 5)
+
+    def test_from_placements(self, catalog, floorplan):
+        access = floorplan.vertex_at((2, 2))
+        matrix = LocationMatrix.from_placements(catalog, floorplan, [(1, access, 3), (2, access, 4)])
+        assert matrix.products_at(access) == [1, 2]
+
+    def test_copy_is_independent(self, catalog, floorplan):
+        access = floorplan.vertex_at((2, 2))
+        matrix = LocationMatrix.from_placements(catalog, floorplan, [(1, access, 3)])
+        clone = matrix.copy()
+        clone.remove(1, access, 3)
+        assert matrix.units_at(1, access) == 3
+        assert clone.units_at(1, access) == 0
+
+    def test_spread_evenly_totals(self, catalog, floorplan):
+        matrix = LocationMatrix.spread_evenly(catalog, floorplan, units_per_product=12,
+                                              rng=np.random.default_rng(7))
+        for product in catalog.product_ids:
+            assert matrix.total_units(product) == 12
+        summary = stock_summary(matrix)
+        assert summary["total_units"] == 24
+        assert summary["products"] == 2
+
+    def test_as_array_shape(self, catalog, floorplan):
+        matrix = LocationMatrix(catalog, floorplan)
+        assert matrix.as_array().shape == (3, floorplan.num_vertices)
+
+    def test_shape_mismatch_rejected(self, catalog, floorplan):
+        with pytest.raises(ProductError):
+            LocationMatrix(catalog, floorplan, np.zeros((1, 1)))

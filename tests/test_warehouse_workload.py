@@ -1,0 +1,107 @@
+"""Tests for workloads and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.warehouse import ProductCatalog, Workload, WorkloadError, check_workload_stock
+
+
+@pytest.fixture()
+def catalog():
+    return ProductCatalog.numbered(5)
+
+
+class TestConstruction:
+    def test_from_mapping(self, catalog):
+        workload = Workload.from_mapping(catalog, {1: 3, 4: 2})
+        assert workload.demand(1) == 3
+        assert workload.demand(2) == 0
+        assert workload.total_units == 5
+        assert workload.requested_products() == (1, 4)
+        assert workload.as_dict() == {1: 3, 4: 2}
+
+    def test_from_mapping_rejects_unknown_product(self, catalog):
+        with pytest.raises(WorkloadError):
+            Workload.from_mapping(catalog, {9: 1})
+
+    def test_negative_rejected(self, catalog):
+        with pytest.raises(WorkloadError):
+            Workload((1, -1, 0, 0, 0))
+        with pytest.raises(WorkloadError):
+            Workload.from_mapping(catalog, {1: -2})
+
+    def test_uniform_split(self, catalog):
+        workload = Workload.uniform(catalog, 12)
+        assert workload.total_units == 12
+        assert max(workload.demands) - min(workload.demands) <= 1
+        assert workload.num_requested_products == 5
+
+    def test_uniform_exact_paper_shape(self):
+        # Fulfillment-1 instance: 55 products, 550 units -> 10 units each.
+        catalog = ProductCatalog.numbered(55)
+        workload = Workload.uniform(catalog, 550)
+        assert set(workload.demands) == {10}
+
+    def test_zipf_total_and_skew(self, catalog):
+        workload = Workload.zipf(catalog, 200, rng=np.random.default_rng(3))
+        assert workload.total_units == 200
+        assert max(workload.demands) > min(workload.demands)
+
+    def test_demand_bad_id(self, catalog):
+        workload = Workload.uniform(catalog, 5)
+        with pytest.raises(WorkloadError):
+            workload.demand(99)
+
+
+class TestOperations:
+    def test_scaled(self, catalog):
+        workload = Workload.uniform(catalog, 10)
+        doubled = workload.scaled(2.0)
+        assert doubled.total_units == 20
+
+    def test_scaled_keeps_requested_products(self, catalog):
+        workload = Workload.from_mapping(catalog, {1: 1, 2: 9})
+        half = workload.scaled(0.4)
+        assert half.demand(1) >= 1  # rounding never silently drops a product
+
+    def test_scaled_rejects_negative(self, catalog):
+        with pytest.raises(WorkloadError):
+            Workload.uniform(catalog, 5).scaled(-1)
+
+    def test_satisfaction_and_shortfall(self, catalog):
+        workload = Workload.from_mapping(catalog, {1: 2, 3: 4})
+        assert workload.is_satisfied_by({1: 2, 3: 5})
+        assert not workload.is_satisfied_by({1: 2, 3: 3})
+        assert workload.shortfall({1: 1}) == {1: 1, 3: 4}
+        assert workload.shortfall({1: 2, 3: 4}) == {}
+
+    def test_check_workload_stock(self, catalog):
+        workload = Workload.from_mapping(catalog, {1: 5})
+        check_workload_stock(workload, {1: 10})
+        with pytest.raises(WorkloadError):
+            check_workload_stock(workload, {1: 3})
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        products=st.integers(min_value=1, max_value=30),
+        total=st.integers(min_value=0, max_value=500),
+    )
+    def test_uniform_conserves_total(self, products, total):
+        workload = Workload.uniform(ProductCatalog.numbered(products), total)
+        assert workload.total_units == total
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        products=st.integers(min_value=1, max_value=20),
+        total=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_zipf_conserves_total(self, products, total, seed):
+        workload = Workload.zipf(
+            ProductCatalog.numbered(products), total, rng=np.random.default_rng(seed)
+        )
+        assert workload.total_units == total
