@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The benchmark modules import shared helpers with ``from .conftest import …``,
+which requires package context; this file provides it so a plain
+``python -m pytest`` from the repository root collects the benchmarks cleanly.
+"""

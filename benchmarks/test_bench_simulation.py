@@ -1,0 +1,73 @@
+"""Experiment E12 (extension): cost and fidelity of the digital twin.
+
+The discrete-event engine replays a realized plan with telemetry, station
+service queues and runtime contract monitoring attached.  These benchmarks
+measure what that observability layer costs (ticks/second of simulated time)
+and verify its fidelity claim on every small preset: the deterministic
+baseline run must realize the synthesized throughput (ratio 1.0) with zero
+contract violations, while stochastic service keeps conservation intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ServiceTimeModel, SimulationConfig, simulate_solution
+
+from .conftest import get_designed, solve_instance
+
+SMALL_PRESETS = {
+    "sorting-center-small": 16,
+    "fulfillment-1-small": 24,
+    "fulfillment-2-small": 36,
+}
+
+
+@pytest.fixture(scope="module")
+def solutions(designed_maps):
+    cache = {}
+    for name, units in SMALL_PRESETS.items():
+        cache[name] = solve_instance(get_designed(designed_maps, name), units, 1500)
+    return cache
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_PRESETS))
+def test_baseline_simulation(benchmark, solutions, name):
+    """Deterministic baseline: engine cost + throughput fidelity + clean monitor."""
+    solution = solutions[name]
+    report = benchmark(lambda: simulate_solution(solution, SimulationConfig(seed=0)))
+
+    assert report.throughput_ratio == pytest.approx(1.0, abs=0.1)
+    assert report.contracts_ok, [str(v) for v in report.monitor.violations]
+    assert report.trace.conservation_report() == []
+
+    benchmark.extra_info["ticks"] = report.ticks
+    benchmark.extra_info["agents"] = report.num_agents
+    benchmark.extra_info["units_served"] = report.units_served
+    benchmark.extra_info["ticks_per_second"] = (
+        report.ticks / report.seconds if report.seconds > 0 else float("inf")
+    )
+
+
+@pytest.mark.parametrize("name", ["sorting-center-small"])
+def test_stochastic_simulation(benchmark, solutions, name):
+    """Poisson arrivals + geometric service: the observability-heavy configuration."""
+    solution = solutions[name]
+    config = SimulationConfig(
+        seed=5,
+        arrival_rate=0.1,
+        service_time=ServiceTimeModel.geometric(3.0),
+    )
+    report = benchmark(lambda: simulate_solution(solution, config))
+    assert report.trace.conservation_report() == []
+    assert report.trace.orders_created > 0
+    benchmark.extra_info["orders"] = report.trace.orders_created
+    benchmark.extra_info["mean_queue"] = report.trace.mean_queue_length()
+
+
+def test_simulation_overhead_vs_realization(solutions):
+    """The twin should cost the same order of magnitude as realizing the plan."""
+    solution = solutions["sorting-center-small"]
+    report = simulate_solution(solution, SimulationConfig(seed=0, record_events=False))
+    realization_seconds = solution.timings.get("realization", 0.0)
+    assert report.seconds < max(1.0, 50 * max(realization_seconds, 1e-3))

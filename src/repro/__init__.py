@@ -9,14 +9,25 @@ The package is organised as a set of substrates plus the co-design core:
 * :mod:`repro.maps`       — evaluation maps (fulfillment centers, sorting center).
 * :mod:`repro.traffic`    — the traffic-system design framework (components, rules).
 * :mod:`repro.core`       — flow synthesis, cycle decomposition, realization, pipeline.
+* :mod:`repro.sim`        — discrete-event execution engine (digital twin): a
+  deterministic, seedable event loop that executes realized plans tick-by-tick
+  with stochastic order streams, station service queues, telemetry, and a
+  runtime monitor re-checking the assume-guarantee contracts against the
+  observed flows.
 * :mod:`repro.mapf`       — MAPF / MAPD baselines (A*, CBS, ECBS/EECBS, MAPD).
-* :mod:`repro.analysis`   — metrics, reporting and ASCII visualization.
-* :mod:`repro.io`         — map / plan serialization.
+* :mod:`repro.analysis`   — metrics (static and simulated), reporting and
+  ASCII visualization (traffic systems, plan frames, congestion heatmaps).
+* :mod:`repro.io`         — map / plan / simulation-trace serialization.
 
-The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`;
-see ``examples/quickstart.py`` for a five-minute tour.
+The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`:
+``solve()`` runs stages 1-5 (design check, synthesis, decomposition,
+realization, validation) and ``simulate()`` runs stage 6, executing the
+realized plan in the digital twin and returning a
+:class:`repro.sim.runner.SimulationReport`.  See ``examples/quickstart.py``
+for a five-minute tour and ``examples/simulate_fulfillment.py`` for the
+execution side.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -10,8 +10,10 @@ from .reporting import (
     scaling_report,
     table1_report,
 )
+from .sim_metrics import SimMetrics, compute_sim_metrics, throughput_gap_report
 from .visualization import (
     render_component_legend,
+    render_congestion,
     render_grid,
     render_plan_frame,
     render_traffic_system,
@@ -21,16 +23,20 @@ __all__ = [
     "BenchmarkRow",
     "PAPER_TABLE1",
     "PlanMetrics",
+    "SimMetrics",
     "agent_utilization",
     "compute_plan_metrics",
+    "compute_sim_metrics",
     "format_markdown_table",
     "format_table",
     "paper_runtime",
     "render_component_legend",
+    "render_congestion",
     "render_grid",
     "render_plan_frame",
     "render_traffic_system",
     "scaling_report",
     "service_makespan",
     "table1_report",
+    "throughput_gap_report",
 ]

@@ -1,0 +1,109 @@
+"""Metrics over simulated traces: realized vs. synthesized service quality.
+
+Static :mod:`repro.analysis.metrics` scores a *plan*; this module scores an
+*execution* — a :class:`~repro.sim.telemetry.SimulationTrace` produced by the
+digital twin.  The headline quantity is the realized/synthesized throughput
+ratio: 1.0 means the executed system delivers exactly what the contract-based
+synthesis promised; below 1.0 quantifies how much the dynamics (service
+queues, stochastic arrivals, stockouts) eat into the promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.telemetry import SimulationTrace
+
+
+@dataclass(frozen=True)
+class SimMetrics:
+    """Aggregate statistics of one simulated execution."""
+
+    ticks: int
+    num_agents: int
+    units_served: int
+    units_handed_off: int
+    station_backlog: int
+    realized_throughput: float
+    synthesized_throughput: float
+    throughput_ratio: float
+    orders_created: int
+    orders_served: int
+    mean_order_latency: Optional[float]
+    p95_order_latency: Optional[float]
+    mean_queue_length: float
+    max_queue_length: int
+    stockouts: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "ticks": self.ticks,
+            "num_agents": self.num_agents,
+            "units_served": self.units_served,
+            "units_handed_off": self.units_handed_off,
+            "station_backlog": self.station_backlog,
+            "realized_throughput": self.realized_throughput,
+            "synthesized_throughput": self.synthesized_throughput,
+            "throughput_ratio": self.throughput_ratio,
+            "orders_created": self.orders_created,
+            "orders_served": self.orders_served,
+            "mean_order_latency": (
+                -1.0 if self.mean_order_latency is None else self.mean_order_latency
+            ),
+            "p95_order_latency": (
+                -1.0 if self.p95_order_latency is None else self.p95_order_latency
+            ),
+            "mean_queue_length": self.mean_queue_length,
+            "max_queue_length": self.max_queue_length,
+            "stockouts": self.stockouts,
+        }
+
+
+def compute_sim_metrics(
+    trace: SimulationTrace, synthesized_throughput: Optional[float] = None
+) -> SimMetrics:
+    """Condense a simulation trace into :class:`SimMetrics`.
+
+    ``synthesized_throughput`` defaults to the value stamped into the trace
+    metadata by the runner (0.0 when the run had no flow set to compare to).
+    """
+    if synthesized_throughput is None:
+        synthesized_throughput = float(trace.metadata.get("synthesized_throughput", 0.0))
+    realized = trace.realized_throughput()
+    ratio = realized / synthesized_throughput if synthesized_throughput > 0 else 0.0
+    return SimMetrics(
+        ticks=trace.ticks,
+        num_agents=trace.num_agents,
+        units_served=trace.units_served,
+        units_handed_off=trace.units_handed_off,
+        station_backlog=trace.station_backlog,
+        realized_throughput=realized,
+        synthesized_throughput=synthesized_throughput,
+        throughput_ratio=ratio,
+        orders_created=trace.orders_created,
+        orders_served=trace.orders_served,
+        mean_order_latency=trace.mean_order_latency(),
+        p95_order_latency=trace.p95_order_latency(),
+        mean_queue_length=trace.mean_queue_length(),
+        max_queue_length=trace.max_queue_length(),
+        stockouts=trace.stockouts,
+    )
+
+
+def throughput_gap_report(metrics: SimMetrics, tolerance: float = 0.1) -> str:
+    """One-line verdict on whether execution honored the synthesized promise."""
+    if metrics.synthesized_throughput <= 0:
+        return "no synthesized flow value to compare against"
+    gap = 1.0 - metrics.throughput_ratio
+    if abs(gap) <= tolerance:
+        return (
+            f"realized throughput within {tolerance:.0%} of the synthesized flow "
+            f"(ratio {metrics.throughput_ratio:.3f})"
+        )
+    direction = "below" if gap > 0 else "above"
+    return (
+        f"realized throughput {abs(gap):.1%} {direction} the synthesized flow "
+        f"(ratio {metrics.throughput_ratio:.3f}; backlog {metrics.station_backlog}, "
+        f"stockouts {metrics.stockouts})"
+    )

@@ -8,17 +8,22 @@ reproduce that view in plain text so examples and reports can embed it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from ..traffic.system import TrafficSystem
 from ..warehouse.grid import EMPTY, OBSTACLE, SHELF, STATION, GridMap
 from ..warehouse.plan import Plan
+from ..warehouse.warehouse import Warehouse
 
 #: Characters used when rendering a traffic system on top of a grid.
 ARROWS = {(1, 0): ">", (-1, 0): "<", (0, 1): "^", (0, -1): "v"}
 EXIT_MARK = "!"
 UNUSED_MARK = "."
 CELL_CHARS = {SHELF: "#", STATION: "T", OBSTACLE: "@", EMPTY: "."}
+#: Heat ramp for the congestion view (cold -> hot; avoids the map glyphs #@T).
+HEAT_LEVELS = " .:-=+*%$"
 
 
 def render_grid(grid: GridMap) -> str:
@@ -96,6 +101,44 @@ def render_plan_frame(plan: Plan, timestep: int) -> str:
                 row.append(agents[cell])
             else:
                 row.append(CELL_CHARS[grid.cell_type(cell)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_congestion(warehouse: Warehouse, visits: Sequence[int]) -> str:
+    """A traffic heatmap: per-vertex visit counts binned onto a character ramp.
+
+    ``visits`` is indexed by floorplan vertex id (the simulation trace's
+    :attr:`~repro.sim.telemetry.SimulationTrace.visits` array).  Shelf and
+    obstacle cells keep their map characters; traversable cells show how much
+    agent traffic they carried, from `` `` (none) to ``$`` (hottest cell).
+    """
+    grid = warehouse.grid
+    if grid is None:
+        raise ValueError("the warehouse has no grid attached; cannot render")
+    floorplan = warehouse.floorplan
+    counts = np.asarray(visits, dtype=float)
+    if counts.shape[0] != floorplan.num_vertices:
+        raise ValueError(
+            f"visits covers {counts.shape[0]} vertices, the floorplan has "
+            f"{floorplan.num_vertices}"
+        )
+    hottest = counts.max() if counts.size else 0.0
+    rows = []
+    for y in range(grid.height - 1, -1, -1):
+        row = []
+        for x in range(grid.width):
+            cell = (x, y)
+            kind = grid.cell_type(cell)
+            if kind in (SHELF, OBSTACLE):
+                row.append(CELL_CHARS[kind])
+                continue
+            vertex = floorplan.vertex_at(cell)
+            if hottest <= 0 or counts[vertex] <= 0:
+                row.append(HEAT_LEVELS[0] if kind != STATION else "T")
+                continue
+            level = int(round(counts[vertex] / hottest * (len(HEAT_LEVELS) - 1)))
+            row.append(HEAT_LEVELS[max(1, level)])
         rows.append("".join(row))
     return "\n".join(rows)
 

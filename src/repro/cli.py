@@ -6,6 +6,10 @@ The CLI exposes the common workflows without writing Python:
 * ``python -m repro show --map NAME`` — render a map's traffic system (Fig. 4/5 view);
 * ``python -m repro solve --map NAME --units N [--horizon T]`` — run the full
   pipeline on a preset and print a solution report (optionally saving the plan);
+* ``python -m repro simulate --map NAME --units N [--seed S]`` — solve, then
+  execute the realized plan in the discrete-event digital twin and print the
+  simulation report (throughput vs. the synthesized flow, order latencies,
+  contract-monitor verdict, congestion heatmap);
 * ``python -m repro table1`` — regenerate the paper's Table I (small presets by
   default, ``--paper-scale`` for the full-size maps);
 * ``python -m repro validate --plan plan.json`` — re-validate a saved plan
@@ -21,13 +25,24 @@ from typing import List, Optional, Sequence
 from .analysis import (
     BenchmarkRow,
     compute_plan_metrics,
+    compute_sim_metrics,
+    render_congestion,
     render_traffic_system,
     table1_report,
+    throughput_gap_report,
 )
 from .core import SolverOptions, SynthesisOptions, WSPSolver
-from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map
+from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map, trace_to_dict
 from .maps import MAP_REGISTRY, PAPER_MAP_STATS
+from .sim import (
+    OrderStreamError,
+    ServiceTimeModel,
+    SimulationConfig,
+    SimulationSetupError,
+)
 from .warehouse import PlanValidator, Workload
+from .warehouse.warehouse import WarehouseError
+from .warehouse.workload import WorkloadError
 
 #: The Table-I instance sets at both scales (map preset -> (units, horizon)).
 TABLE1_PAPER = {
@@ -86,15 +101,27 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_solve(args: argparse.Namespace) -> int:
+def _solve_preset(args: argparse.Namespace):
+    """Shared solve preamble of ``solve`` / ``simulate``: preset -> solution.
+
+    Exits with a clean message on structurally invalid instances (e.g. demand
+    exceeding stock); returns ``(designed, workload, solver, solution)``.
+    """
     designed = _designed(args.map)
-    warehouse = designed.warehouse
-    workload = Workload.uniform(warehouse.catalog, args.units)
     options = SolverOptions(
         synthesis=SynthesisOptions(backend=args.backend, objective=args.objective)
     )
     solver = WSPSolver(designed.traffic_system, options)
-    solution = solver.solve(workload, horizon=args.horizon)
+    try:
+        workload = Workload.uniform(designed.warehouse.catalog, args.units)
+        solution = solver.solve(workload, horizon=args.horizon)
+    except (WarehouseError, WorkloadError) as error:
+        raise SystemExit(f"invalid instance: {error}")
+    return designed, workload, solver, solution
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    _, workload, _, solution = _solve_preset(args)
     if not solution.succeeded:
         print(f"INFEASIBLE: {solution.message}")
         return 1
@@ -111,6 +138,60 @@ def cmd_solve(args: argparse.Namespace) -> int:
         save_json(plan_to_dict(solution.plan), args.save_plan)
         print(f"plan written to {args.save_plan}")
     return 0
+
+
+def _parse_service_time(spec: str) -> ServiceTimeModel:
+    """``"0"`` / ``"uniform:2,6"`` / ``"geometric:4"`` -> a service-time model."""
+    kind, _, params = spec.partition(":")
+    try:
+        if kind == "uniform":
+            lo, hi = (int(p) for p in params.split(","))
+            return ServiceTimeModel.uniform(lo, hi)
+        if kind == "geometric":
+            return ServiceTimeModel.geometric(float(params))
+        return ServiceTimeModel.deterministic(int(kind))
+    except ValueError as error:
+        raise SystemExit(
+            f"invalid --service-time {spec!r} (use N, uniform:LO,HI or geometric:MEAN): {error}"
+        )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    # `not (x > 0)` also rejects NaN, which `x <= 0` would let through.
+    if args.arrival_rate is not None and not args.arrival_rate > 0:
+        raise SystemExit(
+            f"--arrival-rate must be positive (got {args.arrival_rate:g}); "
+            "omit it for the deterministic all-at-t0 workload"
+        )
+    config = SimulationConfig(
+        seed=args.seed,
+        service_time=_parse_service_time(args.service_time),
+        arrival_rate=args.arrival_rate,
+    )
+    designed, _, solver, solution = _solve_preset(args)
+    warehouse = designed.warehouse
+    if not solution.succeeded:
+        print(f"INFEASIBLE: {solution.message}")
+        return 1
+    print(solution.summary())
+    print()
+    try:
+        report = solver.simulate(solution, config)
+    except (OrderStreamError, SimulationSetupError) as error:
+        raise SystemExit(f"invalid simulation config: {error}")
+    print(report.summary())
+    metrics = compute_sim_metrics(report.trace)
+    print(f"  verdict:             {throughput_gap_report(metrics)}")
+    for stage, seconds in sorted(solution.timings.items()):
+        print(f"  {stage:<14s} {seconds:8.3f}s")
+    if args.heatmap:
+        print()
+        print("Congestion (agent-ticks per cell; '#' shelves, '@' obstacles):")
+        print(render_congestion(warehouse, report.trace.visits))
+    if args.save_trace:
+        save_json(trace_to_dict(report.trace), args.save_trace)
+        print(f"\ntrace written to {args.save_trace}")
+    return 0 if report.contracts_ok else 1
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -185,6 +266,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument("--save-plan", help="write the realized plan as JSON")
     solve_parser.set_defaults(handler=cmd_solve)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="solve a preset, then execute the plan in the digital twin"
+    )
+    simulate_parser.add_argument("--map", required=True, help="map preset name")
+    simulate_parser.add_argument("--units", type=int, required=True, help="total workload units")
+    simulate_parser.add_argument("--horizon", type=int, default=3600, help="timestep limit T")
+    simulate_parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    simulate_parser.add_argument("--backend", default="highs", help="ILP backend")
+    simulate_parser.add_argument(
+        "--objective", default="min_agents", choices=("none", "min_agents", "min_carrying")
+    )
+    simulate_parser.add_argument(
+        "--service-time",
+        default="0",
+        help="station service time per unit: N, uniform:LO,HI or geometric:MEAN (ticks)",
+    )
+    simulate_parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help="Poisson order arrivals per tick (default: all orders at t=0)",
+    )
+    simulate_parser.add_argument(
+        "--heatmap", action="store_true", help="print the congestion heatmap"
+    )
+    simulate_parser.add_argument("--save-trace", help="write the simulation trace as JSON")
+    simulate_parser.set_defaults(handler=cmd_simulate)
 
     table1_parser = subparsers.add_parser("table1", help="regenerate the paper's Table I")
     table1_parser.add_argument("--paper-scale", action="store_true", help="use the paper-scale presets")

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports core)
+    from ..sim.runner import SimulationConfig, SimulationReport
 
 from ..solver import SolveStatus
 from ..traffic.system import TrafficSystem
@@ -66,6 +69,8 @@ class WSPSolution:
     schedule: Optional[DeliverySchedule] = None
     realization: Optional[RealizationResult] = None
     plan_report: Optional[PlanValidationReport] = None
+    #: Filled by :meth:`WSPSolver.simulate` / :meth:`simulate` (stage 6).
+    simulation: Optional["SimulationReport"] = None
     timings: Dict[str, float] = field(default_factory=dict)
     message: str = ""
 
@@ -101,6 +106,21 @@ class WSPSolution:
     def total_seconds(self) -> float:
         return sum(self.timings.values())
 
+    def simulate(
+        self, config: Optional["SimulationConfig"] = None
+    ) -> "SimulationReport":
+        """Execute the realized plan in the digital twin (see :mod:`repro.sim`).
+
+        Stores the report on :attr:`simulation`, adds a ``simulation`` entry to
+        :attr:`timings`, and returns the report.
+        """
+        from ..sim.runner import simulate_solution  # local: sim imports core
+
+        report = simulate_solution(self, config)
+        self.simulation = report
+        self.timings["simulation"] = self.timings.get("simulation", 0.0) + report.seconds
+        return report
+
     def summary(self) -> str:
         if not self.succeeded:
             return f"WSP solve failed: {self.message or self.synthesis.status.value}"
@@ -120,6 +140,20 @@ class WSPSolver:
         self.options = options or SolverOptions()
         if self.options.validate_traffic_system:
             assert_valid(traffic_system)
+
+    def simulate(
+        self, solution: WSPSolution, config: Optional["SimulationConfig"] = None
+    ) -> "SimulationReport":
+        """Stage 6: execute a solved instance's plan in the digital twin.
+
+        Runs the realized plan through :mod:`repro.sim` — order stream, agent
+        executors, station service queues, telemetry and the runtime contract
+        monitor — and returns the :class:`~repro.sim.runner.SimulationReport`
+        (also stored on ``solution.simulation``).  Raises
+        :class:`~repro.sim.runner.SimulationSetupError` when the solution has
+        no realized plan.
+        """
+        return solution.simulate(config)
 
     # -- public API -------------------------------------------------------------
     def solve_instance(self, instance: WSPInstance) -> WSPSolution:

@@ -7,6 +7,8 @@ from .serialization import (
     plan_from_dict,
     plan_to_dict,
     save_json,
+    trace_from_dict,
+    trace_to_dict,
     traffic_system_from_dict,
     traffic_system_to_dict,
     warehouse_from_dict,
@@ -26,6 +28,8 @@ __all__ = [
     "plan_to_dict",
     "save_json",
     "save_map",
+    "trace_from_dict",
+    "trace_to_dict",
     "traffic_system_from_dict",
     "traffic_system_to_dict",
     "warehouse_from_dict",

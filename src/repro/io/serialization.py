@@ -146,6 +146,93 @@ def plan_from_dict(document: Dict) -> Plan:
     )
 
 
+# -- simulation trace ------------------------------------------------------------------
+
+def _keyed_counts_to_list(table: Dict) -> List[List]:
+    """``{key_tuple: per-period ndarray} -> [[*key, [counts...]], ...]`` (sorted)."""
+    return [
+        [*key, [int(c) for c in counts]] for key, counts in sorted(table.items())
+    ]
+
+
+def _keyed_counts_from_list(entries: List[List], key_width: int) -> Dict:
+    table = {}
+    for entry in entries:
+        key = tuple(int(i) for i in entry[:key_width])
+        table[key] = np.asarray(entry[key_width], dtype=np.int64)
+    return table
+
+
+def trace_to_dict(trace) -> Dict:
+    """Serialize a :class:`~repro.sim.telemetry.SimulationTrace`.
+
+    The event log is included when the trace carries one, so archived traces
+    remain byte-comparable determinism witnesses.
+    """
+    return {
+        "schema": "sim-trace",
+        "version": SCHEMA_VERSION,
+        "ticks": trace.ticks,
+        "num_agents": trace.num_agents,
+        "cycle_time": trace.cycle_time,
+        "seed": trace.seed,
+        "periods": trace.periods,
+        "visits": [int(v) for v in trace.visits],
+        "transitions": _keyed_counts_to_list(trace.transitions),
+        "pickups": _keyed_counts_to_list(trace.pickups),
+        "handoffs": _keyed_counts_to_list(trace.handoffs),
+        "served": _keyed_counts_to_list(trace.served),
+        "queue_samples": [
+            [int(component), [int(s) for s in samples]]
+            for component, samples in sorted(trace.queue_samples.items())
+        ],
+        "order_latencies": [int(l) for l in trace.order_latencies],
+        "orders_created": trace.orders_created,
+        "orders_served": trace.orders_served,
+        "units_picked": trace.units_picked,
+        "units_preloaded": trace.units_preloaded,
+        "units_handed_off": trace.units_handed_off,
+        "units_served": trace.units_served,
+        "stockouts": trace.stockouts,
+        "events": None if trace.events is None else [list(e) for e in trace.events],
+        "metadata": {k: float(v) for k, v in trace.metadata.items()},
+    }
+
+
+def trace_from_dict(document: Dict):
+    """Rebuild a :class:`~repro.sim.telemetry.SimulationTrace` from a document."""
+    from ..sim.telemetry import SimulationTrace  # local: io stays import-light
+
+    _check_schema(document, "sim-trace")
+    events = document.get("events")
+    return SimulationTrace(
+        ticks=int(document["ticks"]),
+        num_agents=int(document["num_agents"]),
+        cycle_time=int(document["cycle_time"]),
+        seed=int(document.get("seed", 0)),
+        periods=int(document["periods"]),
+        visits=np.asarray(document["visits"], dtype=np.int64),
+        transitions=_keyed_counts_from_list(document["transitions"], 3),
+        pickups=_keyed_counts_from_list(document["pickups"], 2),
+        handoffs=_keyed_counts_from_list(document["handoffs"], 2),
+        served=_keyed_counts_from_list(document["served"], 2),
+        queue_samples={
+            int(component): np.asarray(samples, dtype=np.int64)
+            for component, samples in document.get("queue_samples", [])
+        },
+        order_latencies=[int(l) for l in document.get("order_latencies", [])],
+        orders_created=int(document["orders_created"]),
+        orders_served=int(document["orders_served"]),
+        units_picked=int(document["units_picked"]),
+        units_preloaded=int(document.get("units_preloaded", 0)),
+        units_handed_off=int(document["units_handed_off"]),
+        units_served=int(document["units_served"]),
+        stockouts=int(document.get("stockouts", 0)),
+        events=None if events is None else [tuple(e) for e in events],
+        metadata={k: float(v) for k, v in document.get("metadata", {}).items()},
+    )
+
+
 # -- file helpers ---------------------------------------------------------------------
 
 def save_json(document: Dict, path: PathLike) -> None:

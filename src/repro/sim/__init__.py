@@ -1,0 +1,104 @@
+"""repro.sim — discrete-event execution engine (digital twin) for realized plans.
+
+The static pipeline proves a plan *exists*; this package *executes* it over
+simulated time and observes whether the promises hold dynamically:
+
+* :mod:`repro.sim.engine`       — deterministic, seedable event-heap engine;
+* :mod:`repro.sim.agents`       — executors stepping realized plans tick-by-tick;
+* :mod:`repro.sim.stations`     — station/shelf service processes with queues
+  and configurable service-time distributions;
+* :mod:`repro.sim.workload_gen` — deterministic and Poisson order streams with
+  product-mix sampling;
+* :mod:`repro.sim.telemetry`    — the trace: visits, per-period flows, queue
+  lengths, order latencies, event log;
+* :mod:`repro.sim.monitors`     — runtime assume-guarantee contract monitoring;
+* :mod:`repro.sim.runner`       — one-call orchestration into a
+  :class:`SimulationReport`.
+
+Typical use, given a solved instance::
+
+    report = solver.simulate(solution)            # or simulate_solution(solution)
+    print(report.summary())
+    assert report.contracts_ok
+"""
+
+from .agents import AgentExecutor, ExecutionError, PlanExecutor
+from .engine import (
+    PRIORITY_AGENTS,
+    PRIORITY_ARRIVALS,
+    PRIORITY_MONITORS,
+    PRIORITY_STATIONS,
+    PRIORITY_TELEMETRY,
+    Event,
+    SimulationEngine,
+    SimulationError,
+)
+from .monitors import (
+    ContractMonitor,
+    MonitorError,
+    MonitorReport,
+    MonitorViolation,
+    monitor_from_synthesis,
+)
+from .runner import (
+    SimulationConfig,
+    SimulationReport,
+    SimulationSetupError,
+    simulate_plan,
+    simulate_solution,
+)
+from .stations import (
+    ServiceModelError,
+    ServiceTimeModel,
+    ShelfProcess,
+    StationProcess,
+    build_shelf_processes,
+    build_station_processes,
+)
+from .telemetry import SimulationTrace, TraceRecorder
+from .workload_gen import (
+    DeterministicOrderStream,
+    Order,
+    OrderBook,
+    OrderStreamError,
+    PoissonOrderStream,
+    product_mix_from_workload,
+)
+
+__all__ = [
+    "AgentExecutor",
+    "ContractMonitor",
+    "DeterministicOrderStream",
+    "Event",
+    "ExecutionError",
+    "MonitorError",
+    "MonitorReport",
+    "MonitorViolation",
+    "Order",
+    "OrderBook",
+    "OrderStreamError",
+    "PlanExecutor",
+    "PoissonOrderStream",
+    "PRIORITY_AGENTS",
+    "PRIORITY_ARRIVALS",
+    "PRIORITY_MONITORS",
+    "PRIORITY_STATIONS",
+    "PRIORITY_TELEMETRY",
+    "ServiceModelError",
+    "ServiceTimeModel",
+    "ShelfProcess",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationError",
+    "SimulationReport",
+    "SimulationSetupError",
+    "SimulationTrace",
+    "StationProcess",
+    "TraceRecorder",
+    "build_shelf_processes",
+    "build_station_processes",
+    "monitor_from_synthesis",
+    "product_mix_from_workload",
+    "simulate_plan",
+    "simulate_solution",
+]

@@ -1,0 +1,270 @@
+"""Run orchestration: one call from a realized plan to a :class:`SimulationReport`.
+
+:func:`simulate_plan` builds the full process graph — order stream → order
+book, agent executors → shelf/station processes, telemetry sampler, runtime
+contract monitor — on one seeded engine, runs it for the plan's horizon, and
+condenses the outcome.  :func:`simulate_solution` is the pipeline-level entry
+point that pulls everything it needs out of a
+:class:`~repro.core.pipeline.WSPSolution`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.flow_synthesis import AgentFlowSet
+from ..traffic.system import TrafficSystem
+from ..warehouse.plan import Plan
+from ..warehouse.workload import Workload
+from .agents import PlanExecutor
+from .engine import PRIORITY_TELEMETRY, SimulationEngine
+from .monitors import ContractMonitor, MonitorReport, monitor_from_synthesis
+from .stations import (
+    ServiceTimeModel,
+    build_shelf_processes,
+    build_station_processes,
+)
+from .telemetry import SimulationTrace, TraceRecorder
+from .workload_gen import DeterministicOrderStream, OrderBook, PoissonOrderStream
+
+
+class SimulationSetupError(ValueError):
+    """Raised when a simulation is configured inconsistently."""
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one digital-twin run.
+
+    The default configuration is the *deterministic baseline*: instantaneous
+    station service and all orders present at tick 0 — the run then reproduces
+    the plan's own delivery profile exactly, which is what the acceptance
+    comparison against the synthesized flow value uses.
+    """
+
+    seed: int = 0
+    #: Station packing-time distribution (per unit).
+    service_time: ServiceTimeModel = field(
+        default_factory=lambda: ServiceTimeModel.deterministic(0)
+    )
+    #: Servers per station-queue component; ``None`` = one per station vertex.
+    servers_per_station: Optional[int] = None
+    #: Poisson order arrivals at this rate (orders/tick); ``None`` = all
+    #: orders at tick 0 (deterministic workload semantics).
+    arrival_rate: Optional[float] = None
+    #: Run the runtime contract monitor (live + post-hoc).
+    monitor_contracts: bool = True
+    #: Contract-monitor slack (units per window); ``None`` = auto.
+    monitor_slack_units: Optional[float] = None
+    #: Keep the full ordered event log (the determinism witness).
+    record_events: bool = True
+    #: Sample station queue lengths every tick.
+    sample_queues: bool = True
+    #: Stop after this many ticks (``None`` = the plan's horizon).
+    max_ticks: Optional[int] = None
+
+    def describe(self) -> str:
+        arrivals = (
+            "all-at-t0" if self.arrival_rate is None else f"poisson({self.arrival_rate:g}/tick)"
+        )
+        return (
+            f"seed={self.seed}, service={self.service_time.describe()}, "
+            f"arrivals={arrivals}"
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run produced."""
+
+    trace: SimulationTrace
+    config: SimulationConfig
+    monitor: Optional[MonitorReport]
+    num_agents: int
+    ticks: int
+    #: Units/tick promised by the synthesized flow set (deliveries_per_period / tc).
+    synthesized_throughput: float
+    #: Wall-clock cost of the run (reporting only — never used by the sim).
+    seconds: float = 0.0
+
+    # -- headline numbers ---------------------------------------------------------
+    @property
+    def realized_throughput(self) -> float:
+        return self.trace.realized_throughput()
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Realized / synthesized throughput (1.0 = the twin matches the promise)."""
+        if self.synthesized_throughput <= 0:
+            return 0.0
+        return self.realized_throughput / self.synthesized_throughput
+
+    @property
+    def units_served(self) -> int:
+        return self.trace.units_served
+
+    @property
+    def contracts_ok(self) -> bool:
+        return self.monitor.ok if self.monitor is not None else True
+
+    @property
+    def num_violations(self) -> int:
+        return self.monitor.num_violations if self.monitor is not None else 0
+
+    def summary(self) -> str:
+        lines = [
+            f"simulation: {self.ticks} ticks, {self.num_agents} agents "
+            f"({self.config.describe()})",
+            f"  units served:        {self.units_served} "
+            f"(handed off {self.trace.units_handed_off}, picked "
+            f"{self.trace.units_picked}+{self.trace.units_preloaded} preloaded, "
+            f"backlog {self.trace.station_backlog})",
+            f"  realized throughput: {self.realized_throughput:.4f} units/tick",
+            f"  synthesized flow:    {self.synthesized_throughput:.4f} units/tick "
+            f"(ratio {self.throughput_ratio:.3f})",
+            f"  orders:              {self.trace.orders_served}/{self.trace.orders_created} "
+            f"fulfilled, {self.trace.orders_pending} pending",
+        ]
+        latency = self.trace.mean_order_latency()
+        if latency is not None:
+            lines.append(
+                f"  order latency:       mean {latency:.1f}, "
+                f"p95 {self.trace.p95_order_latency():.1f} ticks"
+            )
+        if self.trace.queue_samples:
+            lines.append(
+                f"  station queues:      mean {self.trace.mean_queue_length():.2f}, "
+                f"max {self.trace.max_queue_length()}"
+            )
+        if self.trace.stockouts:
+            lines.append(f"  stockouts:           {self.trace.stockouts}")
+        if self.monitor is not None:
+            lines.append(f"  {self.monitor.summary()}")
+            for violation in self.monitor.violations[:10]:
+                lines.append(f"    {violation}")
+        return "\n".join(lines)
+
+
+def simulate_plan(
+    plan: Plan,
+    system: TrafficSystem,
+    flow_set: Optional[AgentFlowSet] = None,
+    workload: Optional[Workload] = None,
+    synthesis=None,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationReport:
+    """Execute a realized plan through the discrete-event engine.
+
+    ``flow_set`` provides the cycle time and the synthesized throughput to
+    compare against (falling back to the plan's metadata); ``synthesis`` (a
+    :class:`~repro.core.flow_synthesis.FlowSynthesisResult`) enables contract
+    monitoring; ``workload`` drives the order stream and the end-to-end
+    service check.
+    """
+    config = config or SimulationConfig()
+    start = time.perf_counter()
+
+    if flow_set is not None:
+        cycle_time = flow_set.cycle_time
+        synthesized = flow_set.deliveries_per_period() / max(1, cycle_time)
+    else:
+        cycle_time = int(plan.metadata.get("cycle_time", 0)) or max(1, plan.horizon - 1)
+        synthesized = 0.0
+
+    ticks = plan.horizon if config.max_ticks is None else min(config.max_ticks, plan.horizon)
+    if ticks < 2:
+        raise SimulationSetupError(f"a plan with {ticks} tick(s) has nothing to simulate")
+
+    engine = SimulationEngine(config.seed)
+    recorder = TraceRecorder(
+        num_vertices=plan.warehouse.floorplan.num_vertices,
+        num_agents=plan.num_agents,
+        cycle_time=cycle_time,
+        ticks=ticks,
+        seed=config.seed,
+        record_events=config.record_events,
+    )
+
+    book = OrderBook(recorder)
+    if workload is not None:
+        if config.arrival_rate is None:
+            DeterministicOrderStream(workload).bind(engine, book)
+        else:
+            PoissonOrderStream(
+                config.arrival_rate, workload=workload, until=ticks - 1
+            ).bind(engine, book)
+
+    stations = build_station_processes(
+        engine,
+        system,
+        recorder,
+        service_model=config.service_time,
+        servers_per_station=config.servers_per_station,
+        order_book=book if workload is not None else None,
+    )
+    shelves = build_shelf_processes(system, recorder)
+    executor = PlanExecutor(
+        engine, plan, system, recorder, stations, shelves, max_ticks=ticks
+    )
+    executor.start()
+
+    monitor: Optional[ContractMonitor] = None
+    if config.monitor_contracts and synthesis is not None:
+        monitor = monitor_from_synthesis(
+            system, synthesis, slack_units=config.monitor_slack_units
+        )
+        monitor.attach(engine, recorder, cycle_time)
+
+    if config.sample_queues:
+
+        def sample_queues() -> None:
+            now = engine.now
+            for component_id, station in stations.items():
+                recorder.record_queue_length(now, component_id, station.queue_length)
+
+        engine.every(1, sample_queues, PRIORITY_TELEMETRY, start=0, until=ticks - 1)
+
+    engine.run(until=ticks - 1)
+
+    trace = recorder.build(
+        metadata={
+            "cycle_time": float(cycle_time),
+            "synthesized_throughput": float(synthesized),
+        }
+    )
+    monitor_report: Optional[MonitorReport] = None
+    if monitor is not None:
+        monitor_report = monitor.evaluate(trace, workload=workload)
+    elif workload is not None and config.monitor_contracts:
+        # No compiled contracts available — still run the end-to-end check.
+        monitor_report = ContractMonitor(system=system).evaluate(trace, workload=workload)
+
+    return SimulationReport(
+        trace=trace,
+        config=config,
+        monitor=monitor_report,
+        num_agents=plan.num_agents,
+        ticks=ticks,
+        synthesized_throughput=synthesized,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def simulate_solution(solution, config: Optional[SimulationConfig] = None) -> SimulationReport:
+    """Simulate the realized plan of a successful :class:`WSPSolution`."""
+    plan = getattr(solution, "plan", None)
+    if plan is None:
+        raise SimulationSetupError(
+            "the solution has no realized plan to simulate "
+            f"({getattr(solution, 'message', '') or 'solve failed'})"
+        )
+    return simulate_plan(
+        plan=plan,
+        system=solution.traffic_system,
+        flow_set=solution.flow_set,
+        workload=solution.instance.workload,
+        synthesis=solution.synthesis,
+        config=config,
+    )

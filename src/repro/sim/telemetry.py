@@ -1,0 +1,320 @@
+"""Trace recording: everything the simulation observes, in one artifact.
+
+The :class:`TraceRecorder` is the single sink every process writes to; at the
+end of a run it freezes into a :class:`SimulationTrace` — per-vertex visit
+counts (the congestion heatmap's raw data), per-cycle-period flow counts (the
+quantities the contract monitor binds to the synthesized flow variables),
+per-tick station queue lengths, order latencies, and an ordered event log.
+
+The event log is the determinism witness: two runs of the same configuration
+and seed must produce *identical* logs, which the test-suite asserts.  Flow
+conservation is checkable from the aggregates alone: every order is created
+then served or still pending, every picked unit is handed off or still being
+carried, every hand-off is served or still queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..traffic.system import ComponentId
+from ..warehouse.products import ProductId
+
+#: Event-log record kinds.
+EV_MOVE = "move"
+EV_TRANSITION = "transition"
+EV_PICKUP = "pickup"
+EV_HANDOFF = "handoff"
+EV_SERVED = "served"
+EV_ORDER = "order"
+EV_FULFILLED = "fulfilled"
+EV_STOCKOUT = "stockout"
+
+TraceEvent = Tuple  # (kind, tick, *details) — plain tuples, cheap and comparable
+
+
+@dataclass
+class SimulationTrace:
+    """The frozen observation record of one simulation run."""
+
+    ticks: int
+    num_agents: int
+    cycle_time: int
+    seed: int
+    #: Number of *complete* cycle periods observed.
+    periods: int
+    #: Per-vertex visit counts (agent-ticks spent on each vertex).
+    visits: np.ndarray
+    #: Per-period flow counts keyed like the synthesized flow variables:
+    #: ``transitions[(i, j, k)][p]`` = agents moving Ci -> Cj carrying ρk in period p
+    #: (k = 0 means empty-handed).
+    transitions: Dict[Tuple[ComponentId, ComponentId, ProductId], np.ndarray]
+    pickups: Dict[Tuple[ComponentId, ProductId], np.ndarray]
+    handoffs: Dict[Tuple[ComponentId, ProductId], np.ndarray]
+    served: Dict[Tuple[ComponentId, ProductId], np.ndarray]
+    #: Per-tick queue length of every station-queue component.
+    queue_samples: Dict[ComponentId, np.ndarray]
+    #: Fulfillment latency (ticks) of every served order, in service order.
+    order_latencies: List[int]
+    orders_created: int
+    orders_served: int
+    units_picked: int
+    #: Units carried by agents already at tick 0 (picked before the run began).
+    units_preloaded: int
+    units_handed_off: int
+    units_served: int
+    stockouts: int
+    #: Ordered event log (determinism witness); None when recording is off.
+    events: Optional[List[TraceEvent]] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # -- aggregate queries -------------------------------------------------------
+    @property
+    def orders_pending(self) -> int:
+        return self.orders_created - self.orders_served
+
+    @property
+    def station_backlog(self) -> int:
+        """Units handed over but not yet served when the run ended."""
+        return self.units_handed_off - self.units_served
+
+    @property
+    def units_in_transit(self) -> int:
+        """Units picked up (or preloaded, or stockout phantoms) not yet handed over."""
+        return (
+            self.units_picked
+            + self.units_preloaded
+            + self.stockouts
+            - self.units_handed_off
+        )
+
+    def realized_throughput(self) -> float:
+        """Served units per tick over the whole run."""
+        return self.units_served / max(1, self.ticks - 1)
+
+    def served_units_of(self, product: ProductId) -> int:
+        return int(
+            sum(counts.sum() for (_, p), counts in self.served.items() if p == product)
+        )
+
+    def served_per_product(self) -> Dict[ProductId, int]:
+        totals: Dict[ProductId, int] = {}
+        for (_, product), counts in self.served.items():
+            totals[product] = totals.get(product, 0) + int(counts.sum())
+        return totals
+
+    def mean_queue_length(self) -> float:
+        if not self.queue_samples:
+            return 0.0
+        return float(np.mean([s.mean() for s in self.queue_samples.values()]))
+
+    def max_queue_length(self) -> int:
+        if not self.queue_samples:
+            return 0
+        return int(max(s.max() for s in self.queue_samples.values()))
+
+    def mean_order_latency(self) -> Optional[float]:
+        if not self.order_latencies:
+            return None
+        return float(np.mean(self.order_latencies))
+
+    def p95_order_latency(self) -> Optional[float]:
+        if not self.order_latencies:
+            return None
+        return float(np.percentile(self.order_latencies, 95))
+
+    # -- invariants ---------------------------------------------------------------
+    def conservation_report(self) -> List[str]:
+        """Human-readable flow-conservation violations (empty = conserved).
+
+        The telemetry is conserved by construction; a non-empty report means a
+        process wrote inconsistent records and is a simulator bug.
+        """
+        problems: List[str] = []
+        if self.orders_served > self.orders_created:
+            problems.append(
+                f"served {self.orders_served} orders but only {self.orders_created} were created"
+            )
+        if self.units_served > self.units_handed_off:
+            problems.append(
+                f"served {self.units_served} units but only {self.units_handed_off} were handed off"
+            )
+        # A stockout is a unit the plan picks but the twin's inventory lacks;
+        # the executor replays the plan's carry anyway, so the phantom unit
+        # still flows downstream and counts as available here.
+        available = self.units_picked + self.units_preloaded + self.stockouts
+        if self.units_handed_off > available:
+            problems.append(
+                f"handed off {self.units_handed_off} units but only {available} were "
+                f"picked ({self.units_picked}), preloaded ({self.units_preloaded}) "
+                f"or stockout phantoms ({self.stockouts})"
+            )
+        recorded_served = int(sum(c.sum() for c in self.served.values()))
+        if recorded_served > self.units_served:
+            problems.append(
+                f"per-period served counts ({recorded_served}) exceed the served total "
+                f"({self.units_served})"
+            )
+        return problems
+
+    def summary(self) -> str:
+        return (
+            f"trace: {self.ticks} ticks, {self.num_agents} agents, {self.periods} periods, "
+            f"{self.units_served} units served ({self.station_backlog} queued), "
+            f"{self.orders_served}/{self.orders_created} orders fulfilled"
+        )
+
+
+class TraceRecorder:
+    """Mutable sink the simulation processes write observations to."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_agents: int,
+        cycle_time: int,
+        ticks: int,
+        seed: int = 0,
+        record_events: bool = True,
+    ) -> None:
+        if cycle_time <= 0:
+            raise ValueError("cycle_time must be positive")
+        self.num_vertices = num_vertices
+        self.num_agents = num_agents
+        self.cycle_time = cycle_time
+        self.ticks = ticks
+        self.seed = seed
+        #: Complete periods that fit into the run's ticks - 1 move steps.
+        self.periods = max(1, (ticks - 1) // cycle_time) if ticks > 1 else 1
+        self.visits = np.zeros(num_vertices, dtype=np.int64)
+        self._transitions: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._pickups: Dict[Tuple[int, int], np.ndarray] = {}
+        self._handoffs: Dict[Tuple[int, int], np.ndarray] = {}
+        self._served: Dict[Tuple[int, int], np.ndarray] = {}
+        self._queues: Dict[int, np.ndarray] = {}
+        self.order_latencies: List[int] = []
+        self.orders_created = 0
+        self.orders_served = 0
+        self.units_picked = 0
+        self.units_preloaded = 0
+        self.units_handed_off = 0
+        self.units_served = 0
+        self.stockouts = 0
+        self.events: Optional[List[TraceEvent]] = [] if record_events else None
+
+    # -- helpers -----------------------------------------------------------------
+    def _period_of(self, tick: int) -> Optional[int]:
+        """Complete-period index of a tick's move step (None outside the window)."""
+        period = (tick - 1) // self.cycle_time if tick > 0 else 0
+        if 0 <= period < self.periods:
+            return period
+        return None
+
+    def _bump(self, table: Dict, key, tick: int) -> None:
+        period = self._period_of(tick)
+        if period is None:
+            return
+        counts = table.get(key)
+        if counts is None:
+            counts = np.zeros(self.periods, dtype=np.int64)
+            table[key] = counts
+        counts[period] += 1
+
+    def _log(self, *record) -> None:
+        if self.events is not None:
+            self.events.append(record)
+
+    # -- recording API -------------------------------------------------------------
+    def record_positions(self, tick: int, vertices: np.ndarray) -> None:
+        """Per-tick agent positions; feeds the congestion (visit-count) map."""
+        np.add.at(self.visits, vertices, 1)
+
+    def record_move(self, tick: int, agent: int, src: int, dst: int) -> None:
+        self._log(EV_MOVE, tick, agent, src, dst)
+
+    def record_transition(
+        self, tick: int, source: ComponentId, target: ComponentId, product: ProductId
+    ) -> None:
+        """An agent crossed from component ``source`` to ``target`` carrying ``product``."""
+        self._bump(self._transitions, (source, target, product), tick)
+        self._log(EV_TRANSITION, tick, source, target, product)
+
+    def record_pickup(self, tick: int, component: ComponentId, product: ProductId) -> None:
+        self.units_picked += 1
+        self._bump(self._pickups, (component, product), tick)
+        self._log(EV_PICKUP, tick, component, product)
+
+    def record_preload(self, agent: int, product: ProductId) -> None:
+        """An agent starts the run already carrying ``product`` (picked pre-run)."""
+        self.units_preloaded += 1
+        self._log(EV_PICKUP, 0, -1, product, agent)
+
+    def record_handoff(self, tick: int, component: ComponentId, product: ProductId) -> None:
+        self.units_handed_off += 1
+        self._bump(self._handoffs, (component, product), tick)
+        self._log(EV_HANDOFF, tick, component, product)
+
+    def record_served(self, tick: int, component: ComponentId, product: ProductId) -> None:
+        self.units_served += 1
+        self._bump(self._served, (component, product), tick)
+        self._log(EV_SERVED, tick, component, product)
+
+    def record_stockout(self, tick: int, component: ComponentId, product: ProductId) -> None:
+        self.stockouts += 1
+        self._log(EV_STOCKOUT, tick, component, product)
+
+    def record_order_created(self, tick: int, order_id: int, product: ProductId) -> None:
+        self.orders_created += 1
+        self._log(EV_ORDER, tick, order_id, product)
+
+    def record_order_fulfilled(
+        self, tick: int, order_id: int, product: ProductId, latency: int
+    ) -> None:
+        self.orders_served += 1
+        self.order_latencies.append(latency)
+        self._log(EV_FULFILLED, tick, order_id, product, latency)
+
+    def transitions_into(self, component: ComponentId, period: int) -> int:
+        """Agents that entered ``component`` during one complete period (live query)."""
+        total = 0
+        for (_, dst, _), counts in self._transitions.items():
+            if dst == component and 0 <= period < len(counts):
+                total += int(counts[period])
+        return total
+
+    def record_queue_length(self, tick: int, component: ComponentId, length: int) -> None:
+        samples = self._queues.get(component)
+        if samples is None:
+            samples = np.zeros(self.ticks, dtype=np.int64)
+            self._queues[component] = samples
+        if 0 <= tick < self.ticks:
+            samples[tick] = length
+
+    # -- freezing -----------------------------------------------------------------
+    def build(self, metadata: Optional[Dict[str, float]] = None) -> SimulationTrace:
+        return SimulationTrace(
+            ticks=self.ticks,
+            num_agents=self.num_agents,
+            cycle_time=self.cycle_time,
+            seed=self.seed,
+            periods=self.periods,
+            visits=self.visits,
+            transitions=dict(self._transitions),
+            pickups=dict(self._pickups),
+            handoffs=dict(self._handoffs),
+            served=dict(self._served),
+            queue_samples=dict(self._queues),
+            order_latencies=list(self.order_latencies),
+            orders_created=self.orders_created,
+            orders_served=self.orders_served,
+            units_picked=self.units_picked,
+            units_preloaded=self.units_preloaded,
+            units_handed_off=self.units_handed_off,
+            units_served=self.units_served,
+            stockouts=self.stockouts,
+            events=self.events,
+            metadata=dict(metadata or {}),
+        )

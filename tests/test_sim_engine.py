@@ -1,0 +1,266 @@
+"""Unit tests of the discrete-event engine and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DeterministicOrderStream,
+    Order,
+    OrderBook,
+    OrderStreamError,
+    PoissonOrderStream,
+    ServiceModelError,
+    ServiceTimeModel,
+    SimulationEngine,
+    SimulationError,
+    TraceRecorder,
+    product_mix_from_workload,
+)
+from repro.warehouse import Workload
+from repro.warehouse.products import ProductCatalog
+
+
+def make_recorder(ticks=101, cycle_time=10):
+    return TraceRecorder(
+        num_vertices=20, num_agents=3, cycle_time=cycle_time, ticks=ticks
+    )
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(5, lambda: fired.append(5))
+        engine.schedule_at(1, lambda: fired.append(1))
+        engine.schedule_at(3, lambda: fired.append(3))
+        engine.run()
+        assert fired == [1, 3, 5]
+        assert engine.now == 5
+
+    def test_same_tick_ordered_by_priority_then_insertion(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(2, lambda: fired.append("late"), priority=40)
+        engine.schedule_at(2, lambda: fired.append("early"), priority=0)
+        engine.schedule_at(2, lambda: fired.append("early2"), priority=0)
+        engine.run()
+        assert fired == ["early", "early2", "late"]
+
+    def test_run_until_is_inclusive_and_advances_clock(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        engine.schedule_at(3, lambda: fired.append(3))
+        engine.schedule_at(7, lambda: fired.append(7))
+        engine.run(until=3)
+        assert fired == [3]
+        engine.run(until=10)
+        assert fired == [3, 7]
+        assert engine.now == 10  # clock advanced to `until` with the heap drained
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine(seed=0)
+        engine.schedule_at(4, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(2, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        event = engine.schedule_at(1, lambda: fired.append("cancelled"))
+        engine.schedule_at(1, lambda: fired.append("kept"))
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_every_repeats_until_bound(self):
+        engine = SimulationEngine(seed=0)
+        ticks = []
+        engine.every(2, lambda: ticks.append(engine.now), start=0, until=6)
+        engine.run()
+        assert ticks == [0, 2, 4, 6]
+
+    def test_every_never_fires_when_start_past_until(self):
+        engine = SimulationEngine(seed=0)
+        ticks = []
+        engine.every(5, lambda: ticks.append(engine.now), start=10, until=3)
+        engine.run()
+        assert ticks == []
+
+    def test_stop_halts_the_run(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def first():
+            fired.append(engine.now)
+            engine.stop()
+
+        engine.schedule_at(1, first)
+        engine.schedule_at(2, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [1]
+
+    def test_seeded_rng_reproducible(self):
+        a = SimulationEngine(seed=42).rng.integers(0, 1000, size=10)
+        b = SimulationEngine(seed=42).rng.integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+
+class TestServiceTimeModels:
+    def test_deterministic(self):
+        model = ServiceTimeModel.deterministic(3)
+        rng = np.random.default_rng(0)
+        assert [model.sample(rng) for _ in range(5)] == [3] * 5
+        assert model.mean == 3
+        assert not model.is_instant
+        assert ServiceTimeModel.deterministic(0).is_instant
+
+    def test_uniform_within_bounds(self):
+        model = ServiceTimeModel.uniform(2, 6)
+        rng = np.random.default_rng(0)
+        draws = [model.sample(rng) for _ in range(200)]
+        assert min(draws) >= 2 and max(draws) <= 6
+        assert model.mean == 4
+
+    def test_geometric_mean_and_support(self):
+        model = ServiceTimeModel.geometric(4.0)
+        rng = np.random.default_rng(0)
+        draws = [model.sample(rng) for _ in range(2000)]
+        assert min(draws) >= 1
+        assert np.mean(draws) == pytest.approx(4.0, rel=0.15)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ServiceModelError):
+            ServiceTimeModel.deterministic(-1)
+        with pytest.raises(ServiceModelError):
+            ServiceTimeModel.uniform(5, 2)
+        with pytest.raises(ServiceModelError):
+            ServiceTimeModel.geometric(0)
+        with pytest.raises(ServiceModelError):
+            ServiceTimeModel.geometric(0.5)  # unrealizable: draws are >= 1 tick
+
+
+class TestOrderBook:
+    def test_fifo_matching_and_latency(self):
+        recorder = make_recorder()
+        book = OrderBook(recorder)
+        book.add_order(1, 0)
+        book.add_order(1, 2)
+        served = book.unit_served(1, 10)
+        assert isinstance(served, Order)
+        assert served.arrival == 0 and served.latency == 10
+        assert book.num_pending == 1
+        assert recorder.order_latencies == [10]
+
+    def test_over_delivery_banked_for_future_orders(self):
+        recorder = make_recorder()
+        book = OrderBook(recorder)
+        assert book.unit_served(2, 5) is None  # no order waiting — banked
+        assert book.buffered_units() == 1
+        order = book.add_order(2, 9)
+        assert order.fulfilled == 9 and order.latency == 0
+        assert book.buffered_units() == 0
+
+
+class TestOrderStreams:
+    @pytest.fixture
+    def workload(self):
+        return Workload.from_mapping(ProductCatalog.numbered(4), {1: 3, 2: 1, 4: 2})
+
+    def test_deterministic_stream_emits_all_at_t0(self, workload):
+        engine = SimulationEngine(seed=0)
+        recorder = make_recorder()
+        book = OrderBook(recorder)
+        DeterministicOrderStream(workload).bind(engine, book)
+        engine.run()
+        assert engine.now == 0
+        assert book.num_orders == workload.total_units
+        per_product = {}
+        for order in book.orders:
+            per_product[order.product] = per_product.get(order.product, 0) + 1
+        assert per_product == {1: 3, 2: 1, 4: 2}
+
+    def test_poisson_stream_rate_and_mix(self, workload):
+        engine = SimulationEngine(seed=1)
+        recorder = make_recorder(ticks=2001)
+        book = OrderBook(recorder)
+        PoissonOrderStream(0.5, workload=workload, until=1999).bind(engine, book)
+        engine.run(until=1999)
+        assert book.num_orders == pytest.approx(1000, rel=0.15)
+        counts = {}
+        for order in book.orders:
+            counts[order.product] = counts.get(order.product, 0) + 1
+        assert counts[1] > counts[2]  # mix follows demand skew
+        assert 3 not in counts  # zero-demand products never sampled
+
+    def test_poisson_stream_is_seed_deterministic(self, workload):
+        def arrivals(seed):
+            engine = SimulationEngine(seed=seed)
+            book = OrderBook(make_recorder(ticks=501))
+            PoissonOrderStream(0.3, workload=workload, until=499).bind(engine, book)
+            engine.run(until=499)
+            return [(o.product, o.arrival) for o in book.orders]
+
+        assert arrivals(7) == arrivals(7)
+        assert arrivals(7) != arrivals(8)
+
+    def test_invalid_streams_rejected(self, workload):
+        with pytest.raises(OrderStreamError):
+            PoissonOrderStream(0.0, workload=workload)
+        with pytest.raises(OrderStreamError):
+            PoissonOrderStream(1.0)
+        with pytest.raises(OrderStreamError):
+            product_mix_from_workload(Workload((0, 0)))
+
+    def test_mix_override(self):
+        products, probs = (3, 5), (0.25, 0.75)
+        stream = PoissonOrderStream(1.0, mix=(products, probs))
+        assert stream.products == (3, 5)
+        assert stream.probabilities[1] == pytest.approx(0.75)
+
+
+class TestTraceRecorder:
+    def test_period_bucketing(self):
+        recorder = make_recorder(ticks=31, cycle_time=10)
+        assert recorder.periods == 3
+        recorder.record_transition(1, 0, 1, 2)  # period 0
+        recorder.record_transition(10, 0, 1, 2)  # still period 0 (moves 1..10)
+        recorder.record_transition(11, 0, 1, 2)  # period 1
+        trace = recorder.build()
+        assert trace.transitions[(0, 1, 2)].tolist() == [2, 1, 0]
+        assert recorder.transitions_into(1, 0) == 2
+
+    def test_conservation_accounting(self):
+        recorder = make_recorder()
+        recorder.record_preload(0, 1)
+        recorder.record_pickup(2, 4, 1)
+        recorder.record_handoff(5, 7, 1)
+        recorder.record_handoff(6, 7, 1)
+        recorder.record_served(6, 7, 1)
+        trace = recorder.build()
+        assert trace.units_in_transit == 0
+        assert trace.station_backlog == 1
+        assert trace.conservation_report() == []
+
+    def test_conservation_flags_impossible_counts(self):
+        recorder = make_recorder()
+        recorder.record_handoff(5, 7, 1)  # handed off without any pickup
+        trace = recorder.build()
+        assert any("handed off" in problem for problem in trace.conservation_report())
+
+    def test_stockout_phantoms_count_as_available(self):
+        recorder = make_recorder()
+        recorder.record_stockout(2, 4, 1)  # plan picks a unit the twin lacks
+        recorder.record_handoff(5, 7, 1)  # the phantom still flows downstream
+        trace = recorder.build()
+        assert trace.conservation_report() == []
+        assert trace.units_in_transit == 0
+
+    def test_event_log_disabled(self):
+        recorder = TraceRecorder(
+            num_vertices=4, num_agents=1, cycle_time=5, ticks=11, record_events=False
+        )
+        recorder.record_pickup(1, 0, 1)
+        assert recorder.build().events is None
