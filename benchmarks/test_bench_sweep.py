@@ -1,0 +1,93 @@
+"""Experiment E13 (extension): the sweep harness as a benchmark artifact.
+
+Runs the ``smoke`` preset suite through the parallel experiment orchestrator
+and emits ``BENCH_sweep.json`` at the repository root: the aggregate summary
+(pass rates, runtime percentiles) plus every run record.  This is the
+machine-readable baseline later performance PRs compare themselves against
+(``repro sweep --compare``), so the checks below pin the properties the
+comparison relies on: every scenario yields exactly one structured record,
+the deliberately infeasible instance fails *structurally* (not by crashing
+the batch), and re-running a seeded scenario reproduces its record bit for
+bit modulo wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import aggregate_sweep, scaling_rows, scaling_report
+from repro.experiments import (
+    STATUS_INFEASIBLE,
+    SweepOptions,
+    run_sweep,
+    smoke_suite,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+@pytest.fixture(scope="module")
+def smoke_records():
+    specs = smoke_suite()
+    records = run_sweep(specs, SweepOptions(workers=2))
+    assert len(records) == len(specs)
+    return specs, records
+
+
+def test_smoke_sweep_shape(smoke_records):
+    """≥ 8 distinct scenarios; the infeasible one is a structured failure."""
+    specs, records = smoke_records
+    assert len(specs) >= 8
+    assert len({spec.scenario_id for spec in specs}) == len(specs)
+    statuses = {record.spec.label: record.status for record in records}
+    assert statuses["smoke/infeasible-stock"] == STATUS_INFEASIBLE
+    ok = [record for record in records if record.ok]
+    assert len(ok) == len(records) - 1
+    for record in ok:
+        assert record.plan_feasible and record.workload_serviced
+        assert record.throughput_ratio == pytest.approx(1.0, abs=0.1)
+        assert record.sim["contract_violations"] == 0
+
+
+def test_smoke_sweep_is_reproducible(smoke_records):
+    """Identical seeds -> identical result records (modulo timings)."""
+    specs, records = smoke_records
+    rerun = run_sweep(specs[:3], SweepOptions(workers=1))
+    for before, after in zip(records[:3], rerun):
+        assert before.fingerprint() == after.fingerprint()
+
+
+def test_emit_bench_sweep_json(smoke_records):
+    """Write the BENCH_sweep.json artifact consumed by the perf-tracking driver."""
+    specs, records = smoke_records
+    summary = aggregate_sweep(records)
+    document = {
+        "schema": "bench-sweep",
+        "version": 1,
+        "suite": "smoke",
+        "num_scenarios": len(specs),
+        "summary": {
+            "by_status": summary.by_status,
+            "pass_rate": summary.pass_rate,
+            "synthesis_p50_seconds": summary.synthesis_p50,
+            "synthesis_p90_seconds": summary.synthesis_p90,
+            "synthesis_max_seconds": summary.synthesis_max,
+            "total_p50_seconds": summary.total_p50,
+            "total_max_seconds": summary.total_max,
+            "units_delivered": summary.units_delivered,
+            "num_agents": summary.num_agents,
+            "contract_breaches": summary.contract_breaches,
+        },
+        "scaling": [
+            {"kind": kind, "cells": cells, "synthesis_seconds": seconds}
+            for kind, cells, seconds in scaling_rows(records)
+        ],
+        "runs": [record.to_dict() for record in records],
+    }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    reloaded = json.loads(BENCH_PATH.read_text())
+    assert reloaded["summary"]["by_status"]["ok"] >= 7
+    print("\n" + scaling_report(scaling_rows(records)))

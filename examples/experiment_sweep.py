@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the experiment subsystem.
+
+The catalog presets are three fixed maps; :mod:`repro.experiments` opens the
+whole parametric design space.  This example:
+
+1. builds a *grid sweep* over warehouse width and workload intensity;
+2. adds a few *randomly sampled* scenarios around the same base point;
+3. runs every scenario through the full solve→simulate pipeline on a
+   two-worker process pool, persisting one JSONL record per run;
+4. aggregates the results (pass rates, runtime percentiles, scaling rows)
+   and demonstrates the regression comparator on a re-run of the same suite
+   — identical seeds reproduce identical records, so the comparison is
+   clean by construction.
+
+Run with:  python examples/experiment_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import compare_sweeps, scaling_report, scaling_rows, sweep_report
+from repro.experiments import (
+    ResultStore,
+    ScenarioSpec,
+    SweepOptions,
+    grid_scenarios,
+    random_scenarios,
+    run_sweep,
+)
+
+
+def build_suite():
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=2,
+        shelf_columns=4,
+        shelf_bands=3,
+        num_stations=2,
+        num_products=8,
+        horizon=1000,
+    )
+    suite = grid_scenarios(base, {"num_slices": (2, 3), "units": (16, 32)})
+    suite += random_scenarios(
+        base,
+        count=3,
+        ranges={
+            "shelf_columns": (4, 5, 6),
+            "workload_mix": ("uniform", "zipf"),
+            "seed": tuple(range(8)),
+        },
+        seed=7,
+    )
+    return suite
+
+
+def main():
+    suite = build_suite()
+    print(f"suite: {len(suite)} scenarios")
+    for spec in suite:
+        print(f"  {spec.describe()}")
+    print()
+
+    out = Path(tempfile.mkdtemp()) / "sweep.jsonl"
+    records = run_sweep(
+        suite,
+        SweepOptions(workers=2, timeout_seconds=120),
+        store=ResultStore(out),
+        progress=lambda record: print(f"  done: {record.summary()}"),
+    )
+    print()
+    print(sweep_report(records))
+    print()
+    print(scaling_report(scaling_rows(records)))
+
+    # Re-run the suite: seeded scenarios reproduce their records exactly, so
+    # the regression comparator (the gate future perf PRs run) stays silent.
+    rerun = run_sweep(suite, SweepOptions(workers=2))
+    comparison = compare_sweeps(records, rerun)
+    print()
+    print(comparison.summary())
+    assert comparison.ok
+    print(f"\nresult file: {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,9 +15,14 @@ The package is organised as a set of substrates plus the co-design core:
   runtime monitor re-checking the assume-guarantee contracts against the
   observed flows.
 * :mod:`repro.mapf`       — MAPF / MAPD baselines (A*, CBS, ECBS/EECBS, MAPD).
+* :mod:`repro.experiments`— scenario generation and parallel experiment
+  orchestration: declarative scenario specs, grid/random/preset suites, a
+  spawn-based batch runner with timeouts and crash isolation, and an
+  append-only JSONL result store (``repro sweep`` on the command line).
 * :mod:`repro.analysis`   — metrics (static and simulated), reporting and
-  ASCII visualization (traffic systems, plan frames, congestion heatmaps).
-* :mod:`repro.io`         — map / plan / simulation-trace serialization.
+  ASCII visualization, sweep aggregation and regression comparison.
+* :mod:`repro.io`         — map / plan / trace / scenario / run-record
+  serialization.
 
 The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`:
 ``solve()`` runs stages 1-5 (design check, synthesis, decomposition,
@@ -28,6 +33,6 @@ for a five-minute tour and ``examples/simulate_fulfillment.py`` for the
 execution side.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

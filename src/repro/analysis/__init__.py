@@ -1,5 +1,14 @@
 """Metrics, report formatting and ASCII visualization."""
 
+from .experiments import (
+    SweepComparison,
+    SweepSummary,
+    aggregate_sweep,
+    compare_sweeps,
+    scaling_rows,
+    sweep_report,
+    sweep_table,
+)
 from .metrics import PlanMetrics, agent_utilization, compute_plan_metrics, service_makespan
 from .reporting import (
     PAPER_TABLE1,
@@ -24,7 +33,11 @@ __all__ = [
     "PAPER_TABLE1",
     "PlanMetrics",
     "SimMetrics",
+    "SweepComparison",
+    "SweepSummary",
     "agent_utilization",
+    "aggregate_sweep",
+    "compare_sweeps",
     "compute_plan_metrics",
     "compute_sim_metrics",
     "format_markdown_table",
@@ -36,7 +49,10 @@ __all__ = [
     "render_plan_frame",
     "render_traffic_system",
     "scaling_report",
+    "scaling_rows",
     "service_makespan",
+    "sweep_report",
+    "sweep_table",
     "table1_report",
     "throughput_gap_report",
 ]

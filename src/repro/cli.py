@@ -12,6 +12,10 @@ The CLI exposes the common workflows without writing Python:
   contract-monitor verdict, congestion heatmap);
 * ``python -m repro table1`` — regenerate the paper's Table I (small presets by
   default, ``--paper-scale`` for the full-size maps);
+* ``python -m repro sweep`` — generate a parametric scenario suite and run the
+  solve→simulate pipeline over it on a worker pool, appending one JSONL record
+  per run (``--report`` aggregates a result file, ``--compare`` diffs two
+  result files for regressions);
 * ``python -m repro validate --plan plan.json`` — re-validate a saved plan
   against the three feasibility conditions.
 """
@@ -24,14 +28,26 @@ from typing import List, Optional, Sequence
 
 from .analysis import (
     BenchmarkRow,
+    compare_sweeps,
     compute_plan_metrics,
     compute_sim_metrics,
     render_congestion,
     render_traffic_system,
+    sweep_report,
     table1_report,
     throughput_gap_report,
 )
 from .core import SolverOptions, SynthesisOptions, WSPSolver
+from .experiments import (
+    PRESET_SUITES,
+    ResultStore,
+    ScenarioError,
+    SweepOptions,
+    load_records,
+    parse_service_time,
+    preset_scenarios,
+    run_sweep,
+)
 from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map, trace_to_dict
 from .maps import MAP_REGISTRY, PAPER_MAP_STATS
 from .sim import (
@@ -142,18 +158,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
 def _parse_service_time(spec: str) -> ServiceTimeModel:
     """``"0"`` / ``"uniform:2,6"`` / ``"geometric:4"`` -> a service-time model."""
-    kind, _, params = spec.partition(":")
     try:
-        if kind == "uniform":
-            lo, hi = (int(p) for p in params.split(","))
-            return ServiceTimeModel.uniform(lo, hi)
-        if kind == "geometric":
-            return ServiceTimeModel.geometric(float(params))
-        return ServiceTimeModel.deterministic(int(kind))
-    except ValueError as error:
-        raise SystemExit(
-            f"invalid --service-time {spec!r} (use N, uniform:LO,HI or geometric:MEAN): {error}"
-        )
+        return parse_service_time(spec)
+    except ScenarioError as error:
+        raise SystemExit(f"invalid --service-time: {error}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -227,6 +235,55 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.report and args.compare:
+        raise SystemExit("--report and --compare are mutually exclusive")
+    if (args.report or args.compare) and args.out:
+        raise SystemExit("--out only applies when running a sweep, not with --report/--compare")
+    if args.report:
+        records = load_records(args.report)
+        print(sweep_report(records, markdown=args.markdown))
+        return 0
+    if args.compare:
+        if not args.tolerance > 0:
+            raise SystemExit(f"--tolerance must be positive (got {args.tolerance:g})")
+        baseline_path, candidate_path = args.compare
+        comparison = compare_sweeps(
+            load_records(baseline_path),
+            load_records(candidate_path),
+            runtime_factor=args.tolerance,
+        )
+        print(comparison.summary())
+        return 0 if comparison.ok else 1
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be at least 1 (got {args.workers})")
+    if args.limit < 0:
+        raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+    specs = preset_scenarios(args.preset, seed=args.seed)
+    if args.limit > 0:
+        specs = specs[: args.limit]
+    # Pure append: an existing file may hold older-schema or partial lines,
+    # which must not prevent adding this sweep's records.
+    store = ResultStore(args.out, load_existing=False) if args.out else None
+    print(
+        f"sweep {args.preset!r}: {len(specs)} scenario(s), "
+        f"{args.workers} worker(s)"
+        + (f", {args.timeout:g}s/run timeout" if args.timeout else "")
+    )
+    records = run_sweep(
+        specs,
+        SweepOptions(workers=args.workers, timeout_seconds=args.timeout),
+        store=store,
+        progress=lambda record: print(f"  {record.summary()}"),
+    )
+    print()
+    print(sweep_report(records, markdown=args.markdown))
+    if args.out:
+        print(f"\n{len(records)} record(s) appended to {args.out}")
+    return 0 if not any(record.failed for record in records) else 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     plan = plan_from_dict(load_json(args.plan))
     report = PlanValidator(plan.warehouse).validate(plan)
@@ -241,10 +298,25 @@ def cmd_validate(args: argparse.Namespace) -> int:
 # argument parsing
 # ---------------------------------------------------------------------------
 
+def _package_version() -> str:
+    """The installed distribution's version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-warehouse-codesign")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Contract-based co-design of warehouse traffic systems (DATE 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -299,6 +371,44 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser.add_argument("--paper-scale", action="store_true", help="use the paper-scale presets")
     table1_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
     table1_parser.set_defaults(handler=cmd_table1)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a scenario sweep in parallel, or report on result files"
+    )
+    sweep_parser.add_argument(
+        "--preset",
+        default="smoke",
+        choices=sorted(PRESET_SUITES),
+        help="scenario suite to run",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="parallel worker processes"
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-run wall-clock budget (seconds)"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="suite base seed")
+    sweep_parser.add_argument(
+        "--limit", type=int, default=0, help="run only the first N scenarios"
+    )
+    sweep_parser.add_argument("--out", help="append one JSONL record per run to this file")
+    sweep_parser.add_argument(
+        "--report", help="skip running; aggregate an existing JSONL result file"
+    )
+    sweep_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        help="skip running; diff two result files for regressions",
+    )
+    sweep_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="--compare: flag runs slower than TOLERANCE x baseline",
+    )
+    sweep_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     validate_parser = subparsers.add_parser("validate", help="validate a saved plan")
     validate_parser.add_argument("--plan", required=True, help="plan JSON file")

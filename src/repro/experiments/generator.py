@@ -1,0 +1,191 @@
+"""Parametric scenario generators: grid sweeps, random sampling, named presets.
+
+All generators produce lists of valid :class:`~repro.experiments.scenario.
+ScenarioSpec` objects (combinations that violate the map generators' design
+rules — e.g. an even number of shelf bands — are skipped or re-drawn), except
+where a preset *deliberately* includes an infeasible instance to exercise the
+runner's structured-failure path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from .scenario import SWEEPABLE_FIELDS, ScenarioError, ScenarioSpec
+
+
+def _check_axes(axes: Mapping[str, Sequence]) -> None:
+    unknown = sorted(set(axes) - set(SWEEPABLE_FIELDS))
+    if unknown:
+        raise ScenarioError(
+            f"unknown scenario field(s) {unknown}; sweepable fields: "
+            f"{', '.join(SWEEPABLE_FIELDS)}"
+        )
+    for name, values in axes.items():
+        if not values:
+            raise ScenarioError(f"axis {name!r} has no values")
+
+
+def grid_scenarios(
+    base: ScenarioSpec,
+    axes: Mapping[str, Sequence],
+    strict: bool = False,
+) -> List[ScenarioSpec]:
+    """The cartesian product of ``axes`` applied to ``base``.
+
+    Invalid combinations are silently dropped unless ``strict`` is set (the
+    serpentine constraints make some corners of a grid meaningless, e.g. even
+    ``shelf_bands``); with ``strict`` the first invalid combination raises.
+    """
+    _check_axes(axes)
+    names = sorted(axes)
+    specs: List[ScenarioSpec] = []
+    for values in itertools.product(*(axes[name] for name in names)):
+        spec = replace(base, **dict(zip(names, values)))
+        try:
+            spec.validate()
+        except ScenarioError:
+            if strict:
+                raise
+            continue
+        specs.append(spec)
+    return specs
+
+
+def random_scenarios(
+    base: ScenarioSpec,
+    count: int,
+    ranges: Mapping[str, Sequence],
+    seed: int = 0,
+    max_draws_per_scenario: int = 100,
+) -> List[ScenarioSpec]:
+    """``count`` scenarios with each field in ``ranges`` drawn uniformly.
+
+    Sampling is deterministic in ``seed``.  Invalid draws are rejected and
+    re-drawn; duplicate draws (same :attr:`ScenarioSpec.scenario_id`) are also
+    rejected so the sample explores ``count`` *distinct* points.  Raises when
+    the ranges cannot produce enough valid distinct scenarios.
+    """
+    _check_axes(ranges)
+    rng = random.Random(seed)
+    names = sorted(ranges)
+    specs: List[ScenarioSpec] = []
+    seen: set = set()
+    for index in range(count):
+        for _ in range(max_draws_per_scenario):
+            overrides = {name: rng.choice(list(ranges[name])) for name in names}
+            spec = replace(base, **overrides)
+            if spec.scenario_id in seen or not spec.is_valid():
+                continue
+            seen.add(spec.scenario_id)
+            specs.append(spec)
+            break
+        else:
+            raise ScenarioError(
+                f"could not draw a valid distinct scenario #{index + 1} after "
+                f"{max_draws_per_scenario} attempts; widen the ranges"
+            )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# named preset sweeps
+# ---------------------------------------------------------------------------
+
+def smoke_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """The CI smoke sweep: nine tiny scenarios covering both map kinds, both
+    workload mixes, and one deliberately infeasible instance (demand beyond
+    the warehouse's total stock) that must surface as a structured failure.
+    """
+    fulfillment = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=2,
+        shelf_columns=4,
+        shelf_bands=3,
+        shelf_depth=1,
+        num_stations=1,
+        num_products=6,
+        horizon=900,
+        seed=seed,
+    )
+    sorting = ScenarioSpec(
+        kind="sorting",
+        num_slices=2,
+        shelf_columns=5,
+        shelf_bands=1,
+        num_stations=2,
+        horizon=900,
+        seed=seed,
+    )
+    specs = grid_scenarios(fulfillment, {"num_slices": (2, 3), "units": (12, 24)})
+    specs += grid_scenarios(sorting, {"units": (8, 16)})
+    specs.append(replace(fulfillment, units=18, workload_mix="zipf", name="smoke/zipf"))
+    specs.append(replace(fulfillment, shelf_depth=2, units=16, name="smoke/deep-shelves"))
+    # Demand far beyond total stock: the stock-sufficiency check rejects the
+    # instance, which the runner must record as a structured failure.
+    specs.append(replace(fulfillment, units=1_000_000, name="smoke/infeasible-stock"))
+    return specs
+
+
+def scaling_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """Throughput scaling in the number of slices at constant per-slice load."""
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=2,
+        shelf_columns=4,
+        shelf_bands=3,
+        shelf_depth=1,
+        num_stations=2,
+        num_products=8,
+        horizon=1200,
+        seed=seed,
+    )
+    return [
+        replace(base, num_slices=slices, num_stations=slices, units=12 * slices)
+        for slices in (2, 3, 4, 6)
+    ]
+
+
+def mix_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """Uniform vs. Zipf demand at matched totals, over three seeds."""
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=2,
+        shelf_columns=5,
+        shelf_bands=3,
+        num_stations=2,
+        num_products=10,
+        horizon=1200,
+    )
+    return grid_scenarios(
+        base,
+        {
+            "workload_mix": ("uniform", "zipf"),
+            "units": (20, 40),
+            "seed": tuple(seed + i for i in range(3)),
+        },
+    )
+
+
+#: Named suites reachable from ``repro sweep --preset``.
+PRESET_SUITES: Dict[str, Callable[[int], List[ScenarioSpec]]] = {
+    "smoke": smoke_suite,
+    "scaling": scaling_suite,
+    "mix": mix_suite,
+}
+
+
+def preset_scenarios(name: str, seed: int = 0) -> List[ScenarioSpec]:
+    """The scenarios of a named preset suite."""
+    if name not in PRESET_SUITES:
+        raise ScenarioError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESET_SUITES))}"
+        )
+    return PRESET_SUITES[name](seed)
+
+
+def describe_suite(specs: Iterable[ScenarioSpec]) -> str:
+    return "\n".join(spec.describe() for spec in specs)

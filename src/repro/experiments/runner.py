@@ -1,0 +1,264 @@
+"""Parallel experiment orchestration: many solve→simulate runs, one result file.
+
+:func:`run_sweep` executes a list of scenarios through the full pipeline —
+map generation, flow synthesis, decomposition, realization, validation, and
+(optionally) the digital twin — either in-process or across a
+``multiprocessing`` worker pool.  Every scenario yields exactly one
+:class:`~repro.experiments.store.RunRecord`:
+
+* a *successful* run carries the solution/simulation headline numbers;
+* an *infeasible* instance (stock-insufficient demand, unsatisfiable
+  contracts) is a first-class result, not a crash;
+* a worker exception is captured as a structured ``error`` record (with the
+  traceback in the message) without aborting the batch;
+* runs exceeding the per-run timeout are recorded as ``timeout`` — the budget
+  is enforced twice, as a POSIX ``SIGALRM`` interrupting the Python stages
+  and as the ILP backend's own native time limit (a signal cannot interrupt
+  the HiGHS C call).
+
+Workers are spawned (not forked) so runs are isolated and reproducible, and
+records are appended to the store in scenario order, so a sweep's output file
+is deterministic modulo wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .scenario import ScenarioError, ScenarioSpec, parse_service_time
+from .store import (
+    STATUS_ERROR,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ResultStore,
+    RunRecord,
+)
+
+
+class ScenarioTimeout(Exception):
+    """Raised inside a worker when a run exceeds its time budget."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Interrupt the enclosed block after ``seconds`` (POSIX only; no-op elsewhere)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ScenarioTimeout(f"run exceeded the {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _sim_payload(report) -> Dict[str, float]:
+    """Condense a :class:`~repro.sim.runner.SimulationReport` for the record."""
+    trace = report.trace
+    return {
+        "units_served": float(trace.units_served),
+        "realized_throughput": float(report.realized_throughput),
+        "synthesized_throughput": float(report.synthesized_throughput),
+        "throughput_ratio": float(report.throughput_ratio),
+        "orders_created": float(trace.orders_created),
+        "orders_served": float(trace.orders_served),
+        "contract_violations": float(report.num_violations),
+        "contracts_ok": float(report.contracts_ok),
+    }
+
+
+def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) -> Dict:
+    """Run one scenario end to end; always returns a run-record document.
+
+    This is the worker entry point: it takes and returns plain dictionaries
+    so it crosses process boundaries cheaply, and it never raises — every
+    failure mode is folded into the record's ``status``/``message``.
+    """
+    # Imports deferred so spawned workers only pay for them once per process.
+    from ..core.flow_synthesis import FlowSynthesisError
+    from ..core.pipeline import SolverOptions, SynthesisOptions, WSPSolver
+    from ..sim.runner import SimulationConfig
+    from ..solver import SolveStatus
+    from ..traffic.component import TrafficError
+    from ..warehouse import WarehouseError, WorkloadError
+
+    spec = ScenarioSpec.from_dict(document)
+    timings: Dict[str, float] = {}
+
+    def record(status: str, message: str = "", **outcome) -> Dict:
+        return RunRecord(
+            spec=spec, status=status, message=message, timings=timings, **outcome
+        ).to_dict()
+
+    try:
+        with _deadline(timeout_seconds):
+            start = time.perf_counter()
+            designed, workload = spec.build()
+            timings["generate"] = time.perf_counter() - start
+
+            options = SolverOptions(
+                synthesis=SynthesisOptions(
+                    backend=spec.backend,
+                    objective=spec.objective,
+                    # SIGALRM cannot interrupt the native HiGHS call, so the
+                    # time budget is also handed to the ILP backend itself.
+                    time_limit=timeout_seconds,
+                )
+            )
+            solver = WSPSolver(designed.traffic_system, options)
+            solution = solver.solve(workload, horizon=spec.horizon)
+            timings.update(solution.timings)
+            if not solution.succeeded:
+                if solution.synthesis is not None and solution.synthesis.status == SolveStatus.LIMIT:
+                    return record(STATUS_TIMEOUT, solution.message)
+                return record(STATUS_INFEASIBLE, solution.message)
+
+            sim: Dict[str, float] = {}
+            if spec.simulate:
+                config = SimulationConfig(
+                    seed=spec.seed,
+                    service_time=parse_service_time(spec.service_time),
+                    arrival_rate=spec.arrival_rate,
+                    record_events=False,
+                )
+                report = solver.simulate(solution, config)
+                timings["simulation"] = report.seconds
+                sim = _sim_payload(report)
+
+            return record(
+                STATUS_OK,
+                num_agents=solution.num_agents,
+                units_delivered=solution.plan.total_delivered(),
+                plan_feasible=solution.plan_is_feasible,
+                workload_serviced=solution.services_workload,
+                sim=sim,
+            )
+    except ScenarioTimeout as error:
+        return record(STATUS_TIMEOUT, str(error))
+    except (ScenarioError, WarehouseError, WorkloadError, TrafficError, FlowSynthesisError) as error:
+        return record(STATUS_INFEASIBLE, str(error))
+    except Exception:
+        return record(STATUS_ERROR, traceback.format_exc(limit=8).strip())
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Knobs of one batch run."""
+
+    workers: int = 1
+    #: Per-run wall-clock budget (``SIGALRM`` for the Python stages, the ILP
+    #: backend's native time limit for the synthesis solve).
+    timeout_seconds: Optional[float] = None
+    #: ``multiprocessing`` start method; spawn keeps workers state-free.
+    start_method: str = "spawn"
+
+
+def run_sweep(
+    specs: Sequence[ScenarioSpec],
+    options: Optional[SweepOptions] = None,
+    store: Optional[ResultStore] = None,
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Execute every scenario and return one record each, in scenario order.
+
+    With ``options.workers > 1`` the runs execute on a spawned process pool;
+    a worker crash (even an interpreter abort) is confined to its scenario and
+    surfaces as an ``error`` record.  Records are appended to ``store`` and
+    reported through ``progress`` as soon as each scenario's result is
+    available.
+    """
+    options = options or SweepOptions()
+    if options.workers < 1:
+        raise ScenarioError("workers must be at least 1")
+    documents = [spec.to_dict() for spec in specs]
+
+    def finalize(document: Dict) -> RunRecord:
+        record = RunRecord.from_dict(document)
+        if store is not None:
+            store.append(record)
+        if progress is not None:
+            progress(record)
+        return record
+
+    if not specs:
+        return []
+    # Only a single *requested* worker runs in-process; a one-scenario sweep
+    # with workers > 1 still goes through the pool so a hard crash is
+    # captured as a record instead of taking the parent down.
+    if options.workers == 1:
+        return [
+            finalize(execute_scenario(document, options.timeout_seconds))
+            for document in documents
+        ]
+
+    def failure_document(spec: ScenarioSpec, error: BaseException, crashed: bool) -> Dict:
+        verb = "crashed" if crashed else "failed"
+        return RunRecord(
+            spec=spec,
+            status=STATUS_ERROR,
+            message=f"worker {verb}: {type(error).__name__}: {error}",
+        ).to_dict()
+
+    records: List[RunRecord] = []
+    context = get_context(options.start_method)
+    pending = list(zip(specs, documents))
+    # A worker that dies hard (segfault, OOM kill) breaks the whole executor
+    # and *every* unfinished future raises BrokenExecutor — including healthy
+    # scenarios that happened to be in flight.  The main loop therefore never
+    # guesses which scenario crashed: on a broken pool it salvages the futures
+    # that did complete and re-runs each unfinished scenario in its own
+    # single-worker pool, where a second crash is unambiguously that
+    # scenario's own.
+    with ProcessPoolExecutor(
+        max_workers=min(options.workers, len(pending)), mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(execute_scenario, document, options.timeout_seconds)
+            for _, document in pending
+        ]
+        consumed = 0
+        pool_broke = False
+        for (spec, _), future in zip(pending, futures):
+            try:
+                document = future.result()
+            except BrokenExecutor:
+                pool_broke = True
+                break
+            except Exception as error:  # submission/pickling failure
+                document = failure_document(spec, error, crashed=False)
+            records.append(finalize(document))
+            consumed += 1
+    if not pool_broke:
+        return records
+
+    # Exiting the `with` block above shut the broken pool down, so every
+    # future is now settled: completed, broken, or cancelled.
+    for (spec, document_in), future in list(zip(pending, futures))[consumed:]:
+        if not future.cancelled() and future.exception() is None:
+            records.append(finalize(future.result()))
+            continue
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as solo:
+            try:
+                document = solo.submit(
+                    execute_scenario, document_in, options.timeout_seconds
+                ).result()
+            except BrokenExecutor as error:
+                document = failure_document(spec, error, crashed=True)
+            except Exception as error:
+                document = failure_document(spec, error, crashed=False)
+        records.append(finalize(document))
+    return records

@@ -1,0 +1,222 @@
+"""Declarative scenario specifications for the experiment subsystem.
+
+A :class:`ScenarioSpec` describes one end-to-end experiment — the map (a
+parametric fulfillment-center or sorting-center layout), the workload (total
+units and demand mix), the solver configuration, and the simulation knobs —
+as a flat, JSON-serializable record.  ``build()`` turns the spec into the
+concrete :class:`~repro.maps.fulfillment.DesignedWarehouse` and
+:class:`~repro.warehouse.workload.Workload` the pipeline consumes, so the
+experiment runner (and anything replaying a result file) can reconstruct the
+exact instance from the record alone.
+
+Scenarios are identified by :attr:`ScenarioSpec.scenario_id`, a stable hash
+of every semantically relevant field (the cosmetic ``name`` is excluded).
+Two sweeps that ran the same scenario therefore produce records that can be
+matched for regression comparison, regardless of how the scenario was named
+or in which order it was generated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..maps.fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
+from ..maps.sorting import SortingLayout, generate_sorting_center
+from ..sim.stations import ServiceTimeModel
+from ..warehouse import WarehouseError, Workload
+
+SCENARIO_KINDS = ("fulfillment", "sorting")
+WORKLOAD_MIXES = ("uniform", "zipf")
+
+
+class ScenarioError(ValueError):
+    """Raised for structurally invalid scenario specifications."""
+
+
+def parse_service_time(spec: str) -> ServiceTimeModel:
+    """``"0"`` / ``"uniform:2,6"`` / ``"geometric:4"`` -> a service-time model."""
+    kind, _, params = spec.partition(":")
+    try:
+        if kind == "uniform":
+            lo, hi = (int(p) for p in params.split(","))
+            return ServiceTimeModel.uniform(lo, hi)
+        if kind == "geometric":
+            return ServiceTimeModel.geometric(float(params))
+        return ServiceTimeModel.deterministic(int(kind))
+    except ValueError as error:
+        raise ScenarioError(
+            f"invalid service time {spec!r} (use N, uniform:LO,HI or geometric:MEAN): {error}"
+        ) from error
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment scenario: map parameters + workload + solver + sim knobs.
+
+    For ``kind="sorting"`` the layout fields are reinterpreted under the
+    paper's sorting-center reduction: ``shelf_columns`` are chute columns
+    (spaced by ``chute_spacing``), ``shelf_bands`` are chute bands,
+    ``num_stations``/``station_cells`` are bins/bin cells, and
+    ``num_products`` is ignored — one product per chute is derived from the
+    geometry.
+    """
+
+    kind: str = "fulfillment"
+    # -- map geometry (FulfillmentLayout / SortingLayout parameters) ------------
+    num_slices: int = 2
+    shelf_columns: int = 4
+    shelf_bands: int = 3
+    shelf_depth: int = 1
+    num_stations: int = 1
+    station_cells: int = 1
+    spread_station_cells: bool = False
+    chute_spacing: int = 2
+    extra_bottom_rows: int = 0
+    num_products: int = 6
+    stock_units_per_product: int = 0
+    # -- workload ---------------------------------------------------------------
+    units: int = 12
+    workload_mix: str = "uniform"
+    zipf_exponent: float = 1.1
+    horizon: int = 1000
+    # -- solver -----------------------------------------------------------------
+    backend: str = "highs"
+    objective: str = "min_agents"
+    # -- simulation (stage 6) ---------------------------------------------------
+    simulate: bool = True
+    service_time: str = "0"
+    arrival_rate: Optional[float] = None
+    # -- identity ---------------------------------------------------------------
+    seed: int = 0
+    name: str = ""
+
+    # -- identity / serialization ----------------------------------------------
+    @property
+    def label(self) -> str:
+        """The display name: ``name`` if set, otherwise derived from the dims."""
+        if self.name:
+            return self.name
+        return (
+            f"{self.kind}-b{self.num_slices}c{self.shelf_columns}x{self.shelf_bands}"
+            f"-st{self.num_stations}-u{self.units}-{self.workload_mix}-s{self.seed}"
+        )
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable 12-hex-digit identity over every field except ``name``."""
+        payload = asdict(self)
+        payload.pop("name")
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+    def to_dict(self) -> Dict:
+        from ..io.serialization import scenario_to_dict  # io owns the schemas
+
+        return scenario_to_dict(self)
+
+    @staticmethod
+    def from_dict(document: Dict) -> "ScenarioSpec":
+        from ..io.serialization import scenario_from_dict
+
+        return scenario_from_dict(document)
+
+    # -- validation -------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ScenarioError` when the spec cannot describe a map."""
+        if self.kind not in SCENARIO_KINDS:
+            raise ScenarioError(
+                f"unknown scenario kind {self.kind!r}; expected one of {SCENARIO_KINDS}"
+            )
+        if self.workload_mix not in WORKLOAD_MIXES:
+            raise ScenarioError(
+                f"unknown workload mix {self.workload_mix!r}; expected one of {WORKLOAD_MIXES}"
+            )
+        if self.units < 0:
+            raise ScenarioError("units must be non-negative")
+        if self.horizon <= 0:
+            raise ScenarioError("horizon must be positive")
+        if self.arrival_rate is not None and not self.arrival_rate > 0:
+            raise ScenarioError("arrival_rate must be positive when set")
+        parse_service_time(self.service_time)
+        try:
+            self.layout().validate()
+        except WarehouseError as error:
+            raise ScenarioError(f"invalid map geometry: {error}") from error
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ScenarioError:
+            return False
+        return True
+
+    # -- materialization --------------------------------------------------------
+    def _sorting_layout(self) -> SortingLayout:
+        return SortingLayout(
+            num_slices=self.num_slices,
+            chute_columns=self.shelf_columns,
+            chute_bands=self.shelf_bands,
+            chute_spacing=self.chute_spacing,
+            num_bins=self.num_stations,
+            bin_cells=self.station_cells,
+            extra_bottom_rows=self.extra_bottom_rows,
+            name=self.label,
+            seed=self.seed,
+        )
+
+    def layout(self):
+        """The map-generator layout this spec describes."""
+        if self.kind == "sorting":
+            return self._sorting_layout().to_fulfillment_layout()
+        return FulfillmentLayout(
+            num_slices=self.num_slices,
+            shelf_columns=self.shelf_columns,
+            shelf_bands=self.shelf_bands,
+            shelf_depth=self.shelf_depth,
+            num_stations=self.num_stations,
+            station_cells=self.station_cells,
+            spread_station_cells=self.spread_station_cells,
+            num_products=self.num_products,
+            stock_units_per_product=self.stock_units_per_product,
+            extra_bottom_rows=self.extra_bottom_rows,
+            name=self.label,
+            seed=self.seed,
+        )
+
+    def build(self) -> Tuple[DesignedWarehouse, Workload]:
+        """Materialize the designed warehouse and the workload."""
+        self.validate()
+        if self.kind == "sorting":
+            designed = generate_sorting_center(self._sorting_layout()).designed
+        else:
+            designed = generate_fulfillment_center(self.layout())
+        catalog = designed.warehouse.catalog
+        if self.workload_mix == "zipf":
+            workload = Workload.zipf(
+                catalog,
+                self.units,
+                exponent=self.zipf_exponent,
+                rng=np.random.default_rng(self.seed),
+            )
+        else:
+            workload = Workload.uniform(catalog, self.units)
+        return designed, workload
+
+    def describe(self) -> str:
+        layout = self.layout()
+        return (
+            f"{self.label}: {self.kind}, {layout.width}x{layout.height} cells, "
+            f"{layout.num_shelves} shelves, {self.units} units ({self.workload_mix}), "
+            f"T={self.horizon}, seed={self.seed}"
+        )
+
+
+#: The spec field names a generator axis may vary (everything but ``name``).
+SWEEPABLE_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(ScenarioSpec) if f.name != "name"
+)

@@ -1,0 +1,180 @@
+"""Run records and the append-only JSONL result store.
+
+Each executed scenario produces exactly one :class:`RunRecord` — successful
+or not — with the spec embedded, so a result file is self-describing: every
+instance can be regenerated from its record alone.  Records are persisted as
+one JSON object per line (schema-versioned in :mod:`repro.io.serialization`),
+appended as runs complete; the store also keeps an in-memory index by
+:attr:`~repro.experiments.scenario.ScenarioSpec.scenario_id` for aggregation
+and regression comparison.
+
+Wall-clock ``timings`` are reporting-only: :meth:`RunRecord.fingerprint`
+excludes them, and is the payload two runs of the same seeded scenario must
+reproduce bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .scenario import ScenarioSpec
+
+PathLike = Union[str, Path]
+
+#: Run statuses, from best to worst.
+STATUS_OK = "ok"
+STATUS_INFEASIBLE = "infeasible"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+RUN_STATUSES = (STATUS_OK, STATUS_INFEASIBLE, STATUS_TIMEOUT, STATUS_ERROR)
+
+
+@dataclass
+class RunRecord:
+    """The outcome of executing one scenario end to end."""
+
+    spec: ScenarioSpec
+    status: str
+    message: str = ""
+    #: Per-stage wall-clock seconds (generate, synthesis, decomposition,
+    #: realization, validation, simulation).  Reporting only.
+    timings: Dict[str, float] = field(default_factory=dict)
+    num_agents: int = 0
+    units_delivered: int = 0
+    plan_feasible: Optional[bool] = None
+    workload_serviced: Optional[bool] = None
+    #: Digital-twin results (empty when the scenario did not simulate):
+    #: units_served, realized/synthesized throughput, throughput_ratio,
+    #: orders created/served, contract_violations, contracts_ok.
+    sim: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in RUN_STATUSES:
+            raise ValueError(f"unknown run status {self.status!r}; expected {RUN_STATUSES}")
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def failed(self) -> bool:
+        """True for crashes/timeouts (an infeasible instance is a *result*)."""
+        return self.status in (STATUS_TIMEOUT, STATUS_ERROR)
+
+    @property
+    def synthesis_seconds(self) -> float:
+        return self.timings.get("synthesis", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    @property
+    def contracts_ok(self) -> Optional[bool]:
+        if "contracts_ok" not in self.sim:
+            return None
+        return bool(self.sim["contracts_ok"])
+
+    @property
+    def throughput_ratio(self) -> Optional[float]:
+        value = self.sim.get("throughput_ratio")
+        return None if value is None else float(value)
+
+    def fingerprint(self) -> Dict:
+        """The deterministic payload: everything except wall-clock timings.
+
+        Two runs of the same scenario (same seed) must produce equal
+        fingerprints — this is the property the determinism tests and the
+        regression comparator rely on.
+        """
+        document = self.to_dict()
+        document.pop("timings")
+        return document
+
+    def to_dict(self) -> Dict:
+        from ..io.serialization import run_record_to_dict
+
+        return run_record_to_dict(self)
+
+    @staticmethod
+    def from_dict(document: Dict) -> "RunRecord":
+        from ..io.serialization import run_record_from_dict
+
+        return run_record_from_dict(document)
+
+    def summary(self) -> str:
+        head = f"{self.spec.label:<44s} {self.status:<10s}"
+        if self.ok:
+            ratio = self.throughput_ratio
+            sim_note = "" if ratio is None else f", sim ratio {ratio:.3f}"
+            return (
+                f"{head} agents={self.num_agents:<4d} delivered={self.units_delivered:<5d} "
+                f"synthesis={self.synthesis_seconds:.3f}s{sim_note}"
+            )
+        return f"{head} {self.message}".rstrip()
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`RunRecord` documents."""
+
+    def __init__(self, path: PathLike, load_existing: bool = True):
+        """``load_existing=False`` skips parsing a pre-existing file — the
+        pure append mode the sweep runner uses, which must not refuse to add
+        records just because the file already holds foreign or older-schema
+        lines."""
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._records: List[RunRecord] = []
+        self._by_id: Dict[str, List[RunRecord]] = {}
+        if load_existing and self.path.exists():
+            for record in load_records(self.path):
+                self._remember(record)
+
+    def _remember(self, record: RunRecord) -> None:
+        self._records.append(record)
+        self._by_id.setdefault(record.scenario_id, []).append(record)
+
+    def append(self, record: RunRecord) -> None:
+        """Persist one record (one JSON line, flushed) and index it."""
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+        self._remember(record)
+
+    # -- queries ----------------------------------------------------------------
+    def records(self) -> List[RunRecord]:
+        return list(self._records)
+
+    def by_id(self, scenario_id: str) -> List[RunRecord]:
+        return list(self._by_id.get(scenario_id, []))
+
+    def scenario_ids(self) -> List[str]:
+        return list(self._by_id)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+
+def load_records(path: PathLike) -> List[RunRecord]:
+    """Read every record of a JSONL result file (blank lines are skipped)."""
+    records: List[RunRecord] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{lineno}: not a JSON record: {error}") from error
+        records.append(RunRecord.from_dict(document))
+    return records

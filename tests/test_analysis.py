@@ -106,6 +106,21 @@ class TestReporting:
         text = scaling_report([("ours", 10, 1.0), ("eecbs", 10, 60.0)])
         assert "ours" in text and "eecbs" in text
 
+    def test_scaling_report_empty_rows(self):
+        text = scaling_report([])
+        lines = text.splitlines()
+        assert lines[0].split(" | ") == ["Configuration", "Size", "Runtime (s)"]
+        assert len(lines) == 2  # header + separator, no data rows
+        markdown = scaling_report([], markdown=True)
+        assert markdown.splitlines() == [
+            "| Configuration | Size | Runtime (s) |",
+            "|---|---|---|",
+        ]
+
+    def test_markdown_table_empty_rows(self):
+        markdown = format_markdown_table([], headers=["h1", "h2"])
+        assert markdown.splitlines() == ["| h1 | h2 |", "|---|---|"]
+
 
 class TestVisualization:
     def test_render_grid_dimensions(self, designed):

@@ -11,6 +11,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+
     def test_unknown_map_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["show", "--map", "no-such-map"])
@@ -18,6 +23,14 @@ class TestParser:
     def test_solve_requires_units(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--map", "sorting-center-small"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        assert output.strip().split(" ", 1)[1]  # a non-empty version string
 
 
 class TestMapsCommand:
@@ -81,6 +94,54 @@ class TestTable1Command:
         assert main(["table1", "--markdown"]) == 0
         output = capsys.readouterr().out
         assert "| Map |" in output
+
+
+class TestSweepCommand:
+    def test_smoke_sweep_runs_reports_and_compares(self, capsys, tmp_path):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["sweep", "--preset", "smoke", "--workers", "2", "--out", str(out)]
+        )
+        output = capsys.readouterr().out
+        assert code == 0  # an infeasible scenario is a result, not a failure
+        assert out.exists()
+        assert len(out.read_text().splitlines()) >= 8
+        assert "infeasible" in output
+        assert "pass rate" in output
+
+        assert main(["sweep", "--report", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "Experiment sweep" in report
+        assert "pass rate" in report
+
+        assert main(["sweep", "--compare", str(out), str(out)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_limit_and_markdown(self, capsys, tmp_path):
+        code = main(["sweep", "--preset", "scaling", "--limit", "1", "--markdown"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "1 scenario(s)" in output
+        assert "| Scenario |" in output
+
+    def test_unknown_preset_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--preset", "no-such-suite"])
+
+    def test_bad_workers_and_limit_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["sweep", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--limit"):
+            main(["sweep", "--limit", "-1"])
+
+    def test_conflicting_modes_rejected(self, capsys, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--report", path, "--compare", path, path])
+        with pytest.raises(SystemExit, match="--out"):
+            main(["sweep", "--report", path, "--out", path])
+        with pytest.raises(SystemExit, match="--tolerance"):
+            main(["sweep", "--compare", path, path, "--tolerance", "0"])
 
 
 class TestValidateCommand:
