@@ -1,0 +1,109 @@
+"""Experiment E14 (extension): router comparison on a catalog preset.
+
+Solves one catalog instance (``sorting-center-small``), executes the realized
+plan through the digital twin once per execution mode — the abstract replay
+and all four grid routers — and emits ``BENCH_routing.json`` at the
+repository root: one row per router with congestion telemetry (path-length
+inflation vs. free-flow, replan episodes, search expansions, edge-load
+peaks), service quality, and the contract-monitor verdict.
+
+This is the machine-readable artifact later routing/performance PRs compare
+against.  The assertions pin the properties the comparison relies on:
+
+* every router produces a structured row (an incomplete routing run is a
+  *result*, not a crash);
+* grid-routed paths are collision-free — the reservation/constraint machinery
+  must never leak a conflict into an executed plan;
+* the routers that completed deliver exactly what the abstract replay
+  delivers (same logistics, different motion);
+* the bounded-suboptimal routers' inflation is sane (>= 1).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import routing_comparison_table, routing_row
+from repro.core import WSPSolver
+from repro.maps.catalog import sorting_center_small
+from repro.sim import ROUTERS, RoutingConfig, SimulationConfig
+from repro.warehouse import Workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+MAP_NAME = "sorting-center-small"
+UNITS = 4
+HORIZON = 400
+
+
+@pytest.fixture(scope="module")
+def router_reports():
+    designed = sorting_center_small().designed
+    solver = WSPSolver(designed.traffic_system)
+    workload = Workload.uniform(designed.warehouse.catalog, UNITS)
+    solution = solver.solve(workload, horizon=HORIZON)
+    assert solution.succeeded, solution.message
+    reports = {}
+    for router in ROUTERS:
+        routing = None if router == "abstract" else RoutingConfig(router=router)
+        reports[router] = solver.simulate(
+            solution, SimulationConfig(routing=routing, record_events=False)
+        )
+    return solution, reports
+
+
+def test_every_router_produces_a_row(router_reports):
+    _, reports = router_reports
+    assert set(reports) == set(ROUTERS)
+    for router, report in reports.items():
+        row = routing_row(report)
+        assert row["router"] == router
+        assert row["units_served"] >= 0
+
+
+def test_grid_routed_paths_never_conflict(router_reports):
+    _, reports = router_reports
+    for router, report in reports.items():
+        if report.routing is None:
+            continue
+        assert report.routing.conflicts == 0, router
+        assert report.routing.carry_mismatches == 0, router
+
+
+def test_completed_routers_preserve_service(router_reports):
+    solution, reports = router_reports
+    delivered = solution.plan.total_delivered()
+    assert reports["abstract"].units_served == delivered
+    for router, report in reports.items():
+        if report.routing is not None and report.routing.completed:
+            assert report.units_served == delivered, router
+            assert report.routing.inflation >= 1.0, router
+
+
+def test_emit_bench_routing_json(router_reports):
+    """Write the BENCH_routing.json artifact consumed by the perf driver."""
+    solution, reports = router_reports
+    rows = []
+    for router in ROUTERS:
+        report = reports[router]
+        row = routing_row(report)
+        row["sim_seconds"] = float(report.seconds)
+        row["contracts_ok"] = float(report.contracts_ok)
+        rows.append(row)
+    document = {
+        "schema": "bench-routing",
+        "version": 1,
+        "map": MAP_NAME,
+        "units": UNITS,
+        "horizon": HORIZON,
+        "num_agents": solution.num_agents,
+        "plan_delivered": solution.plan.total_delivered(),
+        "routers": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    reloaded = json.loads(BENCH_PATH.read_text())
+    assert [row["router"] for row in reloaded["routers"]] == list(ROUTERS)
+    print("\n" + routing_comparison_table([reports[router] for router in ROUTERS]))

@@ -33,6 +33,6 @@ for a five-minute tour and ``examples/simulate_fulfillment.py`` for the
 execution side.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

@@ -19,6 +19,7 @@ from .reporting import (
     scaling_report,
     table1_report,
 )
+from .routing import render_edge_heatmap, routing_comparison_table, routing_row
 from .sim_metrics import SimMetrics, compute_sim_metrics, throughput_gap_report
 from .visualization import (
     render_component_legend,
@@ -45,9 +46,12 @@ __all__ = [
     "paper_runtime",
     "render_component_legend",
     "render_congestion",
+    "render_edge_heatmap",
     "render_grid",
     "render_plan_frame",
     "render_traffic_system",
+    "routing_comparison_table",
+    "routing_row",
     "scaling_report",
     "scaling_rows",
     "service_makespan",

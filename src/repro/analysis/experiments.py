@@ -101,11 +101,16 @@ def sweep_table(records: Sequence, markdown: bool = False) -> str:
         "Synthesis (s)",
         "Total (s)",
         "Sim Ratio",
+        "Router",
+        "Inflation",
+        "Max Edge",
     ]
     body: List[List[str]] = []
     for record in records:
         layout = record.spec.layout()
         ratio = record.throughput_ratio
+        inflation = record.sim.get("routing_inflation")
+        max_edge = record.sim.get("routing_max_edge_load")
         body.append(
             [
                 record.spec.label,
@@ -118,6 +123,10 @@ def sweep_table(records: Sequence, markdown: bool = False) -> str:
                 f"{record.synthesis_seconds:.3f}" if record.ok else "-",
                 f"{record.total_seconds:.3f}" if record.ok else "-",
                 "-" if ratio is None else f"{ratio:.3f}",
+                record.spec.router,
+                # 0.0 means "undefined" (incomplete routing), not free-flow.
+                "-" if not inflation else f"{inflation:.3f}",
+                "-" if max_edge is None else str(int(max_edge)),
             ]
         )
     if markdown:

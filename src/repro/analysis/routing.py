@@ -1,0 +1,107 @@
+"""Metrics and reports over grid-routed executions.
+
+The grid-routed digital twin (:mod:`repro.sim.routing`) produces, per run, a
+:class:`~repro.sim.routing.RoutingReport` — replans, search expansions,
+per-edge traversal counts, and the path-length inflation against the
+free-flow optimum.  This module condenses those into comparable rows:
+
+* :func:`routing_row` / :func:`routing_comparison_table` — one row per
+  router, the shape ``BENCH_routing.json`` and the CLI comparison print;
+* :func:`render_edge_heatmap` — the per-edge congestion raster, drawn by
+  projecting each edge's crossings onto its two endpoint cells (reusing the
+  visit-count renderer's character ramp).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.routing import RoutingReport, edge_load_by_vertex
+from ..warehouse.warehouse import Warehouse
+from .reporting import format_markdown_table, format_table
+
+
+def routing_row(report) -> Dict[str, float]:
+    """Flatten one simulation report's routing outcome into plain numbers.
+
+    ``report`` is a :class:`~repro.sim.runner.SimulationReport`; abstract
+    runs (``report.routing is None``) produce a row with router ``abstract``
+    and no congestion figures, so mixed sweeps stay comparable.
+    """
+    routing: Optional[RoutingReport] = report.routing
+    row: Dict[str, float] = {
+        "units_served": float(report.units_served),
+        "throughput_ratio": float(report.throughput_ratio),
+        "contract_violations": float(report.num_violations),
+        "ticks": float(report.ticks),
+    }
+    if routing is None:
+        row.update({"router": "abstract", "completed": 1.0})
+        return row
+    row.update(
+        {
+            "router": routing.router,
+            "completed": float(routing.completed),
+            "goals_completed": float(routing.goals_completed),
+            "goals_total": float(routing.goals_total),
+            "replans": float(routing.replans),
+            "expansions": float(routing.expansions),
+            "conflicts": float(routing.conflicts),
+            "inflation": float(routing.inflation),
+            "routed_cost": float(routing.routed_cost),
+            "free_flow_cost": float(routing.free_flow_cost),
+            "max_edge_load": float(routing.max_edge_load),
+            "mean_edge_load": float(routing.mean_edge_load),
+        }
+    )
+    return row
+
+
+def routing_comparison_table(reports: Sequence, markdown: bool = False) -> str:
+    """One row per simulation report: router vs. congestion and service.
+
+    ``reports`` are :class:`~repro.sim.runner.SimulationReport` objects of the
+    *same* solved instance executed under different routers — the comparison
+    ``repro`` prints and ``BENCH_routing.json`` archives.
+    """
+    headers = [
+        "Router",
+        "Completed",
+        "Ticks",
+        "Inflation",
+        "Replans",
+        "Expansions",
+        "Max Edge",
+        "Served",
+        "Ratio",
+        "Violations",
+    ]
+    body: List[List[str]] = []
+    for report in reports:
+        row = routing_row(report)
+        grid_routed = report.routing is not None
+        body.append(
+            [
+                str(row["router"]),
+                "yes" if row["completed"] else "NO",
+                str(int(row["ticks"])),
+                f"{row['inflation']:.3f}" if grid_routed and row["inflation"] else "-",
+                str(int(row["replans"])) if grid_routed else "-",
+                str(int(row["expansions"])) if grid_routed else "-",
+                str(int(row["max_edge_load"])) if grid_routed else "-",
+                str(int(row["units_served"])),
+                f"{row['throughput_ratio']:.3f}",
+                str(int(row["contract_violations"])),
+            ]
+        )
+    if markdown:
+        return format_markdown_table(body, headers)
+    return format_table(body, headers, title="Router comparison")
+
+
+def render_edge_heatmap(warehouse: Warehouse, edge_traversals: Dict) -> str:
+    """ASCII heatmap of per-edge crossings, projected onto endpoint cells."""
+    from .visualization import render_congestion  # local: avoid import cycle
+
+    load = edge_load_by_vertex(warehouse.floorplan.num_vertices, edge_traversals)
+    return render_congestion(warehouse, load)

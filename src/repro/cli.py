@@ -9,7 +9,9 @@ The CLI exposes the common workflows without writing Python:
 * ``python -m repro simulate --map NAME --units N [--seed S]`` — solve, then
   execute the realized plan in the discrete-event digital twin and print the
   simulation report (throughput vs. the synthesized flow, order latencies,
-  contract-monitor verdict, congestion heatmap);
+  contract-monitor verdict, congestion heatmap); ``--routing ROUTER`` swaps
+  the abstract plan replay for grid-routed motion planned by a MAPF router
+  (prioritized, cbs, ecbs or windowed lifelong replanning);
 * ``python -m repro table1`` — regenerate the paper's Table I (small presets by
   default, ``--paper-scale`` for the full-size maps);
 * ``python -m repro sweep`` — generate a parametric scenario suite and run the
@@ -32,6 +34,7 @@ from .analysis import (
     compute_plan_metrics,
     compute_sim_metrics,
     render_congestion,
+    render_edge_heatmap,
     render_traffic_system,
     sweep_report,
     table1_report,
@@ -51,7 +54,9 @@ from .experiments import (
 from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map, trace_to_dict
 from .maps import MAP_REGISTRY, PAPER_MAP_STATS
 from .sim import (
+    ROUTERS,
     OrderStreamError,
+    RoutingConfig,
     ServiceTimeModel,
     SimulationConfig,
     SimulationSetupError,
@@ -171,10 +176,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"--arrival-rate must be positive (got {args.arrival_rate:g}); "
             "omit it for the deterministic all-at-t0 workload"
         )
+    if args.routing_window < 0:
+        raise SystemExit(
+            f"--routing-window must be non-negative (got {args.routing_window})"
+        )
+    if args.routing == "abstract" and args.routing_window:
+        raise SystemExit(
+            "--routing-window only applies to grid routers; pass --routing "
+            "prioritized|cbs|ecbs|lifelong alongside it"
+        )
+    routing = (
+        None
+        if args.routing == "abstract"
+        else RoutingConfig(router=args.routing, window=args.routing_window)
+    )
     config = SimulationConfig(
         seed=args.seed,
         service_time=_parse_service_time(args.service_time),
         arrival_rate=args.arrival_rate,
+        routing=routing,
     )
     designed, _, solver, solution = _solve_preset(args)
     warehouse = designed.warehouse
@@ -196,6 +216,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print("Congestion (agent-ticks per cell; '#' shelves, '@' obstacles):")
         print(render_congestion(warehouse, report.trace.visits))
+        if report.routing is not None:
+            print()
+            print("Edge congestion (crossings per cell, grid-routed motion):")
+            print(render_edge_heatmap(warehouse, report.routing.edge_traversals))
     if args.save_trace:
         save_json(trace_to_dict(report.trace), args.save_trace)
         print(f"\ntrace written to {args.save_trace}")
@@ -360,6 +384,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="Poisson order arrivals per tick (default: all orders at t=0)",
+    )
+    simulate_parser.add_argument(
+        "--routing",
+        default="abstract",
+        choices=ROUTERS,
+        help="execution mode: abstract plan replay, or grid-routed motion "
+        "via a MAPF router (prioritized, cbs, ecbs, lifelong)",
+    )
+    simulate_parser.add_argument(
+        "--routing-window",
+        type=int,
+        default=0,
+        help="steps committed per replanning episode (0 = router default)",
     )
     simulate_parser.add_argument(
         "--heatmap", action="store_true", help="print the congestion heatmap"

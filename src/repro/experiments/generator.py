@@ -170,11 +170,41 @@ def mix_suite(seed: int = 0) -> List[ScenarioSpec]:
     )
 
 
+def routing_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """Every execution mode over one small instance: the abstract replay and
+    all four grid routers, plus a tight-window lifelong variant exercising the
+    replanning-window trade-off.
+
+    The map is deliberately tiny (one slice, five agents) so even optimal CBS
+    routes it in well under a second — the point of the suite is the
+    per-router congestion/inflation comparison, not scale.
+    """
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=1,
+        shelf_columns=3,
+        shelf_bands=1,
+        num_stations=1,
+        num_products=2,
+        units=4,
+        horizon=150,
+        seed=seed,
+    )
+    specs = grid_scenarios(
+        base, {"router": ("abstract", "prioritized", "cbs", "ecbs", "lifelong")}
+    )
+    specs.append(
+        replace(base, router="lifelong", routing_window=4, name="routing/lifelong-w4")
+    )
+    return specs
+
+
 #: Named suites reachable from ``repro sweep --preset``.
 PRESET_SUITES: Dict[str, Callable[[int], List[ScenarioSpec]]] = {
     "smoke": smoke_suite,
     "scaling": scaling_suite,
     "mix": mix_suite,
+    "routing": routing_suite,
 }
 
 

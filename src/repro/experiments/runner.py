@@ -69,7 +69,7 @@ def _deadline(seconds: Optional[float]):
 def _sim_payload(report) -> Dict[str, float]:
     """Condense a :class:`~repro.sim.runner.SimulationReport` for the record."""
     trace = report.trace
-    return {
+    payload = {
         "units_served": float(trace.units_served),
         "realized_throughput": float(report.realized_throughput),
         "synthesized_throughput": float(report.synthesized_throughput),
@@ -79,6 +79,19 @@ def _sim_payload(report) -> Dict[str, float]:
         "contract_violations": float(report.num_violations),
         "contracts_ok": float(report.contracts_ok),
     }
+    if report.routing is not None:
+        routing = report.routing
+        payload.update(
+            {
+                "routing_completed": float(routing.completed),
+                "routing_inflation": float(routing.inflation),
+                "routing_replans": float(routing.replans),
+                "routing_expansions": float(routing.expansions),
+                "routing_conflicts": float(routing.conflicts),
+                "routing_max_edge_load": float(routing.max_edge_load),
+            }
+        )
+    return payload
 
 
 def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) -> Dict:
@@ -134,6 +147,7 @@ def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) ->
                     service_time=parse_service_time(spec.service_time),
                     arrival_rate=spec.arrival_rate,
                     record_events=False,
+                    routing=spec.routing_config(),
                 )
                 report = solver.simulate(solution, config)
                 timings["simulation"] = report.seconds

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..maps.fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
 from ..maps.sorting import SortingLayout, generate_sorting_center
+from ..sim.routing import ROUTERS
 from ..sim.stations import ServiceTimeModel
 from ..warehouse import WarehouseError, Workload
 
@@ -91,6 +92,9 @@ class ScenarioSpec:
     simulate: bool = True
     service_time: str = "0"
     arrival_rate: Optional[float] = None
+    # -- routing (grid-routed execution; see repro.sim.routing) ------------------
+    router: str = "abstract"
+    routing_window: int = 0
     # -- identity ---------------------------------------------------------------
     seed: int = 0
     name: str = ""
@@ -101,16 +105,27 @@ class ScenarioSpec:
         """The display name: ``name`` if set, otherwise derived from the dims."""
         if self.name:
             return self.name
+        router = "" if self.router == "abstract" else f"-{self.router}"
         return (
             f"{self.kind}-b{self.num_slices}c{self.shelf_columns}x{self.shelf_bands}"
-            f"-st{self.num_stations}-u{self.units}-{self.workload_mix}-s{self.seed}"
+            f"-st{self.num_stations}-u{self.units}-{self.workload_mix}-s{self.seed}{router}"
         )
 
     @property
     def scenario_id(self) -> str:
-        """Stable 12-hex-digit identity over every field except ``name``."""
+        """Stable 12-hex-digit identity over every field except ``name``.
+
+        Fields added after v1.2 are dropped from the hash payload while they
+        hold their defaults, so every pre-existing scenario keeps its id and
+        archived baselines stay matchable by ``repro sweep --compare`` across
+        schema growth.  Follow the same pattern for future spec fields.
+        """
         payload = asdict(self)
         payload.pop("name")
+        if payload["router"] == "abstract":
+            del payload["router"]
+        if payload["routing_window"] == 0:
+            del payload["routing_window"]
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha1(canonical.encode()).hexdigest()[:12]
 
@@ -142,6 +157,19 @@ class ScenarioSpec:
             raise ScenarioError("horizon must be positive")
         if self.arrival_rate is not None and not self.arrival_rate > 0:
             raise ScenarioError("arrival_rate must be positive when set")
+        if self.router not in ROUTERS:
+            raise ScenarioError(
+                f"unknown router {self.router!r}; expected one of {ROUTERS}"
+            )
+        if self.routing_window < 0:
+            raise ScenarioError("routing_window must be non-negative")
+        if self.router == "abstract" and self.routing_window:
+            # The window would be silently ignored at run time while still
+            # perturbing the scenario's hash identity — reject the combination
+            # (the CLI enforces the same rule).
+            raise ScenarioError(
+                "routing_window only applies to grid routers (router != 'abstract')"
+            )
         parse_service_time(self.service_time)
         try:
             self.layout().validate()
@@ -156,6 +184,15 @@ class ScenarioSpec:
         return True
 
     # -- materialization --------------------------------------------------------
+    def routing_config(self):
+        """The :class:`~repro.sim.routing.RoutingConfig` this spec asks for,
+        or ``None`` for the abstract (plan-replay) execution mode."""
+        if self.router == "abstract":
+            return None
+        from ..sim.routing import RoutingConfig
+
+        return RoutingConfig(router=self.router, window=self.routing_window)
+
     def _sorting_layout(self) -> SortingLayout:
         return SortingLayout(
             num_slices=self.num_slices,

@@ -195,6 +195,13 @@ def trace_to_dict(trace) -> Dict:
         "units_served": trace.units_served,
         "stockouts": trace.stockouts,
         "events": None if trace.events is None else [list(e) for e in trace.events],
+        # Realized per-agent vertex paths (grid-routed runs); None for
+        # abstract replay, where the archived plan already holds the motion.
+        "agent_paths": (
+            None
+            if trace.agent_paths is None
+            else [[int(v) for v in path] for path in trace.agent_paths]
+        ),
         "metadata": {k: float(v) for k, v in trace.metadata.items()},
     }
 
@@ -205,6 +212,7 @@ def trace_from_dict(document: Dict):
 
     _check_schema(document, "sim-trace")
     events = document.get("events")
+    agent_paths = document.get("agent_paths")
     return SimulationTrace(
         ticks=int(document["ticks"]),
         num_agents=int(document["num_agents"]),
@@ -229,6 +237,11 @@ def trace_from_dict(document: Dict):
         units_served=int(document["units_served"]),
         stockouts=int(document.get("stockouts", 0)),
         events=None if events is None else [tuple(e) for e in events],
+        agent_paths=(
+            None
+            if agent_paths is None
+            else [tuple(int(v) for v in path) for path in agent_paths]
+        ),
         metadata={k: float(v) for k, v in document.get("metadata", {}).items()},
     )
 

@@ -14,6 +14,17 @@ shape:
   default, CBS or prioritized planning for ablations — and stitches the
   resulting paths into one long plan.
 
+Two replanning regimes are supported.  With the default
+``commit_window=None`` every episode is committed in full: agents run all the
+way to their next goal before anyone replans.  With a positive
+``commit_window`` only the first ``commit_window`` steps of each episode's
+solution are executed before the planner replans from the new positions —
+the rolling-horizon scheme lifelong systems (RHCR-style) use.  Small windows
+react quickly to the evolving goal set but pay for many more solver episodes;
+large windows amortize the search but commit to stale paths longer.  The
+grid-routed execution mode of :mod:`repro.sim.routing` exposes exactly this
+trade-off.
+
 The runtime of this baseline grows steeply with the number of agents and with
 the number of goals per agent, which is exactly the scaling contrast the
 paper's evaluation reports (the baseline fails to terminate within an hour on
@@ -63,6 +74,11 @@ class LifelongResult:
     expansions: int
     runtime_seconds: float
     engine: str
+    #: Per agent (in task order), the tick at which each *completed* goal was
+    #: reached — ``goal_arrivals[i][j]`` indexes into ``paths[i]``.  Consumers
+    #: that replay the plan (the grid-routed simulator) use these to anchor
+    #: load changes to the tick the agent actually stood on the waypoint.
+    goal_arrivals: Tuple[Tuple[int, ...], ...] = ()
 
     @property
     def makespan(self) -> int:
@@ -89,10 +105,18 @@ class IteratedPlannerOptions:
     time_limit: Optional[float] = None
     max_episodes: int = 10_000
     per_episode_node_limit: int = 20_000
+    #: ``None`` commits every episode in full (replan only when an agent
+    #: reaches its goal); a positive value commits only that many steps per
+    #: episode before replanning from the new positions (rolling horizon).
+    commit_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise LifelongError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.commit_window is not None and self.commit_window < 1:
+            raise LifelongError(
+                f"commit_window must be at least 1 step, got {self.commit_window}"
+            )
 
 
 class IteratedPlanner:
@@ -113,6 +137,7 @@ class IteratedPlanner:
         cumulative: Dict[int, List[VertexId]] = {
             task.agent_id: [task.start] for task in tasks
         }
+        arrivals: Dict[int, List[int]] = {task.agent_id: [] for task in tasks}
         goals_total = sum(len(task.goals) for task in tasks)
         goals_completed = 0
         expansions = 0
@@ -138,14 +163,30 @@ class IteratedPlanner:
                 break
             expansions += solution.expansions
             horizon = max(len(path) for path in solution.paths)
+            # Everyone commits the same number of ticks, so the stitched paths
+            # stay aligned (a prefix of a collision-free episode solution is
+            # itself collision-free).
+            commit = (
+                horizon
+                if options.commit_window is None
+                else min(horizon, options.commit_window + 1)
+            )
             for task, path in zip(tasks, solution.paths):
                 agent_id = task.agent_id
+                base = len(cumulative[agent_id]) - 1  # tick of the current position
                 padded = list(path) + [path[-1]] * (horizon - len(path))
-                cumulative[agent_id].extend(padded[1:])
-                positions[agent_id] = padded[-1]
-                if pending[agent_id] and padded[-1] == pending[agent_id][0]:
+                committed = padded[:commit]
+                cumulative[agent_id].extend(committed[1:])
+                positions[agent_id] = committed[-1]
+                if pending[agent_id] and committed[-1] == pending[agent_id][0]:
                     pending[agent_id].pop(0)
                     goals_completed += 1
+                    # The goal is normally reached at the path's end (index
+                    # len(path) - 1); under a commit window the agent may also
+                    # happen to stand on the goal exactly at the window edge
+                    # while still en route (reservation detours can revisit
+                    # the goal vertex), so clamp into the committed range.
+                    arrivals[agent_id].append(base + min(len(path), commit) - 1)
 
         return LifelongResult(
             completed=not any(pending.values()),
@@ -156,6 +197,7 @@ class IteratedPlanner:
             expansions=expansions,
             runtime_seconds=time.perf_counter() - start_time,
             engine=options.engine,
+            goal_arrivals=tuple(tuple(arrivals[task.agent_id]) for task in tasks),
         )
 
     # -- internals --------------------------------------------------------------------
@@ -201,11 +243,21 @@ class IteratedPlanner:
         return MAPFProblem.from_pairs(self.floorplan, pairs)
 
     def _retreat_target(self, start: VertexId, blocked: set) -> VertexId:
-        """Nearest vertex not in ``blocked`` (falls back to ``start`` if none)."""
+        """Nearest reachable vertex not in ``blocked``.
+
+        Must never raise: when every reachable vertex is blocked (tiny or
+        saturated floorplans where all free cells are task endpoints), the
+        agent waits in place — ``start`` is returned as the sentinel even
+        though it is itself blocked.  The episode then degrades gracefully
+        (the blocked agent parks and the solver reports the episode
+        unsolvable or routes around it) instead of crashing the whole
+        lifelong run.
+        """
         distances = self.floorplan.bfs_distances(start)
         for vertex in sorted(distances, key=distances.get):
             if vertex not in blocked:
                 return vertex
+        # Fully blocked: wait in place (sentinel), never raise.
         return start
 
     def _solve_episode(
@@ -218,7 +270,17 @@ class IteratedPlanner:
                 CBSOptions(max_nodes=options.per_episode_node_limit, time_limit=time_limit),
             )
         if options.engine == "prioritized":
-            return solve_prioritized(problem)
+            # Prioritized planning is incomplete: a low-priority agent can be
+            # boxed in by earlier reservations.  Retry every rotation of the
+            # priority order (deterministic, at most n cheap solves) before
+            # declaring the episode unsolvable.
+            agent_ids = [agent.agent_id for agent in problem.agents]
+            for shift in range(max(1, len(agent_ids))):
+                order = agent_ids[shift:] + agent_ids[:shift]
+                solution = solve_prioritized(problem, order=order)
+                if solution is not None:
+                    return solution
+            return None
         return solve_ecbs(
             problem,
             ECBSOptions(

@@ -5,6 +5,9 @@ simulated time and observes whether the promises hold dynamically:
 
 * :mod:`repro.sim.engine`       — deterministic, seedable event-heap engine;
 * :mod:`repro.sim.agents`       — executors stepping realized plans tick-by-tick;
+* :mod:`repro.sim.routing`      — grid-routed execution: agent motion re-planned
+  on the floorplan by a pluggable MAPF router (prioritized/CBS/ECBS/lifelong)
+  with reservation-based collision avoidance and congestion telemetry;
 * :mod:`repro.sim.stations`     — station/shelf service processes with queues
   and configurable service-time distributions;
 * :mod:`repro.sim.workload_gen` — deterministic and Poisson order streams with
@@ -40,6 +43,18 @@ from .monitors import (
     MonitorViolation,
     monitor_from_synthesis,
 )
+from .routing import (
+    DEFAULT_LIFELONG_WINDOW,
+    ROUTERS,
+    RoutingConfig,
+    RoutingError,
+    RoutingReport,
+    edge_load_by_vertex,
+    edge_traversal_counts,
+    free_flow_cost,
+    plan_waypoints,
+    route_plan,
+)
 from .runner import (
     SimulationConfig,
     SimulationReport,
@@ -68,9 +83,14 @@ from .workload_gen import (
 __all__ = [
     "AgentExecutor",
     "ContractMonitor",
+    "DEFAULT_LIFELONG_WINDOW",
     "DeterministicOrderStream",
     "Event",
     "ExecutionError",
+    "ROUTERS",
+    "RoutingConfig",
+    "RoutingError",
+    "RoutingReport",
     "MonitorError",
     "MonitorReport",
     "MonitorViolation",
@@ -97,8 +117,13 @@ __all__ = [
     "TraceRecorder",
     "build_shelf_processes",
     "build_station_processes",
+    "edge_load_by_vertex",
+    "edge_traversal_counts",
+    "free_flow_cost",
     "monitor_from_synthesis",
+    "plan_waypoints",
     "product_mix_from_workload",
+    "route_plan",
     "simulate_plan",
     "simulate_solution",
 ]

@@ -21,6 +21,7 @@ from ..warehouse.workload import Workload
 from .agents import PlanExecutor
 from .engine import PRIORITY_TELEMETRY, SimulationEngine
 from .monitors import ContractMonitor, MonitorReport, monitor_from_synthesis
+from .routing import RoutingConfig, RoutingReport, route_plan
 from .stations import (
     ServiceTimeModel,
     build_shelf_processes,
@@ -62,16 +63,24 @@ class SimulationConfig:
     record_events: bool = True
     #: Sample station queue lengths every tick.
     sample_queues: bool = True
-    #: Stop after this many ticks (``None`` = the plan's horizon).
+    #: Stop after this many ticks (``None`` = the executed plan's horizon).
     max_ticks: Optional[int] = None
+    #: Grid-routed execution (``None`` = abstract plan replay); see
+    #: :class:`~repro.sim.routing.RoutingConfig`.
+    routing: Optional[RoutingConfig] = None
 
     def describe(self) -> str:
         arrivals = (
             "all-at-t0" if self.arrival_rate is None else f"poisson({self.arrival_rate:g}/tick)"
         )
+        routing = (
+            "abstract"
+            if self.routing is None or not self.routing.is_grid_routed
+            else self.routing.describe()
+        )
         return (
             f"seed={self.seed}, service={self.service_time.describe()}, "
-            f"arrivals={arrivals}"
+            f"arrivals={arrivals}, routing={routing}"
         )
 
 
@@ -86,6 +95,8 @@ class SimulationReport:
     ticks: int
     #: Units/tick promised by the synthesized flow set (deliveries_per_period / tc).
     synthesized_throughput: float
+    #: Grid-routing telemetry (``None`` for abstract plan replay).
+    routing: Optional[RoutingReport] = None
     #: Wall-clock cost of the run (reporting only — never used by the sim).
     seconds: float = 0.0
 
@@ -140,6 +151,8 @@ class SimulationReport:
             )
         if self.trace.stockouts:
             lines.append(f"  stockouts:           {self.trace.stockouts}")
+        if self.routing is not None:
+            lines.append(f"  {self.routing.summary()}")
         if self.monitor is not None:
             lines.append(f"  {self.monitor.summary()}")
             for violation in self.monitor.violations[:10]:
@@ -173,14 +186,26 @@ def simulate_plan(
         cycle_time = int(plan.metadata.get("cycle_time", 0)) or max(1, plan.horizon - 1)
         synthesized = 0.0
 
-    ticks = plan.horizon if config.max_ticks is None else min(config.max_ticks, plan.horizon)
+    # Grid-routed mode: replace the plan's abstract motion with MAPF paths
+    # before anything else sees it — executors, monitors and telemetry then
+    # operate on the congestion-subjected motion.
+    routing_report: Optional[RoutingReport] = None
+    exec_plan = plan
+    if config.routing is not None and config.routing.is_grid_routed:
+        exec_plan, routing_report = route_plan(plan, config.routing)
+
+    ticks = (
+        exec_plan.horizon
+        if config.max_ticks is None
+        else min(config.max_ticks, exec_plan.horizon)
+    )
     if ticks < 2:
         raise SimulationSetupError(f"a plan with {ticks} tick(s) has nothing to simulate")
 
     engine = SimulationEngine(config.seed)
     recorder = TraceRecorder(
-        num_vertices=plan.warehouse.floorplan.num_vertices,
-        num_agents=plan.num_agents,
+        num_vertices=exec_plan.warehouse.floorplan.num_vertices,
+        num_agents=exec_plan.num_agents,
         cycle_time=cycle_time,
         ticks=ticks,
         seed=config.seed,
@@ -206,7 +231,7 @@ def simulate_plan(
     )
     shelves = build_shelf_processes(system, recorder)
     executor = PlanExecutor(
-        engine, plan, system, recorder, stations, shelves, max_ticks=ticks
+        engine, exec_plan, system, recorder, stations, shelves, max_ticks=ticks
     )
     executor.start()
 
@@ -228,12 +253,26 @@ def simulate_plan(
 
     engine.run(until=ticks - 1)
 
-    trace = recorder.build(
-        metadata={
-            "cycle_time": float(cycle_time),
-            "synthesized_throughput": float(synthesized),
-        }
-    )
+    metadata = {
+        "cycle_time": float(cycle_time),
+        "synthesized_throughput": float(synthesized),
+    }
+    agent_paths = None
+    if routing_report is not None:
+        agent_paths = [
+            tuple(int(v) for v in exec_plan.positions[agent, :ticks])
+            for agent in range(exec_plan.num_agents)
+        ]
+        metadata.update(
+            {
+                "routing_completed": float(routing_report.completed),
+                "routing_inflation": float(routing_report.inflation),
+                "routing_replans": float(routing_report.replans),
+                "routing_conflicts": float(routing_report.conflicts),
+                "routing_max_edge_load": float(routing_report.max_edge_load),
+            }
+        )
+    trace = recorder.build(metadata=metadata, agent_paths=agent_paths)
     monitor_report: Optional[MonitorReport] = None
     if monitor is not None:
         monitor_report = monitor.evaluate(trace, workload=workload)
@@ -245,9 +284,10 @@ def simulate_plan(
         trace=trace,
         config=config,
         monitor=monitor_report,
-        num_agents=plan.num_agents,
+        num_agents=exec_plan.num_agents,
         ticks=ticks,
         synthesized_throughput=synthesized,
+        routing=routing_report,
         seconds=time.perf_counter() - start,
     )
 

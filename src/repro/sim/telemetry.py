@@ -69,6 +69,9 @@ class SimulationTrace:
     stockouts: int
     #: Ordered event log (determinism witness); None when recording is off.
     events: Optional[List[TraceEvent]] = None
+    #: Realized per-agent vertex paths (grid-routed runs only; the abstract
+    #: mode replays the plan verbatim, so archiving the plan suffices there).
+    agent_paths: Optional[List[Tuple[int, ...]]] = None
     metadata: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate queries -------------------------------------------------------
@@ -294,7 +297,11 @@ class TraceRecorder:
             samples[tick] = length
 
     # -- freezing -----------------------------------------------------------------
-    def build(self, metadata: Optional[Dict[str, float]] = None) -> SimulationTrace:
+    def build(
+        self,
+        metadata: Optional[Dict[str, float]] = None,
+        agent_paths: Optional[List[Tuple[int, ...]]] = None,
+    ) -> SimulationTrace:
         return SimulationTrace(
             ticks=self.ticks,
             num_agents=self.num_agents,
@@ -316,5 +323,6 @@ class TraceRecorder:
             units_served=self.units_served,
             stockouts=self.stockouts,
             events=self.events,
+            agent_paths=None if agent_paths is None else list(agent_paths),
             metadata=dict(metadata or {}),
         )

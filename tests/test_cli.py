@@ -32,6 +32,21 @@ class TestParser:
         assert output.startswith("repro ")
         assert output.strip().split(" ", 1)[1]  # a non-empty version string
 
+    def test_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--map", "sorting-center-small", "--units", "4",
+                 "--routing", "teleport"]
+            )
+
+    def test_routing_window_without_grid_router_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["simulate", "--map", "sorting-center-small", "--units", "4",
+                 "--routing-window", "8"]
+            )
+        assert "--routing-window" in str(excinfo.value)
+
 
 class TestMapsCommand:
     def test_lists_presets_and_paper_stats(self, capsys):

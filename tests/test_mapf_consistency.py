@@ -1,0 +1,84 @@
+"""Cross-router cost consistency on the catalog presets.
+
+CBS is optimal (sum-of-costs), prioritized planning is merely feasible, and
+ECBS(w) is bounded-suboptimal — so on any instance all three solve, the costs
+must order as::
+
+    cost(CBS)  <=  cost(prioritized)
+    cost(ECBS) <=  w * cost(CBS)
+
+These inequalities are the routers' *contracts*; a refactor of any search
+that silently breaks them would skew every benchmark built on top.  The
+instances here are deterministic start/goal sets drawn from the catalog
+presets' station and shelf-access vertices (the endpoints real routed plans
+use).
+"""
+
+import pytest
+
+from repro.maps.catalog import fulfillment_center_1_small, sorting_center_small
+from repro.mapf import MAPFProblem, solve_cbs, solve_ecbs, solve_prioritized
+from repro.mapf.cbs import CBSOptions
+from repro.mapf.ecbs import ECBSOptions
+
+SUBOPTIMALITY = 1.5
+
+
+def _preset_problem(designed, num_agents):
+    """A deterministic MAPF instance on a preset: stations -> shelf access."""
+    floorplan = designed.warehouse.floorplan
+    # Start at the stations, topped up with shelf-access vertices when the
+    # preset has fewer stations than the requested team size.
+    starts = sorted(floorplan.stations) + sorted(floorplan.shelf_access)
+    starts = list(dict.fromkeys(starts))[:num_agents]
+    goals = [
+        g for g in sorted(floorplan.shelf_access, reverse=True) if g not in starts
+    ]
+    pairs = list(zip(starts, goals[:num_agents]))
+    assert len(pairs) == num_agents, "preset too small for the requested team"
+    return MAPFProblem.from_pairs(floorplan, pairs)
+
+
+PRESETS = (
+    ("sorting-center-small", lambda: sorting_center_small().designed, 2),
+    ("fulfillment-1-small", fulfillment_center_1_small, 3),
+)
+
+
+@pytest.mark.parametrize("name,build,num_agents", PRESETS, ids=[p[0] for p in PRESETS])
+def test_router_cost_ordering_on_catalog_presets(name, build, num_agents):
+    problem = _preset_problem(build(), num_agents)
+
+    cbs = solve_cbs(problem, CBSOptions(max_nodes=50_000))
+    assert cbs is not None, f"CBS failed on {name}"
+    assert cbs.is_valid()
+
+    ecbs = solve_ecbs(
+        problem, ECBSOptions(suboptimality=SUBOPTIMALITY, max_nodes=50_000)
+    )
+    assert ecbs is not None, f"ECBS failed on {name}"
+    assert ecbs.is_valid()
+
+    # ECBS's bounded-suboptimality contract against the CBS optimum.
+    assert ecbs.sum_of_costs <= SUBOPTIMALITY * cbs.sum_of_costs
+
+    prioritized = solve_prioritized(problem)
+    if prioritized is not None:  # incomplete solver: absence is legitimate
+        assert prioritized.is_valid()
+        # CBS optimality: nothing beats it.
+        assert cbs.sum_of_costs <= prioritized.sum_of_costs
+
+
+def test_cbs_is_no_worse_than_prioritized_under_congestion():
+    """A deliberately congested instance (agents crossing a shared aisle)."""
+    designed = sorting_center_small().designed
+    floorplan = designed.warehouse.floorplan
+    stations = sorted(floorplan.stations)
+    # Swap-shaped demand: station agents exchange ends of the station row.
+    pairs = [(stations[0], stations[-1]), (stations[-1], stations[0])]
+    problem = MAPFProblem.from_pairs(floorplan, pairs)
+    cbs = solve_cbs(problem, CBSOptions(max_nodes=50_000))
+    assert cbs is not None and cbs.is_valid()
+    prioritized = solve_prioritized(problem)
+    if prioritized is not None:
+        assert cbs.sum_of_costs <= prioritized.sum_of_costs

@@ -1,0 +1,316 @@
+"""Property-based tests of the MAPF invariants (hypothesis).
+
+For randomly drawn small grids and agent sets, every router's output must be
+vertex- and edge-collision-free, start and end at the requested endpoints,
+and respect grid adjacency.  The library's conflict detector
+(:func:`repro.mapf.problem.find_conflicts`) is cross-checked against an
+independently written brute-force O(T·n²) checker — in particular,
+``LifelongResult.is_collision_free()`` must agree with the brute force on
+both clean and deliberately corrupted path sets.
+
+A separate regression class pins the ``_retreat_target`` contract: when every
+reachable vertex is blocked, the idle agent waits in place (the sentinel) and
+the lifelong solve degrades gracefully instead of raising.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mapf import (
+    IteratedPlanner,
+    IteratedPlannerOptions,
+    LifelongResult,
+    LifelongTask,
+    MAPFProblem,
+    find_conflicts,
+    solve_cbs,
+    solve_ecbs,
+    solve_prioritized,
+)
+from repro.mapf.cbs import CBSOptions
+from repro.mapf.ecbs import ECBSOptions
+from repro.warehouse.floorplan import FloorplanGraph
+from repro.warehouse.grid import GridMap
+
+
+# ---------------------------------------------------------------------------
+# independent brute-force conflict checker
+# ---------------------------------------------------------------------------
+
+def brute_force_conflicts(paths):
+    """All pairwise vertex/edge collisions, written independently of repro.mapf.
+
+    Agents rest at their final vertex forever (the MAPF convention).  Returns
+    a list of (kind, agent_i, agent_j, timestep) tuples.
+    """
+    if not paths:
+        return []
+    horizon = max(len(path) for path in paths)
+
+    def at(path, t):
+        return path[t] if t < len(path) else path[-1]
+
+    found = []
+    for t in range(horizon):
+        for i in range(len(paths)):
+            for j in range(i + 1, len(paths)):
+                if at(paths[i], t) == at(paths[j], t):
+                    found.append(("vertex", i, j, t))
+                if (
+                    t > 0
+                    and at(paths[i], t) != at(paths[i], t - 1)
+                    and at(paths[i], t) == at(paths[j], t - 1)
+                    and at(paths[i], t - 1) == at(paths[j], t)
+                ):
+                    found.append(("edge", i, j, t))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def small_floorplans(draw):
+    """A connected floorplan derived from a random small obstacle grid."""
+    width = draw(st.integers(min_value=3, max_value=5))
+    height = draw(st.integers(min_value=3, max_value=4))
+    rows = []
+    for _ in range(height):
+        row = "".join(
+            "@" if draw(st.integers(min_value=0, max_value=9)) < 2 else "."
+            for _ in range(width)
+        )
+        rows.append(row)
+    grid = GridMap.from_ascii("\n".join(rows), name="hypothesis-grid")
+    floorplan = FloorplanGraph.from_grid(grid)
+    assume(floorplan.num_vertices >= 4 and floorplan.is_connected())
+    return floorplan
+
+
+@st.composite
+def mapf_problems(draw):
+    floorplan = draw(small_floorplans())
+    num_agents = draw(
+        st.integers(min_value=1, max_value=min(3, floorplan.num_vertices // 2))
+    )
+    vertices = list(range(floorplan.num_vertices))
+    starts = draw(st.permutations(vertices))[:num_agents]
+    goals = draw(st.permutations(vertices))[:num_agents]
+    return MAPFProblem.from_pairs(floorplan, list(zip(starts, goals)))
+
+
+@st.composite
+def lifelong_instances(draw):
+    floorplan = draw(small_floorplans())
+    num_agents = draw(
+        st.integers(min_value=1, max_value=min(3, floorplan.num_vertices // 2))
+    )
+    vertices = list(range(floorplan.num_vertices))
+    starts = draw(st.permutations(vertices))[:num_agents]
+    tasks = []
+    for agent, start in enumerate(starts):
+        num_goals = draw(st.integers(min_value=0, max_value=2))
+        goals = tuple(
+            draw(st.sampled_from(vertices)) for _ in range(num_goals)
+        )
+        tasks.append(LifelongTask(agent_id=agent, start=start, goals=goals))
+    return floorplan, tasks
+
+
+SOLVERS = (
+    ("prioritized", lambda problem: solve_prioritized(problem)),
+    ("cbs", lambda problem: solve_cbs(problem, CBSOptions(max_nodes=2_000))),
+    (
+        "ecbs",
+        lambda problem: solve_ecbs(
+            problem, ECBSOptions(suboptimality=1.5, max_nodes=2_000)
+        ),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# one-shot router invariants
+# ---------------------------------------------------------------------------
+
+class TestOneShotRouterInvariants:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(problem=mapf_problems())
+    def test_solutions_are_collision_free_and_anchored(self, problem):
+        for name, solve in SOLVERS:
+            solution = solve(problem)
+            if solution is None:
+                # Prioritized is incomplete; CBS/ECBS may hit node limits.
+                continue
+            assert len(solution.paths) == problem.num_agents, name
+            for agent, path in zip(problem.agents, solution.paths):
+                assert path[0] == agent.start, name
+                assert path[-1] == agent.goal, name
+                for u, v in zip(path, path[1:]):
+                    assert u == v or problem.floorplan.are_adjacent(u, v), name
+            assert find_conflicts(solution.paths) == [], name
+            assert brute_force_conflicts(solution.paths) == [], name
+            assert solution.is_valid(), name
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(problem=mapf_problems())
+    def test_conflict_detector_agrees_with_brute_force(self, problem):
+        solution = solve_cbs(problem, CBSOptions(max_nodes=2_000))
+        if solution is None:
+            return
+        # Clean paths: both checkers agree there is nothing.
+        assert bool(find_conflicts(solution.paths)) == bool(
+            brute_force_conflicts(solution.paths)
+        )
+        if problem.num_agents >= 2:
+            # Corrupted paths: duplicating one agent's path onto another must
+            # be flagged by both checkers identically.
+            corrupted = list(solution.paths)
+            corrupted[1] = corrupted[0]
+            assert find_conflicts(corrupted) != []
+            assert brute_force_conflicts(corrupted) != []
+
+
+# ---------------------------------------------------------------------------
+# lifelong planner invariants
+# ---------------------------------------------------------------------------
+
+class TestLifelongInvariants:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(instance=lifelong_instances(), data=st.data())
+    def test_is_collision_free_agrees_with_brute_force(self, instance, data):
+        floorplan, tasks = instance
+        engine = data.draw(st.sampled_from(["prioritized", "ecbs"]), label="engine")
+        window = data.draw(st.sampled_from([None, 2, 5]), label="window")
+        planner = IteratedPlanner(
+            floorplan,
+            IteratedPlannerOptions(
+                engine=engine,
+                max_episodes=60,
+                commit_window=window,
+                per_episode_node_limit=4_000,
+            ),
+        )
+        result = planner.solve(tasks)
+        assert result.is_collision_free() == (
+            brute_force_conflicts(result.paths) == []
+        )
+        # The stitched paths must be genuinely collision-free, start where the
+        # tasks start, and respect adjacency.
+        assert brute_force_conflicts(result.paths) == []
+        for task, path in zip(tasks, result.paths):
+            assert path[0] == task.start
+            for u, v in zip(path, path[1:]):
+                assert u == v or floorplan.are_adjacent(u, v)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(instance=lifelong_instances())
+    def test_completed_runs_visit_goals_in_order_with_recorded_arrivals(
+        self, instance
+    ):
+        floorplan, tasks = instance
+        planner = IteratedPlanner(
+            floorplan,
+            IteratedPlannerOptions(
+                engine="ecbs", max_episodes=60, per_episode_node_limit=4_000
+            ),
+        )
+        result = planner.solve(tasks)
+        if not result.completed:
+            return
+        assert result.goals_completed == result.goals_total
+        for task, path, arrivals in zip(tasks, result.paths, result.goal_arrivals):
+            assert len(arrivals) == len(task.goals)
+            for goal, arrival in zip(task.goals, arrivals):
+                assert 0 <= arrival < len(path)
+                assert path[arrival] == goal
+            assert list(arrivals) == sorted(arrivals)
+
+    def test_is_collision_free_flags_corrupted_result(self):
+        # A hand-built result with two agents on the same vertex: the library
+        # checker and the brute force must both reject it.
+        result = LifelongResult(
+            completed=True,
+            paths=((0, 1), (1, 1)),
+            goals_completed=2,
+            goals_total=2,
+            episodes=1,
+            expansions=0,
+            runtime_seconds=0.0,
+            engine="ecbs",
+        )
+        assert not result.is_collision_free()
+        assert brute_force_conflicts(result.paths) != []
+
+
+# ---------------------------------------------------------------------------
+# retreat-target regression (wait-in-place sentinel, never raise)
+# ---------------------------------------------------------------------------
+
+class TestRetreatTarget:
+    def _corridor(self, length=2):
+        grid = GridMap.from_ascii("." * length, name="corridor")
+        return FloorplanGraph.from_grid(grid)
+
+    def test_fully_blocked_retreat_returns_start_sentinel(self):
+        floorplan = self._corridor(2)
+        planner = IteratedPlanner(floorplan)
+        blocked = set(range(floorplan.num_vertices))
+        assert planner._retreat_target(0, blocked) == 0
+
+    def test_fully_blocked_floorplan_solve_degrades_gracefully(self):
+        # Every free vertex is either an agent position or a pending goal:
+        # the idle agent on vertex 0 cannot retreat anywhere, and the solve
+        # must terminate without raising (reporting incompleteness is fine).
+        floorplan = self._corridor(2)
+        tasks = [
+            LifelongTask(agent_id=0, start=0, goals=()),
+            LifelongTask(agent_id=1, start=1, goals=(0,)),
+        ]
+        for engine in ("prioritized", "cbs", "ecbs"):
+            planner = IteratedPlanner(
+                floorplan, IteratedPlannerOptions(engine=engine, max_episodes=10)
+            )
+            result = planner.solve(tasks)  # must not raise
+            assert result.is_collision_free()
+            assert result.paths[0][0] == 0
+
+    def test_partial_block_retreats_to_nearest_free_vertex(self):
+        floorplan = self._corridor(4)
+        planner = IteratedPlanner(floorplan)
+        # Vertices 0 and 1 blocked: the nearest free vertex from 0 is 2.
+        assert planner._retreat_target(0, {0, 1}) == 2
+
+    def test_idle_agent_clears_a_pending_goal_cell(self):
+        # Agent 0 idles on agent 1's goal; it must step aside so the run
+        # completes — the classic MAPD "move off task endpoints" behaviour.
+        floorplan = self._corridor(4)
+        tasks = [
+            LifelongTask(agent_id=0, start=2, goals=()),
+            LifelongTask(agent_id=1, start=0, goals=(2,)),
+        ]
+        planner = IteratedPlanner(
+            floorplan, IteratedPlannerOptions(engine="ecbs", max_episodes=50)
+        )
+        result = planner.solve(tasks)
+        assert result.completed
+        assert result.is_collision_free()
+        assert result.paths[1][-1] == 2

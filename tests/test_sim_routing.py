@@ -1,0 +1,274 @@
+"""End-to-end tests of grid-routed execution (:mod:`repro.sim.routing`).
+
+The central invariant: routing a realized plan yields a *new* plan that the
+independent :class:`~repro.warehouse.plan.PlanValidator` accepts in full —
+collision-free, unit moves, condition-(3) load changes — and that delivers
+exactly the same units as the original.  On top of that the routing report's
+telemetry (inflation, edge traversals, replans) must be internally
+consistent, survive trace serialization, and surface through the experiment
+runner's records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WSPSolver
+from repro.experiments import ScenarioSpec, execute_scenario
+from repro.io import trace_from_dict, trace_to_dict
+from repro.sim import (
+    DEFAULT_LIFELONG_WINDOW,
+    RoutingConfig,
+    RoutingError,
+    SimulationConfig,
+    edge_load_by_vertex,
+    edge_traversal_counts,
+    free_flow_cost,
+    plan_waypoints,
+    route_plan,
+    simulate_plan,
+)
+from repro.warehouse import PlanValidator, Workload
+
+GRID_ROUTERS = ("prioritized", "cbs", "ecbs", "lifelong")
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        kind="fulfillment",
+        num_slices=1,
+        shelf_columns=3,
+        shelf_bands=1,
+        num_stations=1,
+        num_products=2,
+        units=4,
+        horizon=150,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    spec = tiny_spec()
+    designed, workload = spec.build()
+    solution = WSPSolver(designed.traffic_system).solve(workload, horizon=spec.horizon)
+    assert solution.succeeded
+    return designed, workload, solution
+
+
+class TestRoutingConfig:
+    def test_rejects_unknown_router(self):
+        with pytest.raises(RoutingError):
+            RoutingConfig(router="teleport")
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(RoutingError):
+            RoutingConfig(router="ecbs", window=-1)
+
+    def test_rejects_suboptimality_below_one(self):
+        with pytest.raises(RoutingError):
+            RoutingConfig(router="ecbs", suboptimality=0.9)
+
+    def test_abstract_mode_has_no_engine(self):
+        config = RoutingConfig()
+        assert not config.is_grid_routed
+        with pytest.raises(RoutingError):
+            config.engine
+
+    def test_lifelong_defaults_to_windowed_replanning(self):
+        assert RoutingConfig(router="lifelong").effective_window == DEFAULT_LIFELONG_WINDOW
+        assert RoutingConfig(router="lifelong", window=4).effective_window == 4
+        assert RoutingConfig(router="ecbs").effective_window is None
+
+    def test_route_plan_refuses_abstract(self, solved):
+        _, _, solution = solved
+        with pytest.raises(RoutingError):
+            route_plan(solution.plan, RoutingConfig())
+
+
+class TestRoutedPlans:
+    @pytest.mark.parametrize("router", GRID_ROUTERS)
+    def test_routed_plan_is_feasible_and_preserves_logistics(self, solved, router):
+        designed, _, solution = solved
+        routed, report = route_plan(solution.plan, RoutingConfig(router=router))
+
+        assert report.completed, report.summary()
+        assert report.conflicts == 0
+        assert report.carry_mismatches == 0
+        assert report.goals_completed == report.goals_total
+
+        validation = PlanValidator(designed.warehouse).validate(routed)
+        assert validation.is_feasible, [str(v) for v in validation.violations[:5]]
+        # Same logistics: every unit the abstract plan delivered arrives.
+        assert routed.total_delivered() == solution.plan.total_delivered()
+        assert routed.delivered_units() == solution.plan.delivered_units()
+
+    @pytest.mark.parametrize("router", GRID_ROUTERS)
+    def test_routing_report_telemetry_is_consistent(self, solved, router):
+        _, _, solution = solved
+        _, report = route_plan(solution.plan, RoutingConfig(router=router))
+        assert report.router == router
+        assert report.free_flow_cost > 0
+        assert report.routed_cost >= report.free_flow_cost
+        assert report.inflation >= 1.0
+        assert report.replans >= 1
+        assert report.max_edge_load >= 1
+        # Edge traversals are keyed canonically (u < v) with positive counts.
+        for (u, v), crossings in report.edge_traversals.items():
+            assert u < v
+            assert crossings > 0
+        assert report.busiest_edges(3)[0][2] == report.max_edge_load
+
+    def test_waypoints_match_plan_load_changes(self, solved):
+        _, _, solution = solved
+        plan = solution.plan
+        events = plan_waypoints(plan)
+        assert len(events) == plan.num_agents
+        total_changes = sum(
+            int(np.sum(plan.carrying[a, 1:] != plan.carrying[a, :-1]))
+            for a in range(plan.num_agents)
+        )
+        assert sum(len(e) for e in events) == total_changes
+
+    def test_free_flow_cost_is_triangle_consistent(self, solved):
+        designed, _, solution = solved
+        floorplan = designed.warehouse.floorplan
+        events = plan_waypoints(solution.plan)
+        for agent in range(solution.plan.num_agents):
+            goals = tuple(v for v, _ in events[agent])
+            start = int(solution.plan.positions[agent, 0])
+            chained = free_flow_cost(floorplan, start, goals)
+            if goals:
+                direct = free_flow_cost(floorplan, start, goals[-1:])
+                assert chained >= direct
+
+    def test_edge_helpers(self):
+        paths = ((0, 1, 1, 2), (2, 1, 0))
+        counts = edge_traversal_counts(paths)
+        assert counts == {(0, 1): 2, (1, 2): 2}
+        load = edge_load_by_vertex(3, counts)
+        assert load.tolist() == [2, 4, 2]
+
+
+class TestRoutedSimulation:
+    @pytest.mark.parametrize("router", ("prioritized", "lifelong"))
+    def test_simulate_plan_grid_routed(self, solved, router):
+        _, workload, solution = solved
+        report = simulate_plan(
+            solution.plan,
+            solution.traffic_system,
+            flow_set=solution.flow_set,
+            workload=workload,
+            synthesis=solution.synthesis,
+            config=SimulationConfig(routing=RoutingConfig(router=router)),
+        )
+        assert report.routing is not None
+        assert report.routing.router == router
+        assert report.units_served == solution.plan.total_delivered()
+        assert report.trace.conservation_report() == []
+        # The routed motion is recorded on the trace and tagged in metadata.
+        assert report.trace.agent_paths is not None
+        assert len(report.trace.agent_paths) == solution.plan.num_agents
+        assert report.trace.metadata["routing_inflation"] >= 1.0
+        assert report.trace.metadata["routing_completed"] == 1.0
+        assert "routing [" in report.summary()
+
+    def test_abstract_mode_records_no_paths(self, solved):
+        _, workload, solution = solved
+        report = simulate_plan(
+            solution.plan,
+            solution.traffic_system,
+            flow_set=solution.flow_set,
+            workload=workload,
+            synthesis=solution.synthesis,
+        )
+        assert report.routing is None
+        assert report.trace.agent_paths is None
+        assert "routing_inflation" not in report.trace.metadata
+
+    def test_routed_trace_round_trips_through_json(self, solved):
+        _, workload, solution = solved
+        report = simulate_plan(
+            solution.plan,
+            solution.traffic_system,
+            flow_set=solution.flow_set,
+            workload=workload,
+            config=SimulationConfig(routing=RoutingConfig(router="ecbs")),
+        )
+        document = trace_to_dict(report.trace)
+        reloaded = trace_from_dict(document)
+        assert reloaded.agent_paths == report.trace.agent_paths
+        assert reloaded.metadata == report.trace.metadata
+        assert trace_to_dict(reloaded) == document
+
+    def test_window_trade_off_more_replans_when_tighter(self, solved):
+        _, _, solution = solved
+        _, wide = route_plan(
+            solution.plan, RoutingConfig(router="lifelong", window=64)
+        )
+        _, tight = route_plan(
+            solution.plan, RoutingConfig(router="lifelong", window=2)
+        )
+        assert tight.completed and wide.completed
+        assert tight.replans >= wide.replans
+
+
+class TestScenarioRouting:
+    def test_routing_config_materialization(self):
+        assert tiny_spec().routing_config() is None
+        config = tiny_spec(router="cbs", routing_window=3).routing_config()
+        assert config.router == "cbs"
+        assert config.window == 3
+
+    def test_validate_rejects_unknown_router(self):
+        with pytest.raises(Exception):
+            tiny_spec(router="warp").validate()
+
+    def test_validate_rejects_window_without_grid_router(self):
+        # The window would be ignored at run time yet change the scenario_id,
+        # producing distinct ids for byte-identical executions.
+        with pytest.raises(Exception):
+            tiny_spec(router="abstract", routing_window=8).validate()
+        tiny_spec(router="lifelong", routing_window=8).validate()
+
+    def test_label_carries_the_router(self):
+        assert tiny_spec().label.endswith("-s0")
+        assert tiny_spec(router="ecbs").label.endswith("-ecbs")
+
+    def test_scenario_id_distinguishes_routers(self):
+        ids = {tiny_spec(router=router).scenario_id for router in GRID_ROUTERS}
+        assert len(ids) == len(GRID_ROUTERS)
+
+    def test_scenario_id_stable_across_schema_growth(self):
+        """Default-valued routing fields must not perturb pre-1.3 ids.
+
+        ``repro sweep --compare`` joins records by scenario_id; if adding
+        spec fields changed the id of unchanged scenarios, every archived
+        baseline would silently stop matching.  The id is therefore computed
+        over the pre-growth payload whenever the new fields hold defaults.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        spec = tiny_spec()
+        legacy_payload = asdict(spec)
+        for field in ("name", "router", "routing_window"):
+            legacy_payload.pop(field)
+        legacy_id = hashlib.sha1(
+            json.dumps(legacy_payload, sort_keys=True).encode()
+        ).hexdigest()[:12]
+        assert spec.scenario_id == legacy_id
+        # Non-default routing fields do change the identity.
+        assert tiny_spec(router="ecbs").scenario_id != legacy_id
+
+    def test_execute_scenario_records_routing_columns(self):
+        spec = tiny_spec(router="prioritized")
+        document = execute_scenario(spec.to_dict())
+        assert document["status"] == "ok"
+        sim = document["sim"]
+        assert sim["routing_completed"] == 1.0
+        assert sim["routing_inflation"] >= 1.0
+        assert sim["routing_replans"] >= 1.0
+        assert sim["routing_conflicts"] == 0.0
+        assert sim["routing_max_edge_load"] >= 1.0
