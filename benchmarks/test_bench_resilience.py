@@ -1,0 +1,150 @@
+"""Experiment E15 (extension): resilience under failure injection.
+
+Solves one catalog instance (``sorting-center-small``), executes the realized
+plan through the digital twin once per disruption profile — the nominal
+baseline, each disruption family in isolation, and a combined storm with and
+without the online recovery policies — and emits ``BENCH_resilience.json`` at
+the repository root: one row per profile with the resilience telemetry
+(throughput retention, recovery actions and latency, downtime, dropped/late
+orders, contract-breach windows).
+
+This is the machine-readable artifact later resilience/performance PRs
+compare against.  The assertions pin the properties the comparison relies on:
+
+* the nominal profile retains the full synthesized throughput (retention 1);
+* an agent-breakdown profile completes, degrades throughput (retention < 1)
+  and performs at least one recovery action — the acceptance gate of the
+  disruption subsystem;
+* every disrupted run conserves orders and units, and its realized motion is
+  a feasible plan under the paper's three conditions;
+* disruptions never *increase* throughput beyond nominal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import resilience_comparison_table, resilience_row
+from repro.core import WSPSolver
+from repro.maps.catalog import sorting_center_small
+from repro.sim import SimulationConfig, parse_disruptions
+from repro.warehouse import PlanValidator, Workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+
+MAP_NAME = "sorting-center-small"
+UNITS = 4
+HORIZON = 400
+SEED = 7
+
+PROFILES = (
+    ("nominal", "none"),
+    ("breakdown", "breakdown:0.01:20"),
+    ("slowdown", "slowdown:0.02:25"),
+    ("outage", "outage:0.01:30"),
+    ("block", "block:0.02:12"),
+    ("surge", "surge:0.05:3,deadline:80"),
+    ("storm", "breakdown:0.008:15,slowdown:0.01:15,outage:0.005:25,block:0.01:10,surge:0.03:2"),
+    ("storm-norecover", "breakdown:0.008:15,slowdown:0.01:15,outage:0.005:25,block:0.01:10,surge:0.03:2,norecover"),
+)
+
+
+@pytest.fixture(scope="module")
+def profile_reports():
+    designed = sorting_center_small().designed
+    solver = WSPSolver(designed.traffic_system)
+    workload = Workload.uniform(designed.warehouse.catalog, UNITS)
+    solution = solver.solve(workload, horizon=HORIZON)
+    assert solution.succeeded, solution.message
+    reports = {}
+    for name, profile in PROFILES:
+        config = SimulationConfig(
+            seed=SEED, disruptions=parse_disruptions(profile), record_events=False
+        )
+        reports[name] = solver.simulate(solution, config)
+    return designed, solution, reports
+
+
+def test_every_profile_produces_a_row(profile_reports):
+    _, _, reports = profile_reports
+    assert set(reports) == {name for name, _ in PROFILES}
+    for name, report in reports.items():
+        row = resilience_row(report)
+        assert row["units_served"] >= 0
+        assert 0.0 <= row["throughput_retention"] <= 1.0, name
+
+
+def test_nominal_profile_retains_everything(profile_reports):
+    _, solution, reports = profile_reports
+    nominal = reports["nominal"]
+    assert nominal.resilience is None
+    assert nominal.throughput_retention == 1.0
+    assert nominal.units_served == solution.plan.total_delivered()
+
+
+def test_breakdowns_degrade_throughput_with_recovery(profile_reports):
+    """The acceptance gate: a catalog preset run with a positive breakdown
+    rate completes, reports retention < 1.0, and recovers at least once."""
+    _, _, reports = profile_reports
+    report = reports["breakdown"]
+    resilience = report.resilience
+    assert resilience is not None
+    assert resilience.breakdowns > 0
+    assert resilience.num_recoveries >= 1
+    assert resilience.throughput_retention < 1.0
+    assert resilience.agent_downtime > 0
+
+
+def test_disrupted_runs_conserve_and_stay_feasible(profile_reports):
+    designed, _, reports = profile_reports
+    validator = PlanValidator(designed.warehouse)
+    for name, report in reports.items():
+        trace = report.trace
+        assert trace.conservation_report() == [], name
+        assert trace.orders_served + trace.orders_pending == trace.orders_created, name
+        if report.realized_plan is not None:
+            assert validator.is_feasible(report.realized_plan), name
+
+
+def test_no_profile_beats_nominal_throughput(profile_reports):
+    _, _, reports = profile_reports
+    ceiling = reports["nominal"].units_served
+    for name, report in reports.items():
+        assert report.units_served <= ceiling, name
+
+
+def test_emit_bench_resilience_json(profile_reports):
+    """Write the BENCH_resilience.json artifact consumed by the perf driver."""
+    _, solution, reports = profile_reports
+    rows = []
+    for name, profile in PROFILES:
+        report = reports[name]
+        row = resilience_row(report)
+        row["profile"] = name
+        row["spec"] = profile
+        row["sim_seconds"] = float(report.seconds)
+        row["contracts_ok"] = float(report.contracts_ok)
+        rows.append(row)
+    document = {
+        "schema": "bench-resilience",
+        "version": 1,
+        "map": MAP_NAME,
+        "units": UNITS,
+        "horizon": HORIZON,
+        "seed": SEED,
+        "num_agents": solution.num_agents,
+        "plan_delivered": solution.plan.total_delivered(),
+        "profiles": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    reloaded = json.loads(BENCH_PATH.read_text())
+    assert [row["profile"] for row in reloaded["profiles"]] == [n for n, _ in PROFILES]
+    print(
+        "\n"
+        + resilience_comparison_table(
+            [reports[name] for name, _ in PROFILES], labels=[n for n, _ in PROFILES]
+        )
+    )

@@ -13,7 +13,10 @@ The package is organised as a set of substrates plus the co-design core:
   deterministic, seedable event loop that executes realized plans tick-by-tick
   with stochastic order streams, station service queues, telemetry, and a
   runtime monitor re-checking the assume-guarantee contracts against the
-  observed flows.
+  observed flows; a disruption stage injects stochastic failures (agent
+  breakdowns/slowdowns, station outages, blocked aisles, demand surges) with
+  online recovery policies and resilience telemetry, turning the monitor into
+  the paper's falsifiable instrument.
 * :mod:`repro.mapf`       — MAPF / MAPD baselines (A*, CBS, ECBS/EECBS, MAPD).
 * :mod:`repro.experiments`— scenario generation and parallel experiment
   orchestration: declarative scenario specs, grid/random/preset suites, a
@@ -27,12 +30,14 @@ The package is organised as a set of substrates plus the co-design core:
 The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`:
 ``solve()`` runs stages 1-5 (design check, synthesis, decomposition,
 realization, validation) and ``simulate()`` runs stage 6, executing the
-realized plan in the digital twin and returning a
+realized plan in the digital twin — nominally, grid-routed, or under
+failure injection (``SimulationConfig.disruptions``) — and returning a
 :class:`repro.sim.runner.SimulationReport`.  See ``examples/quickstart.py``
-for a five-minute tour and ``examples/simulate_fulfillment.py`` for the
-execution side.
+for a five-minute tour, ``examples/simulate_fulfillment.py`` for the
+execution side, and ``examples/resilient_simulation.py`` for the
+disruption/recovery tour.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = ["__version__"]

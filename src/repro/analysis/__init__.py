@@ -19,6 +19,12 @@ from .reporting import (
     scaling_report,
     table1_report,
 )
+from .resilience import (
+    disruption_density,
+    render_disruption_timeline,
+    resilience_comparison_table,
+    resilience_row,
+)
 from .routing import render_edge_heatmap, routing_comparison_table, routing_row
 from .sim_metrics import SimMetrics, compute_sim_metrics, throughput_gap_report
 from .visualization import (
@@ -41,15 +47,19 @@ __all__ = [
     "compare_sweeps",
     "compute_plan_metrics",
     "compute_sim_metrics",
+    "disruption_density",
     "format_markdown_table",
     "format_table",
     "paper_runtime",
     "render_component_legend",
     "render_congestion",
+    "render_disruption_timeline",
     "render_edge_heatmap",
     "render_grid",
     "render_plan_frame",
     "render_traffic_system",
+    "resilience_comparison_table",
+    "resilience_row",
     "routing_comparison_table",
     "routing_row",
     "scaling_report",

@@ -104,6 +104,9 @@ def sweep_table(records: Sequence, markdown: bool = False) -> str:
         "Router",
         "Inflation",
         "Max Edge",
+        "Disrupt",
+        "Retention",
+        "Recover",
     ]
     body: List[List[str]] = []
     for record in records:
@@ -111,6 +114,9 @@ def sweep_table(records: Sequence, markdown: bool = False) -> str:
         ratio = record.throughput_ratio
         inflation = record.sim.get("routing_inflation")
         max_edge = record.sim.get("routing_max_edge_load")
+        disruptions = record.sim.get("disruptions")
+        retention = record.sim.get("throughput_retention")
+        recoveries = record.sim.get("recoveries")
         body.append(
             [
                 record.spec.label,
@@ -127,6 +133,9 @@ def sweep_table(records: Sequence, markdown: bool = False) -> str:
                 # 0.0 means "undefined" (incomplete routing), not free-flow.
                 "-" if not inflation else f"{inflation:.3f}",
                 "-" if max_edge is None else str(int(max_edge)),
+                "-" if disruptions is None else str(int(disruptions)),
+                "-" if retention is None else f"{retention:.3f}",
+                "-" if recoveries is None else str(int(recoveries)),
             ]
         )
     if markdown:

@@ -1,0 +1,179 @@
+"""Metrics and reports over failure-injected (disrupted) simulation runs.
+
+The resilience layer (:mod:`repro.sim.disruptions`) produces, per disrupted
+run, a :class:`~repro.sim.disruptions.ResilienceReport` — injected disruption
+counts, recovery actions, downtime accounting, throughput retention against
+the nominal delivery profile, and contract-breach windows.  This module
+condenses those into comparable artifacts:
+
+* :func:`resilience_row` / :func:`resilience_comparison_table` — one row per
+  disruption profile, the shape ``BENCH_resilience.json`` and the CLI print;
+* :func:`render_disruption_timeline` — an ASCII density plot of disruption
+  and recovery events over simulated time, drawn from the trace's event log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.telemetry import EV_DISRUPTION, EV_RECOVERY, SimulationTrace
+from .reporting import format_markdown_table, format_table
+
+#: Character ramp of the timeline density plot (space = no events).
+_RAMP = " .:-=+*#%@"
+
+
+def resilience_row(report) -> Dict[str, float]:
+    """Flatten one simulation report's resilience outcome into plain numbers.
+
+    ``report`` is a :class:`~repro.sim.runner.SimulationReport`; nominal runs
+    (``report.resilience is None``) produce a row with retention 1.0 and zero
+    disruption figures, so mixed sweeps stay comparable.
+    """
+    row: Dict[str, float] = {
+        "units_served": float(report.units_served),
+        "throughput_ratio": float(report.throughput_ratio),
+        "contract_violations": float(report.num_violations),
+        "ticks": float(report.ticks),
+    }
+    resilience = report.resilience
+    if resilience is None:
+        row.update({"disrupted": 0.0, "throughput_retention": 1.0})
+        return row
+    row.update(
+        {
+            "disrupted": 1.0,
+            "throughput_retention": float(resilience.throughput_retention),
+            "disruptions": float(resilience.num_disruptions),
+            "breakdowns": float(resilience.breakdowns),
+            "slowdowns": float(resilience.slowdowns),
+            "outages": float(resilience.outages),
+            "blocks": float(resilience.blocks),
+            "surges": float(resilience.surges),
+            "recoveries": float(resilience.num_recoveries),
+            "repairs": float(resilience.repairs),
+            "reassignments": float(resilience.reassignments),
+            "reroutes": float(resilience.reroutes),
+            "failovers": float(resilience.failovers),
+            "mean_recovery_latency": float(resilience.mean_recovery_latency),
+            "agent_downtime": float(resilience.agent_downtime),
+            "station_downtime": float(resilience.station_downtime),
+            "blocked_waits": float(resilience.blocked_waits),
+            "conflict_waits": float(resilience.conflict_waits),
+            "dropped_orders": float(resilience.dropped_orders),
+            "late_orders": float(resilience.late_orders),
+            "breach_windows": float(resilience.breach_windows),
+        }
+    )
+    return row
+
+
+def resilience_comparison_table(
+    reports: Sequence,
+    labels: Optional[Sequence[str]] = None,
+    markdown: bool = False,
+) -> str:
+    """One row per run: disruption/recovery counts, retention, service quality.
+
+    ``labels`` names the rows (defaults to each config's disruption spec).
+    """
+    headers = [
+        "Profile",
+        "Disrupt",
+        "Recover",
+        "Retention",
+        "Served",
+        "Downtime",
+        "Latency",
+        "Dropped",
+        "Breaches",
+        "Verdict",
+    ]
+    body: List[List[str]] = []
+    for index, report in enumerate(reports):
+        if labels is not None:
+            label = labels[index]
+        elif report.config.disruptions is not None:
+            label = report.config.disruptions.describe()
+        else:
+            label = "nominal"
+        resilience = report.resilience
+        if resilience is None:
+            body.append(
+                [
+                    label,
+                    "-",
+                    "-",
+                    "1.000",
+                    str(report.units_served),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "ok" if report.contracts_ok else f"{report.num_violations} breach",
+                ]
+            )
+            continue
+        body.append(
+            [
+                label,
+                str(resilience.num_disruptions),
+                str(resilience.num_recoveries),
+                f"{resilience.throughput_retention:.3f}",
+                str(report.units_served),
+                str(resilience.agent_downtime),
+                f"{resilience.mean_recovery_latency:.1f}",
+                str(resilience.dropped_orders),
+                str(resilience.breach_windows),
+                "ok" if report.contracts_ok else f"{report.num_violations} breach",
+            ]
+        )
+    if markdown:
+        return format_markdown_table(body, headers)
+    return format_table(body, headers, title="Resilience under failure injection")
+
+
+def _event_density(trace: SimulationTrace, kind: str, buckets: int) -> List[int]:
+    """Event-log counts of one event kind per time bucket."""
+    counts = [0] * max(1, buckets)
+    if not trace.events or trace.ticks <= 1:
+        return counts
+    width = max(1.0, (trace.ticks - 1) / len(counts))
+    for event in trace.events:
+        if event[0] == kind:
+            bucket = min(len(counts) - 1, int(event[1] / width))
+            counts[bucket] += 1
+    return counts
+
+
+def disruption_density(trace: SimulationTrace, buckets: int = 60) -> List[int]:
+    """Disruption-event counts per time bucket, from the trace's event log."""
+    return _event_density(trace, EV_DISRUPTION, buckets)
+
+
+def render_disruption_timeline(trace: SimulationTrace, width: int = 60) -> str:
+    """An ASCII density strip of disruptions (top) and recoveries (bottom).
+
+    Requires the trace's event log (``record_events=True``); returns an
+    explanatory placeholder otherwise.
+    """
+    if not trace.events:
+        return "(no event log: disruption timeline unavailable)"
+
+    def strip(kind: str) -> str:
+        counts = _event_density(trace, kind, width)
+        peak = max(counts)
+        if peak == 0:
+            return " " * len(counts)
+        return "".join(
+            _RAMP[min(len(_RAMP) - 1, (count * (len(_RAMP) - 1) + peak - 1) // peak)]
+            for count in counts
+        )
+
+    return "\n".join(
+        [
+            f"t=0{' ' * (width - 8)}t={trace.ticks - 1}",
+            f"|{strip(EV_DISRUPTION)}| disruptions",
+            f"|{strip(EV_RECOVERY)}| recoveries",
+        ]
+    )

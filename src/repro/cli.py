@@ -11,7 +11,11 @@ The CLI exposes the common workflows without writing Python:
   simulation report (throughput vs. the synthesized flow, order latencies,
   contract-monitor verdict, congestion heatmap); ``--routing ROUTER`` swaps
   the abstract plan replay for grid-routed motion planned by a MAPF router
-  (prioritized, cbs, ecbs or windowed lifelong replanning);
+  (prioritized, cbs, ecbs or windowed lifelong replanning); ``--disruptions
+  SPEC`` injects stochastic failures (agent breakdowns/slowdowns, station
+  outages, blocked aisles, demand surges) with online recovery and prints the
+  resilience telemetry (throughput retention, recovery latency, breach
+  windows) plus a disruption timeline;
 * ``python -m repro table1`` — regenerate the paper's Table I (small presets by
   default, ``--paper-scale`` for the full-size maps);
 * ``python -m repro sweep`` — generate a parametric scenario suite and run the
@@ -34,6 +38,7 @@ from .analysis import (
     compute_plan_metrics,
     compute_sim_metrics,
     render_congestion,
+    render_disruption_timeline,
     render_edge_heatmap,
     render_traffic_system,
     sweep_report,
@@ -55,11 +60,13 @@ from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map, tr
 from .maps import MAP_REGISTRY, PAPER_MAP_STATS
 from .sim import (
     ROUTERS,
+    DisruptionError,
     OrderStreamError,
     RoutingConfig,
     ServiceTimeModel,
     SimulationConfig,
     SimulationSetupError,
+    parse_disruptions,
 )
 from .warehouse import PlanValidator, Workload
 from .warehouse.warehouse import WarehouseError
@@ -190,11 +197,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.routing == "abstract"
         else RoutingConfig(router=args.routing, window=args.routing_window)
     )
+    try:
+        disruptions = parse_disruptions(args.disruptions)
+    except DisruptionError as error:
+        raise SystemExit(f"invalid --disruptions: {error}")
     config = SimulationConfig(
         seed=args.seed,
         service_time=_parse_service_time(args.service_time),
         arrival_rate=args.arrival_rate,
         routing=routing,
+        disruptions=disruptions,
     )
     designed, _, solver, solution = _solve_preset(args)
     warehouse = designed.warehouse
@@ -212,6 +224,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  verdict:             {throughput_gap_report(metrics)}")
     for stage, seconds in sorted(solution.timings.items()):
         print(f"  {stage:<14s} {seconds:8.3f}s")
+    if report.resilience is not None:
+        print()
+        print("Disruption timeline (event density over simulated time):")
+        print(render_disruption_timeline(report.trace))
     if args.heatmap:
         print()
         print("Congestion (agent-ticks per cell; '#' shelves, '@' obstacles):")
@@ -397,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="steps committed per replanning episode (0 = router default)",
+    )
+    simulate_parser.add_argument(
+        "--disruptions",
+        default="none",
+        help="failure injection spec: comma-separated kind:rate[:duration] "
+        "entries (breakdown, slowdown, outage, block, surge) plus deadline:N "
+        "and norecover; e.g. 'breakdown:0.02:25,block:0.01'",
     )
     simulate_parser.add_argument(
         "--heatmap", action="store_true", help="print the congestion heatmap"

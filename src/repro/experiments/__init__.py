@@ -7,7 +7,8 @@ presets" into a design-space exploration platform:
   :class:`ScenarioSpec` (map geometry + workload + solver + sim knobs) with a
   stable :attr:`~ScenarioSpec.scenario_id` identity;
 * :mod:`repro.experiments.generator` — grid sweeps, seeded random sampling,
-  and named preset suites (``smoke``, ``scaling``, ``mix``, ``routing``);
+  and named preset suites (``smoke``, ``scaling``, ``mix``, ``routing``,
+  ``resilience``);
 * :mod:`repro.experiments.runner`    — the batch orchestrator: spawn-based
   worker pool, per-run timeouts, crash isolation, structured failure capture;
 * :mod:`repro.experiments.store`     — :class:`RunRecord` and the append-only
@@ -24,6 +25,7 @@ from .generator import (
     mix_suite,
     preset_scenarios,
     random_scenarios,
+    resilience_suite,
     routing_suite,
     scaling_suite,
     smoke_suite,
@@ -72,6 +74,7 @@ __all__ = [
     "parse_service_time",
     "preset_scenarios",
     "random_scenarios",
+    "resilience_suite",
     "routing_suite",
     "run_sweep",
     "scaling_suite",

@@ -199,12 +199,50 @@ def routing_suite(seed: int = 0) -> List[ScenarioSpec]:
     return specs
 
 
+def resilience_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """Failure injection over one small instance: the nominal baseline, each
+    disruption family in isolation, a combined storm, and a no-recovery
+    ablation of the storm (how much the online recovery policies buy back).
+
+    The rates are deliberately aggressive for the short horizon, so every run
+    observes genuine degradation — throughput retention, recovery latency and
+    contract-breach windows come out non-trivial instead of vacuously perfect.
+    """
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=1,
+        shelf_columns=3,
+        shelf_bands=1,
+        num_stations=1,
+        num_products=2,
+        units=4,
+        horizon=150,
+        seed=seed,
+    )
+    storm = "breakdown:0.02:12,slowdown:0.02:10,outage:0.01:20,block:0.02:8,surge:0.05:2"
+    profiles = (
+        ("resilience/nominal", "none"),
+        ("resilience/breakdown", "breakdown:0.03:15"),
+        ("resilience/slowdown", "slowdown:0.05:20"),
+        ("resilience/outage", "outage:0.02:25"),
+        ("resilience/block", "block:0.03:10"),
+        ("resilience/surge", "surge:0.08:3,deadline:60"),
+        ("resilience/storm", storm),
+        ("resilience/storm-norecover", storm + ",norecover"),
+    )
+    return [
+        replace(base, name=name, disruptions=disruptions)
+        for name, disruptions in profiles
+    ]
+
+
 #: Named suites reachable from ``repro sweep --preset``.
 PRESET_SUITES: Dict[str, Callable[[int], List[ScenarioSpec]]] = {
     "smoke": smoke_suite,
     "scaling": scaling_suite,
     "mix": mix_suite,
     "routing": routing_suite,
+    "resilience": resilience_suite,
 }
 
 

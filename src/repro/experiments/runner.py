@@ -91,6 +91,20 @@ def _sim_payload(report) -> Dict[str, float]:
                 "routing_max_edge_load": float(routing.max_edge_load),
             }
         )
+    if report.resilience is not None:
+        resilience = report.resilience
+        payload.update(
+            {
+                "throughput_retention": float(resilience.throughput_retention),
+                "disruptions": float(resilience.num_disruptions),
+                "recoveries": float(resilience.num_recoveries),
+                "mean_recovery_latency": float(resilience.mean_recovery_latency),
+                "agent_downtime": float(resilience.agent_downtime),
+                "dropped_orders": float(resilience.dropped_orders),
+                "late_orders": float(resilience.late_orders),
+                "breach_windows": float(resilience.breach_windows),
+            }
+        )
     return payload
 
 
@@ -148,6 +162,7 @@ def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) ->
                     arrival_rate=spec.arrival_rate,
                     record_events=False,
                     routing=spec.routing_config(),
+                    disruptions=spec.disruption_config(),
                 )
                 report = solver.simulate(solution, config)
                 timings["simulation"] = report.seconds

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..maps.fulfillment import DesignedWarehouse, FulfillmentLayout, generate_fulfillment_center
 from ..maps.sorting import SortingLayout, generate_sorting_center
+from ..sim.disruptions import DisruptionError, parse_disruptions
 from ..sim.routing import ROUTERS
 from ..sim.stations import ServiceTimeModel
 from ..warehouse import WarehouseError, Workload
@@ -95,6 +96,10 @@ class ScenarioSpec:
     # -- routing (grid-routed execution; see repro.sim.routing) ------------------
     router: str = "abstract"
     routing_window: int = 0
+    # -- disruptions (failure injection; see repro.sim.disruptions) ---------------
+    #: Disruption spec string (``"none"`` or ``"breakdown:0.02:25,block:0.01"``;
+    #: the grammar of :func:`repro.sim.disruptions.parse_disruptions`).
+    disruptions: str = "none"
     # -- identity ---------------------------------------------------------------
     seed: int = 0
     name: str = ""
@@ -106,9 +111,11 @@ class ScenarioSpec:
         if self.name:
             return self.name
         router = "" if self.router == "abstract" else f"-{self.router}"
+        disrupted = "" if self.disruptions == "none" else "-disrupted"
         return (
             f"{self.kind}-b{self.num_slices}c{self.shelf_columns}x{self.shelf_bands}"
-            f"-st{self.num_stations}-u{self.units}-{self.workload_mix}-s{self.seed}{router}"
+            f"-st{self.num_stations}-u{self.units}-{self.workload_mix}-s{self.seed}"
+            f"{router}{disrupted}"
         )
 
     @property
@@ -126,6 +133,8 @@ class ScenarioSpec:
             del payload["router"]
         if payload["routing_window"] == 0:
             del payload["routing_window"]
+        if payload["disruptions"] == "none":
+            del payload["disruptions"]
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha1(canonical.encode()).hexdigest()[:12]
 
@@ -172,6 +181,10 @@ class ScenarioSpec:
             )
         parse_service_time(self.service_time)
         try:
+            parse_disruptions(self.disruptions)
+        except DisruptionError as error:
+            raise ScenarioError(f"invalid disruptions {self.disruptions!r}: {error}") from error
+        try:
             self.layout().validate()
         except WarehouseError as error:
             raise ScenarioError(f"invalid map geometry: {error}") from error
@@ -184,6 +197,11 @@ class ScenarioSpec:
         return True
 
     # -- materialization --------------------------------------------------------
+    def disruption_config(self):
+        """The :class:`~repro.sim.disruptions.DisruptionConfig` this spec asks
+        for, or ``None`` for nominal (undisrupted) execution."""
+        return parse_disruptions(self.disruptions)
+
     def routing_config(self):
         """The :class:`~repro.sim.routing.RoutingConfig` this spec asks for,
         or ``None`` for the abstract (plan-replay) execution mode."""

@@ -163,13 +163,30 @@ def _keyed_counts_from_list(entries: List[List], key_width: int) -> Dict:
     return table
 
 
+def resilience_to_dict(report) -> Dict:
+    """Serialize a :class:`~repro.sim.disruptions.ResilienceReport`."""
+    return {"schema": "sim-resilience", "version": SCHEMA_VERSION, **report.to_dict()}
+
+
+def resilience_from_dict(document: Dict):
+    """Rebuild a :class:`~repro.sim.disruptions.ResilienceReport`."""
+    from ..sim.disruptions import ResilienceReport  # local: io stays import-light
+
+    _check_schema(document, "sim-resilience")
+    return ResilienceReport.from_dict(
+        {k: v for k, v in document.items() if k not in ("schema", "version")}
+    )
+
+
 def trace_to_dict(trace) -> Dict:
     """Serialize a :class:`~repro.sim.telemetry.SimulationTrace`.
 
     The event log is included when the trace carries one, so archived traces
-    remain byte-comparable determinism witnesses.
+    remain byte-comparable determinism witnesses.  The resilience section is
+    only present for disrupted runs — nominal traces keep the pre-disruption
+    schema byte for byte.
     """
-    return {
+    document = {
         "schema": "sim-trace",
         "version": SCHEMA_VERSION,
         "ticks": trace.ticks,
@@ -204,6 +221,9 @@ def trace_to_dict(trace) -> Dict:
         ),
         "metadata": {k: float(v) for k, v in trace.metadata.items()},
     }
+    if trace.resilience is not None:
+        document["resilience"] = resilience_to_dict(trace.resilience)
+    return document
 
 
 def trace_from_dict(document: Dict):
@@ -213,6 +233,7 @@ def trace_from_dict(document: Dict):
     _check_schema(document, "sim-trace")
     events = document.get("events")
     agent_paths = document.get("agent_paths")
+    resilience = document.get("resilience")
     return SimulationTrace(
         ticks=int(document["ticks"]),
         num_agents=int(document["num_agents"]),
@@ -242,6 +263,7 @@ def trace_from_dict(document: Dict):
             if agent_paths is None
             else [tuple(int(v) for v in path) for path in agent_paths]
         ),
+        resilience=None if resilience is None else resilience_from_dict(resilience),
         metadata={k: float(v) for k, v in document.get("metadata", {}).items()},
     )
 

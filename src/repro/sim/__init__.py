@@ -8,6 +8,10 @@ simulated time and observes whether the promises hold dynamically:
 * :mod:`repro.sim.routing`      — grid-routed execution: agent motion re-planned
   on the floorplan by a pluggable MAPF router (prioritized/CBS/ECBS/lifelong)
   with reservation-based collision avoidance and congestion telemetry;
+* :mod:`repro.sim.disruptions`  — stochastic failure injection (breakdowns,
+  slowdowns, station outages, blocked aisles, demand surges) with online
+  recovery (leg reassignment, windowed re-routing, station failover) and
+  resilience telemetry;
 * :mod:`repro.sim.stations`     — station/shelf service processes with queues
   and configurable service-time distributions;
 * :mod:`repro.sim.workload_gen` — deterministic and Poisson order streams with
@@ -26,9 +30,23 @@ Typical use, given a solved instance::
 """
 
 from .agents import AgentExecutor, ExecutionError, PlanExecutor
+from .disruptions import (
+    DISRUPTION_KINDS,
+    DisruptionConfig,
+    DisruptionError,
+    DisruptionProcess,
+    ResilienceReport,
+    ResilientPlanExecutor,
+    ScriptedDisruption,
+    canonical_edges,
+    nominal_deliveries_by,
+    parse_disruptions,
+    severity_ladder,
+)
 from .engine import (
     PRIORITY_AGENTS,
     PRIORITY_ARRIVALS,
+    PRIORITY_DISRUPTIONS,
     PRIORITY_MONITORS,
     PRIORITY_STATIONS,
     PRIORITY_TELEMETRY,
@@ -84,10 +102,17 @@ __all__ = [
     "AgentExecutor",
     "ContractMonitor",
     "DEFAULT_LIFELONG_WINDOW",
+    "DISRUPTION_KINDS",
     "DeterministicOrderStream",
+    "DisruptionConfig",
+    "DisruptionError",
+    "DisruptionProcess",
     "Event",
     "ExecutionError",
     "ROUTERS",
+    "ResilienceReport",
+    "ResilientPlanExecutor",
+    "ScriptedDisruption",
     "RoutingConfig",
     "RoutingError",
     "RoutingReport",
@@ -101,6 +126,7 @@ __all__ = [
     "PoissonOrderStream",
     "PRIORITY_AGENTS",
     "PRIORITY_ARRIVALS",
+    "PRIORITY_DISRUPTIONS",
     "PRIORITY_MONITORS",
     "PRIORITY_STATIONS",
     "PRIORITY_TELEMETRY",
@@ -117,13 +143,17 @@ __all__ = [
     "TraceRecorder",
     "build_shelf_processes",
     "build_station_processes",
+    "canonical_edges",
     "edge_load_by_vertex",
     "edge_traversal_counts",
     "free_flow_cost",
     "monitor_from_synthesis",
+    "nominal_deliveries_by",
+    "parse_disruptions",
     "plan_waypoints",
     "product_mix_from_workload",
     "route_plan",
+    "severity_ladder",
     "simulate_plan",
     "simulate_solution",
 ]

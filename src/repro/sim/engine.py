@@ -12,10 +12,21 @@ then by insertion order, so intra-tick phases are well defined.  The module
 exports the priority bands the warehouse processes use:
 
 * :data:`PRIORITY_ARRIVALS` — order arrivals (environment acts first);
+* :data:`PRIORITY_DISRUPTIONS` — failure injection and repair (the environment
+  degrades the system before agents react to it);
 * :data:`PRIORITY_AGENTS` — agent executors stepping the realized plan;
 * :data:`PRIORITY_STATIONS` — station service completions;
 * :data:`PRIORITY_MONITORS` — runtime contract monitors (observe the settled state);
 * :data:`PRIORITY_TELEMETRY` — trace sampling (always sees the final state of a tick).
+
+A same-tick event can never be scheduled into a phase that has already run:
+when a callback executing in band ``p`` schedules an event at the current tick
+with a priority below ``p``, the event's priority is lifted to ``p``.  Without
+the lift the heap would pop the event *after* the scheduling callback even
+though its band already completed, silently interleaving phases — the exact
+tie-breaking bug class the disruption layer surfaced (a repair firing in the
+disruption band scheduling same-tick agent work must keep (tick, priority,
+sequence) pops monotone within the tick).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import numpy as np
 
 #: Intra-tick phase ordering (lower runs first).
 PRIORITY_ARRIVALS = 0
+PRIORITY_DISRUPTIONS = 5
 PRIORITY_AGENTS = 10
 PRIORITY_STATIONS = 20
 PRIORITY_MONITORS = 30
@@ -72,6 +84,7 @@ class SimulationEngine:
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._current_priority: Optional[int] = None
         self.events_processed = 0
 
     # -- clock ------------------------------------------------------------------
@@ -84,12 +97,24 @@ class SimulationEngine:
     def schedule_at(
         self, time: int, callback: Callable[[], None], priority: int = PRIORITY_AGENTS
     ) -> Event:
-        """Schedule ``callback`` at an absolute tick (>= now)."""
+        """Schedule ``callback`` at an absolute tick (>= now).
+
+        A same-tick event cannot re-enter a phase the clock has already passed:
+        its priority is lifted to the currently executing event's band, keeping
+        intra-tick pops monotone in (priority, sequence).
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at t={time}, the clock is already at t={self._now}"
             )
-        event = Event(time=int(time), priority=int(priority), seq=self._seq, callback=callback)
+        priority = int(priority)
+        if (
+            time == self._now
+            and self._current_priority is not None
+            and priority < self._current_priority
+        ):
+            priority = self._current_priority
+        event = Event(time=int(time), priority=priority, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -147,7 +172,11 @@ class SimulationEngine:
                 if event.cancelled:
                     continue
                 self._now = event.time
-                event.callback()
+                self._current_priority = event.priority
+                try:
+                    event.callback()
+                finally:
+                    self._current_priority = None
                 processed += 1
                 self.events_processed += 1
         finally:

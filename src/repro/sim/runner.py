@@ -19,6 +19,13 @@ from ..traffic.system import TrafficSystem
 from ..warehouse.plan import Plan
 from ..warehouse.workload import Workload
 from .agents import PlanExecutor
+from .disruptions import (
+    DisruptionConfig,
+    DisruptionProcess,
+    ResilienceReport,
+    ResilientPlanExecutor,
+    nominal_deliveries_by,
+)
 from .engine import PRIORITY_TELEMETRY, SimulationEngine
 from .monitors import ContractMonitor, MonitorReport, monitor_from_synthesis
 from .routing import RoutingConfig, RoutingReport, route_plan
@@ -68,6 +75,15 @@ class SimulationConfig:
     #: Grid-routed execution (``None`` = abstract plan replay); see
     #: :class:`~repro.sim.routing.RoutingConfig`.
     routing: Optional[RoutingConfig] = None
+    #: Stochastic failure injection + online recovery (``None`` or an
+    #: all-zero-rate config = nominal execution); see
+    #: :class:`~repro.sim.disruptions.DisruptionConfig`.
+    disruptions: Optional[DisruptionConfig] = None
+
+    @property
+    def disruptions_active(self) -> bool:
+        """True when the run takes the resilient (failure-injected) path."""
+        return self.disruptions is not None and self.disruptions.is_active
 
     def describe(self) -> str:
         arrivals = (
@@ -78,9 +94,12 @@ class SimulationConfig:
             if self.routing is None or not self.routing.is_grid_routed
             else self.routing.describe()
         )
+        disruptions = (
+            self.disruptions.describe() if self.disruptions_active else "none"
+        )
         return (
             f"seed={self.seed}, service={self.service_time.describe()}, "
-            f"arrivals={arrivals}, routing={routing}"
+            f"arrivals={arrivals}, routing={routing}, disruptions={disruptions}"
         )
 
 
@@ -97,6 +116,10 @@ class SimulationReport:
     synthesized_throughput: float
     #: Grid-routing telemetry (``None`` for abstract plan replay).
     routing: Optional[RoutingReport] = None
+    #: The motion that actually happened under disruptions, as a
+    #: validator-checkable plan (``None`` for nominal runs, whose motion is
+    #: the executed plan itself).
+    realized_plan: Optional[Plan] = None
     #: Wall-clock cost of the run (reporting only — never used by the sim).
     seconds: float = 0.0
 
@@ -115,6 +138,18 @@ class SimulationReport:
     @property
     def units_served(self) -> int:
         return self.trace.units_served
+
+    @property
+    def resilience(self) -> Optional[ResilienceReport]:
+        """Resilience telemetry of a disrupted run (``None`` when nominal)."""
+        return self.trace.resilience
+
+    @property
+    def throughput_retention(self) -> float:
+        """Served units over the nominal delivery count (1.0 when nominal)."""
+        if self.trace.resilience is None:
+            return 1.0
+        return self.trace.resilience.throughput_retention
 
     @property
     def contracts_ok(self) -> bool:
@@ -153,6 +188,8 @@ class SimulationReport:
             lines.append(f"  stockouts:           {self.trace.stockouts}")
         if self.routing is not None:
             lines.append(f"  {self.routing.summary()}")
+        if self.trace.resilience is not None:
+            lines.append(f"  {self.trace.resilience.summary()}")
         if self.monitor is not None:
             lines.append(f"  {self.monitor.summary()}")
             for violation in self.monitor.violations[:10]:
@@ -230,10 +267,41 @@ def simulate_plan(
         order_book=book if workload is not None else None,
     )
     shelves = build_shelf_processes(system, recorder)
-    executor = PlanExecutor(
-        engine, exec_plan, system, recorder, stations, shelves, max_ticks=ticks
-    )
-    executor.start()
+    # The resilient (failure-injected) path only engages when a disruption can
+    # actually occur; otherwise the verbatim replay runs untouched, keeping
+    # zero-disruption traces byte-identical to the pre-disruption schema.
+    resilience: Optional[ResilienceReport] = None
+    resilient_executor: Optional[ResilientPlanExecutor] = None
+    if config.disruptions_active:
+        resilience = ResilienceReport()
+        resilient_executor = ResilientPlanExecutor(
+            engine,
+            exec_plan,
+            system,
+            recorder,
+            stations,
+            shelves,
+            config.disruptions,
+            resilience,
+            max_ticks=ticks,
+        )
+        resilient_executor.start()
+        DisruptionProcess(
+            engine,
+            config.disruptions,
+            recorder,
+            resilient_executor,
+            stations,
+            resilience,
+            until=ticks - 1,
+            book=book if workload is not None else None,
+            workload=workload,
+        ).start()
+    else:
+        executor = PlanExecutor(
+            engine, exec_plan, system, recorder, stations, shelves, max_ticks=ticks
+        )
+        executor.start()
 
     monitor: Optional[ContractMonitor] = None
     if config.monitor_contracts and synthesis is not None:
@@ -272,7 +340,32 @@ def simulate_plan(
                 "routing_max_edge_load": float(routing_report.max_edge_load),
             }
         )
-    trace = recorder.build(metadata=metadata, agent_paths=agent_paths)
+    realized_plan: Optional[Plan] = None
+    if resilient_executor is not None and resilience is not None:
+        realized_plan = resilient_executor.realized_plan()
+        # The realized (post-disruption) motion supersedes the committed one.
+        agent_paths = [
+            tuple(int(v) for v in realized_plan.positions[agent])
+            for agent in range(realized_plan.num_agents)
+        ]
+        resilience.units_served = recorder.units_served
+        resilience.nominal_units = nominal_deliveries_by(exec_plan, ticks)
+        resilience.dropped_orders = recorder.orders_created - recorder.orders_served
+        deadline = config.disruptions.order_deadline if config.disruptions else 0
+        if deadline > 0:
+            resilience.late_orders = sum(
+                1 for latency in recorder.order_latencies if latency > deadline
+            )
+        if monitor is not None and monitor.live_violations:
+            resilience.breach_windows = len(monitor.live_violations)
+            resilience.first_breach_tick = min(
+                violation.tick
+                for violation in monitor.live_violations
+                if violation.tick is not None
+            )
+    trace = recorder.build(
+        metadata=metadata, agent_paths=agent_paths, resilience=resilience
+    )
     monitor_report: Optional[MonitorReport] = None
     if monitor is not None:
         monitor_report = monitor.evaluate(trace, workload=workload)
@@ -288,6 +381,7 @@ def simulate_plan(
         ticks=ticks,
         synthesized_throughput=synthesized,
         routing=routing_report,
+        realized_plan=realized_plan,
         seconds=time.perf_counter() - start,
     )
 

@@ -124,6 +124,10 @@ class StationProcess:
         self._in_service = 0
         self.units_received = 0
         self.units_served = 0
+        #: Outage switch (see :mod:`repro.sim.disruptions`): while offline the
+        #: station accepts hand-offs but starts no new services; in-flight
+        #: services run to completion (a packer finishes the unit in hand).
+        self.online = True
 
     # -- queue state --------------------------------------------------------------
     @property
@@ -143,8 +147,17 @@ class StationProcess:
         self._waiting.append(product)
         self._try_start()
 
+    def go_offline(self) -> None:
+        """Station outage begins: stop starting new services."""
+        self.online = False
+
+    def go_online(self) -> None:
+        """Outage over: resume draining the queue this tick."""
+        self.online = True
+        self._try_start()
+
     def _try_start(self) -> None:
-        while self._waiting and self._in_service < self.servers:
+        while self.online and self._waiting and self._in_service < self.servers:
             product = self._waiting.popleft()
             self._in_service += 1
             delay = self.service_model.sample(self.engine.rng)

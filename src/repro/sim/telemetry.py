@@ -32,6 +32,8 @@ EV_SERVED = "served"
 EV_ORDER = "order"
 EV_FULFILLED = "fulfilled"
 EV_STOCKOUT = "stockout"
+EV_DISRUPTION = "disruption"
+EV_RECOVERY = "recovery"
 
 TraceEvent = Tuple  # (kind, tick, *details) — plain tuples, cheap and comparable
 
@@ -69,9 +71,14 @@ class SimulationTrace:
     stockouts: int
     #: Ordered event log (determinism witness); None when recording is off.
     events: Optional[List[TraceEvent]] = None
-    #: Realized per-agent vertex paths (grid-routed runs only; the abstract
-    #: mode replays the plan verbatim, so archiving the plan suffices there).
+    #: Realized per-agent vertex paths (grid-routed and disrupted runs only;
+    #: the abstract mode replays the plan verbatim, so archiving the plan
+    #: suffices there).
     agent_paths: Optional[List[Tuple[int, ...]]] = None
+    #: Resilience telemetry of a disrupted run (:class:`~repro.sim.disruptions.
+    #: ResilienceReport`); ``None`` for nominal runs, whose serialized traces
+    #: must stay byte-identical to the pre-disruption schema.
+    resilience: Optional["ResilienceReport"] = None  # noqa: F821 - forward ref
     metadata: Dict[str, float] = field(default_factory=dict)
 
     # -- aggregate queries -------------------------------------------------------
@@ -280,6 +287,14 @@ class TraceRecorder:
         self.order_latencies.append(latency)
         self._log(EV_FULFILLED, tick, order_id, product, latency)
 
+    def record_disruption(self, tick: int, kind: str, subject: int) -> None:
+        """A disruption was injected (``subject`` = agent/component/edge index)."""
+        self._log(EV_DISRUPTION, tick, kind, subject)
+
+    def record_recovery(self, tick: int, kind: str, subject: int, latency: int = 0) -> None:
+        """A recovery action resolved a disruption after ``latency`` ticks."""
+        self._log(EV_RECOVERY, tick, kind, subject, latency)
+
     def transitions_into(self, component: ComponentId, period: int) -> int:
         """Agents that entered ``component`` during one complete period (live query)."""
         total = 0
@@ -301,6 +316,7 @@ class TraceRecorder:
         self,
         metadata: Optional[Dict[str, float]] = None,
         agent_paths: Optional[List[Tuple[int, ...]]] = None,
+        resilience=None,
     ) -> SimulationTrace:
         return SimulationTrace(
             ticks=self.ticks,
@@ -324,5 +340,6 @@ class TraceRecorder:
             stockouts=self.stockouts,
             events=self.events,
             agent_paths=None if agent_paths is None else list(agent_paths),
+            resilience=resilience,
             metadata=dict(metadata or {}),
         )

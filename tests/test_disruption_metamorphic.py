@@ -1,0 +1,172 @@
+"""Metamorphic tests of the AG-contract monitor under failure injection.
+
+Two metamorphic relations the monitor-as-instrument must satisfy:
+
+* **Severity monotonicity** — injecting disruptions can delay or lose
+  deliveries but never create them, so no disruption profile (at any severity
+  on a ladder) may *increase* the measured throughput beyond the nominal
+  run's.  Recovery policies redistribute the plan's own legs; they have no
+  units of their own to add.
+* **Breach reproducibility** — every contract breach the monitor flags, live
+  or post-hoc, must be reproducible by a third party holding only the
+  serialized trace JSON (and the compiled contracts): the verdict is evidence
+  about the artifact, not about the process that produced it.  The live
+  capacity breaches are additionally recomputed straight from the trace's
+  per-period transition counts (see ``tests/trace_replay.py``).
+"""
+
+import pytest
+from trace_replay import assert_breaches_reproducible, live_breach_keys
+
+from repro.core import WSPSolver
+from repro.experiments import ScenarioSpec
+from repro.sim import (
+    DisruptionConfig,
+    SimulationConfig,
+    severity_ladder,
+    simulate_plan,
+)
+from repro.sim.monitors import SERVICE
+
+SPEC = dict(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    spec = ScenarioSpec(**SPEC)
+    designed, workload = spec.build()
+    solution = WSPSolver(designed.traffic_system).solve(workload, horizon=spec.horizon)
+    assert solution.succeeded, solution.message
+    return designed, workload, solution
+
+
+def _run(solved, config):
+    _, workload, solution = solved
+    return simulate_plan(
+        solution.plan,
+        solution.traffic_system,
+        flow_set=solution.flow_set,
+        workload=workload,
+        synthesis=solution.synthesis,
+        config=config,
+    )
+
+
+PROFILES = {
+    "breakdown": DisruptionConfig(breakdown_rate=0.01, repair_time=15),
+    "slowdown": DisruptionConfig(slowdown_rate=0.01, slowdown_duration=20),
+    "block": DisruptionConfig(block_rate=0.01, block_duration=10),
+    "mixed": DisruptionConfig(
+        breakdown_rate=0.01, repair_time=10, block_rate=0.01, block_duration=8,
+        outage_rate=0.01, outage_duration=15,
+    ),
+}
+
+LADDER = (0.005, 0.02, 0.08, 0.25)
+
+
+class TestSeverityMonotonicity:
+    @pytest.mark.parametrize("profile", sorted(PROFILES), ids=sorted(PROFILES))
+    def test_no_severity_beats_the_nominal_throughput(self, solved, profile):
+        nominal = _run(solved, SimulationConfig(seed=11))
+        assert nominal.throughput_retention == 1.0
+        for config in severity_ladder(PROFILES[profile], LADDER):
+            report = _run(solved, SimulationConfig(seed=11, disruptions=config))
+            assert report.units_served <= nominal.units_served, config.describe()
+            assert report.realized_throughput <= nominal.realized_throughput + 1e-12
+            assert report.throughput_retention <= 1.0 + 1e-9
+
+    def test_norecover_never_beats_recovery_on_scripted_storms(self, solved):
+        """With identical (rng-consumption-free) scripted schedules, disabling
+        the recovery policies cannot serve *more* than running them."""
+        from repro.sim import ScriptedDisruption
+
+        schedule = tuple(
+            ScriptedDisruption(tick=tick, kind="breakdown", target=agent, duration=60)
+            for tick, agent in ((5, 0), (20, 1), (40, 2))
+        )
+        recovered = _run(
+            solved,
+            SimulationConfig(seed=11, disruptions=DisruptionConfig(schedule=schedule)),
+        )
+        abandoned = _run(
+            solved,
+            SimulationConfig(
+                seed=11, disruptions=DisruptionConfig(schedule=schedule, recover=False)
+            ),
+        )
+        assert abandoned.units_served <= recovered.units_served
+
+
+class TestBreachReproducibility:
+    def test_service_breaches_replay_from_the_trace_alone(self, solved):
+        """A storm heavy enough to strand demand must flag workload-service
+        breaches — and they must replay bit-for-bit from the serialized trace."""
+        designed, workload, solution = solved
+        report = _run(
+            solved,
+            SimulationConfig(
+                seed=5,
+                disruptions=DisruptionConfig(breakdown_rate=0.2, repair_time=40),
+            ),
+        )
+        assert report.units_served < workload.total_units
+        service = report.monitor.violations_of_kind(SERVICE)
+        assert service, "expected workload-service breaches under a heavy storm"
+        assert_breaches_reproducible(
+            report, solution.traffic_system, solution.synthesis, workload
+        )
+
+    def test_live_capacity_breaches_replay_from_the_trace_alone(self, solved):
+        """Congestion induced by blocks + breakdowns trips the live per-period
+        capacity assumption; the breach set must equal what a third party
+        recomputes from the serialized per-period flow counts."""
+        designed, workload, solution = solved
+        report = _run(
+            solved,
+            SimulationConfig(
+                seed=0,
+                disruptions=DisruptionConfig(
+                    block_rate=0.05, block_duration=10,
+                    breakdown_rate=0.02, repair_time=8,
+                ),
+            ),
+        )
+        assert live_breach_keys(report, solution.traffic_system), (
+            "expected at least one live capacity breach at this seed"
+        )
+        assert report.resilience.breach_windows == len(
+            live_breach_keys(report, solution.traffic_system)
+        )
+        assert report.resilience.first_breach_tick >= 0
+        assert_breaches_reproducible(
+            report, solution.traffic_system, solution.synthesis, workload
+        )
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    def test_every_monitored_run_replays_cleanly(self, solved, seed):
+        """Breach or no breach, the monitor's verdict is a pure function of
+        the serialized trace."""
+        _, workload, solution = solved
+        report = _run(
+            solved,
+            SimulationConfig(
+                seed=seed,
+                disruptions=DisruptionConfig(
+                    breakdown_rate=0.03, repair_time=12,
+                    block_rate=0.02, block_duration=8, surge_rate=0.05, surge_orders=2,
+                ),
+            ),
+        )
+        assert_breaches_reproducible(
+            report, solution.traffic_system, solution.synthesis, workload
+        )

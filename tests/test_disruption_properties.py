@@ -1,0 +1,154 @@
+"""Hypothesis property tests of the disruption layer.
+
+Over randomly drawn disruption profiles and seeds, on one solved instance:
+
+* **Nominal equivalence** — a disruption config with every rate at zero is
+  indistinguishable, byte for byte in the serialized trace JSON, from no
+  disruption layer at all.
+* **Conservation** — no disruption schedule can break flow conservation:
+  orders are created then served or still pending, and every unit is picked,
+  in transit, queued or served (``completed + dropped + in-flight ==
+  injected`` at every boundary the trace exposes).
+* **Recovery soundness** — whatever the recovery policies improvise
+  (reassigned legs, detours, failovers), the *realized* motion is a feasible
+  plan under the paper's three conditions, checked by the independent
+  validator; and throughput retention never exceeds 1 (recovery can save
+  deliveries, not invent them).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import WSPSolver
+from repro.experiments import ScenarioSpec
+from repro.io import trace_to_dict
+from repro.sim import DisruptionConfig, SimulationConfig, simulate_plan
+from repro.warehouse import PlanValidator
+
+SPEC = dict(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    spec = ScenarioSpec(**SPEC)
+    designed, workload = spec.build()
+    solution = WSPSolver(designed.traffic_system).solve(workload, horizon=spec.horizon)
+    assert solution.succeeded, solution.message
+    return designed, workload, solution
+
+
+def _run(solved, config):
+    _, workload, solution = solved
+    return simulate_plan(
+        solution.plan,
+        solution.traffic_system,
+        flow_set=solution.flow_set,
+        workload=workload,
+        synthesis=solution.synthesis,
+        config=config,
+    )
+
+
+def _trace_bytes(report):
+    return json.dumps(trace_to_dict(report.trace), sort_keys=True).encode()
+
+
+@st.composite
+def disruption_configs(draw):
+    """Random mixed disruption profiles, short durations for the tiny horizon."""
+    return DisruptionConfig(
+        breakdown_rate=draw(st.floats(0.0, 0.15)),
+        repair_time=draw(st.integers(1, 30)),
+        slowdown_rate=draw(st.floats(0.0, 0.1)),
+        slowdown_duration=draw(st.integers(1, 25)),
+        outage_rate=draw(st.floats(0.0, 0.05)),
+        outage_duration=draw(st.integers(1, 30)),
+        block_rate=draw(st.floats(0.0, 0.1)),
+        block_duration=draw(st.integers(1, 20)),
+        surge_rate=draw(st.floats(0.0, 0.1)),
+        surge_orders=draw(st.integers(1, 4)),
+        recover=draw(st.booleans()),
+        reroute_patience=draw(st.integers(1, 5)),
+    )
+
+
+class TestZeroRateEquivalence:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**16))
+    def test_zero_rates_reproduce_the_nominal_trace_bytes(self, solved, seed):
+        nominal = _run(solved, SimulationConfig(seed=seed))
+        zeroed = _run(solved, SimulationConfig(seed=seed, disruptions=DisruptionConfig()))
+        assert _trace_bytes(nominal) == _trace_bytes(zeroed)
+        assert zeroed.resilience is None and zeroed.realized_plan is None
+
+
+class TestConservationUnderDisruption:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(config=disruption_configs(), seed=st.integers(0, 2**16))
+    def test_orders_and_units_are_conserved(self, solved, config, seed):
+        report = _run(solved, SimulationConfig(seed=seed, disruptions=config))
+        trace = report.trace
+        # Conservation of orders: completed + still-pending == injected
+        # (surged orders included), at the run's end boundary.
+        assert trace.orders_served + trace.orders_pending == trace.orders_created
+        # Conservation of units through the pick -> carry -> queue -> serve
+        # chain, as exposed by the trace aggregates.
+        assert trace.conservation_report() == []
+        assert trace.units_in_transit >= 0
+        assert trace.station_backlog >= 0
+        if report.resilience is not None:
+            assert report.resilience.dropped_orders == trace.orders_pending
+
+
+class TestRecoverySoundness:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(config=disruption_configs(), seed=st.integers(0, 2**16))
+    def test_recovery_never_produces_an_infeasible_plan(self, solved, config, seed):
+        designed, _, _ = solved
+        report = _run(solved, SimulationConfig(seed=seed, disruptions=config))
+        if report.realized_plan is None:
+            assert not config.is_active
+            return
+        validation = PlanValidator(designed.warehouse).validate(report.realized_plan)
+        assert validation.is_feasible, [str(v) for v in validation.violations[:5]]
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+    )
+    @given(config=disruption_configs(), seed=st.integers(0, 2**16))
+    def test_retention_is_bounded_and_consistent(self, solved, config, seed):
+        report = _run(solved, SimulationConfig(seed=seed, disruptions=config))
+        if report.resilience is None:
+            assert report.throughput_retention == 1.0
+            return
+        resilience = report.resilience
+        assert 0.0 <= resilience.throughput_retention <= 1.0 + 1e-9
+        assert resilience.units_served == report.units_served
+        assert resilience.num_recoveries >= 0
+        assert resilience.agent_downtime >= resilience.repairs  # each repair >= 1 tick down

@@ -137,3 +137,26 @@ class TestWorkloadAndPlanSerialization:
         warehouse = Warehouse(floorplan, catalog, LocationMatrix(catalog, floorplan), name="x")
         with pytest.raises(SerializationError):
             warehouse_to_dict(warehouse)
+
+
+class TestResilienceSerialization:
+    def test_resilience_report_round_trip(self):
+        from repro.io import resilience_from_dict, resilience_to_dict
+        from repro.sim import ResilienceReport
+
+        report = ResilienceReport(
+            breakdowns=3, blocks=2, surges=1, surged_orders=4,
+            repairs=3, reassignments=1, reroutes=2, failovers=1,
+            recovery_latency_total=31, agent_downtime=40, blocked_waits=6,
+            nominal_units=20, units_served=14, dropped_orders=2, late_orders=1,
+            breach_windows=2, first_breach_tick=55,
+        )
+        document = resilience_to_dict(report)
+        assert document["schema"] == "sim-resilience"
+        assert resilience_from_dict(document) == report
+
+    def test_resilience_schema_checked(self):
+        from repro.io import resilience_from_dict
+
+        with pytest.raises(SerializationError):
+            resilience_from_dict({"schema": "plan"})

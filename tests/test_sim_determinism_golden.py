@@ -7,14 +7,18 @@ generator.  This test pins that promise at its observable boundary — the
 *serialized* trace JSON must be byte-identical across independent runs — for
 both execution modes:
 
-* abstract plan replay (PR-1 semantics), and
+* abstract plan replay (PR-1 semantics),
 * grid-routed execution (MAPF-planned motion), which additionally requires
   the routers themselves to be deterministic (heap tie-breaking by insertion
-  order, no wall-clock dependence in any search).
+  order, no wall-clock dependence in any search), and
+* failure-injected execution (stochastic and scripted disruption schedules),
+  whose serialized traces additionally carry the resilience section — the
+  disruption draws, the queued conflict resolution and the recovery policies
+  must all be pure functions of (plan, seed, config).
 
-A drift here means the event-heap tie-breaking, the RNG plumbing or a router
-became nondeterministic — exactly the class of bug that silently invalidates
-every archived benchmark and regression baseline.
+A drift here means the event-heap tie-breaking, the RNG plumbing, a router or
+the disruption layer became nondeterministic — exactly the class of bug that
+silently invalidates every archived benchmark and regression baseline.
 """
 
 import json
@@ -24,7 +28,14 @@ import pytest
 from repro.core import WSPSolver
 from repro.experiments import ScenarioSpec, execute_scenario
 from repro.io import trace_to_dict
-from repro.sim import RoutingConfig, ServiceTimeModel, SimulationConfig, simulate_plan
+from repro.sim import (
+    DisruptionConfig,
+    RoutingConfig,
+    ScriptedDisruption,
+    ServiceTimeModel,
+    SimulationConfig,
+    simulate_plan,
+)
 
 SPEC = dict(
     kind="fulfillment",
@@ -73,6 +84,27 @@ CONFIGS = {
     "grid-lifelong": SimulationConfig(
         seed=7, routing=RoutingConfig(router="lifelong", window=4)
     ),
+    "disrupted-stochastic": SimulationConfig(
+        seed=7,
+        disruptions=DisruptionConfig(
+            breakdown_rate=0.05, repair_time=10, block_rate=0.03, block_duration=6,
+            outage_rate=0.02, outage_duration=12, surge_rate=0.05, surge_orders=2,
+        ),
+    ),
+    "disrupted-scripted": SimulationConfig(
+        seed=7,
+        service_time=ServiceTimeModel.uniform(1, 4),
+        arrival_rate=0.5,
+        disruptions=DisruptionConfig(
+            breakdown_rate=0.03,
+            repair_time=8,
+            schedule=(
+                ScriptedDisruption(tick=10, kind="breakdown", target=0, duration=20),
+                ScriptedDisruption(tick=30, kind="block", target=0, duration=15),
+                ScriptedDisruption(tick=50, kind="surge", magnitude=3),
+            ),
+        ),
+    ),
 }
 
 
@@ -94,6 +126,24 @@ def test_different_seed_changes_the_stochastic_trace(solved):
 def test_grid_routed_and_abstract_traces_differ(solved):
     """The two execution modes must be observably different artifacts."""
     assert _run(solved, CONFIGS["abstract"]) != _run(solved, CONFIGS["grid-prioritized"])
+
+
+def test_zero_disruption_reproduces_the_nominal_golden_trace(solved):
+    """An all-zero-rate disruption config is byte-identical to no config at
+    all: the pre-disruption golden traces stay valid for nominal runs."""
+    zeroed = SimulationConfig(seed=7, disruptions=DisruptionConfig())
+    assert _run(solved, zeroed) == _run(solved, CONFIGS["abstract"])
+
+
+def test_disrupted_trace_carries_the_resilience_section(solved):
+    """The resilience section is part of the golden artifact for disrupted
+    runs — and absent (not null) from nominal ones, preserving their schema."""
+    nominal = json.loads(_run(solved, CONFIGS["abstract"]))
+    disrupted = json.loads(_run(solved, CONFIGS["disrupted-stochastic"]))
+    assert "resilience" not in nominal
+    assert disrupted["resilience"]["schema"] == "sim-resilience"
+    assert disrupted["resilience"]["breakdowns"] > 0
+    assert disrupted["agent_paths"] is not None  # the realized (shifted) motion
 
 
 @pytest.mark.parametrize("router", ("abstract", "ecbs"))

@@ -1,0 +1,583 @@
+"""Unit tests of the disruption & resilience layer (repro.sim.disruptions).
+
+Scripted (rng-free) disruption schedules pin the exact semantics of every
+injection family and every recovery policy on hand-authored plans, where the
+expected outcome is computable by inspection: a breakdown parks the agent and
+a repair resumes it; a reassignment moves a delivery leg to an idle helper
+without duplicating a unit; a blocked edge first stalls and then detours the
+walker; a station outage backs its queue up and a failover re-weights the
+observed flows onto the surviving station.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.sim import (
+    DISRUPTION_KINDS,
+    DisruptionConfig,
+    DisruptionError,
+    ResilienceReport,
+    ScriptedDisruption,
+    ServiceTimeModel,
+    SimulationConfig,
+    SimulationEngine,
+    StationProcess,
+    TraceRecorder,
+    canonical_edges,
+    nominal_deliveries_by,
+    parse_disruptions,
+    severity_ladder,
+    simulate_plan,
+)
+from repro.sim.disruptions import _bfs_avoiding
+from repro.warehouse import PlanValidator
+from repro.warehouse.plan import Plan
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    spec = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=1,
+        shelf_columns=3,
+        shelf_bands=1,
+        num_stations=1,
+        num_products=2,
+        units=4,
+        horizon=150,
+    )
+    return spec.build()
+
+
+class TestDisruptionConfig:
+    def test_defaults_are_inactive(self):
+        config = DisruptionConfig()
+        assert not config.is_active
+        assert config.describe() == "none"
+
+    def test_any_rate_or_schedule_activates(self):
+        assert DisruptionConfig(breakdown_rate=0.1).is_active
+        assert DisruptionConfig(
+            schedule=(ScriptedDisruption(tick=3, kind="surge", magnitude=2),)
+        ).is_active
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(DisruptionError):
+            DisruptionConfig(breakdown_rate=1.5)
+        with pytest.raises(DisruptionError):
+            DisruptionConfig(repair_time=0)
+        with pytest.raises(DisruptionError):
+            DisruptionConfig(slowdown_factor=1)
+        with pytest.raises(DisruptionError):
+            DisruptionConfig(surge_orders=0)
+        with pytest.raises(DisruptionError):
+            DisruptionConfig(reroute_patience=0)
+        with pytest.raises(DisruptionError):
+            ScriptedDisruption(tick=0, kind="breakdown")
+        with pytest.raises(DisruptionError):
+            ScriptedDisruption(tick=1, kind="earthquake")
+
+    def test_describe_names_active_families(self):
+        text = DisruptionConfig(
+            breakdown_rate=0.01, surge_rate=0.2, recover=False
+        ).describe()
+        assert "breakdown:0.01" in text and "surge:0.2" in text
+        assert "norecover" in text
+
+
+class TestParseDisruptions:
+    def test_none_means_no_layer(self):
+        assert parse_disruptions("none") is None
+        assert parse_disruptions("") is None
+        assert parse_disruptions("  ") is None
+
+    def test_full_grammar(self):
+        config = parse_disruptions(
+            "breakdown:0.02:25,slowdown:0.01,outage:0.005:40,"
+            "block:0.03:15,surge:0.1:7,deadline:60,norecover"
+        )
+        assert config.breakdown_rate == 0.02 and config.repair_time == 25
+        assert config.slowdown_rate == 0.01 and config.slowdown_duration == 30
+        assert config.outage_rate == 0.005 and config.outage_duration == 40
+        assert config.block_rate == 0.03 and config.block_duration == 15
+        assert config.surge_rate == 0.1 and config.surge_orders == 7
+        assert config.order_deadline == 60
+        assert config.recover is False
+
+    def test_bad_entries_rejected(self):
+        for bad in ("meteor:0.1", "breakdown", "breakdown:x", "deadline:soon", "norecover:1"):
+            with pytest.raises(DisruptionError):
+                parse_disruptions(bad)
+
+    def test_modifier_only_specs_rejected(self):
+        """A spec of only modifiers would silently configure nothing."""
+        for inert in ("deadline:60", "norecover", "deadline:10,norecover"):
+            with pytest.raises(DisruptionError):
+                parse_disruptions(inert)
+
+
+class TestHelpers:
+    def test_canonical_edges_sorted_and_complete(self, tiny):
+        floorplan = tiny[0].warehouse.floorplan
+        edges = canonical_edges(floorplan)
+        assert len(edges) == floorplan.num_edges
+        assert all(u < v for u, v in edges)
+        assert edges == sorted(edges)
+
+    def test_severity_ladder_scales_active_rates(self):
+        base = DisruptionConfig(breakdown_rate=0.01, block_rate=0.02)
+        ladder = severity_ladder(base, (0.0, 0.1, 0.5))
+        assert [c.breakdown_rate for c in ladder] == [0.0, 0.1, 0.5]
+        assert [c.block_rate for c in ladder] == [0.0, 0.1, 0.5]
+        # An all-zero base defaults to the breakdown axis.
+        fallback = severity_ladder(DisruptionConfig(), (0.25,))
+        assert fallback[0].breakdown_rate == 0.25
+
+    def test_resilience_report_round_trip_and_retention(self):
+        report = ResilienceReport(
+            breakdowns=2, repairs=2, nominal_units=10, units_served=7,
+            recovery_latency_total=12,
+        )
+        assert report.throughput_retention == pytest.approx(0.7)
+        assert report.mean_recovery_latency == pytest.approx(6.0)
+        assert ResilienceReport.from_dict(report.to_dict()) == report
+        assert ResilienceReport().throughput_retention == 1.0
+
+
+class TestStationOutage:
+    def test_offline_station_queues_then_drains_on_restore(self):
+        engine = SimulationEngine(seed=0)
+        recorder = TraceRecorder(num_vertices=4, num_agents=1, cycle_time=5, ticks=21)
+        station = StationProcess(
+            engine, 0, recorder, ServiceTimeModel.deterministic(0), servers=1
+        )
+        station.go_offline()
+        engine.schedule_at(1, lambda: station.handoff(1))
+        engine.schedule_at(2, lambda: station.handoff(1))
+        engine.run(until=3)
+        assert station.queue_length == 2 and station.units_served == 0
+        engine.schedule_at(4, station.go_online)
+        engine.run(until=5)
+        assert station.units_served == 2 and station.queue_length == 0
+
+
+def _hand_plan(warehouse, rows):
+    """Rows of (positions, carrying) lists -> a Plan with cycle_time metadata."""
+    positions = np.array([r[0] for r in rows], dtype=np.int64)
+    carrying = np.array([r[1] for r in rows], dtype=np.int64)
+    return Plan(
+        positions=positions,
+        carrying=carrying,
+        warehouse=warehouse,
+        metadata={"cycle_time": 5.0},
+    )
+
+
+def _delivery_rows(floorplan, warehouse, start, shelf_v, product, station_v, horizon):
+    """One agent's walk start -> shelf (pickup) -> station (drop-off), padded."""
+    to_shelf = floorplan.shortest_path(start, shelf_v)
+    to_station = floorplan.shortest_path(shelf_v, station_v)
+    positions = list(to_shelf)
+    positions.append(shelf_v)  # stay one tick while the pickup resolves
+    positions.extend(to_station[1:])
+    positions.append(station_v)  # stay one tick while the drop-off resolves
+    carrying = [0] * len(to_shelf) + [product] * (len(to_station)) + [0]
+    positions += [station_v] * (horizon - len(positions))
+    carrying += [0] * (horizon - len(carrying))
+    return positions[:horizon], carrying[:horizon]
+
+
+class TestBreakdownAndRepair:
+    def test_breakdown_pauses_and_repair_resumes(self, tiny):
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        floorplan = warehouse.floorplan
+        rows = [_delivery_rows(floorplan, warehouse, 8, 7, 2, 1, 24)]
+        plan = _hand_plan(warehouse, rows)
+        assert PlanValidator(warehouse).is_feasible(plan)
+        down_for = 5
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=down_for),
+                )
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        resilience = report.resilience
+        assert resilience.breakdowns == 1 and resilience.repairs == 1
+        assert resilience.agent_downtime == down_for
+        assert resilience.recovery_latency_total == down_for
+        # The delivery still happens, five ticks late, and the realized motion
+        # is the plan's shifted by the downtime.
+        assert report.units_served == 1
+        realized = report.realized_plan
+        assert PlanValidator(warehouse).is_feasible(realized)
+        assert list(realized.positions[0][1 + down_for :]) == list(
+            plan.positions[0][1 : plan.horizon - down_for]
+        )
+
+    def test_downed_agent_blocks_followers(self, tiny):
+        """A corridor follower queues behind a broken agent (congestion)."""
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 12
+        # Agent 0 walks the serpentine 6->7->8; agent 1 trails one cell behind.
+        leader = ([6, 7, 8, 9] + [9] * (horizon - 4), [0] * horizon)
+        follower = ([0, 6, 7, 8] + [8] * (horizon - 4), [0] * horizon)
+        plan = _hand_plan(warehouse, [leader, follower])
+        assert PlanValidator(warehouse).is_feasible(plan)
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                recover=False,
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=100),
+                ),
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        realized = report.realized_plan
+        # The leader never left vertex 6; the follower stalls at vertex 0
+        # forever (vertex 6 stays occupied) instead of colliding.
+        assert set(int(v) for v in realized.positions[0]) == {6}
+        assert int(realized.positions[1, -1]) == 0
+        assert report.resilience.conflict_waits > 0
+        assert PlanValidator(warehouse).is_feasible(realized)
+
+
+class TestReassignment:
+    def test_idle_helper_takes_over_the_leg(self, tiny):
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 20
+        donor = _delivery_rows(warehouse.floorplan, warehouse, 8, 7, 2, 1, horizon)
+        helper = ([6] * horizon, [0] * horizon)  # parked, empty, no duties
+        plan = _hand_plan(warehouse, [donor, helper])
+        assert PlanValidator(warehouse).is_feasible(plan)
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=100),
+                )
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        resilience = report.resilience
+        assert resilience.reassignments == 1
+        assert report.units_served == 1  # the helper delivered the donor's unit
+        realized = report.realized_plan
+        assert PlanValidator(warehouse).is_feasible(realized)
+        # The donor stayed parked where it broke; the helper visited the shelf
+        # and the station.
+        assert set(int(v) for v in realized.positions[0]) == {8}
+        assert 7 in realized.positions[1] and 1 in realized.positions[1]
+
+    def test_repaired_donor_walks_its_transferred_leg_empty(self, tiny):
+        """Regression: after a leg is reassigned, the donor's actual carry
+        (empty) diverges from the plan's loaded profile between the
+        suppressed pickup and drop-off; the in-between steps must not
+        spuriously re-pick the product (hypothesis-found)."""
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 20
+        donor = _delivery_rows(warehouse.floorplan, warehouse, 8, 7, 2, 1, horizon)
+        helper = ([6] * horizon, [0] * horizon)
+        plan = _hand_plan(warehouse, [donor, helper])
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                schedule=(
+                    # Short outage: the donor is repaired at tick 5 and then
+                    # walks the remainder of its (transferred) route.
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=4),
+                )
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        resilience = report.resilience
+        assert resilience.reassignments == 1 and resilience.repairs == 1
+        # Exactly one unit is picked and served in total — by the helper; the
+        # repaired donor crosses its old pickup vertex empty-handed.
+        assert report.trace.units_picked == 1
+        assert report.units_served == 1
+        realized = report.realized_plan
+        assert PlanValidator(warehouse).is_feasible(realized)
+        assert all(int(c) == 0 for c in realized.carrying[0])
+
+    def test_legs_beyond_a_truncated_window_are_not_transferred(self, tiny):
+        """A truncated run must not recover deliveries its nominal baseline
+        never counts — otherwise retention would exceed 1."""
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 20
+        donor = _delivery_rows(warehouse.floorplan, warehouse, 8, 7, 2, 1, horizon)
+        helper = ([6] * horizon, [0] * horizon)
+        plan = _hand_plan(warehouse, [donor, helper])
+        # The donor's delivery lands at tick 4; a 4-tick window excludes it.
+        config = SimulationConfig(
+            seed=0,
+            max_ticks=4,
+            disruptions=DisruptionConfig(
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=100),
+                )
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        assert report.resilience.reassignments == 0
+        assert report.units_served == 0
+        assert report.resilience.nominal_units == 0
+        assert report.throughput_retention <= 1.0
+
+    def test_without_recovery_the_unit_is_lost(self, tiny):
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 20
+        donor = _delivery_rows(warehouse.floorplan, warehouse, 8, 7, 2, 1, horizon)
+        helper = ([6] * horizon, [0] * horizon)
+        plan = _hand_plan(warehouse, [donor, helper])
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                recover=False,
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="breakdown", target=0, duration=100),
+                ),
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        assert report.resilience.reassignments == 0
+        assert report.units_served == 0
+        assert report.resilience.throughput_retention == 0.0
+
+
+class TestRerouting:
+    def test_blocked_edge_stalls_then_detours(self, tiny):
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        floorplan = warehouse.floorplan
+        edges = canonical_edges(floorplan)
+        edge_index, (u, v) = next(
+            (i, e)
+            for i, e in enumerate(edges)
+            if _bfs_avoiding(floorplan, e[0], e[1], {e}) is not None
+        )
+        horizon = 14
+        rows = [([u] + [v] * (horizon - 1), [0] * horizon)]
+        plan = _hand_plan(warehouse, rows)
+        patience = 2
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                reroute_patience=patience,
+                schedule=(
+                    ScriptedDisruption(tick=1, kind="block", target=edge_index, duration=100),
+                ),
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        resilience = report.resilience
+        assert resilience.blocks == 1
+        assert resilience.reroutes == 1
+        assert resilience.blocked_waits >= patience
+        realized = report.realized_plan
+        assert int(realized.positions[0, -1]) == v  # still reached the goal
+        assert PlanValidator(warehouse).is_feasible(realized)
+        # The detour is strictly longer than the blocked single edge.
+        moves = int(np.sum(realized.positions[0, 1:] != realized.positions[0, :-1]))
+        assert moves > 1
+
+    def test_without_recovery_the_walker_waits_out_the_block(self, tiny):
+        designed, _ = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        floorplan = warehouse.floorplan
+        edges = canonical_edges(floorplan)
+        edge_index, (u, v) = next(
+            (i, e)
+            for i, e in enumerate(edges)
+            if _bfs_avoiding(floorplan, e[0], e[1], {e}) is not None
+        )
+        horizon = 14
+        block_for = 4
+        rows = [([u] + [v] * (horizon - 1), [0] * horizon)]
+        plan = _hand_plan(warehouse, rows)
+        config = SimulationConfig(
+            seed=0,
+            disruptions=DisruptionConfig(
+                recover=False,
+                schedule=(
+                    ScriptedDisruption(
+                        tick=1, kind="block", target=edge_index, duration=block_for
+                    ),
+                ),
+            ),
+        )
+        report = simulate_plan(plan, system, config=config)
+        assert report.resilience.reroutes == 0
+        assert report.resilience.blocked_waits == block_for
+        realized = report.realized_plan
+        assert int(realized.positions[0, -1]) == v
+        # Exactly one move, taken right after the block expired.
+        moves = int(np.sum(realized.positions[0, 1:] != realized.positions[0, :-1]))
+        assert moves == 1
+        assert int(realized.positions[0, block_for]) == u
+        assert int(realized.positions[0, block_for + 1]) == v
+
+
+class TestFailover:
+    @pytest.fixture(scope="class")
+    def two_station(self):
+        spec = ScenarioSpec(
+            kind="fulfillment",
+            num_slices=2,
+            shelf_columns=3,
+            shelf_bands=1,
+            num_stations=2,
+            num_products=2,
+            units=4,
+            horizon=150,
+        )
+        return spec.build()
+
+    def test_handoff_diverts_to_the_online_station(self, two_station):
+        designed, _ = two_station
+        warehouse, system = designed.warehouse, designed.traffic_system
+        floorplan = warehouse.floorplan
+        queues = [c.index for c in system.station_queues()]
+        assert len(queues) >= 2
+        target_component = queues[0]
+        station_v = system.station_vertices_in(target_component)[0]
+        shelf_v, product = next(
+            (v, sorted(warehouse.products_at(v))[0])
+            for v in range(floorplan.num_vertices)
+            if warehouse.products_at(v)
+        )
+        horizon = len(floorplan.shortest_path(shelf_v, station_v)) + 8
+        rows = [
+            _delivery_rows(floorplan, warehouse, shelf_v, shelf_v, product, station_v, horizon)
+        ]
+        plan = _hand_plan(warehouse, rows)
+        assert PlanValidator(warehouse).is_feasible(plan)
+        schedule = (
+            ScriptedDisruption(tick=1, kind="outage", target=target_component, duration=120),
+        )
+        report = simulate_plan(
+            plan,
+            system,
+            config=SimulationConfig(
+                seed=0, disruptions=DisruptionConfig(schedule=schedule)
+            ),
+        )
+        resilience = report.resilience
+        assert resilience.outages == 1
+        assert resilience.failovers == 1
+        assert report.units_served == 1
+        # The observed hand-off flow moved to the surviving station's queue.
+        assert all(component != target_component for component, _ in report.trace.handoffs)
+        assert resilience.station_downtime > 0
+
+    def test_without_failover_the_unit_waits_out_the_outage(self, two_station):
+        designed, _ = two_station
+        warehouse, system = designed.warehouse, designed.traffic_system
+        floorplan = warehouse.floorplan
+        queues = [c.index for c in system.station_queues()]
+        target_component = queues[0]
+        station_v = system.station_vertices_in(target_component)[0]
+        shelf_v, product = next(
+            (v, sorted(warehouse.products_at(v))[0])
+            for v in range(floorplan.num_vertices)
+            if warehouse.products_at(v)
+        )
+        horizon = len(floorplan.shortest_path(shelf_v, station_v)) + 8
+        rows = [
+            _delivery_rows(floorplan, warehouse, shelf_v, shelf_v, product, station_v, horizon)
+        ]
+        plan = _hand_plan(warehouse, rows)
+        outage_ticks = horizon + 50  # outlives the run
+        schedule = (
+            ScriptedDisruption(
+                tick=1, kind="outage", target=target_component, duration=outage_ticks
+            ),
+        )
+        report = simulate_plan(
+            plan,
+            system,
+            config=SimulationConfig(
+                seed=0,
+                disruptions=DisruptionConfig(recover=False, schedule=schedule),
+            ),
+        )
+        assert report.resilience.failovers == 0
+        assert report.units_served == 0  # queued at the dark station, unserved
+        assert report.trace.station_backlog == 1
+
+
+class TestSurges:
+    def test_scripted_surge_adds_orders(self, tiny):
+        designed, workload = tiny
+        warehouse, system = designed.warehouse, designed.traffic_system
+        horizon = 20
+        rows = [([6] * horizon, [0] * horizon)]
+        plan = _hand_plan(warehouse, rows)
+        schedule = (ScriptedDisruption(tick=5, kind="surge", magnitude=3),)
+        report = simulate_plan(
+            plan,
+            system,
+            workload=workload,
+            config=SimulationConfig(
+                seed=0, disruptions=DisruptionConfig(schedule=schedule)
+            ),
+        )
+        resilience = report.resilience
+        assert resilience.surges == 1 and resilience.surged_orders == 3
+        assert report.trace.orders_created == workload.total_units + 3
+        # Nobody delivers anything in this plan: every order is dropped.
+        assert resilience.dropped_orders == report.trace.orders_created
+        assert report.trace.conservation_report() == []
+
+
+class TestScenarioIntegration:
+    def test_scenario_spec_disruption_fields_and_id_stability(self):
+        nominal = ScenarioSpec(name="x")
+        disrupted = ScenarioSpec(name="x", disruptions="breakdown:0.02:10")
+        # The default keeps the pre-disruption hash payload (id stability
+        # across schema growth), a non-default perturbs it.
+        assert nominal.scenario_id == ScenarioSpec().scenario_id
+        assert disrupted.scenario_id != nominal.scenario_id
+        assert disrupted.disruption_config().breakdown_rate == 0.02
+        assert nominal.disruption_config() is None
+        assert ScenarioSpec(disruptions="breakdown:0.02:10").label.endswith("-disrupted")
+
+    def test_invalid_disruption_spec_rejected_by_validate(self):
+        from repro.experiments import ScenarioError
+
+        spec = ScenarioSpec(disruptions="breakdown:not-a-rate")
+        with pytest.raises(ScenarioError):
+            spec.validate()
+
+    def test_resilience_preset_suite_covers_all_families(self):
+        from repro.experiments import preset_scenarios
+
+        specs = preset_scenarios("resilience")
+        assert any(spec.disruptions == "none" for spec in specs)
+        joined = ",".join(spec.disruptions for spec in specs)
+        for kind in DISRUPTION_KINDS:
+            assert kind in joined
+        assert any("norecover" in spec.disruptions for spec in specs)
+        assert all(spec.is_valid() for spec in specs)
+        assert len({spec.scenario_id for spec in specs}) == len(specs)
+
+
+class TestNominalBaseline:
+    def test_nominal_deliveries_counts_in_window(self, tiny):
+        designed, _ = tiny
+        warehouse = designed.warehouse
+        horizon = 20
+        rows = [_delivery_rows(warehouse.floorplan, warehouse, 8, 7, 2, 1, horizon)]
+        plan = _hand_plan(warehouse, rows)
+        assert nominal_deliveries_by(plan, plan.horizon) == 1
+        assert nominal_deliveries_by(plan, 2) == 0

@@ -108,6 +108,75 @@ class TestEngine:
         assert np.array_equal(a, b)
 
 
+class TestIntraTickOrdering:
+    """Regression tests pinning the (tick, priority, sequence) pop order.
+
+    The disruption layer schedules same-tick follow-up work from inside its
+    own band (a repair triggering agent reassignment), which surfaced the
+    latent bug class these tests pin: events landing at an identical timestamp
+    must pop monotonically in (priority, sequence), even when a running
+    callback schedules into a phase the clock has already passed.
+    """
+
+    def test_ties_pop_in_priority_then_insertion_order(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+        # Insert deliberately out of priority order at one timestamp.
+        for label, priority in (
+            ("monitors", 30), ("arrivals", 0), ("telemetry", 40),
+            ("agents-a", 10), ("disruptions", 5), ("agents-b", 10), ("stations", 20),
+        ):
+            engine.schedule_at(3, lambda l=label: fired.append(l), priority=priority)
+        engine.run()
+        assert fired == [
+            "arrivals", "disruptions", "agents-a", "agents-b", "stations",
+            "monitors", "telemetry",
+        ]
+
+    def test_same_tick_schedule_cannot_reenter_a_completed_phase(self):
+        """A callback in band 20 scheduling a same-tick band-0 event must not
+        interleave it into the middle of band 20: the event is lifted to the
+        executing band and pops after that band's pending events."""
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def first():
+            fired.append("first@20")
+            engine.schedule(0, lambda: fired.append("lifted@0->20"), priority=0)
+
+        engine.schedule_at(2, first, priority=20)
+        engine.schedule_at(2, lambda: fired.append("second@20"), priority=20)
+        engine.schedule_at(2, lambda: fired.append("third@30"), priority=30)
+        engine.run()
+        assert fired == ["first@20", "second@20", "lifted@0->20", "third@30"]
+
+    def test_same_tick_schedule_into_a_later_phase_keeps_its_priority(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def first():
+            fired.append("agents@10")
+            engine.schedule(0, lambda: fired.append("monitors@30"), priority=30)
+
+        engine.schedule_at(1, first, priority=10)
+        engine.schedule_at(1, lambda: fired.append("stations@20"), priority=20)
+        engine.run()
+        assert fired == ["agents@10", "stations@20", "monitors@30"]
+
+    def test_future_tick_schedules_keep_their_priority(self):
+        engine = SimulationEngine(seed=0)
+        fired = []
+
+        def first():
+            fired.append("t1@20")
+            engine.schedule(1, lambda: fired.append("t2@0"), priority=0)
+
+        engine.schedule_at(1, first, priority=20)
+        engine.schedule_at(2, lambda: fired.append("t2@10"), priority=10)
+        engine.run()
+        assert fired == ["t1@20", "t2@0", "t2@10"]
+
+
 class TestServiceTimeModels:
     def test_deterministic(self):
         model = ServiceTimeModel.deterministic(3)

@@ -253,14 +253,15 @@ class TestScenarioRouting:
 
         spec = tiny_spec()
         legacy_payload = asdict(spec)
-        for field in ("name", "router", "routing_window"):
+        for field in ("name", "router", "routing_window", "disruptions"):
             legacy_payload.pop(field)
         legacy_id = hashlib.sha1(
             json.dumps(legacy_payload, sort_keys=True).encode()
         ).hexdigest()[:12]
         assert spec.scenario_id == legacy_id
-        # Non-default routing fields do change the identity.
+        # Non-default routing/disruption fields do change the identity.
         assert tiny_spec(router="ecbs").scenario_id != legacy_id
+        assert tiny_spec(disruptions="breakdown:0.01").scenario_id != legacy_id
 
     def test_execute_scenario_records_routing_columns(self):
         spec = tiny_spec(router="prioritized")
