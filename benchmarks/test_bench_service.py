@@ -1,0 +1,144 @@
+"""The serving layer as a benchmark artifact: ``BENCH_service.json``.
+
+Boots a real :class:`~repro.service.server.ServiceServer` (HTTP +
+spawn-based worker pool) in-process and drives it with the load-generator
+harness at the PR's acceptance bar:
+
+* ≥ 8 concurrent clients, zero transport/server errors;
+* warm (cache-hit) p50 latency ≥ 10× lower than cold solve latency on the
+  smoke preset;
+* an overload run against a deliberately tiny pool (1 worker, 0 pending)
+  answers every request — mostly with explicit 429 rejections — and the
+  service stays healthy afterwards (bounded queue, no crash).
+
+The emitted document carries cold/warm latency percentiles, warm
+throughput, cache hit rate and rejection rate: the serving numbers every
+future performance PR moves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import preset_scenarios
+from repro.service import (
+    LoadTestOptions,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    run_loadtest,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+CLIENTS = 8
+
+
+@pytest.fixture(scope="module")
+def primary_report():
+    """Cold + warm phases on the smoke preset against a well-provisioned pool."""
+    specs = preset_scenarios("smoke")
+    server = ServiceServer(
+        ServiceConfig(port=0, workers=2, max_pending=2 * len(specs), warm_up=True)
+    ).start()
+    try:
+        report = run_loadtest(
+            server.url,
+            specs,
+            LoadTestOptions(clients=CLIENTS, requests_per_client=4, timeout=600),
+        )
+    finally:
+        assert server.stop(drain_timeout=120)
+    return report
+
+
+@pytest.fixture(scope="module")
+def overload_report():
+    """Overload burst against a minimal pool (1 worker, zero pending slots)."""
+    specs = preset_scenarios("routing")[:2]
+    server = ServiceServer(
+        ServiceConfig(port=0, workers=1, max_pending=0, warm_up=True)
+    ).start()
+    try:
+        report = run_loadtest(
+            server.url,
+            specs,
+            LoadTestOptions(
+                clients=CLIENTS,
+                requests_per_client=1,
+                overload=True,
+                overload_requests=24,
+                timeout=600,
+            ),
+        )
+        # The service survived the burst: it still answers, still solves.
+        with ServiceClient(server.url, timeout=60) as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            metrics = client.metrics()
+    finally:
+        assert server.stop(drain_timeout=120)
+    return report, metrics
+
+
+def test_primary_run_meets_the_acceptance_bar(primary_report):
+    report = primary_report
+    ok, problems = report.acceptable()
+    assert ok, f"loadtest failed the acceptance bar: {problems}\n{report.headline()}"
+    assert report.transport_errors == 0
+    assert report.server_errors == 0
+    assert report.states.get("error", 0) == 0
+    # Every scenario answered: 9 cold + 8 clients x 4 warm requests.
+    assert report.total_requests == report.num_scenarios + CLIENTS * 4
+    # The infeasible smoke scenario is a result, not a failure.
+    assert report.states.get("infeasible", 0) > 0
+    assert report.cache_hits > 0
+
+
+def test_warm_p50_is_10x_faster_than_cold(primary_report):
+    report = primary_report
+    cold_p50 = report.percentile("cold", 0.5)
+    warm_p50 = report.percentile("warm", 0.5)
+    assert warm_p50 > 0 and cold_p50 > 0
+    assert cold_p50 / warm_p50 >= 10.0, (
+        f"warm p50 {warm_p50 * 1000:.2f}ms vs cold p50 {cold_p50 * 1000:.2f}ms "
+        f"({cold_p50 / warm_p50:.1f}x, need >= 10x)"
+    )
+
+
+def test_overload_is_bounded_and_explicit(overload_report):
+    report, metrics = overload_report
+    # No crashes, no 5xx — overload resolves into explicit 429 rejections.
+    assert report.transport_errors == 0
+    assert report.server_errors == 0
+    assert report.rejections > 0, "overload burst produced no explicit rejections"
+    assert report.http_statuses.get(429, 0) > 0
+    # Bounded queue: the pool never held more than workers + max_pending.
+    assert metrics["pool"]["rejected"] > 0
+    assert metrics["pool"]["in_flight"] == 0
+
+
+def test_emit_bench_service_json(primary_report, overload_report):
+    """Write the BENCH_service.json artifact consumed by the perf driver."""
+    report = primary_report
+    overload, overload_metrics = overload_report
+    document = report.to_dict()
+    document["overload"] = {
+        "report": overload.to_dict(),
+        "pool": overload_metrics["pool"],
+    }
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    reloaded = json.loads(BENCH_PATH.read_text())
+    assert reloaded["schema"] == "bench-service"
+    assert reloaded["speedup_p50"] >= 10.0
+    assert reloaded["cache_hit_rate"] > 0.0
+    assert reloaded["transport_errors"] == 0
+    assert reloaded["overload"]["report"]["rejections"] > 0
+    print(
+        f"\nBENCH_service: cold p50 {reloaded['latency_seconds']['cold']['p50'] * 1000:.1f}ms, "
+        f"warm p50 {reloaded['latency_seconds']['warm']['p50'] * 1000:.1f}ms "
+        f"({reloaded['speedup_p50']:.0f}x), hit rate {reloaded['cache_hit_rate']:.0%}, "
+        f"warm throughput {reloaded['warm_throughput_rps']:.0f} req/s"
+    )

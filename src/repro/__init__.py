@@ -22,22 +22,33 @@ The package is organised as a set of substrates plus the co-design core:
   orchestration: declarative scenario specs, grid/random/preset suites, a
   spawn-based batch runner with timeouts and crash isolation, and an
   append-only JSONL result store (``repro sweep`` on the command line).
+* :mod:`repro.service`    — the concurrent serving layer above the whole
+  pipeline: an HTTP front end (solve/batch/submit/status/result/health/
+  metrics) over a content-addressed result cache (in-memory LRU +
+  persistent JSONL tier, keyed on ``scenario_id``, with single-flight
+  coalescing of identical in-flight requests) and a bounded worker pool
+  with explicit backpressure and graceful drain (``repro serve`` /
+  ``repro loadtest`` on the command line).
 * :mod:`repro.analysis`   — metrics (static and simulated), reporting and
-  ASCII visualization, sweep aggregation and regression comparison.
-* :mod:`repro.io`         — map / plan / trace / scenario / run-record
-  serialization.
+  ASCII visualization, sweep aggregation, serving latency/throughput
+  tables and regression comparison.
+* :mod:`repro.io`         — map / plan / trace / scenario / run-record /
+  service request-response serialization.
 
 The main user-facing entry point is :class:`repro.core.pipeline.WSPSolver`:
 ``solve()`` runs stages 1-5 (design check, synthesis, decomposition,
 realization, validation) and ``simulate()`` runs stage 6, executing the
 realized plan in the digital twin — nominally, grid-routed, or under
 failure injection (``SimulationConfig.disruptions``) — and returning a
-:class:`repro.sim.runner.SimulationReport`.  See ``examples/quickstart.py``
-for a five-minute tour, ``examples/simulate_fulfillment.py`` for the
-execution side, and ``examples/resilient_simulation.py`` for the
-disruption/recovery tour.
+:class:`repro.sim.runner.SimulationReport`.  Above the pipeline sits the
+serving layer: ``repro serve`` answers solve/simulate traffic from a
+content-addressed cache backed by a bounded worker pool.  See
+``examples/quickstart.py`` for a five-minute tour,
+``examples/simulate_fulfillment.py`` for the execution side,
+``examples/resilient_simulation.py`` for the disruption/recovery tour, and
+``examples/serving.py`` for the serving layer.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["__version__"]

@@ -26,6 +26,13 @@ from .resilience import (
     resilience_row,
 )
 from .routing import render_edge_heatmap, routing_comparison_table, routing_row
+from .service import (
+    latency_summary,
+    latency_table,
+    loadtest_report,
+    percentile,
+    service_table,
+)
 from .sim_metrics import SimMetrics, compute_sim_metrics, throughput_gap_report
 from .visualization import (
     render_component_legend,
@@ -50,7 +57,11 @@ __all__ = [
     "disruption_density",
     "format_markdown_table",
     "format_table",
+    "latency_summary",
+    "latency_table",
+    "loadtest_report",
     "paper_runtime",
+    "percentile",
     "render_component_legend",
     "render_congestion",
     "render_disruption_timeline",
@@ -65,6 +76,7 @@ __all__ = [
     "scaling_report",
     "scaling_rows",
     "service_makespan",
+    "service_table",
     "sweep_report",
     "sweep_table",
     "table1_report",

@@ -18,15 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .reporting import format_markdown_table, format_table
-
-
-def _percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+from .service import percentile as _percentile
 
 
 @dataclass

@@ -1,0 +1,91 @@
+"""Latency/throughput analysis for the serving layer.
+
+Consumes the latency reservoirs and counter snapshots produced by
+:mod:`repro.service` (the ``/metrics`` endpoint and the load-generator's
+:class:`~repro.service.client.LoadTestReport`) and renders the serving
+tables: per-phase latency percentiles, throughput, cache hit rate and
+rejection rate — the numbers every future performance PR moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .reporting import format_markdown_table, format_table
+
+#: The percentile fractions every latency summary reports.
+LATENCY_FRACTIONS = (0.50, 0.90, 0.95)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def latency_summary(seconds: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p95/mean/max of a latency sample, in seconds."""
+    summary = {
+        f"p{int(fraction * 100)}": percentile(seconds, fraction)
+        for fraction in LATENCY_FRACTIONS
+    }
+    summary["mean"] = sum(seconds) / len(seconds) if seconds else 0.0
+    summary["max"] = max(seconds) if seconds else 0.0
+    summary["count"] = float(len(seconds))
+    return summary
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.1f}"
+
+
+def latency_table(
+    phases: Mapping[str, Sequence[float]], markdown: bool = False
+) -> str:
+    """One row per phase: request count and latency percentiles (ms)."""
+    headers = ["phase", "requests", "p50 ms", "p90 ms", "p95 ms", "max ms"]
+    rows: List[List[str]] = []
+    for phase, seconds in phases.items():
+        summary = latency_summary(seconds)
+        rows.append(
+            [
+                phase,
+                str(int(summary["count"])),
+                _ms(summary["p50"]),
+                _ms(summary["p90"]),
+                _ms(summary["p95"]),
+                _ms(summary["max"]),
+            ]
+        )
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
+def service_table(metrics: Mapping, markdown: bool = False) -> str:
+    """Headline serving counters from a ``/metrics`` snapshot."""
+    cache = metrics.get("cache", {})
+    pool = metrics.get("pool", {})
+    requests = metrics.get("requests", {})
+    headers = ["metric", "value"]
+    rows = [
+        ["requests served", str(int(requests.get("total", 0)))],
+        ["cache hit rate", f"{float(cache.get('hit_rate', 0.0)):.1%}"],
+        ["cache entries", str(int(cache.get("size", 0)))],
+        ["coalesced requests", str(int(cache.get("coalesced", 0)))],
+        ["pool in flight", str(int(pool.get("in_flight", 0)))],
+        ["pool completed", str(int(pool.get("completed", 0)))],
+        ["pool rejected", str(int(pool.get("rejected", 0)))],
+    ]
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
+def loadtest_report(report, markdown: bool = False) -> str:
+    """Render a :class:`~repro.service.client.LoadTestReport` as tables."""
+    lines = [report.headline(), "", latency_table(report.phase_latencies, markdown=markdown)]
+    return "\n".join(lines)

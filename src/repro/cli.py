@@ -22,6 +22,14 @@ The CLI exposes the common workflows without writing Python:
   solve→simulate pipeline over it on a worker pool, appending one JSONL record
   per run (``--report`` aggregates a result file, ``--compare`` diffs two
   result files for regressions);
+* ``python -m repro serve`` — boot the long-lived serving layer: an HTTP
+  front end (submit/status/result/health/metrics, NDJSON batch streaming)
+  over a content-addressed result cache (in-memory LRU + optional persistent
+  JSONL tier, single-flight coalescing) and a bounded worker pool with
+  explicit backpressure; SIGINT/SIGTERM drain gracefully;
+* ``python -m repro loadtest`` — drive a running service through
+  cold/warm(/overload) phases with concurrent clients and print the latency/
+  throughput/hit-rate report (optionally writing ``BENCH_service.json``);
 * ``python -m repro validate --plan plan.json`` — re-validate a saved plan
   against the three feasibility conditions.
 """
@@ -29,7 +37,9 @@ The CLI exposes the common workflows without writing Python:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -56,6 +66,7 @@ from .experiments import (
     preset_scenarios,
     run_sweep,
 )
+from .analysis.service import loadtest_report as render_loadtest_report
 from .io import load_json, plan_from_dict, plan_to_dict, save_json, save_map, trace_to_dict
 from .maps import MAP_REGISTRY, PAPER_MAP_STATS
 from .sim import (
@@ -324,6 +335,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not any(record.failed for record in records) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, ServiceServer
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be at least 1 (got {args.workers})")
+    if args.max_pending < 0:
+        raise SystemExit(f"--max-pending must be non-negative (got {args.max_pending})")
+    if args.cache_capacity < 1:
+        raise SystemExit(f"--cache-capacity must be at least 1 (got {args.cache_capacity})")
+    if args.timeout is not None and not args.timeout > 0:
+        raise SystemExit(f"--timeout must be positive (got {args.timeout:g})")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache_capacity,
+        timeout_seconds=args.timeout,
+        store_path=args.store,
+    )
+    server = ServiceServer(config, quiet=not args.verbose)
+    server.start()
+    # The port line is machine-read by the CI smoke job and the tests.
+    print(f"repro service listening on {server.url}", flush=True)
+    print(
+        f"  workers={config.workers} max_pending={config.max_pending} "
+        f"cache={config.cache_capacity}"
+        + (f" store={config.store_path}" if config.store_path else ""),
+        flush=True,
+    )
+
+    stop_requested = threading.Event()
+
+    def request_stop(signum, _frame):
+        print(f"\nsignal {signal.Signals(signum).name}: draining ...", flush=True)
+        stop_requested.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, request_stop)
+    try:
+        # Wait with a timeout: a bare Event.wait() parks the main thread in an
+        # uninterruptible lock acquire and the signal handler never runs.
+        while not stop_requested.wait(timeout=0.5):
+            pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    drained = server.stop(drain_timeout=args.drain_timeout)
+    print("service stopped" + ("" if drained else " (drain timed out)"), flush=True)
+    return 0 if drained else 1
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    from .service import LoadTestOptions, run_loadtest
+
+    if args.clients < 1:
+        raise SystemExit(f"--clients must be at least 1 (got {args.clients})")
+    if args.requests < 1:
+        raise SystemExit(f"--requests must be at least 1 (got {args.requests})")
+    if args.limit < 0:
+        raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+    specs = [spec for spec in preset_scenarios(args.preset, seed=args.seed) if spec.is_valid()]
+    if args.limit > 0:
+        specs = specs[: args.limit]
+    if not specs:
+        raise SystemExit(f"preset {args.preset!r} produced no valid scenarios to request")
+    options = LoadTestOptions(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        overload=args.overload,
+        overload_requests=args.overload_requests,
+        timeout=args.request_timeout,
+    )
+    print(
+        f"loadtest {args.url}: {len(specs)} scenario(s), {args.clients} client(s), "
+        f"{args.requests} warm request(s)/client"
+        + (", overload phase enabled" if args.overload else "")
+    )
+    report = run_loadtest(args.url, specs, options)
+    print()
+    print(render_loadtest_report(report, markdown=args.markdown))
+    if args.out:
+        save_json(report.to_dict(), args.out)
+        print(f"\nreport written to {args.out}")
+    ok, _ = report.acceptable()
+    return 0 if ok else 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     plan = plan_from_dict(load_json(args.plan))
     report = PlanValidator(plan.warehouse).validate(plan)
@@ -469,6 +569,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="boot the concurrent solve/simulate serving layer"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 for an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes computing cold requests"
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="cold requests allowed to queue beyond the computing ones "
+        "(one more is rejected with 429 + Retry-After)",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity", type=int, default=1024, help="in-memory LRU entries"
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, help="default per-request compute budget (s)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        help="persistent cache tier: append-only JSONL result file "
+        "(results survive restarts and warm the cache at boot)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest", help="drive a running service through cold/warm/overload phases"
+    )
+    loadtest_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="base URL of the running service"
+    )
+    loadtest_parser.add_argument(
+        "--preset",
+        default="smoke",
+        choices=sorted(PRESET_SUITES),
+        help="scenario suite to request",
+    )
+    loadtest_parser.add_argument("--seed", type=int, default=0, help="suite base seed")
+    loadtest_parser.add_argument(
+        "--limit", type=int, default=0, help="use only the first N scenarios"
+    )
+    loadtest_parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent client connections"
+    )
+    loadtest_parser.add_argument(
+        "--requests", type=int, default=4, help="warm-phase requests per client"
+    )
+    loadtest_parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="also run the overload phase (burst of distinct fresh scenarios; "
+        "expects explicit 429 rejections, not failures)",
+    )
+    loadtest_parser.add_argument(
+        "--overload-requests", type=int, default=32, help="overload burst size"
+    )
+    loadtest_parser.add_argument(
+        "--request-timeout", type=float, default=300.0, help="per-request client timeout (s)"
+    )
+    loadtest_parser.add_argument("--out", help="write the report as JSON (BENCH_service.json)")
+    loadtest_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    loadtest_parser.set_defaults(handler=cmd_loadtest)
 
     validate_parser = subparsers.add_parser("validate", help="validate a saved plan")
     validate_parser.add_argument("--plan", required=True, help="plan JSON file")

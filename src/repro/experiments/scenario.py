@@ -126,7 +126,14 @@ class ScenarioSpec:
         hold their defaults, so every pre-existing scenario keeps its id and
         archived baselines stay matchable by ``repro sweep --compare`` across
         schema growth.  Follow the same pattern for future spec fields.
+
+        The hash is computed once per instance and memoized (the spec is
+        frozen, so it cannot go stale): the serving layer keys every cache
+        lookup on this id, which makes it a hot path under load.
         """
+        cached = self.__dict__.get("_scenario_id")
+        if cached is not None:
+            return cached
         payload = asdict(self)
         payload.pop("name")
         if payload["router"] == "abstract":
@@ -136,7 +143,12 @@ class ScenarioSpec:
         if payload["disruptions"] == "none":
             del payload["disruptions"]
         canonical = json.dumps(payload, sort_keys=True)
-        return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+        scenario_id = hashlib.sha1(canonical.encode()).hexdigest()[:12]
+        # Frozen dataclass: the memo must bypass the frozen __setattr__.  The
+        # cache lives outside the field set, so equality, asdict() and
+        # replace() are unaffected.
+        object.__setattr__(self, "_scenario_id", scenario_id)
+        return scenario_id
 
     def to_dict(self) -> Dict:
         from ..io.serialization import scenario_to_dict  # io owns the schemas

@@ -16,9 +16,15 @@ reproduce bit for bit.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
+
+try:  # POSIX advisory file locking; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from .scenario import ScenarioSpec
 
@@ -134,6 +140,7 @@ class ResultStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._records: List[RunRecord] = []
         self._by_id: Dict[str, List[RunRecord]] = {}
+        self._lock = threading.Lock()
         if load_existing and self.path.exists():
             for record in load_records(self.path):
                 self._remember(record)
@@ -143,11 +150,24 @@ class ResultStore:
         self._by_id.setdefault(record.scenario_id, []).append(record)
 
     def append(self, record: RunRecord) -> None:
-        """Persist one record (one JSON line, flushed) and index it."""
-        line = json.dumps(record.to_dict(), sort_keys=True)
-        with self.path.open("a") as handle:
-            handle.write(line + "\n")
-        self._remember(record)
+        """Persist one record (one JSON line, flushed) and index it.
+
+        Safe for concurrent appenders, both threads in one process (the store
+        lock) and multiple processes on the same file: the line is fully built
+        before any I/O and written by a single ``write`` call on a handle that
+        holds a POSIX advisory lock (``flock``), so two writers can never
+        interleave partial lines.  The lock is released when the handle
+        closes; on platforms without ``fcntl`` the O_APPEND single-write path
+        is the (weaker) fallback.
+        """
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        with self._lock:
+            with self.path.open("a") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                handle.write(line)
+                handle.flush()
+            self._remember(record)
 
     # -- queries ----------------------------------------------------------------
     def records(self) -> List[RunRecord]:

@@ -336,6 +336,90 @@ def run_record_from_dict(document: Dict):
     )
 
 
+# -- service requests and responses ---------------------------------------------------
+
+def service_request_to_dict(request) -> Dict:
+    """Serialize a :class:`~repro.service.api.ServiceRequest`."""
+    return {
+        "schema": "service-request",
+        "version": SCHEMA_VERSION,
+        "scenario": scenario_to_dict(request.scenario),
+        "timeout_seconds": (
+            None if request.timeout_seconds is None else float(request.timeout_seconds)
+        ),
+        "fresh": bool(request.fresh),
+        "tag": str(request.tag),
+    }
+
+
+def service_request_from_dict(document: Dict):
+    """Rebuild a :class:`~repro.service.api.ServiceRequest`."""
+    from ..service.api import ServiceRequest, ServiceRequestError  # io stays import-light
+
+    _check_schema(document, "service-request")
+    timeout = document.get("timeout_seconds")
+    try:
+        return ServiceRequest(
+            scenario=scenario_from_dict(document["scenario"]),
+            timeout_seconds=None if timeout is None else float(timeout),
+            fresh=bool(document.get("fresh", False)),
+            tag=str(document.get("tag", "")),
+        )
+    except (KeyError, TypeError, ValueError, ServiceRequestError) as error:
+        raise SerializationError(f"malformed service request: {error}") from error
+
+
+def service_response_to_dict(response) -> Dict:
+    """Serialize a :class:`~repro.service.api.ServiceResponse`.
+
+    The embedded run record is already a document (the response carries it
+    verbatim), so serialization nests it untouched.
+    """
+    return {
+        "schema": "service-response",
+        "version": SCHEMA_VERSION,
+        "state": response.state,
+        "scenario_id": response.scenario_id,
+        "request_id": response.request_id,
+        "cache": response.cache,
+        "record": response.record,
+        "message": response.message,
+        "tag": response.tag,
+        "queue_seconds": float(response.queue_seconds),
+        "compute_seconds": float(response.compute_seconds),
+        "retry_after_seconds": (
+            None
+            if response.retry_after_seconds is None
+            else float(response.retry_after_seconds)
+        ),
+        "info": {k: float(v) for k, v in sorted(response.info.items())},
+    }
+
+
+def service_response_from_dict(document: Dict):
+    """Rebuild a :class:`~repro.service.api.ServiceResponse`."""
+    from ..service.api import ServiceRequestError, ServiceResponse  # io stays import-light
+
+    _check_schema(document, "service-response")
+    retry_after = document.get("retry_after_seconds")
+    try:
+        return ServiceResponse(
+            state=document["state"],
+            scenario_id=str(document.get("scenario_id", "")),
+            request_id=str(document.get("request_id", "")),
+            cache=str(document.get("cache", "")),
+            record=document.get("record"),
+            message=str(document.get("message", "")),
+            tag=str(document.get("tag", "")),
+            queue_seconds=float(document.get("queue_seconds", 0.0)),
+            compute_seconds=float(document.get("compute_seconds", 0.0)),
+            retry_after_seconds=None if retry_after is None else float(retry_after),
+            info={k: float(v) for k, v in document.get("info", {}).items()},
+        )
+    except (KeyError, TypeError, ValueError, ServiceRequestError) as error:
+        raise SerializationError(f"malformed service response: {error}") from error
+
+
 # -- file helpers ---------------------------------------------------------------------
 
 def save_json(document: Dict, path: PathLike) -> None:

@@ -1,0 +1,70 @@
+"""Concurrent solve/simulate serving layer.
+
+Turns the one-shot pipeline into a long-lived service traffic can hit:
+
+* :mod:`repro.service.api`    — the request/response contract
+  (:class:`ServiceRequest`/:class:`ServiceResponse`, serialized in
+  :mod:`repro.io.serialization`);
+* :mod:`repro.service.cache`  — content-addressed result cache keyed on
+  ``scenario_id``: in-memory LRU + persistent JSONL tier
+  (:class:`~repro.experiments.store.ResultStore`) + single-flight
+  coalescing of concurrent identical requests;
+* :mod:`repro.service.pool`   — bounded worker pool over the spawn-based
+  pipeline runner, with per-request timeouts and explicit backpressure;
+* :mod:`repro.service.server` — the transport-independent
+  :class:`SolveService` core and the ``ThreadingHTTPServer`` front end
+  (submit/status/result/health/metrics endpoints, NDJSON batch streaming,
+  graceful SIGINT/SIGTERM drain);
+* :mod:`repro.service.client` — stdlib HTTP client and the cold/warm/
+  overload load-generator harness behind ``repro loadtest``.
+
+``repro serve`` boots the server; latency/throughput reporting lives in
+:mod:`repro.analysis.service`.
+"""
+
+from .api import (
+    CACHE_OUTCOMES,
+    SERVICE_STATES,
+    STATE_INVALID,
+    STATE_PENDING,
+    STATE_REJECTED,
+    STATE_RUNNING,
+    ServiceRequest,
+    ServiceRequestError,
+    ServiceResponse,
+)
+from .cache import CACHEABLE_STATUSES, ResultCache
+from .client import (
+    LoadTestOptions,
+    LoadTestReport,
+    ServiceClient,
+    ServiceClientError,
+    run_loadtest,
+)
+from .pool import PoolDraining, PoolSaturated, ServicePool
+from .server import ServiceConfig, ServiceServer, SolveService
+
+__all__ = [
+    "CACHEABLE_STATUSES",
+    "CACHE_OUTCOMES",
+    "SERVICE_STATES",
+    "STATE_INVALID",
+    "STATE_PENDING",
+    "STATE_REJECTED",
+    "STATE_RUNNING",
+    "LoadTestOptions",
+    "LoadTestReport",
+    "PoolDraining",
+    "PoolSaturated",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceRequestError",
+    "ServiceResponse",
+    "ServiceServer",
+    "ServicePool",
+    "SolveService",
+    "run_loadtest",
+]

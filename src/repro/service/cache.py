@@ -1,0 +1,155 @@
+"""Content-addressed result cache with single-flight coalescing.
+
+Results are keyed on :attr:`~repro.experiments.scenario.ScenarioSpec.
+scenario_id` — the stable content hash of the scenario — so two requests for
+the same instance are the *same* cache entry regardless of who sent them, in
+which order, or under which cosmetic name.  Two tiers:
+
+* an in-memory LRU of :class:`~repro.experiments.store.RunRecord` objects
+  (bounded, thread-safe), the fast path every warm request hits;
+* an optional persistent tier backed by the append-only JSONL
+  :class:`~repro.experiments.store.ResultStore`: records survive restarts,
+  and a memory miss consults the store's id index before declaring a miss
+  (a store hit is promoted back into memory).
+
+Only *deterministic* outcomes are cached (``ok`` and ``infeasible`` — both
+are pure functions of the spec).  Timeouts and crashes are never cached: a
+retry deserves a fresh attempt.
+
+Single-flight: when several concurrent requests miss on the same id, exactly
+one (the *leader*) computes while the rest wait on the flight's event and
+share the leader's record — N identical requests cost one worker-pool slot,
+which is what keeps a thundering herd of popular scenarios from saturating
+the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..experiments.store import STATUS_INFEASIBLE, STATUS_OK, ResultStore, RunRecord
+
+#: Run statuses worth caching (deterministic functions of the scenario).
+CACHEABLE_STATUSES = (STATUS_OK, STATUS_INFEASIBLE)
+
+
+class Flight:
+    """One in-flight computation other requests may coalesce onto."""
+
+    __slots__ = ("event", "record")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record: Optional[RunRecord] = None
+
+
+class ResultCache:
+    """Two-tier LRU + single-flight registry, keyed by ``scenario_id``."""
+
+    def __init__(self, capacity: int = 1024, store: Optional[ResultStore] = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be at least 1 (got {capacity})")
+        self.capacity = capacity
+        self.store = store
+        self._memory: "OrderedDict[str, RunRecord]" = OrderedDict()
+        self._flights: Dict[str, Flight] = {}
+        self._lock = threading.Lock()
+        self.stats = {
+            "hits_memory": 0,
+            "hits_store": 0,
+            "misses": 0,
+            "coalesced": 0,
+            "puts": 0,
+        }
+        if store is not None:
+            # Warm the memory tier from the newest cacheable record of every
+            # id already in the file (newest wins: a re-run supersedes).
+            for scenario_id in store.scenario_ids():
+                record = self._latest_cacheable(store.by_id(scenario_id))
+                if record is not None:
+                    self._remember(scenario_id, record)
+
+    @staticmethod
+    def _latest_cacheable(records) -> Optional[RunRecord]:
+        for record in reversed(records):
+            if record.status in CACHEABLE_STATUSES:
+                return record
+        return None
+
+    def _remember(self, scenario_id: str, record: RunRecord) -> None:
+        self._memory[scenario_id] = record
+        self._memory.move_to_end(scenario_id)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # -- lookups ----------------------------------------------------------------
+    def get(self, scenario_id: str) -> Tuple[Optional[RunRecord], str]:
+        """Look up an id; returns ``(record, tier)`` with tier in hit/store/miss."""
+        with self._lock:
+            record = self._memory.get(scenario_id)
+            if record is not None:
+                self._memory.move_to_end(scenario_id)
+                self.stats["hits_memory"] += 1
+                return record, "hit"
+            if self.store is not None:
+                record = self._latest_cacheable(self.store.by_id(scenario_id))
+                if record is not None:
+                    self._remember(scenario_id, record)
+                    self.stats["hits_store"] += 1
+                    return record, "store"
+            self.stats["misses"] += 1
+            return None, "miss"
+
+    # -- single-flight ----------------------------------------------------------
+    def lease(self, scenario_id: str) -> Tuple[Flight, bool]:
+        """Join or open the flight for an id; returns ``(flight, is_leader)``."""
+        with self._lock:
+            flight = self._flights.get(scenario_id)
+            if flight is not None:
+                self.stats["coalesced"] += 1
+                return flight, False
+            flight = Flight()
+            self._flights[scenario_id] = flight
+            return flight, True
+
+    def complete(self, scenario_id: str, flight: Flight, record: RunRecord) -> None:
+        """Leader hand-off: publish the record, cache it, release followers."""
+        cacheable = record.status in CACHEABLE_STATUSES
+        with self._lock:
+            if cacheable:
+                self._remember(scenario_id, record)
+                self.stats["puts"] += 1
+            self._flights.pop(scenario_id, None)
+        if cacheable and self.store is not None:
+            # Persist outside the cache lock: the append takes a blocking
+            # flock on the JSONL file, and a slow (or contended) write must
+            # not stall every concurrent warm lookup behind it.
+            self.store.append(record)
+        flight.record = record
+        flight.event.set()
+
+    def abandon(self, scenario_id: str, flight: Flight) -> None:
+        """Leader failed before producing a record; wake followers empty-handed."""
+        with self._lock:
+            self._flights.pop(scenario_id, None)
+        flight.event.set()
+
+    # -- accounting -------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats["hits_memory"] + self.stats["hits_store"] + self.stats["coalesced"]
+        lookups = hits + self.stats["misses"]
+        return hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            snapshot = dict(self.stats)
+            snapshot["size"] = len(self._memory)
+            snapshot["in_flight"] = len(self._flights)
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self._memory)

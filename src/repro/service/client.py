@@ -1,0 +1,425 @@
+"""Stdlib HTTP client and the load-generator harness.
+
+:class:`ServiceClient` is a thin ``http.client`` wrapper speaking the JSON
+contract of :mod:`repro.service.server` — one persistent connection per
+client, so a load-test thread models one keep-alive user.
+
+:func:`run_loadtest` is the measurement harness behind ``repro loadtest``
+and ``benchmarks/test_bench_service.py``.  It drives a running service
+through three phases:
+
+* **cold**  — every distinct scenario once, forced to recompute
+  (``fresh=True``): the full solve→simulate pipeline latency;
+* **warm**  — N concurrent clients hammering the same scenarios: the
+  content-addressed cache path, which the acceptance bar requires to be
+  ≥ 10× faster at the median than cold;
+* **overload** (optional) — a burst of *distinct* fresh scenarios sized
+  beyond the pool's admission bound: the service must answer every one,
+  mostly with explicit 429 rejections, and never crash or queue unboundedly.
+
+HTTP 429/503 are counted as *rejections* (correct overload behaviour), 5xx
+as server errors, socket-level failures as transport errors; the report's
+:meth:`~LoadTestReport.acceptable` collapses all of that into the PR's
+acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from ..experiments.scenario import ScenarioSpec
+from .api import ServiceRequest, ServiceResponse
+
+
+class ServiceClientError(RuntimeError):
+    """Raised for transport-level failures (connect/read/protocol)."""
+
+
+class ServiceClient:
+    """One keep-alive HTTP connection to a running service."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceClientError(f"only http:// urls are supported (got {base_url!r})")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ---------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):  # one retry after a dropped keep-alive connection
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                reply = connection.getresponse()
+                raw = reply.read()
+                break
+            except (OSError, http.client.HTTPException) as error:
+                self.close()
+                if attempt == 2:
+                    raise ServiceClientError(
+                        f"{method} {path} failed: {type(error).__name__}: {error}"
+                    ) from error
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceClientError(f"{method} {path}: non-JSON reply: {error}") from error
+        return reply.status, document
+
+    # -- endpoints --------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")[1]
+
+    def solve(self, request: ServiceRequest) -> Tuple[int, ServiceResponse]:
+        status, document = self._request("POST", "/solve", request.to_dict())
+        return status, ServiceResponse.from_dict(document)
+
+    def submit(self, request: ServiceRequest) -> Tuple[int, ServiceResponse]:
+        status, document = self._request("POST", "/submit", request.to_dict())
+        return status, ServiceResponse.from_dict(document)
+
+    def status(self, request_id: str) -> Tuple[int, Dict]:
+        return self._request("GET", f"/status/{request_id}")
+
+    def result(self, request_id: str) -> Tuple[int, ServiceResponse]:
+        status, document = self._request("GET", f"/result/{request_id}")
+        if status == 404:
+            raise ServiceClientError(f"unknown request id {request_id!r}")
+        return status, ServiceResponse.from_dict(document)
+
+    def batch(self, requests: Sequence[ServiceRequest]) -> List[ServiceResponse]:
+        """POST /batch; collects the NDJSON stream into a response list."""
+        payload = json.dumps([request.to_dict() for request in requests]).encode()
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST", "/batch", body=payload, headers={"Content-Type": "application/json"}
+            )
+            reply = connection.getresponse()
+            if reply.status != 200:
+                raise ServiceClientError(f"POST /batch failed with HTTP {reply.status}")
+            responses = []
+            for line in reply.read().decode("utf-8").splitlines():
+                if line.strip():
+                    responses.append(ServiceResponse.from_dict(json.loads(line)))
+            return responses
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceClientError(f"POST /batch failed: {error}") from error
+        finally:
+            connection.close()
+
+
+# ---------------------------------------------------------------------------
+# load generator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadTestOptions:
+    """Shape of one load-test run."""
+
+    clients: int = 8
+    #: Warm-phase requests each client issues (round-robin over the specs).
+    requests_per_client: int = 4
+    #: Run the overload phase (burst of distinct fresh scenarios).
+    overload: bool = False
+    #: Overload burst size (0: 4× the pool's total admission bound is a good
+    #: default, but the harness cannot see the server config — so explicit).
+    overload_requests: int = 32
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be at least 1 (got {self.clients})")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be at least 1 (got {self.requests_per_client})"
+            )
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one load-test run measured."""
+
+    url: str
+    num_scenarios: int
+    clients: int
+    #: Per-phase latency samples (seconds): cold / warm / overload.
+    phase_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Wall-clock seconds per phase.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: HTTP-status histogram over every request.
+    http_statuses: Dict[int, int] = field(default_factory=dict)
+    #: Terminal-state histogram over every parsed response.
+    states: Dict[str, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    server_errors: int = 0
+    rejections: int = 0
+    cache_hits: int = 0
+    #: /metrics snapshot taken after the run.
+    metrics: Dict = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return sum(self.http_statuses.values()) + self.transport_errors
+
+    @property
+    def warm_throughput_rps(self) -> float:
+        seconds = self.phase_seconds.get("warm", 0.0)
+        count = len(self.phase_latencies.get("warm", []))
+        return count / seconds if seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        answered = sum(self.states.values())
+        return self.cache_hits / answered if answered else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        total = self.total_requests
+        return self.rejections / total if total else 0.0
+
+    def percentile(self, phase: str, fraction: float) -> float:
+        from ..analysis.service import percentile
+
+        return percentile(self.phase_latencies.get(phase, []), fraction)
+
+    @property
+    def speedup_p50(self) -> float:
+        """Cold p50 over warm p50 (the ≥ 10× acceptance bar)."""
+        warm = self.percentile("warm", 0.5)
+        cold = self.percentile("cold", 0.5)
+        return cold / warm if warm > 0 else 0.0
+
+    def acceptable(self) -> Tuple[bool, List[str]]:
+        """The PR's acceptance bar; returns (ok, list of violated criteria)."""
+        problems: List[str] = []
+        if self.transport_errors:
+            problems.append(f"{self.transport_errors} transport error(s)")
+        if self.server_errors:
+            problems.append(f"{self.server_errors} 5xx server error(s)")
+        failed = self.states.get("error", 0)
+        if failed:
+            problems.append(f"{failed} run(s) ended in state 'error'")
+        if self.cache_hits == 0:
+            problems.append("no cache hits observed (warm phase never hit)")
+        if self.speedup_p50 < 10.0:
+            problems.append(
+                f"warm p50 only {self.speedup_p50:.1f}x faster than cold (need >= 10x)"
+            )
+        return (not problems, problems)
+
+    def headline(self) -> str:
+        ok, problems = self.acceptable()
+        verdict = "PASS" if ok else "FAIL: " + "; ".join(problems)
+        return (
+            f"loadtest {self.url}: {self.total_requests} requests, "
+            f"{self.clients} clients, {self.num_scenarios} scenarios\n"
+            f"  cold p50 {self.percentile('cold', 0.5) * 1000:.1f}ms -> warm p50 "
+            f"{self.percentile('warm', 0.5) * 1000:.1f}ms ({self.speedup_p50:.0f}x), "
+            f"warm throughput {self.warm_throughput_rps:.1f} req/s\n"
+            f"  cache hit rate {self.cache_hit_rate:.0%}, rejections {self.rejections}, "
+            f"transport errors {self.transport_errors}, server errors {self.server_errors}\n"
+            f"  verdict: {verdict}"
+        )
+
+    def to_dict(self) -> Dict:
+        from ..analysis.service import latency_summary
+
+        return {
+            "schema": "bench-service",
+            "version": 1,
+            "url": self.url,
+            "clients": self.clients,
+            "num_scenarios": self.num_scenarios,
+            "total_requests": self.total_requests,
+            "latency_seconds": {
+                phase: latency_summary(samples)
+                for phase, samples in self.phase_latencies.items()
+            },
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+            "speedup_p50": self.speedup_p50,
+            "warm_throughput_rps": self.warm_throughput_rps,
+            "cache_hit_rate": self.cache_hit_rate,
+            "rejection_rate": self.rejection_rate,
+            "rejections": self.rejections,
+            "transport_errors": self.transport_errors,
+            "server_errors": self.server_errors,
+            "http_statuses": {str(k): v for k, v in sorted(self.http_statuses.items())},
+            "states": dict(sorted(self.states.items())),
+            "metrics": self.metrics,
+        }
+
+
+class _Recorder:
+    """Thread-safe accumulation of per-request observations."""
+
+    def __init__(self, report: LoadTestReport):
+        self.report = report
+        self.lock = threading.Lock()
+
+    def observe(
+        self,
+        phase: str,
+        seconds: float,
+        status: Optional[int],
+        response: Optional[ServiceResponse],
+    ) -> None:
+        with self.lock:
+            report = self.report
+            if status is None:
+                report.transport_errors += 1
+                return
+            report.http_statuses[status] = report.http_statuses.get(status, 0) + 1
+            if status >= 500 and status != 503:
+                report.server_errors += 1
+            if status in (429, 503):
+                report.rejections += 1
+            if response is not None and response.terminal:
+                report.states[response.state] = report.states.get(response.state, 0) + 1
+                report.phase_latencies.setdefault(phase, []).append(seconds)
+                if response.served_from_cache:
+                    report.cache_hits += 1
+
+
+def _drive(
+    url: str,
+    requests: Sequence[ServiceRequest],
+    recorder: _Recorder,
+    phase: str,
+    timeout: float,
+) -> None:
+    """One client thread: issue every request on a single keep-alive connection."""
+    with ServiceClient(url, timeout=timeout) as client:
+        for request in requests:
+            start = time.perf_counter()
+            try:
+                status, response = client.solve(request)
+            except ServiceClientError:
+                recorder.observe(phase, time.perf_counter() - start, None, None)
+                continue
+            recorder.observe(phase, time.perf_counter() - start, status, response)
+
+
+def _run_phase(
+    url: str,
+    phase: str,
+    per_client: Sequence[Sequence[ServiceRequest]],
+    recorder: _Recorder,
+    timeout: float,
+) -> float:
+    threads = [
+        threading.Thread(
+            target=_drive, args=(url, requests, recorder, phase, timeout), daemon=True
+        )
+        for requests in per_client
+        if requests
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def run_loadtest(
+    url: str,
+    specs: Sequence[ScenarioSpec],
+    options: Optional[LoadTestOptions] = None,
+) -> LoadTestReport:
+    """Drive a running service through cold/warm(/overload) phases."""
+    options = options or LoadTestOptions()
+    if not specs:
+        raise ValueError("loadtest needs at least one scenario spec")
+    report = LoadTestReport(url=url, num_scenarios=len(specs), clients=options.clients)
+    recorder = _Recorder(report)
+
+    # -- cold: every distinct scenario once, recomputation forced --------------
+    cold = [ServiceRequest(scenario=spec, fresh=True, tag="cold") for spec in specs]
+    per_client: List[List[ServiceRequest]] = [[] for _ in range(options.clients)]
+    for index, request in enumerate(cold):
+        per_client[index % options.clients].append(request)
+    report.phase_seconds["cold"] = _run_phase(
+        url, "cold", per_client, recorder, options.timeout
+    )
+
+    # -- warm: concurrent clients replaying the same scenarios -----------------
+    warm_per_client = []
+    for client_index in range(options.clients):
+        batch = [
+            ServiceRequest(scenario=specs[(client_index + i) % len(specs)], tag="warm")
+            for i in range(options.requests_per_client)
+        ]
+        warm_per_client.append(batch)
+    report.phase_seconds["warm"] = _run_phase(
+        url, "warm", warm_per_client, recorder, options.timeout
+    )
+
+    # -- overload: a burst of distinct fresh scenarios beyond admission --------
+    if options.overload:
+        burst = [
+            ServiceRequest(
+                scenario=replace(specs[i % len(specs)], seed=10_000 + i),
+                fresh=True,
+                tag="overload",
+            )
+            for i in range(options.overload_requests)
+        ]
+        overload_per_client: List[List[ServiceRequest]] = [
+            [] for _ in range(options.clients)
+        ]
+        for index, request in enumerate(burst):
+            overload_per_client[index % options.clients].append(request)
+        report.phase_seconds["overload"] = _run_phase(
+            url, "overload", overload_per_client, recorder, options.timeout
+        )
+
+    try:
+        with ServiceClient(url, timeout=options.timeout) as client:
+            report.metrics = client.metrics()
+    except ServiceClientError:
+        report.metrics = {}
+    return report
+
+
+__all__ = [
+    "LoadTestOptions",
+    "LoadTestReport",
+    "ServiceClient",
+    "ServiceClientError",
+    "run_loadtest",
+]

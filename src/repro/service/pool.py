@@ -1,0 +1,147 @@
+"""Bounded worker pool dispatching cold requests onto the pipeline runner.
+
+A thin admission-control layer over a spawn-based ``ProcessPoolExecutor``
+running :func:`repro.experiments.runner.execute_scenario` — the same worker
+entry point the sweep orchestrator uses, so a served request and a sweep run
+are bit-identical computations.
+
+The pool's job is *explicit backpressure*: at most ``workers`` requests
+compute while at most ``max_pending`` wait; one more and :meth:`submit`
+raises :class:`PoolSaturated` with a retry-after hint instead of queueing
+without bound.  An overloaded service therefore degrades into fast, honest
+429s — bounded memory, bounded queue delay — rather than collapsing.
+
+Draining (SIGINT/SIGTERM) flips the pool into reject-new/finish-in-flight
+mode, then :meth:`drain` blocks until the in-flight work has been handed
+back to its waiters.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Dict, Optional
+
+from ..experiments.runner import execute_scenario
+
+
+class PoolSaturated(Exception):
+    """Raised when admission would exceed the bounded queue depth."""
+
+    def __init__(self, message: str, retry_after_seconds: float):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class PoolDraining(PoolSaturated):
+    """Raised for submissions arriving after shutdown began."""
+
+
+def _ping() -> str:  # module-level: must be picklable for spawn
+    return "pong"
+
+
+class ServicePool:
+    """Admission-controlled process pool for scenario execution."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_pending: int = 8,
+        start_method: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1 (got {workers})")
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be non-negative (got {max_pending})")
+        self.workers = workers
+        self.max_pending = max_pending
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context(start_method)
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._draining = False
+        self.stats: Dict[str, int] = {"submitted": 0, "completed": 0, "rejected": 0}
+
+    # -- lifecycle --------------------------------------------------------------
+    def warm_up(self, timeout: Optional[float] = 60.0) -> None:
+        """Eagerly spawn every worker (first-request latency off the hot path)."""
+        pings = [self._executor.submit(_ping) for _ in range(self.workers)]
+        for ping in pings:
+            ping.result(timeout=timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, wait for in-flight work, shut the executor down.
+
+        Returns ``True`` when every in-flight request finished within
+        ``timeout`` (``None`` waits indefinitely).
+        """
+        with self._idle:
+            self._draining = True
+            drained = self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+        # cancel_futures only matters on abnormal exits: admission control
+        # already guarantees nothing new entered after the drain flag flipped.
+        self._executor.shutdown(wait=drained, cancel_futures=True)
+        return drained
+
+    # -- admission --------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def _retry_after(self) -> float:
+        """A crude queue-delay estimate: pending depth over worker parallelism."""
+        backlog = max(1, self._in_flight - self.workers + 1)
+        return round(0.5 * backlog / self.workers + 0.5, 3)
+
+    def submit(self, document: Dict, timeout_seconds: Optional[float] = None) -> Future:
+        """Admit one scenario document, or raise :class:`PoolSaturated`."""
+        with self._lock:
+            if self._draining:
+                self.stats["rejected"] += 1
+                raise PoolDraining("service is draining", retry_after_seconds=5.0)
+            if self._in_flight >= self.workers + self.max_pending:
+                self.stats["rejected"] += 1
+                raise PoolSaturated(
+                    f"queue full ({self._in_flight} in flight, "
+                    f"{self.workers} workers + {self.max_pending} pending allowed)",
+                    retry_after_seconds=self._retry_after(),
+                )
+            self._in_flight += 1
+            self.stats["submitted"] += 1
+        try:
+            future = self._executor.submit(execute_scenario, document, timeout_seconds)
+        except BaseException:
+            with self._idle:
+                self._in_flight -= 1
+                self._idle.notify_all()
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, _future: Future) -> None:
+        with self._idle:
+            self._in_flight -= 1
+            self.stats["completed"] += 1
+            self._idle.notify_all()
+
+    # -- accounting -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                **self.stats,
+                "in_flight": self._in_flight,
+                "workers": self.workers,
+                "max_pending": self.max_pending,
+                "draining": float(self._draining),
+            }
+
+
+__all__ = ["PoolDraining", "PoolSaturated", "ServicePool"]

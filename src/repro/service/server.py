@@ -1,0 +1,637 @@
+"""The serving layer: request resolution core + HTTP front end.
+
+Two classes, deliberately separated:
+
+* :class:`SolveService` is the transport-independent core.  It resolves
+  :class:`~repro.service.api.ServiceRequest` objects against the
+  content-addressed :class:`~repro.service.cache.ResultCache` (memory LRU,
+  persistent JSONL tier, single-flight coalescing) and dispatches cold
+  requests onto the bounded :class:`~repro.service.pool.ServicePool`.
+  Every request resolves to exactly one
+  :class:`~repro.service.api.ServiceResponse`; overload resolves to an
+  explicit rejection with a retry-after hint, never an unbounded queue.
+
+* :class:`ServiceServer` wraps the core in a ``ThreadingHTTPServer``:
+
+  ============================  ======  =========================================
+  endpoint                      method  behaviour
+  ============================  ======  =========================================
+  ``/healthz``                  GET     liveness + drain state
+  ``/metrics``                  GET     counters, cache/pool stats, latency pcts
+  ``/solve``                    POST    synchronous solve/simulate (one JSON doc)
+  ``/batch``                    POST    NDJSON stream, one response line per spec
+  ``/submit``                   POST    asynchronous solve -> ``request_id``
+  ``/status/<id>``              GET     state of an asynchronous submission
+  ``/result/<id>``              GET     response of a finished submission
+  ============================  ======  =========================================
+
+  Terminal pipeline outcomes (``ok``/``infeasible``/``timeout``/``error``)
+  travel as HTTP 200 — an infeasible instance is an answer.  Backpressure is
+  429 with ``Retry-After``, draining is 503, malformed input is 400.
+
+Shutdown: ``stop()`` (the CLI wires it to SIGINT/SIGTERM) flips the service
+into draining mode — new work is rejected with 503, in-flight requests run
+to completion, the worker pool drains, and only then does the listening
+socket close.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import Counter, deque
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.service import latency_summary
+from ..experiments.scenario import ScenarioSpec
+from ..experiments.store import (
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    ResultStore,
+    RunRecord,
+)
+from .api import (
+    CACHE_MISS,
+    STATE_INVALID,
+    STATE_PENDING,
+    STATE_REJECTED,
+    STATE_RUNNING,
+    ServiceRequest,
+    ServiceRequestError,
+    ServiceResponse,
+)
+from .cache import ResultCache
+from .pool import PoolDraining, PoolSaturated, ServicePool
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service instance."""
+
+    host: str = "127.0.0.1"
+    #: Port 0 binds an ephemeral port (read it back from ``ServiceServer.port``).
+    port: int = 8321
+    workers: int = 2
+    #: Cold requests allowed to wait beyond the computing ones; one more
+    #: concurrent cold request is rejected with 429 + Retry-After.
+    max_pending: int = 8
+    cache_capacity: int = 1024
+    #: Default per-request compute budget (requests may override).
+    timeout_seconds: Optional[float] = None
+    #: Hard service-side ceiling on one computation when no timeout is set —
+    #: the backstop that stops a wedged worker from consuming a pool slot
+    #: (and blocking its leader thread) forever.
+    max_compute_seconds: float = 3600.0
+    #: Path of the persistent JSONL cache tier (None: memory only).
+    store_path: Optional[str] = None
+    #: How long a coalesced follower waits for its leader before erroring.
+    coalesce_wait_seconds: float = 600.0
+    #: Spawn the worker processes at startup instead of on first request.
+    warm_up: bool = True
+    start_method: str = "spawn"
+    #: Latency reservoir size per class (cold/warm/coalesced).
+    reservoir: int = 4096
+
+
+@dataclass
+class _Submission:
+    """Registry entry of one asynchronous ``/submit`` request."""
+
+    request_id: str
+    scenario_id: str
+    state: str = STATE_PENDING
+    response: Optional[ServiceResponse] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class SolveService:
+    """Transport-independent request resolution (cache -> coalesce -> pool)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        store = (
+            ResultStore(self.config.store_path)
+            if self.config.store_path
+            else None
+        )
+        self.cache = ResultCache(capacity=self.config.cache_capacity, store=store)
+        self.pool = ServicePool(
+            workers=self.config.workers,
+            max_pending=self.config.max_pending,
+            start_method=self.config.start_method,
+        )
+        self._draining = False
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._states: Counter = Counter()
+        self._active = 0
+        self._latencies: Dict[str, deque] = {
+            "cold": deque(maxlen=self.config.reservoir),
+            "warm": deque(maxlen=self.config.reservoir),
+            "coalesced": deque(maxlen=self.config.reservoir),
+        }
+        self._submissions: Dict[str, _Submission] = {}
+        self._submission_order: deque = deque()
+        self._request_ids = itertools.count(1)
+        if self.config.warm_up:
+            self.pool.warm_up()
+
+    # -- bookkeeping ------------------------------------------------------------
+    def _observe(self, response: ServiceResponse, seconds: float) -> None:
+        with self._lock:
+            self._states[response.state] += 1
+            if response.terminal:
+                bucket = (
+                    "coalesced"
+                    if response.cache == "coalesced"
+                    else ("warm" if response.served_from_cache else "cold")
+                )
+                self._latencies[bucket].append(seconds)
+
+    def _next_request_id(self) -> str:
+        return f"req-{next(self._request_ids):06d}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- resolution -------------------------------------------------------------
+    def resolve(self, request: ServiceRequest) -> ServiceResponse:
+        """Resolve one request to a terminal or rejected response (blocking)."""
+        arrival = time.perf_counter()
+        with self._lock:
+            self._active += 1
+        try:
+            response = self._resolve_inner(request, arrival)
+        finally:
+            with self._lock:
+                self._active -= 1
+        self._observe(response, time.perf_counter() - arrival)
+        return response
+
+    def _rejected(self, request: ServiceRequest, message: str, retry_after: float) -> ServiceResponse:
+        return ServiceResponse(
+            state=STATE_REJECTED,
+            scenario_id=request.scenario_id,
+            message=message,
+            tag=request.tag,
+            retry_after_seconds=retry_after,
+            info={"draining": 1.0} if self._draining else {},
+        )
+
+    def _terminal(
+        self,
+        request: ServiceRequest,
+        record: RunRecord,
+        cache: str,
+        arrival: float,
+        compute_seconds: float = 0.0,
+    ) -> ServiceResponse:
+        queue_seconds = max(0.0, time.perf_counter() - arrival - compute_seconds)
+        return ServiceResponse(
+            state=record.status,
+            scenario_id=request.scenario_id,
+            cache=cache,
+            record=record.to_dict(),
+            message=record.message,
+            tag=request.tag,
+            queue_seconds=queue_seconds,
+            compute_seconds=compute_seconds,
+        )
+
+    def _resolve_inner(self, request: ServiceRequest, arrival: float) -> ServiceResponse:
+        if self._draining:
+            return self._rejected(request, "service is draining", retry_after=5.0)
+        scenario_id = request.scenario_id
+
+        if not request.fresh:
+            record, tier = self.cache.get(scenario_id)
+            if record is not None:
+                return self._terminal(request, record, tier, arrival)
+
+        flight, leader = self.cache.lease(scenario_id)
+        if not leader:
+            if flight.event.wait(timeout=self.config.coalesce_wait_seconds):
+                if flight.record is not None:
+                    return self._terminal(request, flight.record, "coalesced", arrival)
+                message = "coalesced computation was abandoned by its leader"
+            else:
+                message = (
+                    f"coalesced computation did not finish within "
+                    f"{self.config.coalesce_wait_seconds:g}s"
+                )
+            # A fabricated failure record did not come from the cache: leave
+            # the cache label empty so clients don't count it as a hit.
+            record = RunRecord(spec=request.scenario, status=STATUS_ERROR, message=message)
+            return self._terminal(request, record, "", arrival)
+
+        # Leader: this request owns the computation for its scenario id.
+        timeout = request.timeout_seconds or self.config.timeout_seconds
+        try:
+            try:
+                future = self.pool.submit(request.scenario.to_dict(), timeout)
+            except PoolDraining as error:
+                self.cache.abandon(scenario_id, flight)
+                return self._rejected(request, str(error), error.retry_after_seconds)
+            except PoolSaturated as error:
+                self.cache.abandon(scenario_id, flight)
+                return self._rejected(request, str(error), error.retry_after_seconds)
+
+            compute_start = time.perf_counter()
+            # The worker enforces the budget itself (SIGALRM + the backend's
+            # native limit); the service-side wait is only a generous backstop
+            # against a wedged worker — and it always exists, because a
+            # forever-blocked leader would leak a pool slot and a thread.
+            backstop = (
+                self.config.max_compute_seconds
+                if timeout is None
+                else timeout * 2.0 + 60.0
+            )
+            try:
+                document = future.result(timeout=backstop)
+                record = RunRecord.from_dict(document)
+            except FutureTimeout:
+                record = RunRecord(
+                    spec=request.scenario,
+                    status=STATUS_TIMEOUT,
+                    message=f"worker did not answer within the {backstop:g}s backstop",
+                )
+            except Exception as error:  # noqa: BLE001 - incl. BrokenExecutor
+                record = RunRecord(
+                    spec=request.scenario,
+                    status=STATUS_ERROR,
+                    message=f"worker failed: {type(error).__name__}: {error}",
+                )
+            compute_seconds = time.perf_counter() - compute_start
+            self.cache.complete(scenario_id, flight, record)
+            cache = "bypass" if request.fresh else CACHE_MISS
+            return self._terminal(request, record, cache, arrival, compute_seconds)
+        except BaseException:
+            self.cache.abandon(scenario_id, flight)
+            raise
+
+    # -- asynchronous submissions ----------------------------------------------
+    #: Finished submissions retained for ``/result`` polling.
+    _SUBMISSION_HISTORY = 1024
+
+    def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Start resolving in the background; answer immediately with an id."""
+        if self._draining:
+            return self._rejected(request, "service is draining", retry_after=5.0)
+        submission = _Submission(
+            request_id=self._next_request_id(), scenario_id=request.scenario_id
+        )
+        with self._lock:
+            self._submissions[submission.request_id] = submission
+            self._submission_order.append(submission.request_id)
+            # Trim history, but never evict a submission that is still in
+            # flight: an acknowledged id must stay resolvable until done.
+            while len(self._submission_order) > self._SUBMISSION_HISTORY:
+                for index, stale_id in enumerate(self._submission_order):
+                    stale = self._submissions.get(stale_id)
+                    if stale is None or stale.done.is_set():
+                        del self._submission_order[index]
+                        self._submissions.pop(stale_id, None)
+                        break
+                else:  # everything retained is still running; allow growth
+                    break
+
+        def run() -> None:
+            submission.state = STATE_RUNNING
+            response = self.resolve(request)
+            response.request_id = submission.request_id
+            submission.response = response
+            submission.state = response.state
+            submission.done.set()
+
+        threading.Thread(target=run, name=submission.request_id, daemon=True).start()
+        return ServiceResponse(
+            state=STATE_PENDING,
+            scenario_id=submission.scenario_id,
+            request_id=submission.request_id,
+            tag=request.tag,
+        )
+
+    def status(self, request_id: str) -> Optional[ServiceResponse]:
+        """The current state of a submission (None for unknown ids)."""
+        with self._lock:
+            submission = self._submissions.get(request_id)
+        if submission is None:
+            return None
+        if submission.response is not None:
+            return submission.response
+        return ServiceResponse(
+            state=submission.state,
+            scenario_id=submission.scenario_id,
+            request_id=request_id,
+        )
+
+    def wait(self, request_id: str, timeout: Optional[float] = None) -> Optional[ServiceResponse]:
+        """Block until a submission finishes; None for unknown ids."""
+        with self._lock:
+            submission = self._submissions.get(request_id)
+        if submission is None:
+            return None
+        submission.done.wait(timeout=timeout)
+        return self.status(request_id)
+
+    # -- batches ----------------------------------------------------------------
+    def resolve_batch(self, requests: List[ServiceRequest]) -> Iterable[ServiceResponse]:
+        """Resolve a batch concurrently, yielding responses in input order.
+
+        Responses stream as soon as they are available *in order* — the
+        consumer can act on early results while later ones still compute.
+        Identical specs inside one batch coalesce exactly like concurrent
+        clients would.
+        """
+        results: List[Optional[ServiceResponse]] = [None] * len(requests)
+        events = [threading.Event() for _ in requests]
+        # Bound the thread fan-out (the pool bounds compute; this bounds the
+        # coalescing/waiting threads a huge batch would otherwise spawn).
+        slots = threading.Semaphore(64)
+
+        def run(index: int, request: ServiceRequest) -> None:
+            try:
+                results[index] = self.resolve(request)
+            except Exception as error:  # noqa: BLE001 - a batch line never kills the stream
+                results[index] = ServiceResponse(
+                    state=STATUS_ERROR,
+                    scenario_id=request.scenario_id,
+                    message=f"unexpected service failure: {type(error).__name__}: {error}",
+                    tag=request.tag,
+                )
+            events[index].set()
+            slots.release()
+
+        def start_all() -> None:
+            for index, request in enumerate(requests):
+                slots.acquire()
+                threading.Thread(
+                    target=run, args=(index, request), name=f"batch-{index}", daemon=True
+                ).start()
+
+        # Launch from a producer thread: for batches larger than the slot
+        # bound, early responses must stream while later ones still wait to
+        # start — the consumer loop below cannot wait for the full fan-out.
+        threading.Thread(target=start_all, name="batch-producer", daemon=True).start()
+        for index in range(len(requests)):
+            events[index].wait()
+            yield results[index]
+
+    # -- health/metrics ---------------------------------------------------------
+    def health(self) -> Dict:
+        from .. import __version__
+
+        return {
+            "status": "draining" if self._draining else "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "workers": self.pool.workers,
+            "in_flight": self.pool.in_flight,
+        }
+
+    def metrics(self) -> Dict:
+        with self._lock:
+            states = dict(self._states)
+            latencies = {name: list(values) for name, values in self._latencies.items()}
+            active = self._active
+        return {
+            "requests": {"total": sum(states.values()), "by_state": states, "active": active},
+            "cache": self.cache.snapshot(),
+            "pool": self.pool.snapshot(),
+            "latency_seconds": {
+                name: latency_summary(values) for name, values in latencies.items()
+            },
+            "draining": self._draining,
+        }
+
+    # -- shutdown ---------------------------------------------------------------
+    def begin_drain(self) -> None:
+        self._draining = True
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Reject new work, wait for in-flight work, shut the pool down."""
+        self.begin_drain()
+        drained = self.pool.drain(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._active > 0:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.01)
+        return drained
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+def _parse_request(document: Dict) -> ServiceRequest:
+    """Accept a service-request document or a bare scenario document."""
+    if not isinstance(document, dict):
+        raise ServiceRequestError("request body must be a JSON object")
+    if document.get("schema") == "scenario":
+        return ServiceRequest(scenario=ScenarioSpec.from_dict(document))
+    return ServiceRequest.from_dict(document)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the :class:`SolveService` core."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+    #: http.server writes status line, headers and body as separate small
+    #: sends; with Nagle + delayed ACK that costs ~40ms per warm response.
+    disable_nagle_algorithm = True
+    #: Set by :class:`ServiceServer`.
+    service: SolveService
+    quiet: bool = True
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid only
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+    def _send_json(self, status: int, document: Dict, retry_after: Optional[float] = None) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{max(1, round(retry_after))}")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_response(self, response: ServiceResponse) -> None:
+        self._send_json(
+            response.http_status, response.to_dict(), response.retry_after_seconds
+        )
+
+    def _read_body(self) -> Optional[bytes]:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            # The body was never consumed: keep-alive would desynchronize.
+            self.close_connection = True
+            self._send_json(411, {"error": "Content-Length required"})
+            return None
+        try:
+            return self.rfile.read(int(length))
+        except (ValueError, OSError):
+            self.close_connection = True
+            self._send_json(400, {"error": "unreadable request body"})
+            return None
+
+    def _parse_body(self, raw: bytes) -> Optional[Dict]:
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"malformed JSON body: {error}"})
+            return None
+
+    # -- GET --------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            health = self.service.health()
+            self._send_json(200 if health["status"] == "ok" else 503, health)
+            return
+        if self.path == "/metrics":
+            self._send_json(200, self.service.metrics())
+            return
+        for prefix, waits in (("/status/", False), ("/result/", True)):
+            if self.path.startswith(prefix):
+                request_id = self.path[len(prefix):]
+                response = (
+                    self.service.wait(
+                        request_id, timeout=self.service.config.coalesce_wait_seconds
+                    )
+                    if waits
+                    else self.service.status(request_id)
+                )
+                if response is None:
+                    self._send_json(404, {"error": f"unknown request id {request_id!r}"})
+                    return
+                self._send_response(response)
+                return
+        self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    # -- POST -------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        raw = self._read_body()
+        if raw is None:
+            return
+        if self.path in ("/solve", "/submit"):
+            document = self._parse_body(raw)
+            if document is None:
+                return
+            try:
+                request = _parse_request(document)
+            except (ServiceRequestError, ValueError, TypeError) as error:
+                self._send_response(
+                    ServiceResponse(state=STATE_INVALID, message=str(error))
+                )
+                return
+            if self.path == "/solve":
+                self._send_response(self.service.resolve(request))
+            else:
+                self._send_response(self.service.submit(request))
+            return
+        if self.path == "/batch":
+            self._handle_batch(raw)
+            return
+        self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def _handle_batch(self, raw: bytes) -> None:
+        """NDJSON stream: one response line per input spec, in input order.
+
+        The response is length-delimited by connection close (no
+        Content-Length), so lines flush to the client as they resolve.
+        """
+        try:
+            text = raw.decode("utf-8")
+            if text.lstrip().startswith("["):
+                documents = json.loads(text)
+            else:  # NDJSON input
+                documents = [json.loads(line) for line in text.splitlines() if line.strip()]
+            if not isinstance(documents, list):
+                raise ValueError("batch body must be a JSON array or NDJSON lines")
+            requests = [_parse_request(document) for document in documents]
+        except (ValueError, TypeError, ServiceRequestError) as error:
+            self._send_json(400, {"error": f"malformed batch: {error}"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        for response in self.service.resolve_batch(requests):
+            self.wfile.write((json.dumps(response.to_dict(), sort_keys=True) + "\n").encode())
+            self.wfile.flush()
+
+
+class ServiceServer:
+    """``ThreadingHTTPServer`` front end with a graceful start/stop lifecycle."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, quiet: bool = True):
+        self.config = config or ServiceConfig()
+        self.service = SolveService(self.config)
+        handler = type(
+            "BoundServiceHandler",
+            (_ServiceHandler,),
+            {"service": self.service, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the ephemeral assignment)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve in a background thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` foreground mode)."""
+        self._httpd.serve_forever(poll_interval=0.05)
+
+    def stop(self, drain_timeout: Optional[float] = 60.0) -> bool:
+        """Graceful shutdown: drain in-flight work, then close the socket.
+
+        New requests are rejected (503) the moment this is called; requests
+        already executing complete and are answered.  Returns ``True`` when
+        everything drained within ``drain_timeout``.
+        """
+        self.service.begin_drain()
+        drained = self.service.drain(timeout=drain_timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return drained
+
+
+__all__ = ["ServiceConfig", "ServiceServer", "SolveService"]

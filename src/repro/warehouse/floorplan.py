@@ -12,7 +12,7 @@ Vertices are integer ids (dense, 0..|V|-1) with a bidirectional mapping to
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -25,6 +25,30 @@ VertexId = int
 
 class FloorplanError(ValueError):
     """Raised for inconsistent floorplan graphs."""
+
+
+#: Bounded LRU of built floorplan graphs keyed by the grid's full identity
+#: (ASCII rendering + name).  Repeated :class:`ScenarioSpec` builds of the
+#: same map — the common case in the serving layer, where every request for a
+#: scenario re-materializes its warehouse — then share one graph instead of
+#: re-deriving adjacency for every request.  Graphs are treated as immutable
+#: after construction (nothing in the code base mutates one), which is what
+#: makes sharing sound.
+_FROM_GRID_CACHE: "OrderedDict[Tuple[str, str], FloorplanGraph]" = OrderedDict()
+_FROM_GRID_CAPACITY = 64
+_from_grid_stats = {"hits": 0, "misses": 0}
+
+
+def from_grid_cache_info() -> Dict[str, int]:
+    """Hit/miss counters of the ``from_grid`` memo (for the micro-benchmark)."""
+    return dict(_from_grid_stats, size=len(_FROM_GRID_CACHE))
+
+
+def from_grid_cache_clear() -> None:
+    """Drop every memoized floorplan graph and reset the counters."""
+    _FROM_GRID_CACHE.clear()
+    _from_grid_stats["hits"] = 0
+    _from_grid_stats["misses"] = 0
 
 
 @dataclass
@@ -61,7 +85,17 @@ class FloorplanGraph:
         * edges     — 4-adjacency between traversable cells;
         * ``S``     — traversable cells adjacent to at least one shelf;
         * ``R``     — station cells.
+
+        Results are memoized per grid identity (ASCII + name): building the
+        same map twice returns the same (immutable-by-convention) graph.
         """
+        key = (grid.to_ascii(), grid.name)
+        cached = _FROM_GRID_CACHE.get(key)
+        if cached is not None:
+            _FROM_GRID_CACHE.move_to_end(key)
+            _from_grid_stats["hits"] += 1
+            return cached
+        _from_grid_stats["misses"] += 1
         cells = grid.traversable_cells()
         index = {cell: i for i, cell in enumerate(cells)}
         adjacency: List[Tuple[VertexId, ...]] = []
@@ -69,7 +103,7 @@ class FloorplanGraph:
             adjacency.append(tuple(index[n] for n in grid.neighbors(cell)))
         shelf_access = frozenset(index[c] for c in grid.shelf_access_cells())
         stations = frozenset(index[c] for c in grid.station_cells())
-        return FloorplanGraph(
+        graph = FloorplanGraph(
             cells=cells,
             adjacency=adjacency,
             shelf_access=shelf_access,
@@ -77,6 +111,10 @@ class FloorplanGraph:
             grid=grid,
             _cell_index=index,
         )
+        _FROM_GRID_CACHE[key] = graph
+        while len(_FROM_GRID_CACHE) > _FROM_GRID_CAPACITY:
+            _FROM_GRID_CACHE.popitem(last=False)
+        return graph
 
     # -- vertex/cell mapping ---------------------------------------------------
     @property

@@ -1,0 +1,114 @@
+"""Correctness tests for the hot-path memos (scenario_id, floorplan graph).
+
+The *speed* claims live in ``benchmarks/test_bench_memoization.py``; these
+tests pin the semantics: memoized values equal recomputed ones, identity is
+shared where sharing is sound, and the caches never leak across distinct
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import ScenarioSpec
+from repro.warehouse.floorplan import (
+    FloorplanGraph,
+    from_grid_cache_clear,
+    from_grid_cache_info,
+)
+from repro.warehouse.grid import GridMap
+
+BASE = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+ASCII_GRID = "\n".join(
+    [
+        ".....",
+        ".SSS.",
+        ".....",
+        "T...T",
+    ]
+)
+
+
+class TestScenarioIdMemo:
+    def test_memo_matches_fresh_computation(self):
+        spec = replace(BASE)  # fresh instance, no memo yet
+        first = spec.scenario_id
+        assert spec.__dict__["_scenario_id"] == first  # memo populated
+        assert spec.scenario_id == first  # served from the memo
+        # An identical but distinct instance recomputes to the same id.
+        assert replace(BASE).scenario_id == first
+
+    def test_replace_does_not_inherit_stale_memo(self):
+        spec = replace(BASE)
+        original = spec.scenario_id
+        changed = replace(spec, units=BASE.units + 1)
+        assert "_scenario_id" not in changed.__dict__
+        assert changed.scenario_id != original
+
+    def test_memo_survives_serialization_round_trip(self):
+        spec = replace(BASE)
+        identity = spec.scenario_id
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored.scenario_id == identity
+
+    def test_name_still_excluded_from_identity(self):
+        assert replace(BASE, name="renamed").scenario_id == replace(BASE).scenario_id
+
+
+class TestFloorplanGraphMemo:
+    def setup_method(self):
+        from_grid_cache_clear()
+
+    def test_same_grid_identity_shares_one_graph(self):
+        first = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="memo"))
+        second = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="memo"))
+        assert second is first
+        info = from_grid_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_distinct_grids_do_not_collide(self):
+        base = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="memo"))
+        other_ascii = ASCII_GRID.replace(".....", "...@.", 1)
+        other = FloorplanGraph.from_grid(GridMap.from_ascii(other_ascii, name="memo"))
+        assert other is not base
+        assert other.num_vertices != base.num_vertices
+
+    def test_name_is_part_of_the_identity(self):
+        one = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="a"))
+        two = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="b"))
+        assert one is not two
+        assert from_grid_cache_info()["misses"] == 2
+
+    def test_cache_is_bounded(self):
+        from repro.warehouse import floorplan as module
+
+        for index in range(module._FROM_GRID_CAPACITY + 8):
+            FloorplanGraph.from_grid(
+                GridMap.from_ascii(ASCII_GRID, name=f"bounded-{index}")
+            )
+        assert from_grid_cache_info()["size"] <= module._FROM_GRID_CAPACITY
+
+    def test_cached_graph_is_structurally_correct(self):
+        grid = GridMap.from_ascii(ASCII_GRID, name="memo")
+        graph = FloorplanGraph.from_grid(grid)
+        cached = FloorplanGraph.from_grid(GridMap.from_ascii(ASCII_GRID, name="memo"))
+        assert cached.num_vertices == len(grid.traversable_cells())
+        assert cached.stations == graph.stations
+        assert cached.shelf_access == graph.shelf_access
+
+    def test_scenario_build_reuses_the_graph(self):
+        """Two builds of the same spec share one floorplan graph (hot path
+        of repeated service requests for a cached-out scenario)."""
+        designed_a, _ = replace(BASE).build()
+        designed_b, _ = replace(BASE).build()
+        assert designed_a.warehouse.floorplan is designed_b.warehouse.floorplan

@@ -1,0 +1,267 @@
+"""HTTP front-end tests: endpoints, error mapping, and graceful shutdown.
+
+One module-scoped server (1 spawn worker) backs the endpoint tests; the
+shutdown tests boot their own short-lived instances, including a real
+``repro serve`` subprocess that gets SIGINT mid-request.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.service import (
+    LoadTestOptions,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceServer,
+    run_loadtest,
+)
+
+TINY = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+OTHER = ScenarioSpec(
+    **{f: getattr(TINY, f) for f in TINY.__dataclass_fields__} | {"units": 6}
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = ServiceServer(
+        ServiceConfig(port=0, workers=1, max_pending=4, warm_up=True)
+    ).start()
+    yield instance
+    instance.stop(drain_timeout=30)
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.url, timeout=180) as connection:
+        yield connection
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 1
+
+    def test_solve_cold_then_warm(self, client):
+        status, cold = client.solve(ServiceRequest(scenario=TINY))
+        assert status == 200 and cold.state == "ok"
+        assert cold.cache in ("miss", "hit", "store")  # module ordering agnostic
+        status, warm = client.solve(ServiceRequest(scenario=TINY))
+        assert status == 200 and warm.state == "ok" and warm.served_from_cache
+        assert warm.record["scenario_id"] == TINY.scenario_id
+        # The embedded record is a full run-record document.
+        assert warm.record["schema"] == "experiment-run"
+        assert warm.record["status"] == "ok"
+
+    def test_metrics_after_traffic(self, client):
+        client.solve(ServiceRequest(scenario=TINY))
+        metrics = client.metrics()
+        assert metrics["requests"]["total"] >= 1
+        assert metrics["cache"]["hit_rate"] > 0
+        assert metrics["pool"]["workers"] == 1
+
+    def test_batch_ndjson_stream(self, client):
+        responses = client.batch(
+            [ServiceRequest(scenario=TINY), ServiceRequest(scenario=OTHER)]
+        )
+        assert [r.scenario_id for r in responses] == [
+            TINY.scenario_id,
+            OTHER.scenario_id,
+        ]
+        assert all(r.state == "ok" for r in responses)
+
+    def test_submit_status_result(self, client):
+        status, pending = client.submit(ServiceRequest(scenario=TINY))
+        assert status == 202 and pending.state == "pending"
+        status, document = client.status(pending.request_id)
+        assert status in (200, 202)
+        status, final = client.result(pending.request_id)
+        assert status == 200 and final.state == "ok"
+
+    def test_unknown_request_id_is_404(self, client):
+        status, _ = client.status("req-999999")
+        assert status == 404
+        with pytest.raises(ServiceClientError):
+            client.result("req-999999")
+
+    def test_unknown_endpoint_is_404(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        connection.request("GET", "/nope")
+        assert connection.getresponse().status == 404
+        connection.close()
+
+    def test_malformed_json_is_400(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        connection.request(
+            "POST", "/solve", body=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        assert connection.getresponse().status == 400
+        connection.close()
+
+    def test_invalid_request_document_is_400(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        body = json.dumps({"schema": "warehouse"}).encode()
+        connection.request("POST", "/solve", body=body)
+        reply = connection.getresponse()
+        assert reply.status == 400
+        document = json.loads(reply.read())
+        assert document["state"] == "invalid"
+        connection.close()
+
+    def test_bare_scenario_document_is_accepted(self, server):
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=180)
+        connection.request("POST", "/solve", body=json.dumps(TINY.to_dict()).encode())
+        reply = connection.getresponse()
+        assert reply.status == 200
+        assert json.loads(reply.read())["state"] == "ok"
+        connection.close()
+
+    def test_ndjson_batch_body_is_accepted(self, server):
+        body = "\n".join(
+            json.dumps(spec.to_dict()) for spec in (TINY, OTHER)
+        ).encode()
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=180)
+        connection.request("POST", "/batch", body=body)
+        reply = connection.getresponse()
+        assert reply.status == 200
+        lines = [line for line in reply.read().decode().splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert all(json.loads(line)["state"] == "ok" for line in lines)
+        connection.close()
+
+    def test_loadtest_harness_round_trip(self, server):
+        report = run_loadtest(
+            server.url,
+            [TINY, OTHER],
+            LoadTestOptions(clients=4, requests_per_client=2, timeout=180),
+        )
+        assert report.transport_errors == 0 and report.server_errors == 0
+        assert report.cache_hits > 0
+        assert report.total_requests == 2 + 4 * 2
+
+
+class TestGracefulShutdown:
+    def test_stop_completes_in_flight_request_and_closes_socket(self):
+        instance = ServiceServer(
+            ServiceConfig(port=0, workers=1, max_pending=4, warm_up=True)
+        ).start()
+        host, port = instance.host, instance.port
+        outcome = {}
+
+        def in_flight():
+            with ServiceClient(instance.url, timeout=180) as client:
+                try:
+                    outcome["status"], outcome["response"] = client.solve(
+                        ServiceRequest(scenario=TINY, fresh=True)
+                    )
+                except ServiceClientError as error:  # pragma: no cover - fail loudly
+                    outcome["error"] = error
+
+        worker = threading.Thread(target=in_flight)
+        worker.start()
+        time.sleep(0.05)  # let the request reach the pool
+        assert instance.stop(drain_timeout=60)
+        worker.join(timeout=30)
+        # The in-flight request either completed or was cleanly rejected —
+        # never dropped on the floor.
+        assert "error" not in outcome
+        assert outcome["status"] in (200, 503)
+        if outcome["status"] == 200:
+            assert outcome["response"].state == "ok"
+        # The listening socket is closed: new connections are refused.
+        with pytest.raises(OSError):
+            probe = socket.create_connection((host, port), timeout=2)
+            probe.close()
+
+    def test_draining_service_rejects_new_requests(self):
+        instance = ServiceServer(ServiceConfig(port=0, workers=1, warm_up=False)).start()
+        try:
+            instance.service.begin_drain()
+            with ServiceClient(instance.url, timeout=30) as client:
+                status, response = client.solve(ServiceRequest(scenario=TINY))
+                assert status == 503 and response.state == "rejected"
+                health = client.health()
+                assert health["status"] == "draining"
+        finally:
+            instance.stop(drain_timeout=10)
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGINT"), reason="POSIX signals required")
+class TestSigintSubprocess:
+    def test_sigint_during_in_flight_request_drains_cleanly(self, tmp_path):
+        """Boot ``repro serve``, fire a request, SIGINT mid-flight: the
+        request completes (or is cleanly rejected), the process exits 0, and
+        the socket closes."""
+        repo_src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{repo_src}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve", "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    url = line.rsplit(" ", 1)[-1].strip()
+                    break
+            assert url, "server never announced its address"
+
+            outcome = {}
+
+            def in_flight():
+                with ServiceClient(url, timeout=180) as client:
+                    try:
+                        outcome["status"], _ = client.solve(
+                            ServiceRequest(scenario=TINY, fresh=True)
+                        )
+                    except ServiceClientError as error:
+                        outcome["error"] = error
+
+            worker = threading.Thread(target=in_flight)
+            worker.start()
+            time.sleep(0.3)  # request is in flight (worker pool is spawning/solving)
+            process.send_signal(signal.SIGINT)
+            worker.join(timeout=120)
+            assert process.wait(timeout=120) == 0
+            assert "error" not in outcome
+            assert outcome["status"] in (200, 503)
+            # Socket closed after drain.
+            host, port = url.rsplit("//", 1)[-1].split(":")
+            with pytest.raises(OSError):
+                probe = socket.create_connection((host, int(port)), timeout=2)
+                probe.close()
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup on failure
+                process.kill()
+                process.wait(timeout=30)

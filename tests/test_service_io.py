@@ -1,0 +1,173 @@
+"""Round-trip tests for the service request/response schemas.
+
+Golden documents pin the wire format (a served client must keep parsing
+responses produced by older servers and vice versa); the hypothesis
+round-trip property covers the full field space.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import RUN_STATUSES, RunRecord, ScenarioSpec
+from repro.io import (
+    SerializationError,
+    service_request_from_dict,
+    service_request_to_dict,
+    service_response_from_dict,
+    service_response_to_dict,
+)
+from repro.service import (
+    CACHE_OUTCOMES,
+    SERVICE_STATES,
+    ServiceRequest,
+    ServiceResponse,
+)
+
+TINY = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+#: The pinned wire format of a request (update deliberately, never casually).
+GOLDEN_REQUEST = {
+    "schema": "service-request",
+    "version": 1,
+    "scenario": TINY.to_dict(),
+    "timeout_seconds": 30.0,
+    "fresh": True,
+    "tag": "golden",
+}
+
+GOLDEN_RESPONSE = {
+    "schema": "service-response",
+    "version": 1,
+    "state": "ok",
+    "scenario_id": TINY.scenario_id,
+    "request_id": "req-000042",
+    "cache": "hit",
+    "record": RunRecord(spec=TINY, status="ok").to_dict(),
+    "message": "",
+    "tag": "golden",
+    "queue_seconds": 0.001,
+    "compute_seconds": 0.0,
+    "retry_after_seconds": None,
+    "info": {},
+}
+
+
+class TestGoldenDocuments:
+    def test_request_golden_parses_and_reserializes(self):
+        request = service_request_from_dict(GOLDEN_REQUEST)
+        assert request.scenario.scenario_id == TINY.scenario_id
+        assert request.timeout_seconds == 30.0
+        assert request.fresh is True
+        assert service_request_to_dict(request) == GOLDEN_REQUEST
+
+    def test_response_golden_parses_and_reserializes(self):
+        response = service_response_from_dict(GOLDEN_RESPONSE)
+        assert response.state == "ok" and response.cache == "hit"
+        assert response.record["scenario_id"] == TINY.scenario_id
+        assert service_response_to_dict(response) == GOLDEN_RESPONSE
+
+    def test_golden_documents_are_json_stable(self):
+        # The documents must survive an actual JSON wire trip unchanged.
+        for document in (GOLDEN_REQUEST, GOLDEN_RESPONSE):
+            assert json.loads(json.dumps(document)) == document
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SerializationError):
+            service_request_from_dict({"schema": "scenario"})
+        with pytest.raises(SerializationError):
+            service_response_from_dict({"schema": "service-request"})
+
+    def test_malformed_request_rejected(self):
+        bad = dict(GOLDEN_REQUEST, timeout_seconds=-1.0)
+        with pytest.raises(SerializationError):
+            service_request_from_dict(bad)
+
+    def test_malformed_response_rejected(self):
+        bad = dict(GOLDEN_RESPONSE, state="nonsense")
+        with pytest.raises(SerializationError):
+            service_response_from_dict(bad)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        units=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=10_000),
+        timeout=st.one_of(st.none(), st.floats(min_value=0.1, max_value=3600.0)),
+        fresh=st.booleans(),
+        tag=st.text(max_size=12),
+    )
+    def test_request_round_trip(self, units, seed, timeout, fresh, tag):
+        spec = ScenarioSpec(
+            **{f: getattr(TINY, f) for f in TINY.__dataclass_fields__}
+            | {"units": units, "seed": seed}
+        )
+        request = ServiceRequest(
+            scenario=spec, timeout_seconds=timeout, fresh=fresh, tag=tag
+        )
+        document = service_request_to_dict(request)
+        restored = service_request_from_dict(json.loads(json.dumps(document)))
+        assert restored == request
+        assert restored.scenario_id == request.scenario_id
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        state=st.sampled_from(SERVICE_STATES),
+        cache=st.sampled_from(CACHE_OUTCOMES),
+        with_record=st.booleans(),
+        message=st.text(max_size=40),
+        tag=st.text(max_size=12),
+        queue_seconds=st.floats(min_value=0.0, max_value=100.0),
+        compute_seconds=st.floats(min_value=0.0, max_value=100.0),
+        retry_after=st.one_of(st.none(), st.floats(min_value=0.0, max_value=60.0)),
+        draining=st.booleans(),
+    )
+    def test_response_round_trip(
+        self,
+        state,
+        cache,
+        with_record,
+        message,
+        tag,
+        queue_seconds,
+        compute_seconds,
+        retry_after,
+        draining,
+    ):
+        record = (
+            RunRecord(spec=TINY, status=state).to_dict()
+            if with_record and state in RUN_STATUSES
+            else None
+        )
+        response = ServiceResponse(
+            state=state,
+            scenario_id=TINY.scenario_id,
+            request_id="req-000007",
+            cache=cache,
+            record=record,
+            message=message,
+            tag=tag,
+            queue_seconds=queue_seconds,
+            compute_seconds=compute_seconds,
+            retry_after_seconds=retry_after,
+            info={"draining": 1.0} if draining else {},
+        )
+        document = service_response_to_dict(response)
+        restored = service_response_from_dict(json.loads(json.dumps(document)))
+        assert restored == response
+        assert restored.http_status == response.http_status
+        assert restored.terminal == response.terminal

@@ -1,0 +1,94 @@
+"""Concurrent-appender stress tests for the JSONL ResultStore.
+
+The serving layer appends to the persistent cache tier from many handler
+threads, and independent sweep/serve processes may share one result file —
+so ``ResultStore.append`` must never interleave partial lines.  The
+multi-process test hammers one file from spawned workers and asserts every
+line parses and nothing was lost; the thread test does the same in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.experiments import ResultStore, RunRecord, ScenarioSpec, load_records
+
+BASE = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+
+def _record(writer: int, index: int) -> RunRecord:
+    spec = ScenarioSpec(
+        **{f: getattr(BASE, f) for f in BASE.__dataclass_fields__}
+        | {"seed": writer, "name": f"stress/w{writer}-{index}"}
+    )
+    # A long message makes torn writes overwhelmingly likely to corrupt a
+    # line if the locking were broken.
+    return RunRecord(spec=spec, status="ok", message="x" * 512, num_agents=index)
+
+
+def append_many(path: str, writer: int, count: int) -> None:
+    """Worker entry point (module-level: must be picklable under spawn)."""
+    store = ResultStore(path, load_existing=False)
+    for index in range(count):
+        store.append(_record(writer, index))
+
+
+class TestMultiProcessAppend:
+    def test_spawned_processes_never_tear_lines(self, tmp_path):
+        path = tmp_path / "stress.jsonl"
+        writers, per_writer = 4, 25
+        context = get_context("spawn")
+        processes = [
+            context.Process(target=append_many, args=(str(path), writer, per_writer))
+            for writer in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == writers * per_writer
+        # Every line is a complete, parseable record document.
+        for line in lines:
+            document = json.loads(line)
+            assert document["schema"] == "experiment-run"
+        # And the store reloads the lot.
+        records = load_records(path)
+        assert len(records) == writers * per_writer
+        # No record was lost: every (writer, index) pair is present.
+        labels = {record.spec.name for record in records}
+        assert len(labels) == writers * per_writer
+
+
+class TestMultiThreadAppend:
+    def test_threads_share_one_store_instance(self, tmp_path):
+        path = tmp_path / "threads.jsonl"
+        store = ResultStore(path, load_existing=False)
+        writers, per_writer = 8, 20
+
+        def work(writer: int) -> None:
+            for index in range(per_writer):
+                store.append(_record(writer, index))
+
+        threads = [threading.Thread(target=work, args=(w,)) for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(store) == writers * per_writer
+        assert len(load_records(path)) == writers * per_writer
+        # The in-memory index agrees with the file.
+        assert len(store.scenario_ids()) == writers  # one id per seed
