@@ -29,9 +29,15 @@ The package is organised as a set of substrates plus the co-design core:
   coalescing of identical in-flight requests) and a bounded worker pool
   with explicit backpressure and graceful drain (``repro serve`` /
   ``repro loadtest`` on the command line).
+* :mod:`repro.obs`        — pipeline-wide observability: nestable tracing
+  spans with monotonic timings and phase timers (zero-cost when disabled,
+  deterministic serialization), a process-safe metrics registry (counters,
+  gauges, fixed-bucket histograms; spawn-based workers serialize snapshots
+  back to the parent; JSON + Prometheus text exposition), and the cProfile
+  harness behind ``repro profile``.
 * :mod:`repro.analysis`   — metrics (static and simulated), reporting and
   ASCII visualization, sweep aggregation, serving latency/throughput
-  tables and regression comparison.
+  tables, span-tree/hotspot rendering, and regression comparison.
 * :mod:`repro.io`         — map / plan / trace / scenario / run-record /
   service request-response serialization.
 
@@ -49,6 +55,6 @@ content-addressed cache backed by a bounded worker pool.  See
 ``examples/serving.py`` for the serving layer.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__"]

@@ -10,6 +10,7 @@ from .experiments import (
     sweep_table,
 )
 from .metrics import PlanMetrics, agent_utilization, compute_plan_metrics, service_makespan
+from .obs import hotspot_report, iter_spans, span_tree_table
 from .reporting import (
     PAPER_TABLE1,
     BenchmarkRow,
@@ -31,6 +32,7 @@ from .service import (
     latency_table,
     loadtest_report,
     percentile,
+    service_summary_table,
     service_table,
 )
 from .sim_metrics import SimMetrics, compute_sim_metrics, throughput_gap_report
@@ -57,6 +59,8 @@ __all__ = [
     "disruption_density",
     "format_markdown_table",
     "format_table",
+    "hotspot_report",
+    "iter_spans",
     "latency_summary",
     "latency_table",
     "loadtest_report",
@@ -76,7 +80,9 @@ __all__ = [
     "scaling_report",
     "scaling_rows",
     "service_makespan",
+    "service_summary_table",
     "service_table",
+    "span_tree_table",
     "sweep_report",
     "sweep_table",
     "table1_report",

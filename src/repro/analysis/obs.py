@@ -1,0 +1,114 @@
+"""Rendering for :mod:`repro.obs` trace documents.
+
+Consumes the deterministic ``obs-trace`` documents produced by
+:func:`repro.obs.capture_trace` / :attr:`SimulationTrace.obs` and renders
+them for humans:
+
+* :func:`span_tree_table` — the flamegraph, sideways: one row per span in
+  depth-first order, indented by nesting depth, with total/self wall time
+  and the span's phase timers inlined underneath;
+* :func:`hotspot_report`  — spans aggregated by name (calls, total, self
+  seconds), sorted by self time: where the wall-clock actually went.
+
+Both take the serialized document rather than live ``Span`` objects so they
+work equally on a trace captured seconds ago or loaded from a JSON file
+saved by ``repro profile --save-trace``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from .reporting import format_markdown_table, format_table
+
+
+def iter_spans(document: Mapping) -> Iterator[Tuple[int, Dict]]:
+    """Yield ``(depth, span_dict)`` over a trace document, depth first.
+
+    Accepts either a full ``obs-trace`` document (``{"spans": [...]}``) or a
+    single serialized span.
+    """
+    roots = document.get("spans") if "spans" in document else [document]
+
+    def walk(node: Mapping, depth: int) -> Iterator[Tuple[int, Dict]]:
+        yield depth, dict(node)
+        for child in node.get("children", []):
+            yield from walk(child, depth + 1)
+
+    for root in roots or []:
+        yield from walk(root, 0)
+
+
+def _self_seconds(node: Mapping) -> float:
+    children = sum(child.get("duration", 0.0) for child in node.get("children", []))
+    return max(0.0, node.get("duration", 0.0) - children)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}"
+
+
+def _format_counters(counters: Mapping) -> str:
+    parts = []
+    for name, value in sorted(counters.items()):
+        if float(value).is_integer():
+            parts.append(f"{name}={int(value)}")
+        else:
+            parts.append(f"{name}={value:.3f}")
+    return ", ".join(parts)
+
+
+def span_tree_table(document: Mapping, markdown: bool = False) -> str:
+    """One row per span, indented by depth; phase timers as sub-rows."""
+    headers = ["span", "total ms", "self ms", "counters"]
+    rows: List[List[str]] = []
+    for depth, node in iter_spans(document):
+        indent = "  " * depth
+        rows.append(
+            [
+                f"{indent}{node.get('name', '?')}",
+                _ms(node.get("duration", 0.0)),
+                _ms(_self_seconds(node)),
+                _format_counters(node.get("counters", {})) or "-",
+            ]
+        )
+        for phase, seconds in sorted(node.get("phases", {}).items()):
+            rows.append([f"{indent}  · {phase}", _ms(seconds), "", ""])
+    if not rows:
+        return "(empty trace)"
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
+def hotspot_report(document: Mapping, top: int = 10, markdown: bool = False) -> str:
+    """Spans aggregated by name, sorted by self time — the top-k hotspots."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for _, node in iter_spans(document):
+        entry = totals.setdefault(
+            node.get("name", "?"), {"calls": 0.0, "total": 0.0, "self": 0.0}
+        )
+        entry["calls"] += 1
+        entry["total"] += node.get("duration", 0.0)
+        entry["self"] += _self_seconds(node)
+    ranked = sorted(totals.items(), key=lambda item: (-item[1]["self"], item[0]))
+    headers = ["span", "calls", "total ms", "self ms", "self %"]
+    grand_self = sum(entry["self"] for entry in totals.values()) or 1.0
+    rows = [
+        [
+            name,
+            str(int(entry["calls"])),
+            _ms(entry["total"]),
+            _ms(entry["self"]),
+            f"{entry['self'] / grand_self:.1%}",
+        ]
+        for name, entry in ranked[: max(1, top)]
+    ]
+    if not rows:
+        return "(empty trace)"
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
+__all__ = ["hotspot_report", "iter_spans", "span_tree_table"]

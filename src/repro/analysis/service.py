@@ -85,7 +85,32 @@ def service_table(metrics: Mapping, markdown: bool = False) -> str:
     return format_table(rows, headers)
 
 
+def service_summary_table(service: Mapping, markdown: bool = False) -> str:
+    """Server-side headline numbers condensed from the metrics registry."""
+    headers = ["metric", "value"]
+    runs = service.get("runs_by_status", {})
+    rows = [
+        ["cache hit rate", f"{float(service.get('cache_hit_rate', 0.0)):.1%}"],
+        ["cache entries", str(int(service.get("cache_size", 0)))],
+        ["pool saturation", f"{float(service.get('pool_saturation', 0.0)):.1%}"],
+        ["pool in flight", str(int(service.get("pool_in_flight", 0)))],
+        ["pool rejected", str(int(service.get("pool_rejected", 0)))],
+        [
+            "runs by status",
+            ", ".join(f"{status}={count}" for status, count in sorted(runs.items()))
+            or "-",
+        ],
+    ]
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
 def loadtest_report(report, markdown: bool = False) -> str:
     """Render a :class:`~repro.service.client.LoadTestReport` as tables."""
     lines = [report.headline(), "", latency_table(report.phase_latencies, markdown=markdown)]
+    service = getattr(report, "service", None)
+    if service:
+        lines += ["", "service-side (from the metrics registry):"]
+        lines.append(service_summary_table(service, markdown=markdown))
     return "\n".join(lines)

@@ -30,6 +30,10 @@ The CLI exposes the common workflows without writing Python:
 * ``python -m repro loadtest`` — drive a running service through
   cold/warm(/overload) phases with concurrent clients and print the latency/
   throughput/hit-rate report (optionally writing ``BENCH_service.json``);
+* ``python -m repro profile solve|simulate|sweep`` — run a pipeline target
+  under the span tracer and cProfile at once and print the span tree, the
+  top-k span hotspots by self time, and the C-level function table
+  (``--save-trace`` writes the span tree as JSON);
 * ``python -m repro validate --plan plan.json`` — re-validate a saved plan
   against the three feasibility conditions.
 """
@@ -424,6 +428,85 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.obs import hotspot_report, span_tree_table
+    from .obs import profile_call
+
+    if args.top < 1:
+        raise SystemExit(f"--top must be at least 1 (got {args.top})")
+
+    if args.target == "sweep":
+        if args.limit < 0:
+            raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+        specs = preset_scenarios(args.preset, seed=args.seed)
+        if args.limit > 0:
+            specs = specs[: args.limit]
+        print(f"profiling sweep {args.preset!r}: {len(specs)} scenario(s)")
+
+        def task():
+            return run_sweep(specs)
+
+    else:
+        designed = _designed(args.map)
+        options = SolverOptions(
+            synthesis=SynthesisOptions(backend=args.backend, objective=args.objective)
+        )
+        solver = WSPSolver(designed.traffic_system, options)
+        try:
+            workload = Workload.uniform(designed.warehouse.catalog, args.units)
+        except (WarehouseError, WorkloadError) as error:
+            raise SystemExit(f"invalid instance: {error}")
+        if args.target == "solve":
+            print(f"profiling solve: map={args.map} units={args.units}")
+
+            def task():
+                return solver.solve(workload, horizon=args.horizon)
+
+        else:
+            routing = (
+                None
+                if args.routing == "abstract"
+                else RoutingConfig(router=args.routing)
+            )
+            try:
+                disruptions = parse_disruptions(args.disruptions)
+            except DisruptionError as error:
+                raise SystemExit(f"invalid --disruptions: {error}")
+            config = SimulationConfig(
+                seed=args.seed,
+                record_events=False,
+                routing=routing,
+                disruptions=disruptions,
+            )
+            print(
+                f"profiling simulate: map={args.map} units={args.units} "
+                f"routing={args.routing}"
+            )
+
+            def task():
+                solution = solver.solve(workload, horizon=args.horizon)
+                if not solution.succeeded:
+                    raise SystemExit(f"INFEASIBLE: {solution.message}")
+                return solver.simulate(solution, config)
+
+    result = profile_call(task, use_cprofile=not args.no_cprofile, top=args.top)
+    document = result.trace.to_dict()
+    print()
+    print("Span tree (total/self wall time per pipeline phase):")
+    print(span_tree_table(document))
+    print()
+    print(f"Top {args.top} span hotspots by self time:")
+    print(hotspot_report(document, top=args.top))
+    if not args.no_cprofile:
+        print()
+        print(f"Top {args.top} functions ({args.sort}) — cProfile:")
+        print(result.function_table(top=args.top, sort=args.sort))
+    if args.save_trace:
+        save_json(document, args.save_trace)
+        print(f"\ntrace written to {args.save_trace}")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     plan = plan_from_dict(load_json(args.plan))
     report = PlanValidator(plan.warehouse).validate(plan)
@@ -646,6 +729,61 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest_parser.add_argument("--out", help="write the report as JSON (BENCH_service.json)")
     loadtest_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
     loadtest_parser.set_defaults(handler=cmd_loadtest)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="profile a pipeline target: span tree + hotspots + cProfile"
+    )
+    profile_parser.add_argument(
+        "target",
+        choices=("solve", "simulate", "sweep"),
+        help="what to profile: one solve, one solve+simulate, or a scenario sweep",
+    )
+    profile_parser.add_argument(
+        "--map", default="sorting-center-small", help="map preset (solve/simulate)"
+    )
+    profile_parser.add_argument(
+        "--units", type=int, default=16, help="total workload units (solve/simulate)"
+    )
+    profile_parser.add_argument("--horizon", type=int, default=1500, help="timestep limit T")
+    profile_parser.add_argument("--backend", default="highs", help="ILP backend")
+    profile_parser.add_argument(
+        "--objective", default="min_agents", choices=("none", "min_agents", "min_carrying")
+    )
+    profile_parser.add_argument(
+        "--routing",
+        default="abstract",
+        choices=ROUTERS,
+        help="simulate: execution mode (abstract replay or a MAPF router)",
+    )
+    profile_parser.add_argument(
+        "--disruptions", default="none", help="simulate: failure-injection spec"
+    )
+    profile_parser.add_argument("--seed", type=int, default=0, help="simulation/suite seed")
+    profile_parser.add_argument(
+        "--preset",
+        default="smoke",
+        choices=sorted(PRESET_SUITES),
+        help="sweep: scenario suite to profile",
+    )
+    profile_parser.add_argument(
+        "--limit", type=int, default=2, help="sweep: profile only the first N scenarios"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, help="rows in the hotspot/function tables"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"),
+        help="cProfile sort order",
+    )
+    profile_parser.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip the C-level profiler (span tracing only; lower overhead)",
+    )
+    profile_parser.add_argument("--save-trace", help="write the span trace as JSON")
+    profile_parser.set_defaults(handler=cmd_profile)
 
     validate_parser = subparsers.add_parser("validate", help="validate a saved plan")
     validate_parser.add_argument("--plan", required=True, help="plan JSON file")

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports core)
     from ..sim.runner import SimulationConfig, SimulationReport
 
+from ..obs import span
 from ..solver import SolveStatus
 from ..traffic.system import TrafficSystem
 from ..traffic.validation import assert_valid
@@ -163,6 +164,19 @@ class WSPSolver:
                 "the instance's warehouse is not the one this solver's traffic system was designed for"
             )
         instance.validate()
+        with span(
+            "solver.solve",
+            map=self.traffic_system.warehouse.name,
+            units=instance.workload.total_units,
+            horizon=instance.horizon,
+        ) as solve_span:
+            solution = self._solve_staged(instance, solve_span)
+            solve_span.set_attr("succeeded", solution.succeeded)
+            for stage, seconds in solution.timings.items():
+                solve_span.add(f"seconds.{stage}", seconds)
+            return solution
+
+    def _solve_staged(self, instance: WSPInstance, solve_span) -> WSPSolution:
         timings: Dict[str, float] = {}
 
         factor = self.options.synthesis.cycle_time_factor
@@ -179,9 +193,10 @@ class WSPSolver:
                 check_contracts=base.check_contracts,
             )
             start = time.perf_counter()
-            synthesis_result = synthesize_flows(
-                self.traffic_system, instance.workload, instance.horizon, synthesis_options
-            )
+            with span("solver.synthesis", backend=base.backend, cycle_time_factor=factor):
+                synthesis_result = synthesize_flows(
+                    self.traffic_system, instance.workload, instance.horizon, synthesis_options
+                )
             timings["synthesis"] = timings.get("synthesis", 0.0) + (
                 time.perf_counter() - start
             )
@@ -198,27 +213,37 @@ class WSPSolver:
                 )
 
             start = time.perf_counter()
-            cycle_set = decompose_flow_set(synthesis_result.flow_set)
-            schedule = build_delivery_schedule(synthesis_result.flow_set, instance.workload)
+            with span("solver.decomposition"):
+                cycle_set = decompose_flow_set(synthesis_result.flow_set)
+                schedule = build_delivery_schedule(
+                    synthesis_result.flow_set, instance.workload
+                )
             timings["decomposition"] = timings.get("decomposition", 0.0) + (
                 time.perf_counter() - start
             )
 
             try:
                 start = time.perf_counter()
-                realization = realize_cycle_set(cycle_set, schedule, self.options.realization)
+                with span("solver.realization", cycle_time_factor=factor):
+                    realization = realize_cycle_set(
+                        cycle_set, schedule, self.options.realization
+                    )
                 timings["realization"] = timings.get("realization", 0.0) + (
                     time.perf_counter() - start
                 )
             except RealizationError as error:
                 last_message = str(error)
                 factor += 1
+                solve_span.add("realization_retries")
                 continue
 
             plan_report = None
             if self.options.validate_plan:
                 start = time.perf_counter()
-                plan_report = PlanValidator(instance.warehouse).validate(realization.plan)
+                with span("solver.validation"):
+                    plan_report = PlanValidator(instance.warehouse).validate(
+                        realization.plan
+                    )
                 timings["validation"] = timings.get("validation", 0.0) + (
                     time.perf_counter() - start
                 )

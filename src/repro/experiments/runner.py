@@ -108,12 +108,43 @@ def _sim_payload(report) -> Dict[str, float]:
     return payload
 
 
-def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) -> Dict:
+def _obs_payload(status: str, timings: Dict[str, float]) -> Dict:
+    """Condense one run's observability into a process-crossing document.
+
+    A worker-local :class:`~repro.obs.MetricsRegistry` records the run's
+    outcome and per-stage wall times; when tracing is on (``REPRO_OBS=1`` is
+    inherited by spawned workers) the worker's finished spans ride along too.
+    The parent folds the metrics into its own registry and drops the payload
+    before the record reaches the result store.
+    """
+    from ..obs import MetricsRegistry, drain_spans, tracing_enabled
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_runs_total", "Pipeline runs by outcome status", status=status
+    ).inc()
+    for stage, seconds in timings.items():
+        registry.histogram(
+            "repro_stage_seconds", "Pipeline stage wall time", stage=stage
+        ).observe(seconds)
+    payload: Dict = {"metrics": registry.snapshot()}
+    if tracing_enabled():
+        payload["spans"] = drain_spans()
+    return payload
+
+
+def execute_scenario(
+    document: Dict,
+    timeout_seconds: Optional[float] = None,
+    collect_obs: bool = False,
+) -> Dict:
     """Run one scenario end to end; always returns a run-record document.
 
     This is the worker entry point: it takes and returns plain dictionaries
     so it crosses process boundaries cheaply, and it never raises — every
-    failure mode is folded into the record's ``status``/``message``.
+    failure mode is folded into the record's ``status``/``message``.  With
+    ``collect_obs`` the document carries an extra ``obs`` key (metrics
+    snapshot + any traced spans) for the parent to merge and strip.
     """
     # Imports deferred so spawned workers only pay for them once per process.
     from ..core.flow_synthesis import FlowSynthesisError
@@ -127,9 +158,12 @@ def execute_scenario(document: Dict, timeout_seconds: Optional[float] = None) ->
     timings: Dict[str, float] = {}
 
     def record(status: str, message: str = "", **outcome) -> Dict:
-        return RunRecord(
+        result = RunRecord(
             spec=spec, status=status, message=message, timings=timings, **outcome
         ).to_dict()
+        if collect_obs:
+            result["obs"] = _obs_payload(status, timings)
+        return result
 
     try:
         with _deadline(timeout_seconds):
@@ -216,6 +250,14 @@ def run_sweep(
     documents = [spec.to_dict() for spec in specs]
 
     def finalize(document: Dict) -> RunRecord:
+        obs_payload = document.pop("obs", None)
+        if obs_payload:
+            # Worker metrics fold into the process-wide registry; any traced
+            # spans stay available to callers through the registry's side
+            # channel users (the store only ever sees the plain record).
+            from ..obs import get_registry
+
+            get_registry().merge(obs_payload.get("metrics", {}))
         record = RunRecord.from_dict(document)
         if store is not None:
             store.append(record)
@@ -230,7 +272,7 @@ def run_sweep(
     # captured as a record instead of taking the parent down.
     if options.workers == 1:
         return [
-            finalize(execute_scenario(document, options.timeout_seconds))
+            finalize(execute_scenario(document, options.timeout_seconds, True))
             for document in documents
         ]
 
@@ -256,7 +298,7 @@ def run_sweep(
         max_workers=min(options.workers, len(pending)), mp_context=context
     ) as pool:
         futures = [
-            pool.submit(execute_scenario, document, options.timeout_seconds)
+            pool.submit(execute_scenario, document, options.timeout_seconds, True)
             for _, document in pending
         ]
         consumed = 0
@@ -283,7 +325,7 @@ def run_sweep(
         with ProcessPoolExecutor(max_workers=1, mp_context=context) as solo:
             try:
                 document = solo.submit(
-                    execute_scenario, document_in, options.timeout_seconds
+                    execute_scenario, document_in, options.timeout_seconds, True
                 ).result()
             except BrokenExecutor as error:
                 document = failure_document(spec, error, crashed=True)

@@ -223,6 +223,10 @@ def trace_to_dict(trace) -> Dict:
     }
     if trace.resilience is not None:
         document["resilience"] = resilience_to_dict(trace.resilience)
+    if trace.obs is not None:
+        # Observability section: present only for traced runs, so untraced
+        # trace documents stay byte-identical to the pre-obs schema.
+        document["obs"] = trace.obs
     return document
 
 
@@ -265,6 +269,7 @@ def trace_from_dict(document: Dict):
         ),
         resilience=None if resilience is None else resilience_from_dict(resilience),
         metadata={k: float(v) for k, v in document.get("metadata", {}).items()},
+        obs=document.get("obs"),
     )
 
 

@@ -40,6 +40,8 @@ class SearchStats:
 
     expansions: int = 0
     generated: int = 0
+    #: Path-against-path collision probes done by the focal low level.
+    conflict_checks: int = 0
 
 
 def _reconstruct(parents: Dict[Tuple[VertexId, int], Tuple[VertexId, int]],
@@ -256,6 +258,7 @@ def space_time_focal_astar(
                         and position_at(other, time) == neighbor
                     ):
                         extra += 1
+                stats.conflict_checks += len(other_paths)
                 conflict_cache[next_state] = conflict_cache.get(state, 0) + extra
                 stats.generated += 1
                 heapq.heappush(

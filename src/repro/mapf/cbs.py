@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import span
 from .astar import SearchStats, shortest_path_lengths, space_time_astar
 from .constraints import Constraint, ConstraintSet
 from .problem import Conflict, MAPFProblem, MAPFSolution, Path, first_conflict
@@ -71,76 +72,101 @@ def solve_cbs(
     options = options or CBSOptions()
     start_time = time.perf_counter()
     floorplan = problem.floorplan
-    heuristics = {
-        agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
-        for agent in problem.agents
-    }
     stats = SearchStats()
-
-    def plan_agent(agent_id: int, constraints: ConstraintSet) -> Optional[Path]:
-        agent = problem.agents[agent_id]
-        return space_time_astar(
-            floorplan,
-            agent.start,
-            agent.goal,
-            agent=agent_id,
-            constraints=constraints,
-            heuristic=heuristics[agent_id],
-            stats=stats,
-        )
-
-    root_constraints = ConstraintSet()
-    root_paths: List[Path] = []
-    for agent in problem.agents:
-        path = plan_agent(agent.agent_id, root_constraints)
-        if path is None:
-            return None
-        root_paths.append(path)
-
-    counter = itertools.count()
-    root = _CTNode(
-        cost=sum(len(p) - 1 for p in root_paths),
-        order=next(counter),
-        constraints=root_constraints,
-        paths=tuple(root_paths),
-    )
-    open_heap = [root]
     expanded = 0
+    generated = 1  # the root
+    # Phase timers are placed at CT-node granularity (not inside the low-level
+    # expansion loop) so the instrumented search stays within the overhead
+    # budget while still splitting the hot path into its four phases.
+    with span("mapf.cbs", agents=len(problem.agents)) as sp:
+        try:
+            with sp.timer("heuristic"):
+                heuristics = {
+                    agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+                    for agent in problem.agents
+                }
 
-    while open_heap:
-        if expanded >= options.max_nodes:
-            return None
-        if (
-            options.time_limit is not None
-            and time.perf_counter() - start_time > options.time_limit
-        ):
-            return None
-        node = heapq.heappop(open_heap)
-        expanded += 1
-        conflict = first_conflict(node.paths)
-        if conflict is None:
-            return MAPFSolution(
-                problem=problem,
-                paths=node.paths,
-                expansions=stats.expansions,
-                runtime_seconds=time.perf_counter() - start_time,
-                solver="cbs",
-                metadata={"ct_nodes": float(expanded)},
-            )
-        for constraint in _branch_constraints(conflict):
-            child_constraints = node.constraints.extended(constraint)
-            new_path = plan_agent(constraint.agent, child_constraints)
-            if new_path is None:
-                continue
-            child_paths = list(node.paths)
-            child_paths[constraint.agent] = new_path
-            heapq.heappush(
-                open_heap,
-                _CTNode(
-                    cost=sum(len(p) - 1 for p in child_paths),
+            def plan_agent(agent_id: int, constraints: ConstraintSet) -> Optional[Path]:
+                agent = problem.agents[agent_id]
+                return space_time_astar(
+                    floorplan,
+                    agent.start,
+                    agent.goal,
+                    agent=agent_id,
+                    constraints=constraints,
+                    heuristic=heuristics[agent_id],
+                    stats=stats,
+                )
+
+            root_constraints = ConstraintSet()
+            root_paths: List[Path] = []
+            for agent in problem.agents:
+                with sp.timer("low_level"):
+                    path = plan_agent(agent.agent_id, root_constraints)
+                if path is None:
+                    sp.set_attr("outcome", "root_unsolvable")
+                    return None
+                root_paths.append(path)
+
+            counter = itertools.count()
+            with sp.timer("ct_management"):
+                root = _CTNode(
+                    cost=sum(len(p) - 1 for p in root_paths),
                     order=next(counter),
-                    constraints=child_constraints,
-                    paths=tuple(child_paths),
-                ),
-            )
-    return None
+                    constraints=root_constraints,
+                    paths=tuple(root_paths),
+                )
+                open_heap = [root]
+
+            while open_heap:
+                if expanded >= options.max_nodes:
+                    sp.set_attr("outcome", "node_limit")
+                    return None
+                if (
+                    options.time_limit is not None
+                    and time.perf_counter() - start_time > options.time_limit
+                ):
+                    sp.set_attr("outcome", "time_limit")
+                    return None
+                with sp.timer("ct_management"):
+                    node = heapq.heappop(open_heap)
+                expanded += 1
+                with sp.timer("conflict_detection"):
+                    conflict = first_conflict(node.paths)
+                sp.add("conflict_checks")
+                if conflict is None:
+                    sp.set_attr("outcome", "solved")
+                    return MAPFSolution(
+                        problem=problem,
+                        paths=node.paths,
+                        expansions=stats.expansions,
+                        runtime_seconds=time.perf_counter() - start_time,
+                        solver="cbs",
+                        metadata={"ct_nodes": float(expanded)},
+                    )
+                for constraint in _branch_constraints(conflict):
+                    child_constraints = node.constraints.extended(constraint)
+                    with sp.timer("low_level"):
+                        new_path = plan_agent(constraint.agent, child_constraints)
+                    if new_path is None:
+                        continue
+                    child_paths = list(node.paths)
+                    child_paths[constraint.agent] = new_path
+                    with sp.timer("ct_management"):
+                        heapq.heappush(
+                            open_heap,
+                            _CTNode(
+                                cost=sum(len(p) - 1 for p in child_paths),
+                                order=next(counter),
+                                constraints=child_constraints,
+                                paths=tuple(child_paths),
+                            ),
+                        )
+                    generated += 1
+            sp.set_attr("outcome", "exhausted")
+            return None
+        finally:
+            sp.add("ct_nodes_expanded", expanded)
+            sp.add("ct_nodes_generated", generated)
+            sp.add("low_level_expansions", stats.expansions)
+            sp.add("low_level_generated", stats.generated)

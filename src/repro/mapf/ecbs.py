@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import span
 from .astar import SearchStats, shortest_path_lengths, space_time_focal_astar
 from .cbs import _branch_constraints
 from .constraints import ConstraintSet
@@ -62,104 +63,140 @@ def solve_ecbs(
     options = options or ECBSOptions()
     start_time = time.perf_counter()
     floorplan = problem.floorplan
-    heuristics = {
-        agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
-        for agent in problem.agents
-    }
     stats = SearchStats()
-
-    def plan_agent(
-        agent_id: int, constraints: ConstraintSet, other_paths: List[Path]
-    ) -> Optional[Tuple[Path, int]]:
-        agent = problem.agents[agent_id]
-        return space_time_focal_astar(
-            floorplan,
-            agent.start,
-            agent.goal,
-            agent=agent_id,
-            constraints=constraints,
-            other_paths=other_paths,
-            suboptimality=options.suboptimality,
-            heuristic=heuristics[agent_id],
-            stats=stats,
-        )
-
-    root_constraints = ConstraintSet()
-    root_paths: List[Path] = []
-    root_bounds: List[int] = []
-    for agent in problem.agents:
-        result = plan_agent(agent.agent_id, root_constraints, root_paths)
-        if result is None:
-            return None
-        path, bound = result
-        root_paths.append(path)
-        root_bounds.append(bound)
-
-    counter = itertools.count()
-    root = _Node(
-        cost=sum(len(p) - 1 for p in root_paths),
-        lower_bound=sum(root_bounds),
-        conflicts=len(find_conflicts(root_paths)),
-        order=next(counter),
-        constraints=root_constraints,
-        paths=tuple(root_paths),
-        bounds=tuple(root_bounds),
-    )
-    # open: ordered by lower bound; focal: by number of conflicts.
-    open_list: List[Tuple[int, int, _Node]] = [(root.lower_bound, root.order, root)]
     expanded = 0
+    generated = 1  # the root
+    with span(
+        "mapf.ecbs", agents=len(problem.agents), suboptimality=options.suboptimality
+    ) as sp:
+        try:
+            with sp.timer("heuristic"):
+                heuristics = {
+                    agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+                    for agent in problem.agents
+                }
 
-    while open_list:
-        if expanded >= options.max_nodes:
-            return None
-        if (
-            options.time_limit is not None
-            and time.perf_counter() - start_time > options.time_limit
-        ):
-            return None
-        best_bound = min(item[0] for item in open_list)
-        threshold = options.suboptimality * best_bound
-        focal = [item for item in open_list if item[2].cost <= threshold]
-        focal.sort(key=lambda item: (item[2].conflicts, item[2].cost, item[1]))
-        chosen = focal[0]
-        open_list.remove(chosen)
-        node = chosen[2]
-        expanded += 1
+            def plan_agent(
+                agent_id: int, constraints: ConstraintSet, other_paths: List[Path]
+            ) -> Optional[Tuple[Path, int]]:
+                agent = problem.agents[agent_id]
+                return space_time_focal_astar(
+                    floorplan,
+                    agent.start,
+                    agent.goal,
+                    agent=agent_id,
+                    constraints=constraints,
+                    other_paths=other_paths,
+                    suboptimality=options.suboptimality,
+                    heuristic=heuristics[agent_id],
+                    stats=stats,
+                )
 
-        conflict = first_conflict(node.paths)
-        if conflict is None:
-            return MAPFSolution(
-                problem=problem,
-                paths=node.paths,
-                expansions=stats.expansions,
-                runtime_seconds=time.perf_counter() - start_time,
-                solver=f"ecbs({options.suboptimality})",
-                metadata={
-                    "ct_nodes": float(expanded),
-                    "lower_bound": float(best_bound),
-                },
-            )
-        for constraint in _branch_constraints(conflict):
-            child_constraints = node.constraints.extended(constraint)
-            other_paths = [
-                path for i, path in enumerate(node.paths) if i != constraint.agent
-            ]
-            result = plan_agent(constraint.agent, child_constraints, other_paths)
-            if result is None:
-                continue
-            new_path, new_bound = result
-            child_paths = list(node.paths)
-            child_paths[constraint.agent] = new_path
-            child_bounds = list(node.bounds)
-            child_bounds[constraint.agent] = new_bound
-            child = _Node(
-                cost=sum(len(p) - 1 for p in child_paths),
-                lower_bound=sum(child_bounds),
-                conflicts=len(find_conflicts(child_paths)),
-                order=next(counter),
-                constraints=child_constraints,
-                paths=tuple(child_paths),
-                bounds=tuple(child_bounds),
-            )
-            open_list.append((child.lower_bound, child.order, child))
-    return None
+            root_constraints = ConstraintSet()
+            root_paths: List[Path] = []
+            root_bounds: List[int] = []
+            for agent in problem.agents:
+                with sp.timer("low_level"):
+                    result = plan_agent(agent.agent_id, root_constraints, root_paths)
+                if result is None:
+                    sp.set_attr("outcome", "root_unsolvable")
+                    return None
+                path, bound = result
+                root_paths.append(path)
+                root_bounds.append(bound)
+
+            counter = itertools.count()
+            with sp.timer("conflict_detection"):
+                root_conflicts = len(find_conflicts(root_paths))
+            with sp.timer("ct_management"):
+                root = _Node(
+                    cost=sum(len(p) - 1 for p in root_paths),
+                    lower_bound=sum(root_bounds),
+                    conflicts=root_conflicts,
+                    order=next(counter),
+                    constraints=root_constraints,
+                    paths=tuple(root_paths),
+                    bounds=tuple(root_bounds),
+                )
+                # open: ordered by lower bound; focal: by number of conflicts.
+                open_list: List[Tuple[int, int, _Node]] = [
+                    (root.lower_bound, root.order, root)
+                ]
+
+            while open_list:
+                if expanded >= options.max_nodes:
+                    sp.set_attr("outcome", "node_limit")
+                    return None
+                if (
+                    options.time_limit is not None
+                    and time.perf_counter() - start_time > options.time_limit
+                ):
+                    sp.set_attr("outcome", "time_limit")
+                    return None
+                with sp.timer("ct_management"):
+                    best_bound = min(item[0] for item in open_list)
+                    threshold = options.suboptimality * best_bound
+                    focal = [item for item in open_list if item[2].cost <= threshold]
+                    focal.sort(
+                        key=lambda item: (item[2].conflicts, item[2].cost, item[1])
+                    )
+                    chosen = focal[0]
+                    open_list.remove(chosen)
+                node = chosen[2]
+                expanded += 1
+
+                with sp.timer("conflict_detection"):
+                    conflict = first_conflict(node.paths)
+                sp.add("conflict_checks")
+                if conflict is None:
+                    sp.set_attr("outcome", "solved")
+                    return MAPFSolution(
+                        problem=problem,
+                        paths=node.paths,
+                        expansions=stats.expansions,
+                        runtime_seconds=time.perf_counter() - start_time,
+                        solver=f"ecbs({options.suboptimality})",
+                        metadata={
+                            "ct_nodes": float(expanded),
+                            "lower_bound": float(best_bound),
+                        },
+                    )
+                for constraint in _branch_constraints(conflict):
+                    child_constraints = node.constraints.extended(constraint)
+                    other_paths = [
+                        path
+                        for i, path in enumerate(node.paths)
+                        if i != constraint.agent
+                    ]
+                    with sp.timer("low_level"):
+                        result = plan_agent(
+                            constraint.agent, child_constraints, other_paths
+                        )
+                    if result is None:
+                        continue
+                    new_path, new_bound = result
+                    child_paths = list(node.paths)
+                    child_paths[constraint.agent] = new_path
+                    child_bounds = list(node.bounds)
+                    child_bounds[constraint.agent] = new_bound
+                    with sp.timer("conflict_detection"):
+                        child_conflicts = len(find_conflicts(child_paths))
+                    with sp.timer("ct_management"):
+                        child = _Node(
+                            cost=sum(len(p) - 1 for p in child_paths),
+                            lower_bound=sum(child_bounds),
+                            conflicts=child_conflicts,
+                            order=next(counter),
+                            constraints=child_constraints,
+                            paths=tuple(child_paths),
+                            bounds=tuple(child_bounds),
+                        )
+                        open_list.append((child.lower_bound, child.order, child))
+                    generated += 1
+            sp.set_attr("outcome", "exhausted")
+            return None
+        finally:
+            sp.add("ct_nodes_expanded", expanded)
+            sp.add("ct_nodes_generated", generated)
+            sp.add("low_level_expansions", stats.expansions)
+            sp.add("low_level_generated", stats.generated)

@@ -1,0 +1,63 @@
+"""repro.obs — pipeline-wide observability: tracing, metrics, profiling.
+
+Three instruments over one design rule — *observe, never steer*:
+
+* :mod:`repro.obs.tracing` — nestable spans with monotonic timings, phase
+  timers, counters and attributes; zero-cost when disabled, deterministic
+  JSON serialization.  Threaded through the solver stages, the MAPF search
+  internals, the sim engine's event loop and the service request path.
+* :mod:`repro.obs.metrics` — a process-safe registry of counters, gauges and
+  fixed-bucket histograms; spawn-based workers serialize snapshots back to
+  the parent so fleet-wide metrics aggregate exactly.  Exported as JSON and
+  Prometheus text exposition format.
+* :mod:`repro.obs.profiling` — a cProfile + span-tree harness behind the
+  ``repro profile`` CLI subcommand.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+)
+from .profiling import ProfileResult, profile_call, span_phase_totals
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    TraceCapture,
+    capture_trace,
+    current_span,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    span,
+    span_to_dict,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ProfileResult",
+    "Span",
+    "TraceCapture",
+    "capture_trace",
+    "current_span",
+    "disable_tracing",
+    "drain_spans",
+    "enable_tracing",
+    "get_registry",
+    "profile_call",
+    "span",
+    "span_phase_totals",
+    "span_to_dict",
+    "tracing_enabled",
+]

@@ -1,0 +1,352 @@
+"""A process-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the pipeline's *how-much-and-how-often* instrument,
+complementing the span tracer's *where-does-time-go*.  Three instrument
+kinds, deliberately Prometheus-shaped:
+
+* :class:`Counter` — monotone accumulation (requests served, runs by status);
+* :class:`Gauge`   — last-written value (pool in-flight, cache size);
+* :class:`Histogram` — fixed upper-bound buckets with exact sum/count/max.
+  Observations update **O(buckets) integers** — memory is constant no matter
+  how many samples arrive, which is what lets the serving layer report
+  latency percentiles under sustained load without an unbounded reservoir.
+
+Process safety is by *serialization, not shared memory*: spawn-based workers
+(sweep runner, service pool) record into their own registry, ship
+:meth:`MetricsRegistry.snapshot` back over the process boundary as plain
+JSON, and the parent folds it in with :meth:`MetricsRegistry.merge` —
+counters and histogram buckets add, gauges keep the merged value.  Fleet-wide
+metrics therefore aggregate exactly, regardless of how work was spread over
+workers.
+
+Export formats:
+
+* :meth:`MetricsRegistry.snapshot` — deterministic JSON document (the
+  ``/metrics`` JSON endpoint and the cross-process wire format);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition format
+  version 0.0.4 (the ``/metrics?format=prometheus`` endpoint).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 1ms .. 60s, roughly x2.5 per step.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Label key/value pairs, frozen into a registry key.
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ValueError):
+    """Raised for invalid metric names, labels or type collisions."""
+
+
+def _labels_key(labels: Mapping[str, str]) -> LabelsKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise MetricsError(f"invalid label name {name!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counters only go up (got {amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact sum, count and max.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches everything beyond the last bound.  The storage is one integer
+    per bucket plus three scalars — observation never allocates.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count", "max", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricsError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise MetricsError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if value > self.max:
+                self.max = value
+
+    # -- derived ----------------------------------------------------------------
+    def percentile(self, fraction: float) -> float:
+        """Estimated percentile via linear interpolation inside the bucket.
+
+        The estimate is bounded by the bucket's bounds (and by the observed
+        ``max`` for the +Inf bucket) — accuracy is the bucket resolution,
+        memory is constant.  Returns 0.0 for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            lower = 0.0 if index == 0 else self.buckets[index - 1]
+            upper = self.max if index == len(self.buckets) else self.buckets[index]
+            upper = max(upper, lower)
+            if cumulative + bucket_count >= target:
+                within = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * min(1.0, max(0.0, within))
+            cumulative += bucket_count
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """The ``latency_summary``-shaped digest (p50/p90/p95/mean/max/count)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p95": self.percentile(0.95),
+            "mean": self.sum / self.count if self.count else 0.0,
+            "max": self.max,
+            "count": float(self.count),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with snapshot/merge/Prometheus export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelsKey], object] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- instrument lookup -------------------------------------------------------
+    def _get(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        key = (name, _labels_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(**kwargs)
+            elif not isinstance(metric, cls):
+                raise MetricsError(
+                    f"metric {name!r} already registered as a {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self._help.clear()
+
+    # -- snapshot / merge --------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A deterministic, JSON-able document of every instrument's state."""
+        entries: List[Dict] = []
+        with self._lock:
+            items = sorted(self._metrics.items())
+            help_text = dict(self._help)
+        for (name, labels), metric in items:
+            entry: Dict = {"name": name, "labels": dict(labels), "type": metric.kind}
+            if isinstance(metric, Histogram):
+                entry.update(
+                    buckets=list(metric.buckets),
+                    counts=list(metric.counts),
+                    sum=metric.sum,
+                    count=metric.count,
+                    max=metric.max,
+                )
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return {"schema": "obs-metrics", "version": 1, "help": help_text, "metrics": entries}
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a snapshot in: counters/histograms add, gauges take the value.
+
+        This is the worker → parent aggregation path; merging N worker
+        snapshots yields the same totals as if every observation had happened
+        in the parent.
+        """
+        for name, text in snapshot.get("help", {}).items():
+            self._help.setdefault(name, text)
+        for entry in snapshot.get("metrics", []):
+            name, labels, kind = entry["name"], entry.get("labels", {}), entry["type"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(entry["value"]))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(entry["value"]))
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, buckets=tuple(entry["buckets"]), **labels
+                )
+                if tuple(metric.buckets) != tuple(entry["buckets"]):
+                    raise MetricsError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                with metric._lock:
+                    for index, count in enumerate(entry["counts"]):
+                        metric.counts[index] += int(count)
+                    metric.sum += float(entry["sum"])
+                    metric.count += int(entry["count"])
+                    metric.max = max(metric.max, float(entry["max"]))
+            else:
+                raise MetricsError(f"unknown metric type {kind!r} in snapshot")
+
+    # -- Prometheus text exposition ----------------------------------------------
+    def to_prometheus(self) -> str:
+        """Render the registry in text exposition format 0.0.4."""
+        snapshot = self.snapshot()
+        help_text = snapshot["help"]
+        by_name: Dict[str, List[Dict]] = {}
+        for entry in snapshot["metrics"]:
+            by_name.setdefault(entry["name"], []).append(entry)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            entries = by_name[name]
+            kind = entries[0]["type"]
+            if help_text.get(name):
+                lines.append(f"# HELP {name} {help_text[name]}")
+            lines.append(f"# TYPE {name} {kind}")
+            for entry in entries:
+                labels = entry["labels"]
+                if kind == "histogram":
+                    cumulative = 0
+                    bounds = list(entry["buckets"]) + [math.inf]
+                    for bound, count in zip(bounds, entry["counts"]):
+                        cumulative += count
+                        bucket_labels = dict(labels, le=_format_value(bound))
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} {_format_value(entry['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} {entry['count']}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} {_format_value(entry['value'])}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+#: The process-wide default registry (sweep aggregation, CLI reporting).
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -1,0 +1,107 @@
+"""Profiling hooks: cProfile harness behind ``repro profile``.
+
+:func:`profile_call` runs any callable under :mod:`cProfile` *and* the span
+tracer at once, so one invocation yields both views of the same run: the
+span tree says where the pipeline's architectural phases spend their time,
+the C-level profile says which functions burn it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .tracing import TraceCapture, capture_trace
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiled invocation produced."""
+
+    #: The profiled callable's own return value.
+    value: Any
+    #: Root spans captured during the call (serialize with ``trace.to_dict()``).
+    trace: TraceCapture
+    #: The raw profiler (``None`` when cProfile was skipped).
+    profiler: Optional[cProfile.Profile] = None
+    #: Top functions as (ncalls, tottime, cumtime, location) rows.
+    hot_functions: List[Tuple[str, float, float, str]] = field(default_factory=list)
+
+    def function_table(self, top: int = 15, sort: str = "cumulative") -> str:
+        """The cProfile top-``top`` functions by ``sort`` order, as text."""
+        if self.profiler is None:
+            return "(cProfile disabled)"
+        stream = io.StringIO()
+        stats = pstats.Stats(self.profiler, stream=stream)
+        stats.sort_stats(sort).print_stats(top)
+        # Drop the pstats preamble (file list + ordering chatter) to the table.
+        lines = stream.getvalue().splitlines()
+        start = next(
+            (i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")),
+            0,
+        )
+        return "\n".join(line.rstrip() for line in lines[start:] if line.strip())
+
+
+def _extract_hot_functions(
+    stats: pstats.Stats, top: int
+) -> List[Tuple[str, float, float, str]]:
+    rows: List[Tuple[str, float, float, str]] = []
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True  # cumtime
+    )
+    for (filename, lineno, funcname), (_cc, ncalls, tottime, cumtime, _callers) in entries[:top]:
+        rows.append((f"{ncalls}", tottime, cumtime, f"{funcname} ({filename}:{lineno})"))
+    return rows
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    use_cprofile: bool = True,
+    top: int = 15,
+    **kwargs: Any,
+) -> ProfileResult:
+    """Run ``fn`` under the span tracer (and optionally cProfile).
+
+    Tracing is enabled for the duration of the call via
+    :func:`~repro.obs.tracing.capture_trace`, so every ``span(...)`` the
+    pipeline opens lands in the result's trace — no caller plumbing needed.
+    """
+    profiler = cProfile.Profile() if use_cprofile else None
+    with capture_trace() as trace:
+        if profiler is not None:
+            profiler.enable()
+        try:
+            value = fn(*args, **kwargs)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+    result = ProfileResult(value=value, trace=trace, profiler=profiler)
+    if profiler is not None:
+        result.hot_functions = _extract_hot_functions(pstats.Stats(profiler), top)
+    return result
+
+
+def span_phase_totals(trace_document: Dict, name_prefix: str = "") -> Dict[str, float]:
+    """Aggregate phase timers across every span whose name has ``name_prefix``.
+
+    Used by the benchmark harness to sum e.g. the ``mapf.cbs`` phase timers
+    (heuristic / low_level / conflict_detection / ct_management) over all
+    routing episodes of a run.
+    """
+    totals: Dict[str, float] = {}
+
+    def visit(document: Dict) -> None:
+        if document["name"].startswith(name_prefix):
+            for phase, seconds in document.get("phases", {}).items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        for child in document.get("children", []):
+            visit(child)
+
+    for root in trace_document.get("spans", []):
+        visit(root)
+    return totals

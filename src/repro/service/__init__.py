@@ -40,6 +40,7 @@ from .client import (
     ServiceClient,
     ServiceClientError,
     run_loadtest,
+    service_summary,
 )
 from .pool import PoolDraining, PoolSaturated, ServicePool
 from .server import ServiceConfig, ServiceServer, SolveService
@@ -67,4 +68,5 @@ __all__ = [
     "ServicePool",
     "SolveService",
     "run_loadtest",
+    "service_summary",
 ]

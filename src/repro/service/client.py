@@ -146,6 +146,55 @@ class ServiceClient:
 # load generator
 # ---------------------------------------------------------------------------
 
+def _registry_value(snapshot: Dict, name: str, labels: Optional[Dict] = None):
+    """Look one metric up in a registry snapshot (``None`` when absent)."""
+    for entry in snapshot.get("metrics", []):
+        if entry.get("name") != name:
+            continue
+        if labels is not None and entry.get("labels", {}) != labels:
+            continue
+        return entry.get("value")
+    return None
+
+
+def service_summary(metrics: Dict) -> Dict:
+    """Condense a ``/metrics`` document into the load-test report's service section.
+
+    The interesting server-side numbers — cache hit rate, pool saturation,
+    runs by pipeline status — live in the metrics registry snapshot; the
+    ``cache``/``pool`` sections fill the gaps so the summary still works
+    against a server predating the registry.
+    """
+    if not metrics:
+        return {}
+    registry = metrics.get("registry", {})
+    cache = metrics.get("cache", {})
+    pool = metrics.get("pool", {})
+
+    def gauge(name: str, fallback: float) -> float:
+        value = _registry_value(registry, name)
+        return float(fallback if value is None else value)
+
+    workers = gauge("repro_pool_workers", pool.get("workers", 0))
+    in_flight = gauge("repro_pool_in_flight", pool.get("in_flight", 0))
+    capacity = pool.get("workers", 0) + pool.get("max_pending", 0)
+    fallback_saturation = in_flight / capacity if capacity else 0.0
+    runs_by_status = {}
+    for entry in registry.get("metrics", []):
+        if entry.get("name") == "repro_runs_total":
+            status = entry.get("labels", {}).get("status", "unknown")
+            runs_by_status[status] = runs_by_status.get(status, 0) + int(entry["value"])
+    return {
+        "cache_hit_rate": gauge("repro_cache_hit_rate", cache.get("hit_rate", 0.0)),
+        "cache_size": int(gauge("repro_cache_size", cache.get("size", 0))),
+        "pool_saturation": gauge("repro_pool_saturation", fallback_saturation),
+        "pool_in_flight": int(in_flight),
+        "pool_workers": int(workers),
+        "pool_rejected": int(pool.get("rejected", 0)),
+        "runs_by_status": dict(sorted(runs_by_status.items())),
+    }
+
+
 @dataclass
 class LoadTestOptions:
     """Shape of one load-test run."""
@@ -188,8 +237,12 @@ class LoadTestReport:
     server_errors: int = 0
     rejections: int = 0
     cache_hits: int = 0
-    #: /metrics snapshot taken after the run.
+    #: /metrics snapshot taken after the run (in-memory convenience; the
+    #: serialized report carries the condensed ``service`` section instead).
     metrics: Dict = field(default_factory=dict)
+    #: Server-side headline numbers condensed from the metrics registry
+    #: (cache hit rate, pool saturation, runs by status).
+    service: Dict = field(default_factory=dict)
 
     # -- derived ----------------------------------------------------------------
     @property
@@ -280,7 +333,7 @@ class LoadTestReport:
             "server_errors": self.server_errors,
             "http_statuses": {str(k): v for k, v in sorted(self.http_statuses.items())},
             "states": dict(sorted(self.states.items())),
-            "metrics": self.metrics,
+            "service": self.service,
         }
 
 
@@ -413,6 +466,7 @@ def run_loadtest(
             report.metrics = client.metrics()
     except ServiceClientError:
         report.metrics = {}
+    report.service = service_summary(report.metrics)
     return report
 
 
@@ -422,4 +476,5 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "run_loadtest",
+    "service_summary",
 ]

@@ -117,7 +117,11 @@ class ServicePool:
             self._in_flight += 1
             self.stats["submitted"] += 1
         try:
-            future = self._executor.submit(execute_scenario, document, timeout_seconds)
+            # collect_obs: workers ship their run metrics (and any traced
+            # spans) back inside the record for the service to merge.
+            future = self._executor.submit(
+                execute_scenario, document, timeout_seconds, True
+            )
         except BaseException:
             with self._idle:
                 self._in_flight -= 1

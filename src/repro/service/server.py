@@ -41,15 +41,17 @@ import itertools
 import json
 import threading
 import time
+import uuid
 from collections import Counter, deque
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterable, List, Optional
+from urllib.parse import parse_qs, urlparse
 
-from ..analysis.service import latency_summary
 from ..experiments.scenario import ScenarioSpec
+from ..obs import MetricsRegistry, span
 from ..experiments.store import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
@@ -95,7 +97,8 @@ class ServiceConfig:
     #: Spawn the worker processes at startup instead of on first request.
     warm_up: bool = True
     start_method: str = "spawn"
-    #: Latency reservoir size per class (cold/warm/coalesced).
+    #: Retained for configuration compatibility; latency percentiles now come
+    #: from fixed-bucket histograms (constant memory), not a reservoir.
     reservoir: int = 4096
 
 
@@ -131,11 +134,18 @@ class SolveService:
         self._lock = threading.Lock()
         self._states: Counter = Counter()
         self._active = 0
-        self._latencies: Dict[str, deque] = {
-            "cold": deque(maxlen=self.config.reservoir),
-            "warm": deque(maxlen=self.config.reservoir),
-            "coalesced": deque(maxlen=self.config.reservoir),
-        }
+        #: Per-instance registry: request counters, latency histograms, and
+        #: the per-run metrics every pool worker serializes back.  Latency
+        #: percentiles derive from the shared histogram buckets — bounded
+        #: memory under sustained load, one source of truth for both the
+        #: JSON and the Prometheus exposition.
+        self.registry = MetricsRegistry()
+        for tier in ("cold", "warm", "coalesced"):
+            self.registry.histogram(
+                "repro_request_seconds",
+                "Terminal request latency by cache tier",
+                tier=tier,
+            )
         self._submissions: Dict[str, _Submission] = {}
         self._submission_order: deque = deque()
         self._request_ids = itertools.count(1)
@@ -146,13 +156,19 @@ class SolveService:
     def _observe(self, response: ServiceResponse, seconds: float) -> None:
         with self._lock:
             self._states[response.state] += 1
-            if response.terminal:
-                bucket = (
-                    "coalesced"
-                    if response.cache == "coalesced"
-                    else ("warm" if response.served_from_cache else "cold")
-                )
-                self._latencies[bucket].append(seconds)
+        self.registry.counter(
+            "repro_requests_total", "Requests resolved, by final state",
+            state=response.state,
+        ).inc()
+        if response.terminal:
+            bucket = (
+                "coalesced"
+                if response.cache == "coalesced"
+                else ("warm" if response.served_from_cache else "cold")
+            )
+            self.registry.histogram("repro_request_seconds", tier=bucket).observe(
+                seconds
+            )
 
     def _next_request_id(self) -> str:
         return f"req-{next(self._request_ids):06d}"
@@ -162,16 +178,32 @@ class SolveService:
         return self._draining
 
     # -- resolution -------------------------------------------------------------
-    def resolve(self, request: ServiceRequest) -> ServiceResponse:
-        """Resolve one request to a terminal or rejected response (blocking)."""
+    def resolve(
+        self, request: ServiceRequest, request_id: str = ""
+    ) -> ServiceResponse:
+        """Resolve one request to a terminal or rejected response (blocking).
+
+        ``request_id`` (client-supplied or front-end generated) is echoed on
+        the response and stamped on the request's span so one id follows a
+        request through logs, traces and the HTTP reply.
+        """
         arrival = time.perf_counter()
         with self._lock:
             self._active += 1
         try:
-            response = self._resolve_inner(request, arrival)
+            with span(
+                "service.resolve",
+                scenario_id=request.scenario_id,
+                request_id=request_id,
+            ) as sp:
+                response = self._resolve_inner(request, arrival)
+                sp.set_attr("state", response.state)
+                sp.set_attr("cache", response.cache)
         finally:
             with self._lock:
                 self._active -= 1
+        if request_id and not response.request_id:
+            response.request_id = request_id
         self._observe(response, time.perf_counter() - arrival)
         return response
 
@@ -255,6 +287,11 @@ class SolveService:
             )
             try:
                 document = future.result(timeout=backstop)
+                obs_payload = document.pop("obs", None)
+                if obs_payload:
+                    # Worker-side run metrics fold into this instance's
+                    # registry before the record is cached or served.
+                    self.registry.merge(obs_payload.get("metrics", {}))
                 record = RunRecord.from_dict(document)
             except FutureTimeout:
                 record = RunRecord(
@@ -280,12 +317,22 @@ class SolveService:
     #: Finished submissions retained for ``/result`` polling.
     _SUBMISSION_HISTORY = 1024
 
-    def submit(self, request: ServiceRequest) -> ServiceResponse:
-        """Start resolving in the background; answer immediately with an id."""
+    def submit(self, request: ServiceRequest, request_id: str = "") -> ServiceResponse:
+        """Start resolving in the background; answer immediately with an id.
+
+        A client-supplied ``request_id`` becomes the submission id (so the
+        caller can poll ``/status/<id>`` with its own correlation id) unless
+        it is already taken, in which case a fresh one is generated.
+        """
         if self._draining:
             return self._rejected(request, "service is draining", retry_after=5.0)
+        with self._lock:
+            taken = request_id in self._submissions
         submission = _Submission(
-            request_id=self._next_request_id(), scenario_id=request.scenario_id
+            request_id=(
+                request_id if request_id and not taken else self._next_request_id()
+            ),
+            scenario_id=request.scenario_id,
         )
         with self._lock:
             self._submissions[submission.request_id] = submission
@@ -304,7 +351,7 @@ class SolveService:
 
         def run() -> None:
             submission.state = STATE_RUNNING
-            response = self.resolve(request)
+            response = self.resolve(request, request_id=submission.request_id)
             response.request_id = submission.request_id
             submission.response = response
             submission.state = response.state
@@ -396,20 +443,46 @@ class SolveService:
             "in_flight": self.pool.in_flight,
         }
 
+    def _sync_gauges(self) -> None:
+        """Refresh the scrape-time gauges from the live cache/pool state."""
+        cache = self.cache.snapshot()
+        pool = self.pool.snapshot()
+        capacity = max(1.0, float(pool["workers"] + pool["max_pending"]))
+        gauges = {
+            "repro_uptime_seconds": round(time.monotonic() - self._started, 3),
+            "repro_requests_active": self._active,
+            "repro_draining": float(self._draining),
+            "repro_cache_size": cache["size"],
+            "repro_cache_hit_rate": cache["hit_rate"],
+            "repro_pool_in_flight": pool["in_flight"],
+            "repro_pool_workers": pool["workers"],
+            "repro_pool_saturation": pool["in_flight"] / capacity,
+        }
+        for name, value in gauges.items():
+            self.registry.gauge(name, f"Service gauge {name}").set(value)
+
     def metrics(self) -> Dict:
         with self._lock:
             states = dict(self._states)
-            latencies = {name: list(values) for name, values in self._latencies.items()}
             active = self._active
+        self._sync_gauges()
+        latencies = {
+            tier: self.registry.histogram("repro_request_seconds", tier=tier).summary()
+            for tier in ("cold", "warm", "coalesced")
+        }
         return {
             "requests": {"total": sum(states.values()), "by_state": states, "active": active},
             "cache": self.cache.snapshot(),
             "pool": self.pool.snapshot(),
-            "latency_seconds": {
-                name: latency_summary(values) for name, values in latencies.items()
-            },
+            "latency_seconds": latencies,
+            "registry": self.registry.snapshot(),
             "draining": self._draining,
         }
+
+    def metrics_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        self._sync_gauges()
+        return self.registry.to_prometheus()
 
     # -- shutdown ---------------------------------------------------------------
     def begin_drain(self) -> None:
@@ -451,10 +524,26 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     #: Set by :class:`ServiceServer`.
     service: SolveService
     quiet: bool = True
+    #: The correlation id of the request currently being handled (set per
+    #: request in do_GET/do_POST, echoed on responses and in log lines).
+    request_id: str = ""
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:  # pragma: no cover - debug aid only
+            if self.request_id:
+                format = f"{format} rid={self.request_id}"
             super().log_message(format, *args)
+
+    def _assign_request_id(self) -> str:
+        """Accept the client's ``X-Request-Id`` or mint one."""
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        # Header values travel into logs and response headers verbatim; keep
+        # them bounded and printable.
+        if supplied and len(supplied) <= 128 and supplied.isprintable():
+            self.request_id = supplied
+        else:
+            self.request_id = f"req-{uuid.uuid4().hex[:12]}"
+        return self.request_id
 
     # -- plumbing ---------------------------------------------------------------
     def _send_json(self, status: int, document: Dict, retry_after: Optional[float] = None) -> None:
@@ -462,6 +551,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         if retry_after is not None:
             self.send_header("Retry-After", f"{max(1, round(retry_after))}")
         self.end_headers()
@@ -493,13 +584,33 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": f"malformed JSON body: {error}"})
             return None
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
     # -- GET --------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        self._assign_request_id()
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
             health = self.service.health()
             self._send_json(200 if health["status"] == "ok" else 503, health)
             return
-        if self.path == "/metrics":
+        if parsed.path == "/metrics":
+            query = parse_qs(parsed.query)
+            if query.get("format", [""])[0] == "prometheus":
+                self._send_text(
+                    200,
+                    self.service.metrics_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
             self._send_json(200, self.service.metrics())
             return
         for prefix, waits in (("/status/", False), ("/result/", True)):
@@ -521,6 +632,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     # -- POST -------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._assign_request_id()
         raw = self._read_body()
         if raw is None:
             return
@@ -536,9 +648,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 )
                 return
             if self.path == "/solve":
-                self._send_response(self.service.resolve(request))
+                self._send_response(
+                    self.service.resolve(request, request_id=self.request_id)
+                )
             else:
-                self._send_response(self.service.submit(request))
+                self._send_response(
+                    self.service.submit(request, request_id=self.request_id)
+                )
             return
         if self.path == "/batch":
             self._handle_batch(raw)

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
+
+from ..obs import span
 
 #: Intra-tick phase ordering (lower runs first).
 PRIORITY_ARRIVALS = 0
@@ -44,6 +46,16 @@ PRIORITY_AGENTS = 10
 PRIORITY_STATIONS = 20
 PRIORITY_MONITORS = 30
 PRIORITY_TELEMETRY = 40
+
+#: Band names for observability (span counters key on these).
+PRIORITY_NAMES: Dict[int, str] = {
+    PRIORITY_ARRIVALS: "arrivals",
+    PRIORITY_DISRUPTIONS: "disruptions",
+    PRIORITY_AGENTS: "agents",
+    PRIORITY_STATIONS: "stations",
+    PRIORITY_MONITORS: "monitors",
+    PRIORITY_TELEMETRY: "telemetry",
+}
 
 
 class SimulationError(RuntimeError):
@@ -163,24 +175,39 @@ class SimulationEngine:
         self._running = True
         self._stopped = False
         processed = 0
-        try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self._current_priority = event.priority
-                try:
-                    event.callback()
-                finally:
-                    self._current_priority = None
-                processed += 1
-                self.events_processed += 1
-        finally:
-            self._running = False
+        with span("sim.engine.run", seed=self.seed) as sp:
+            # Per-event work stays untraced (the loop is the hot path); when
+            # tracing is on we tally events per priority band locally and
+            # attach the totals once at the end.
+            band_counts: Optional[Dict[int, int]] = {} if sp.enabled else None
+            try:
+                while self._heap and not self._stopped:
+                    event = self._heap[0]
+                    if until is not None and event.time > until:
+                        break
+                    heapq.heappop(self._heap)
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    self._current_priority = event.priority
+                    try:
+                        event.callback()
+                    finally:
+                        self._current_priority = None
+                    processed += 1
+                    self.events_processed += 1
+                    if band_counts is not None:
+                        band_counts[event.priority] = (
+                            band_counts.get(event.priority, 0) + 1
+                        )
+            finally:
+                self._running = False
+                if band_counts is not None:
+                    sp.add("events_processed", processed)
+                    sp.set_attr("final_tick", self._now)
+                    for priority in sorted(band_counts):
+                        name = PRIORITY_NAMES.get(priority, str(priority))
+                        sp.add(f"events.{name}", band_counts[priority])
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return processed

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core.flow_synthesis import AgentFlowSet
+from ..obs import span, span_to_dict
 from ..traffic.system import TrafficSystem
 from ..warehouse.plan import Plan
 from ..warehouse.workload import Workload
@@ -214,6 +215,32 @@ def simulate_plan(
     service check.
     """
     config = config or SimulationConfig()
+    with span(
+        "sim.simulate", seed=config.seed, sim_config=config.describe()
+    ) as sim_span:
+        report = _simulate_traced(
+            plan, system, flow_set, workload, synthesis, config, sim_span
+        )
+    if sim_span.enabled:
+        # Attach the run's own span tree to the trace; serialization only
+        # emits it when present, so untraced runs keep the frozen schema.
+        report.trace.obs = {
+            "schema": "obs-trace",
+            "version": 1,
+            "spans": [span_to_dict(sim_span)],
+        }
+    return report
+
+
+def _simulate_traced(
+    plan: Plan,
+    system: TrafficSystem,
+    flow_set: Optional[AgentFlowSet],
+    workload: Optional[Workload],
+    synthesis,
+    config: SimulationConfig,
+    sim_span,
+) -> SimulationReport:
     start = time.perf_counter()
 
     if flow_set is not None:
@@ -229,7 +256,11 @@ def simulate_plan(
     routing_report: Optional[RoutingReport] = None
     exec_plan = plan
     if config.routing is not None and config.routing.is_grid_routed:
-        exec_plan, routing_report = route_plan(plan, config.routing)
+        with span("sim.route", router=config.routing.describe()) as route_span:
+            exec_plan, routing_report = route_plan(plan, config.routing)
+            route_span.add("replans", routing_report.replans)
+            route_span.add("expansions", routing_report.expansions)
+            route_span.add("conflicts", routing_report.conflicts)
 
     ticks = (
         exec_plan.horizon
@@ -239,6 +270,8 @@ def simulate_plan(
     if ticks < 2:
         raise SimulationSetupError(f"a plan with {ticks} tick(s) has nothing to simulate")
 
+    setup_timer = sim_span.timer("setup")
+    setup_timer.__enter__()
     engine = SimulationEngine(config.seed)
     recorder = TraceRecorder(
         num_vertices=exec_plan.warehouse.floorplan.num_vertices,
@@ -318,9 +351,12 @@ def simulate_plan(
                 recorder.record_queue_length(now, component_id, station.queue_length)
 
         engine.every(1, sample_queues, PRIORITY_TELEMETRY, start=0, until=ticks - 1)
+    setup_timer.__exit__(None, None, None)
 
     engine.run(until=ticks - 1)
 
+    finalize_timer = sim_span.timer("finalize")
+    finalize_timer.__enter__()
     metadata = {
         "cycle_time": float(cycle_time),
         "synthesized_throughput": float(synthesized),
@@ -372,6 +408,14 @@ def simulate_plan(
     elif workload is not None and config.monitor_contracts:
         # No compiled contracts available — still run the end-to-end check.
         monitor_report = ContractMonitor(system=system).evaluate(trace, workload=workload)
+    finalize_timer.__exit__(None, None, None)
+
+    sim_span.set_attr("ticks", ticks)
+    sim_span.set_attr("agents", exec_plan.num_agents)
+    sim_span.add("units_served", trace.units_served)
+    if resilience is not None:
+        sim_span.add("disruptions", resilience.num_disruptions)
+        sim_span.add("recoveries", resilience.num_recoveries)
 
     return SimulationReport(
         trace=trace,

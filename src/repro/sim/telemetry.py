@@ -80,6 +80,10 @@ class SimulationTrace:
     #: must stay byte-identical to the pre-disruption schema.
     resilience: Optional["ResilienceReport"] = None  # noqa: F821 - forward ref
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Serialized observability span tree of the run (``repro.obs``);
+    #: ``None`` unless tracing was enabled — nominal traces must stay
+    #: byte-identical to the pre-observability schema.
+    obs: Optional[Dict] = None
 
     # -- aggregate queries -------------------------------------------------------
     @property

@@ -188,6 +188,43 @@ class TestResilienceAnalysis:
         )
         assert "unavailable" in render_disruption_timeline(recorder.build())
 
+    def test_span_tree_and_hotspot_tables(self):
+        from repro.analysis import hotspot_report, span_tree_table
+        from repro.obs import capture_trace, span
+
+        with capture_trace() as capture:
+            with span("outer", map="m") as outer:
+                outer.add("items", 3)
+                with outer.timer("phase_a"):
+                    pass
+                with span("inner"):
+                    pass
+        document = capture.to_dict()
+        tree = span_tree_table(document)
+        lines = tree.splitlines()
+        assert any(line.startswith("outer") for line in lines)
+        assert any("  inner" in line for line in lines)  # indented child
+        assert any("phase_a" in line for line in lines)  # phase sub-row
+        assert any("items=3" in line for line in lines)
+        hotspots = hotspot_report(document, top=5)
+        assert "outer" in hotspots and "inner" in hotspots
+        assert span_tree_table({"spans": []}) == "(empty trace)"
+
+    def test_hotspot_report_aggregates_by_name(self):
+        from repro.analysis import hotspot_report
+        from repro.obs import capture_trace, span
+
+        with capture_trace() as capture:
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+        row = next(
+            line
+            for line in hotspot_report(capture.to_dict()).splitlines()
+            if line.startswith("repeated")
+        )
+        assert "| 3 " in row  # three calls collapsed into one row
+
     def test_resilience_row_shapes(self):
         from repro.analysis import resilience_row
         from repro.experiments import ScenarioSpec, execute_scenario

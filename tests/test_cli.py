@@ -182,3 +182,56 @@ class TestValidateCommand:
         assert main(["validate", "--plan", str(plan_file)]) == 0
         output = capsys.readouterr().out
         assert "feasible" in output
+
+
+class TestProfile:
+    def test_profile_solve_prints_tables_and_saves_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "profile", "solve",
+                "--map", "sorting-center-small",
+                "--units", "6",
+                "--horizon", "1200",
+                "--top", "5",
+                "--save-trace", str(trace_file),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Span tree" in output
+        assert "solver.solve" in output
+        assert "hotspots by self time" in output
+        assert "cProfile" in output and "ncalls" in output
+        document = load_json(trace_file)
+        assert document["schema"] == "obs-trace"
+        assert document["spans"][0]["name"] == "solver.solve"
+
+    def test_profile_without_cprofile(self, capsys):
+        assert main(
+            [
+                "profile", "solve",
+                "--map", "sorting-center-small",
+                "--units", "6",
+                "--no-cprofile",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cProfile" not in output
+
+    def test_profile_validations(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "solve", "--top", "0"])
+        with pytest.raises(SystemExit):
+            main(["profile", "sweep", "--limit", "-1"])
+        with pytest.raises(SystemExit):
+            main(["profile", "nonsense"])
+
+    def test_profile_leaves_tracing_disabled(self):
+        from repro.obs import tracing_enabled
+
+        assert main(
+            ["profile", "solve", "--map", "sorting-center-small", "--units", "6",
+             "--no-cprofile"]
+        ) == 0
+        assert not tracing_enabled()

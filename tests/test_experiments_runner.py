@@ -41,11 +41,11 @@ def tiny_records():
     return run_sweep(TINY, SweepOptions(workers=1))
 
 
-def _crash_or_execute(document, timeout_seconds=None):
+def _crash_or_execute(document, timeout_seconds=None, collect_obs=False):
     """Worker stub (module-level so it pickles): hard-kills marked scenarios."""
     if document.get("name") == "hard-crash":
         os._exit(13)
-    return execute_scenario(document, timeout_seconds)
+    return execute_scenario(document, timeout_seconds, collect_obs)
 
 
 class TestRunner:

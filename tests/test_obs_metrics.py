@@ -1,0 +1,276 @@
+"""Metrics registry: bounded histograms, exact merges, Prometheus lint.
+
+Pins the properties the serving layer's ``/metrics`` endpoints rely on:
+
+* histogram memory stays O(buckets) regardless of sample count, and the
+  interpolated percentiles are within one bucket of the exact answer;
+* merge is exact for counters/histograms (merging N worker snapshots equals
+  observing everything in one registry) — a hypothesis property;
+* the text exposition parses under a strict line grammar with cumulative,
+  monotone ``_bucket`` series ending at ``+Inf``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    get_registry,
+)
+
+SAMPLES = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=60
+)
+
+
+# ---------------------------------------------------------------------------
+# histograms
+# ---------------------------------------------------------------------------
+
+def test_histogram_memory_is_bounded():
+    histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+    for index in range(10_000):
+        histogram.observe(index % 13)
+    assert len(histogram.counts) == 4  # 3 bounds + the +Inf bucket
+    assert histogram.count == 10_000
+    assert histogram.max == 12.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=SAMPLES, fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_percentile_is_within_one_bucket(samples, fraction):
+    histogram = Histogram()
+    for value in samples:
+        histogram.observe(value)
+    estimate = histogram.percentile(fraction)
+    if not samples:
+        assert estimate == 0.0
+        return
+    exact = sorted(samples)[min(len(samples) - 1, int(fraction * len(samples)))]
+    bounds = [0.0] + list(DEFAULT_BUCKETS) + [max(samples)]
+    index = next(i for i in range(1, len(bounds)) if exact <= bounds[i] or i == len(bounds) - 1)
+    # The estimate lands inside (or at the edge of) the exact value's bucket:
+    # it can overshoot the observed max only up to that bucket's ceiling.
+    ceiling = next((b for b in DEFAULT_BUCKETS if max(samples) <= b), max(samples))
+    assert estimate <= ceiling + 1e-9
+    assert estimate >= 0.0
+    assert abs(estimate - exact) <= max(bounds[index] - bounds[index - 1], 1e-9) + 1e-9
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(MetricsError):
+        Histogram(buckets=())
+    with pytest.raises(MetricsError):
+        Histogram(buckets=(1.0, 1.0, 2.0))
+    with pytest.raises(MetricsError):
+        Histogram(buckets=(2.0, 1.0))
+
+
+def test_summary_matches_latency_summary_shape():
+    histogram = Histogram()
+    for value in (0.002, 0.004, 0.02, 0.2):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert set(summary) == {"p50", "p90", "p95", "mean", "max", "count"}
+    assert summary["count"] == 4.0
+    assert summary["max"] == pytest.approx(0.2)
+    assert summary["mean"] == pytest.approx(0.0565)
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+
+def test_type_collision_raises():
+    registry = MetricsRegistry()
+    registry.counter("repro_things_total")
+    with pytest.raises(MetricsError):
+        registry.gauge("repro_things_total")
+    with pytest.raises(MetricsError):
+        registry.histogram("repro_things_total")
+
+
+def test_invalid_names_and_labels_raise():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricsError):
+        registry.counter("0bad")
+    with pytest.raises(MetricsError):
+        registry.counter("ok_name", **{"0bad": "x"})
+    with pytest.raises(MetricsError):
+        registry.counter("neg").inc(-1)
+
+
+def test_labelled_series_are_independent():
+    registry = MetricsRegistry()
+    registry.counter("repro_runs_total", status="ok").inc(3)
+    registry.counter("repro_runs_total", status="error").inc()
+    entries = {
+        tuple(sorted(entry["labels"].items())): entry["value"]
+        for entry in registry.snapshot()["metrics"]
+    }
+    assert entries[(("status", "ok"),)] == 3.0
+    assert entries[(("status", "error"),)] == 1.0
+
+
+def test_snapshot_is_deterministic_json():
+    registry = MetricsRegistry()
+    registry.gauge("repro_b_gauge", "b").set(2.5)
+    registry.counter("repro_a_total", "a", status="ok").inc()
+    registry.histogram("repro_h_seconds", "h").observe(0.42)
+    first = json.dumps(registry.snapshot(), sort_keys=True)
+    second = json.dumps(registry.snapshot(), sort_keys=True)
+    assert first == second
+    names = [entry["name"] for entry in registry.snapshot()["metrics"]]
+    assert names == sorted(names)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    chunks=st.lists(SAMPLES, min_size=1, max_size=4),
+    counts=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=4),
+)
+def test_merge_equals_direct_observation(chunks, counts):
+    """Merging N worker snapshots == observing everything in one registry."""
+    direct = MetricsRegistry()
+    merged = MetricsRegistry()
+    for chunk in chunks:
+        worker = MetricsRegistry()
+        for value in chunk:
+            direct.histogram("repro_h_seconds").observe(value)
+            worker.histogram("repro_h_seconds").observe(value)
+        merged.merge(worker.snapshot())
+    for amount in counts:
+        worker = MetricsRegistry()
+        direct.counter("repro_c_total").inc(amount)
+        worker.counter("repro_c_total").inc(amount)
+        merged.merge(worker.snapshot())
+    merged_entries = merged.snapshot()["metrics"]
+    direct_entries = direct.snapshot()["metrics"]
+    assert len(merged_entries) == len(direct_entries)
+    for got, want in zip(merged_entries, direct_entries):
+        # Histogram sums accumulate in a different order when merged, so the
+        # float totals may differ in the last ulp; everything else is exact.
+        got_sum, want_sum = got.pop("sum", 0.0), want.pop("sum", 0.0)
+        assert got == want
+        assert got_sum == pytest.approx(want_sum, rel=1e-12, abs=1e-12)
+
+
+def test_merge_rejects_bucket_mismatch():
+    parent = MetricsRegistry()
+    parent.histogram("repro_h_seconds", buckets=(1.0, 2.0)).observe(0.5)
+    worker = MetricsRegistry()
+    worker.histogram("repro_h_seconds", buckets=(1.0, 5.0)).observe(0.5)
+    with pytest.raises(MetricsError):
+        parent.merge(worker.snapshot())
+
+
+def test_gauges_take_the_merged_value():
+    parent = MetricsRegistry()
+    parent.gauge("repro_depth").set(3)
+    worker = MetricsRegistry()
+    worker.gauge("repro_depth").set(7)
+    parent.merge(worker.snapshot())
+    assert parent.gauge("repro_depth").value == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'  # value may hold \" \\ \n
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"       # metric name
+    rf"(\{{{_LABEL}(,{_LABEL})*\}})?"  # optional {label="v",...} block
+    r" (\+Inf|-?[0-9.e+-]+)$"          # value
+)
+
+
+def lint_prometheus(text: str) -> None:
+    """A strict structural lint of text exposition format 0.0.4."""
+    assert text.endswith("\n")
+    typed = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in typed, f"duplicate TYPE for {name}"
+            typed.add(name)
+        elif line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4, line
+        else:
+            assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+    assert typed, "no TYPE lines found"
+
+
+def test_prometheus_exposition_lints():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "Requests by state", state="hit").inc(4)
+    registry.gauge("repro_pool_in_flight", "In-flight requests").set(2)
+    histogram = registry.histogram("repro_request_seconds", "Latency", tier="cold")
+    for value in (0.003, 0.02, 0.02, 7.0, 120.0):
+        histogram.observe(value)
+    text = registry.to_prometheus()
+    lint_prometheus(text)
+    assert "# HELP repro_requests_total Requests by state" in text
+    assert '''repro_requests_total{state="hit"} 4''' in text
+
+
+def test_prometheus_buckets_are_cumulative_and_end_at_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_h_seconds", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    text = registry.to_prometheus()
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("repro_h_seconds_bucket")
+    ]
+    assert counts == sorted(counts), "bucket series must be cumulative"
+    assert counts[-1] == 4
+    assert 'le="+Inf"' in text
+    assert "repro_h_seconds_sum" in text
+    assert "repro_h_seconds_count 4" in text
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("repro_c_total", stage='we"ird\nname\\x').inc()
+    text = registry.to_prometheus()
+    assert r'stage="we\"ird\nname\\x"' in text
+    lint_prometheus(text)
+
+
+# ---------------------------------------------------------------------------
+# sweep integration: worker metrics fold into the global registry
+# ---------------------------------------------------------------------------
+
+def test_run_sweep_merges_worker_metrics_into_global_registry():
+    from repro.experiments import preset_scenarios, run_sweep
+
+    registry = get_registry()
+    registry.clear()
+    specs = [spec for spec in preset_scenarios("smoke") if spec.is_valid()][:1]
+    records = run_sweep(specs)
+    assert len(records) == 1
+    snapshot = registry.snapshot()
+    names = {entry["name"] for entry in snapshot["metrics"]}
+    assert "repro_runs_total" in names
+    assert "repro_stage_seconds" in names
+    runs = sum(
+        entry["value"]
+        for entry in snapshot["metrics"]
+        if entry["name"] == "repro_runs_total"
+    )
+    assert runs == 1.0
+    registry.clear()

@@ -1,0 +1,158 @@
+"""Service observability: request-id propagation and registry-backed metrics.
+
+One module-scoped server (1 spawn worker) backs every test.  Covers the
+observability seams the serving layer gained:
+
+* ``X-Request-Id`` — a client-supplied id is echoed on the response header
+  and body; absent (or garbage) ids are replaced with a generated one;
+* ``/metrics`` latency percentiles come from the shared fixed-bucket
+  histograms (bounded memory), with the raw registry snapshot attached;
+* ``/metrics?format=prometheus`` serves linting text exposition 0.0.4.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.service import ServiceClient, ServiceConfig, ServiceRequest, ServiceServer
+
+from test_obs_metrics import lint_prometheus
+
+TINY = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = ServiceServer(
+        ServiceConfig(port=0, workers=1, max_pending=4, warm_up=True)
+    ).start()
+    yield instance
+    instance.stop(drain_timeout=30)
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.url, timeout=180) as connection:
+        yield connection
+
+
+def _raw(server, method: str, path: str, body=None, headers=None):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=180)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        reply = connection.getresponse()
+        raw = reply.read()
+        document = json.loads(raw.decode()) if raw and path != "/nope" else {}
+        return reply, document, raw
+    finally:
+        connection.close()
+
+
+class TestRequestId:
+    def test_client_supplied_id_is_echoed(self, server):
+        reply, document, _ = _raw(
+            server,
+            "POST",
+            "/solve",
+            body=ServiceRequest(scenario=TINY).to_dict(),
+            headers={"X-Request-Id": "trace-me-42"},
+        )
+        assert reply.status == 200
+        assert reply.getheader("X-Request-Id") == "trace-me-42"
+        assert document["request_id"] == "trace-me-42"
+
+    def test_missing_id_gets_generated(self, server):
+        reply, _, _ = _raw(server, "GET", "/healthz")
+        generated = reply.getheader("X-Request-Id")
+        assert generated and generated.startswith("req-")
+
+    def test_garbage_id_is_replaced(self, server):
+        reply, _, _ = _raw(
+            server, "GET", "/healthz", headers={"X-Request-Id": "x" * 500}
+        )
+        assert reply.getheader("X-Request-Id").startswith("req-")
+
+    def test_ids_are_unique_per_request(self, server):
+        first = _raw(server, "GET", "/healthz")[0].getheader("X-Request-Id")
+        second = _raw(server, "GET", "/healthz")[0].getheader("X-Request-Id")
+        assert first != second
+
+
+class TestRegistryMetrics:
+    def test_latency_percentiles_come_from_histograms(self, client):
+        client.solve(ServiceRequest(scenario=TINY))
+        client.solve(ServiceRequest(scenario=TINY))  # warm hit
+        metrics = client.metrics()
+        latency = metrics["latency_seconds"]
+        assert set(latency) == {"cold", "warm", "coalesced"}
+        from repro.obs import DEFAULT_BUCKETS
+
+        for tier in ("cold", "warm"):
+            summary = latency[tier]
+            assert set(summary) == {"p50", "p90", "p95", "mean", "max", "count"}
+            assert summary["count"] >= 1
+            # Bucket interpolation may overshoot the observed max, but only
+            # up to the ceiling of the bucket the max landed in.
+            ceiling = next(
+                (b for b in DEFAULT_BUCKETS if summary["max"] <= b), summary["max"]
+            )
+            assert 0.0 <= summary["p50"] <= ceiling + 1e-9
+        # The registry snapshot rides along for scrapers that want raw series.
+        registry = metrics["registry"]
+        assert registry["schema"] == "obs-metrics"
+        names = {entry["name"] for entry in registry["metrics"]}
+        assert "repro_request_seconds" in names
+        assert "repro_requests_total" in names
+        assert "repro_pool_saturation" in names
+
+    def test_worker_run_metrics_are_merged(self, client):
+        client.solve(ServiceRequest(scenario=TINY))
+        registry = client.metrics()["registry"]
+        runs = [
+            entry
+            for entry in registry["metrics"]
+            if entry["name"] == "repro_runs_total"
+        ]
+        assert runs, "worker-side run counters must fold into the service registry"
+        assert sum(entry["value"] for entry in runs) >= 1
+
+    def test_prometheus_endpoint_lints(self, server, client):
+        client.solve(ServiceRequest(scenario=TINY))
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            reply = connection.getresponse()
+            text = reply.read().decode()
+        finally:
+            connection.close()
+        assert reply.status == 200
+        assert reply.getheader("Content-Type").startswith("text/plain; version=0.0.4")
+        lint_prometheus(text)
+        assert "repro_request_seconds_bucket" in text
+        assert "repro_uptime_seconds" in text
+        assert 'le="+Inf"' in text
+
+    def test_json_metrics_keep_their_contract(self, client):
+        metrics = client.metrics()
+        assert set(metrics) >= {
+            "requests", "cache", "pool", "latency_seconds", "draining", "registry",
+        }

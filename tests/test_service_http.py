@@ -163,6 +163,20 @@ class TestEndpoints:
         assert report.transport_errors == 0 and report.server_errors == 0
         assert report.cache_hits > 0
         assert report.total_requests == 2 + 4 * 2
+        # The serialized report condenses the server-side registry into a
+        # service section (replacing the raw /metrics dump).
+        service = report.service
+        assert service["cache_hit_rate"] > 0
+        assert 0.0 <= service["pool_saturation"] <= 1.0
+        assert service["runs_by_status"].get("ok", 0) >= 1
+        document = report.to_dict()
+        assert "metrics" not in document
+        assert document["service"] == service
+        # The rendered report carries the service-side columns.
+        from repro.analysis import loadtest_report
+
+        text = loadtest_report(report)
+        assert "cache hit rate" in text and "pool saturation" in text
 
 
 class TestGracefulShutdown:

@@ -146,6 +146,23 @@ def test_disrupted_trace_carries_the_resilience_section(solved):
     assert disrupted["agent_paths"] is not None  # the realized (shifted) motion
 
 
+def test_traced_run_with_obs_stripped_matches_untraced_bytes(solved):
+    """Tracing observes, never steers: a traced run's serialized trace minus
+    its ``obs`` section is byte-identical to an untraced run's — and untraced
+    documents don't carry the key at all, preserving the pre-obs schema."""
+    from repro.obs import capture_trace
+
+    config = CONFIGS["grid-prioritized"]
+    untraced = _run(solved, config)
+    assert "obs" not in json.loads(untraced)
+    with capture_trace():
+        traced = json.loads(_run(solved, config))
+    assert traced["obs"]["schema"] == "obs-trace"
+    assert traced["obs"]["spans"], "a traced run must record at least one span"
+    traced.pop("obs")
+    assert json.dumps(traced, sort_keys=True).encode() == untraced
+
+
 @pytest.mark.parametrize("router", ("abstract", "ecbs"))
 def test_run_record_fingerprint_is_reproducible(router):
     """The experiment runner's whole record is deterministic modulo timings."""
