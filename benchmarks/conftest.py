@@ -12,8 +12,10 @@ print the assembled table (ours vs. the paper) at the end of the session, so
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List
 
 import pytest
@@ -26,6 +28,39 @@ from repro.warehouse import Workload
 
 def paper_scale_enabled() -> bool:
     return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false", "no")
+
+
+#: Decimal places every float in a BENCH_*.json is rounded to before writing.
+BENCH_FLOAT_DIGITS = 6
+
+
+def round_floats(value, digits: int = BENCH_FLOAT_DIGITS):
+    """Recursively round every float in a JSON-able document.
+
+    Full-precision floats (``0.7804878048780488``) made successive benchmark
+    runs churn every BENCH file line even when nothing meaningful moved;
+    rounding to a fixed precision keeps diffs to genuinely changed numbers.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {key: round_floats(item, digits) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(item, digits) for item in value]
+    return value
+
+
+def write_bench(path: Path, document: Dict) -> Dict:
+    """Write one BENCH_*.json artifact: sorted keys, fixed float rounding.
+
+    Returns the document as re-read from disk, so callers assert on exactly
+    what was persisted.
+    """
+    stable = round_floats(document)
+    path.write_text(json.dumps(stable, indent=2, sort_keys=True) + "\n")
+    return json.loads(path.read_text())
 
 
 @dataclass

@@ -13,6 +13,10 @@ at the repository root:
   with the ``mapf.cbs`` phase timers (heuristic / low_level /
   conflict_detection / ct_management) summed over every routing episode:
   the paper-style answer to "where does the CBS search spend its time?".
+* **events_overhead** — the same simulation run disruption-laden (the
+  chattiest event source: every onset/recovery emits a structured event)
+  timed with the event log disabled and enabled, under the same < 5%
+  budget as the tracer.
 """
 
 from __future__ import annotations
@@ -23,10 +27,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import capture_trace, span_phase_totals, tracing_enabled
-from repro.sim import RoutingConfig, SimulationConfig
+from repro.obs import capture_trace, get_event_log, span_phase_totals, tracing_enabled
+from repro.sim import RoutingConfig, SimulationConfig, parse_disruptions
 
-from .conftest import get_designed, solve_instance
+from .conftest import get_designed, solve_instance, write_bench
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
@@ -92,6 +96,51 @@ def overhead(solved):
 
 
 @pytest.fixture(scope="module")
+def events_overhead(solved):
+    designed, solution = solved
+    from repro.core import WSPSolver
+
+    solver = WSPSolver(designed.traffic_system)
+
+    def run():
+        config = SimulationConfig(
+            seed=7,
+            record_events=False,
+            routing=RoutingConfig(router="prioritized"),
+            disruptions=parse_disruptions("breakdown:0.08:10"),
+        )
+        solver.simulate(solution, config)
+
+    log = get_event_log()
+    assert log.enabled, "the event log starts enabled"
+
+    def silenced():
+        log.enabled = False
+        try:
+            run()
+        finally:
+            log.enabled = True
+
+    # Same discipline as the tracer benchmark: warm-up, then interleave the
+    # two arms so clock drift hits both equally; min-of-N beats the noise.
+    run()
+    emitted = log.last_seq
+    assert emitted > 0, "a disrupted run must emit events"
+    disabled, enabled = float("inf"), float("inf")
+    for _ in range(REPEATS):
+        disabled = min(disabled, _timed(silenced))
+        enabled = min(enabled, _timed(run))
+    pct = (enabled - disabled) / disabled * 100.0 if disabled > 0 else 0.0
+    return {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_pct": pct,
+        "repeats": REPEATS,
+        "events_per_run": emitted,
+    }
+
+
+@pytest.fixture(scope="module")
 def cbs_breakdown(solved):
     designed, solution = solved
     with capture_trace() as trace:
@@ -108,6 +157,21 @@ def test_instrumentation_overhead_under_budget(overhead):
         f"{OVERHEAD_BUDGET_PCT:.0f}% budget "
         f"({overhead['disabled_seconds']:.3f}s -> {overhead['enabled_seconds']:.3f}s)"
     )
+
+
+def test_event_logging_overhead_under_budget(events_overhead):
+    assert events_overhead["disabled_seconds"] > 0
+    assert events_overhead["events_per_run"] > 0
+    assert events_overhead["overhead_pct"] < OVERHEAD_BUDGET_PCT, (
+        f"event-log overhead {events_overhead['overhead_pct']:.2f}% exceeds "
+        f"the {OVERHEAD_BUDGET_PCT:.0f}% budget "
+        f"({events_overhead['disabled_seconds']:.3f}s -> "
+        f"{events_overhead['enabled_seconds']:.3f}s)"
+    )
+
+
+def test_event_log_reenabled_after_benchmark(events_overhead):
+    assert get_event_log().enabled
 
 
 def test_tracing_restored_after_capture(overhead):
@@ -135,7 +199,7 @@ def test_cbs_phase_breakdown_complete(cbs_breakdown):
     assert sum(totals.values()) <= cbs_total * 1.01
 
 
-def test_emit_bench_obs_json(overhead, cbs_breakdown):
+def test_emit_bench_obs_json(overhead, events_overhead, cbs_breakdown):
     """Write the BENCH_obs.json artifact consumed by the perf driver."""
     report, _, totals = cbs_breakdown
     document = {
@@ -152,6 +216,16 @@ def test_emit_bench_obs_json(overhead, cbs_breakdown):
             "budget_pct": OVERHEAD_BUDGET_PCT,
             "repeats": overhead["repeats"],
         },
+        "events_overhead": {
+            "router": "prioritized",
+            "disruptions": "breakdown:0.08:10",
+            "disabled_seconds": round(events_overhead["disabled_seconds"], 6),
+            "enabled_seconds": round(events_overhead["enabled_seconds"], 6),
+            "overhead_pct": round(events_overhead["overhead_pct"], 3),
+            "budget_pct": OVERHEAD_BUDGET_PCT,
+            "repeats": events_overhead["repeats"],
+            "events_per_run": events_overhead["events_per_run"],
+        },
         "cbs_breakdown": {
             "router": "cbs",
             "replans": float(report.routing.replans),
@@ -161,8 +235,7 @@ def test_emit_bench_obs_json(overhead, cbs_breakdown):
             },
         },
     }
-    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    reloaded = json.loads(BENCH_PATH.read_text())
+    reloaded = write_bench(BENCH_PATH, document)
     assert set(reloaded["cbs_breakdown"]["phase_seconds"]) == set(CBS_PHASES)
     shares = {
         phase: seconds / (sum(totals.values()) or 1.0)

@@ -33,6 +33,8 @@ from repro.maps.catalog import sorting_center_small
 from repro.sim import SimulationConfig, parse_disruptions
 from repro.warehouse import PlanValidator, Workload
 
+from .conftest import write_bench
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
 
 MAP_NAME = "sorting-center-small"
@@ -139,8 +141,7 @@ def test_emit_bench_resilience_json(profile_reports):
         "plan_delivered": solution.plan.total_delivered(),
         "profiles": rows,
     }
-    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    reloaded = json.loads(BENCH_PATH.read_text())
+    reloaded = write_bench(BENCH_PATH, document)
     assert [row["profile"] for row in reloaded["profiles"]] == [n for n, _ in PROFILES]
     print(
         "\n"

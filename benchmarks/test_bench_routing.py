@@ -32,6 +32,8 @@ from repro.maps.catalog import sorting_center_small
 from repro.sim import ROUTERS, RoutingConfig, SimulationConfig
 from repro.warehouse import Workload
 
+from .conftest import write_bench
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
 
 MAP_NAME = "sorting-center-small"
@@ -103,7 +105,6 @@ def test_emit_bench_routing_json(router_reports):
         "plan_delivered": solution.plan.total_delivered(),
         "routers": rows,
     }
-    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    reloaded = json.loads(BENCH_PATH.read_text())
+    reloaded = write_bench(BENCH_PATH, document)
     assert [row["router"] for row in reloaded["routers"]] == list(ROUTERS)
     print("\n" + routing_comparison_table([reports[router] for router in ROUTERS]))

@@ -32,6 +32,8 @@ from repro.service import (
     run_loadtest,
 )
 
+from .conftest import write_bench
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 CLIENTS = 8
 
@@ -129,8 +131,7 @@ def test_emit_bench_service_json(primary_report, overload_report):
         "report": overload.to_dict(),
         "pool": overload_metrics["pool"],
     }
-    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    reloaded = json.loads(BENCH_PATH.read_text())
+    reloaded = write_bench(BENCH_PATH, document)
     assert reloaded["schema"] == "bench-service"
     assert reloaded["speedup_p50"] >= 10.0
     assert reloaded["cache_hit_rate"] > 0.0

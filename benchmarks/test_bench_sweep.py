@@ -26,6 +26,8 @@ from repro.experiments import (
     smoke_suite,
 )
 
+from .conftest import write_bench
+
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 
@@ -87,7 +89,6 @@ def test_emit_bench_sweep_json(smoke_records):
         ],
         "runs": [record.to_dict() for record in records],
     }
-    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    reloaded = json.loads(BENCH_PATH.read_text())
+    reloaded = write_bench(BENCH_PATH, document)
     assert reloaded["summary"]["by_status"]["ok"] >= 7
     print("\n" + scaling_report(scaling_rows(records)))

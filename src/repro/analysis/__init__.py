@@ -1,5 +1,13 @@
 """Metrics, report formatting and ASCII visualization."""
 
+from .dashboard import (
+    CLEAR_SCREEN,
+    render_bar,
+    render_events_tail,
+    render_service_frame,
+    render_sweep_frame,
+    summarize_sweep_events,
+)
 from .experiments import (
     SweepComparison,
     SweepSummary,
@@ -46,7 +54,13 @@ from .visualization import (
 
 __all__ = [
     "BenchmarkRow",
+    "CLEAR_SCREEN",
     "PAPER_TABLE1",
+    "render_bar",
+    "render_events_tail",
+    "render_service_frame",
+    "render_sweep_frame",
+    "summarize_sweep_events",
     "PlanMetrics",
     "SimMetrics",
     "SweepComparison",

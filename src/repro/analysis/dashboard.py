@@ -1,0 +1,269 @@
+"""``repro top`` — a curses-free ANSI live dashboard over the event stream.
+
+Two sources, one screen:
+
+* a **running service** — poll ``GET /dashboard`` (health + metrics + event
+  tail in one JSON snapshot) and render pool saturation, cache hit-rate,
+  request states, latency percentiles and the latest events;
+* an **in-progress sweep** — tail the ``--events`` JSONL file the sweep (and
+  its spawned workers) append to, and render completed/total, pass rate,
+  throughput, ETA and live disruption/breach counts.
+
+Everything here is a pure function from a snapshot document (or a list of
+event dicts) to a frame string — the CLI loop just clears the screen and
+reprints.  That keeps the renderer deterministic and unit-testable without a
+terminal, and is why this sidesteps ``curses`` entirely: a frame is plain
+text with optional ANSI color, so it also degrades cleanly when piped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: ANSI SGR codes used by the renderer (kept to widely supported basics).
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RED = "\x1b[31m"
+_CYAN = "\x1b[36m"
+
+#: Clear screen + home — the CLI prepends this between live frames.
+CLEAR_SCREEN = "\x1b[H\x1b[2J"
+
+_LEVEL_COLOR = {"warning": _YELLOW, "error": _RED}
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def render_bar(fraction: float, width: int = 24, color: bool = True) -> str:
+    """A ``[#####....] 42%`` gauge; green below 0.7, yellow below 0.9, red above."""
+    fraction = min(1.0, max(0.0, float(fraction)))
+    filled = round(fraction * width)
+    bar = "#" * filled + "." * (width - filled)
+    code = _GREEN if fraction < 0.7 else (_YELLOW if fraction < 0.9 else _RED)
+    return f"[{_paint(bar, code, color)}] {fraction * 100:3.0f}%"
+
+
+def _format_duration(seconds: float) -> str:
+    seconds = max(0.0, float(seconds))
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 90:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render_events_tail(
+    events: Sequence[Mapping], limit: int = 8, color: bool = True
+) -> List[str]:
+    """The newest events, one compact line each (level-colored)."""
+    lines: List[str] = []
+    for event in list(events)[-limit:]:
+        level = str(event.get("level", "info"))
+        kind = str(event.get("kind", "?"))
+        message = str(event.get("message", ""))
+        if not message:
+            fields = event.get("fields", {})
+            message = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+        component = str(event.get("component", ""))
+        line = f"  {kind:<22s} {component:<8s} {message[:44]}"
+        lines.append(_paint(line, _LEVEL_COLOR.get(level, _DIM), color))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# service mode — one /dashboard JSON snapshot in, one frame out
+# ---------------------------------------------------------------------------
+
+
+def render_service_frame(snapshot: Mapping, color: bool = True) -> str:
+    """Render a ``GET /dashboard`` document as one dashboard frame."""
+    health = snapshot.get("health", {})
+    metrics = snapshot.get("metrics", {})
+    requests = metrics.get("requests", {})
+    cache = metrics.get("cache", {})
+    pool = metrics.get("pool", {})
+    latency = metrics.get("latency_seconds", {})
+
+    uptime = float(health.get("uptime_seconds", 0.0))
+    capacity = max(1.0, float(pool.get("workers", 0)) + float(pool.get("max_pending", 0)))
+    saturation = float(pool.get("in_flight", 0)) / capacity
+    hit_rate = float(cache.get("hit_rate", 0.0))
+    # The live cache snapshot splits hits by tier (memory / store / coalesced);
+    # a plain "hits" key covers hand-built documents.
+    cache_hits = int(
+        cache.get(
+            "hits",
+            cache.get("hits_memory", 0)
+            + cache.get("hits_store", 0)
+            + cache.get("coalesced", 0),
+        )
+    )
+    total = int(requests.get("total", 0))
+    throughput = total / uptime if uptime > 0 else 0.0
+
+    status = str(health.get("status", "?"))
+    status_code = _GREEN if status == "ok" else _YELLOW
+    title = _paint("repro service", _BOLD, color)
+    lines = [
+        f"{title}  {_paint(status, status_code, color)}"
+        f"  v{health.get('version', '?')}  up {_format_duration(uptime)}"
+        + ("  " + _paint("DRAINING", _RED, color) if health.get("draining") else ""),
+        "",
+        f"  pool  {render_bar(saturation, color=color)}  "
+        f"in-flight {int(pool.get('in_flight', 0))}/{int(capacity)}  "
+        f"workers {int(pool.get('workers', 0))}  "
+        f"rejected {int(pool.get('rejected', 0))}",
+        f"  cache {render_bar(hit_rate, color=color)}  "
+        f"size {int(cache.get('size', 0))}  "
+        f"hits {cache_hits}  misses {int(cache.get('misses', 0))}",
+        "",
+        f"  requests {total}  ({throughput:.2f}/s avg)  "
+        + "  ".join(
+            f"{state}={count}"
+            for state, count in sorted(requests.get("by_state", {}).items())
+        ),
+    ]
+    tiers = []
+    for tier in ("cold", "warm", "coalesced"):
+        summary = latency.get(tier) or {}
+        if summary.get("count"):
+            tiers.append(
+                f"{tier} p50 {summary.get('p50', 0.0) * 1000:.1f}ms "
+                f"p95 {summary.get('p95', 0.0) * 1000:.1f}ms "
+                f"(n={int(summary.get('count', 0))})"
+            )
+    if tiers:
+        lines.append("  latency  " + "   ".join(tiers))
+    events = snapshot.get("events", [])
+    if events:
+        lines.append("")
+        lines.append(_paint(f"  recent events (seq <= {snapshot.get('last_event_seq', '?')})", _CYAN, color))
+        lines.extend(render_events_tail(events, color=color))
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# sweep mode — the events JSONL aggregated into progress/ETA
+# ---------------------------------------------------------------------------
+
+
+def summarize_sweep_events(events: Sequence[Mapping], now: Optional[float] = None) -> Dict:
+    """Fold a sweep's event stream into one progress document.
+
+    ``now`` is the wall-clock used for elapsed/ETA while the sweep is still
+    running (pass a fixed value for deterministic tests); once a
+    ``sweep.finished`` event is present its timestamp wins.
+    """
+    summary: Dict = {
+        "total": 0,
+        "workers": 0,
+        "completed": 0,
+        "in_flight": 0,
+        "statuses": {},
+        "started_ts": None,
+        "finished": False,
+        "elapsed": 0.0,
+        "eta": 0.0,
+        "throughput": 0.0,
+        "disruptions": 0,
+        "recoveries": 0,
+        "breaches": 0,
+        "alerts": 0,
+    }
+    started_runs = 0
+    last_ts = None
+    for event in events:
+        kind = event.get("kind", "")
+        fields = event.get("fields", {})
+        ts = float(event.get("ts", 0.0))
+        if kind == "sweep.started":
+            summary["total"] = int(fields.get("total", 0))
+            summary["workers"] = int(fields.get("workers", 0))
+            summary["started_ts"] = ts
+        elif kind == "run.started":
+            started_runs += 1
+        elif kind == "sweep.progress":
+            summary["completed"] = max(summary["completed"], int(fields.get("completed", 0)))
+            status = str(fields.get("status", "?"))
+            summary["statuses"][status] = summary["statuses"].get(status, 0) + 1
+        elif kind == "sweep.finished":
+            summary["finished"] = True
+            last_ts = ts
+        elif kind == "disruption.onset":
+            summary["disruptions"] += 1
+        elif kind == "disruption.recovered":
+            summary["recoveries"] += 1
+        elif kind == "contract.breach":
+            summary["breaches"] += 1
+        elif kind == "alert.fired":
+            summary["alerts"] += 1
+    summary["in_flight"] = max(0, started_runs - summary["completed"])
+    if summary["started_ts"] is not None:
+        end = last_ts if summary["finished"] and last_ts else now
+        if end is not None:
+            summary["elapsed"] = max(0.0, end - summary["started_ts"])
+    completed, total = summary["completed"], summary["total"]
+    if completed and summary["elapsed"] > 0:
+        summary["throughput"] = completed / summary["elapsed"]
+        if not summary["finished"] and total > completed:
+            summary["eta"] = summary["elapsed"] / completed * (total - completed)
+    return summary
+
+
+def render_sweep_frame(
+    events: Sequence[Mapping], now: Optional[float] = None, color: bool = True
+) -> str:
+    """Render a sweep's events file as one dashboard frame."""
+    summary = summarize_sweep_events(events, now=now)
+    total = summary["total"] or max(1, summary["completed"])
+    fraction = summary["completed"] / total if total else 0.0
+    ok = summary["statuses"].get("ok", 0)
+    pass_rate = ok / summary["completed"] if summary["completed"] else 0.0
+
+    state = "finished" if summary["finished"] else "running"
+    state_code = _GREEN if summary["finished"] else _CYAN
+    title = _paint("repro sweep", _BOLD, color)
+    lines = [
+        f"{title}  {_paint(state, state_code, color)}"
+        f"  {summary['completed']}/{summary['total']} runs"
+        f"  workers {summary['workers']}  in-flight {summary['in_flight']}",
+        "",
+        f"  progress {render_bar(fraction, color=color)}  "
+        f"elapsed {_format_duration(summary['elapsed'])}"
+        + ("" if summary["finished"] else f"  eta {_format_duration(summary['eta'])}"),
+        f"  pass     {render_bar(pass_rate, color=color)}  "
+        + "  ".join(f"{s}={n}" for s, n in sorted(summary["statuses"].items())),
+        f"  rate     {summary['throughput'] * 60:.1f} runs/min",
+    ]
+    extras = []
+    if summary["disruptions"]:
+        extras.append(f"disruptions {summary['disruptions']} (recovered {summary['recoveries']})")
+    if summary["breaches"]:
+        extras.append(_paint(f"contract breaches {summary['breaches']}", _RED, color))
+    if summary["alerts"]:
+        extras.append(_paint(f"alerts fired {summary['alerts']}", _RED, color))
+    if extras:
+        lines.append("  " + "   ".join(extras))
+    tail = [e for e in events if e.get("level") in ("warning", "error")]
+    if tail:
+        lines.append("")
+        lines.append(_paint("  recent warnings/errors", _CYAN, color))
+        lines.extend(render_events_tail(tail, limit=6, color=color))
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "CLEAR_SCREEN",
+    "render_bar",
+    "render_events_tail",
+    "render_service_frame",
+    "render_sweep_frame",
+    "summarize_sweep_events",
+]

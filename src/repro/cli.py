@@ -30,6 +30,10 @@ The CLI exposes the common workflows without writing Python:
 * ``python -m repro loadtest`` — drive a running service through
   cold/warm(/overload) phases with concurrent clients and print the latency/
   throughput/hit-rate report (optionally writing ``BENCH_service.json``);
+* ``python -m repro top`` — live curses-free ANSI dashboard: poll a running
+  service's ``/dashboard`` snapshot (pool saturation, cache hit-rate, request
+  states, latency, recent events) or tail an in-progress sweep's ``--events``
+  JSONL file (progress, pass rate, ETA, disruptions/breaches);
 * ``python -m repro profile solve|simulate|sweep`` — run a pipeline target
   under the span tracer and cProfile at once and print the span tree, the
   top-k span hotspots by self time, and the C-level function table
@@ -44,6 +48,7 @@ import argparse
 import signal
 import sys
 import threading
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -315,6 +320,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"--workers must be at least 1 (got {args.workers})")
     if args.limit < 0:
         raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+    from .obs import AlertError, AlertMonitor, get_event_log, get_registry, parse_rules
+
+    try:
+        alert_rules = parse_rules(args.alert or ())
+    except AlertError as error:
+        raise SystemExit(f"--alert: {error}") from error
     specs = preset_scenarios(args.preset, seed=args.seed)
     if args.limit > 0:
         specs = specs[: args.limit]
@@ -325,17 +336,74 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"sweep {args.preset!r}: {len(specs)} scenario(s), "
         f"{args.workers} worker(s)"
         + (f", {args.timeout:g}s/run timeout" if args.timeout else "")
+        + (f", events -> {args.events}" if args.events else "")
     )
-    records = run_sweep(
-        specs,
-        SweepOptions(workers=args.workers, timeout_seconds=args.timeout),
-        store=store,
-        progress=lambda record: print(f"  {record.summary()}"),
+
+    # The progress line is *driven by the event stream*: each finished run
+    # emits a sweep.progress event, and the callback drains the subscription
+    # synchronously so lines never interleave with the final report.
+    events = get_event_log()
+    subscription = None if args.quiet else events.subscribe()
+    started = time.monotonic()
+    pass_counts = {"total": 0, "ok": 0}
+
+    def progress(_record) -> None:
+        if subscription is None:
+            return
+        while True:
+            event = subscription.get(timeout=0)
+            if event is None:
+                break
+            if event.kind != "sweep.progress":
+                continue
+            fields = event.fields
+            completed = int(fields.get("completed", 0))
+            total = int(fields.get("total", 0)) or 1
+            pass_counts["total"] = completed
+            if fields.get("status") == "ok":
+                pass_counts["ok"] += 1
+            elapsed = time.monotonic() - started
+            eta = elapsed / completed * (total - completed) if completed else 0.0
+            rate = 100.0 * pass_counts["ok"] / completed if completed else 0.0
+            print(
+                f"  [{completed}/{total}] pass {rate:3.0f}% "
+                f"elapsed {elapsed:5.1f}s eta {eta:5.1f}s | "
+                f"{fields.get('status', '?'):<10s} {event.message}",
+                flush=True,
+            )
+
+    monitor = (
+        AlertMonitor(lambda: get_registry().snapshot(), alert_rules, interval=0.5)
+        if alert_rules
+        else None
     )
+    if monitor is not None:
+        monitor.start()
+    try:
+        records = run_sweep(
+            specs,
+            SweepOptions(
+                workers=args.workers,
+                timeout_seconds=args.timeout,
+                events_path=args.events,
+            ),
+            store=store,
+            progress=progress,
+        )
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        if subscription is not None:
+            events.unsubscribe(subscription)
     print()
     print(sweep_report(records, markdown=args.markdown))
     if args.out:
         print(f"\n{len(records)} record(s) appended to {args.out}")
+    if monitor is not None:
+        print()
+        print(monitor.summary())
+        if monitor.any_fired:
+            return 1
     return 0 if not any(record.failed for record in records) else 1
 
 
@@ -350,6 +418,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--cache-capacity must be at least 1 (got {args.cache_capacity})")
     if args.timeout is not None and not args.timeout > 0:
         raise SystemExit(f"--timeout must be positive (got {args.timeout:g})")
+    from .obs import AlertError, parse_rules
+
+    try:
+        parse_rules(args.alert or ())  # fail fast on malformed rule specs
+    except AlertError as error:
+        raise SystemExit(f"--alert: {error}") from error
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -358,6 +432,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         timeout_seconds=args.timeout,
         store_path=args.store,
+        events_path=args.events,
+        alert_rules=tuple(args.alert or ()),
+        alert_interval=args.alert_interval,
     )
     server = ServiceServer(config, quiet=not args.verbose)
     server.start()
@@ -366,7 +443,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"  workers={config.workers} max_pending={config.max_pending} "
         f"cache={config.cache_capacity}"
-        + (f" store={config.store_path}" if config.store_path else ""),
+        + (f" store={config.store_path}" if config.store_path else "")
+        + (f" events={config.events_path}" if config.events_path else "")
+        + (f" alerts={len(config.alert_rules)}" if config.alert_rules else ""),
         flush=True,
     )
 
@@ -393,7 +472,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
-    from .service import LoadTestOptions, run_loadtest
+    from .obs import AlertError, AlertMonitor, baseline_rule, parse_rules
+    from .service import LoadTestOptions, ServiceClient, ServiceClientError, run_loadtest
 
     if args.clients < 1:
         raise SystemExit(f"--clients must be at least 1 (got {args.clients})")
@@ -401,6 +481,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         raise SystemExit(f"--requests must be at least 1 (got {args.requests})")
     if args.limit < 0:
         raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+    try:
+        alert_rules = parse_rules(args.alert or ())
+        if args.alert_baseline:
+            alert_rules.append(
+                baseline_rule(args.alert_baseline, factor=args.baseline_factor)
+            )
+    except (AlertError, OSError) as error:
+        raise SystemExit(f"--alert: {error}") from error
     specs = [spec for spec in preset_scenarios(args.preset, seed=args.seed) if spec.is_valid()]
     if args.limit > 0:
         specs = specs[: args.limit]
@@ -418,14 +506,99 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         f"{args.requests} warm request(s)/client"
         + (", overload phase enabled" if args.overload else "")
     )
-    report = run_loadtest(args.url, specs, options)
+    # One health probe before driving load: fail fast on a wrong URL, and
+    # show what is actually serving (version, uptime, drain state).
+    try:
+        with ServiceClient(args.url, timeout=10.0) as probe:
+            health = probe.health()
+    except ServiceClientError as error:
+        raise SystemExit(f"service not reachable at {args.url}: {error}") from error
+    print(
+        f"  service {health.get('status', '?')} v{health.get('version', '?')} "
+        f"up {health.get('uptime_seconds', 0.0):.0f}s "
+        f"workers={health.get('workers', '?')} "
+        f"draining={str(health.get('draining', False)).lower()}",
+        flush=True,
+    )
+
+    def scrape():
+        try:
+            with ServiceClient(args.url, timeout=10.0) as client:
+                return client.metrics().get("registry")
+        except ServiceClientError:
+            return None
+
+    monitor = (
+        AlertMonitor(scrape, alert_rules, interval=args.alert_interval)
+        if alert_rules
+        else None
+    )
+    if monitor is not None:
+        monitor.start()
+    try:
+        report = run_loadtest(args.url, specs, options)
+    finally:
+        if monitor is not None:
+            monitor.stop()
     print()
     print(render_loadtest_report(report, markdown=args.markdown))
     if args.out:
         save_json(report.to_dict(), args.out)
         print(f"\nreport written to {args.out}")
     ok, _ = report.acceptable()
+    if monitor is not None:
+        print()
+        print(monitor.summary())
+        if monitor.any_fired:
+            return 1
     return 0 if ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .analysis.dashboard import (
+        CLEAR_SCREEN,
+        render_service_frame,
+        render_sweep_frame,
+    )
+
+    if args.interval <= 0:
+        raise SystemExit(f"--interval must be positive (got {args.interval:g})")
+    color = sys.stdout.isatty() and not args.no_color
+
+    def frame() -> Optional[str]:
+        if args.events:
+            from .obs import read_events
+
+            return render_sweep_frame(
+                read_events(args.events), now=time.time(), color=color
+            )
+        from .service import ServiceClient, ServiceClientError
+
+        try:
+            with ServiceClient(args.url, timeout=10.0) as client:
+                return render_service_frame(client.dashboard(), color=color)
+        except ServiceClientError as error:
+            if args.once:
+                raise SystemExit(f"service not reachable at {args.url}: {error}")
+            return None  # keep polling: top should survive a server restart
+
+    if args.once:
+        print(frame(), end="", flush=True)
+        return 0
+    try:
+        while True:
+            rendered = frame()
+            print(
+                CLEAR_SCREEN
+                + (rendered if rendered is not None else f"waiting for {args.url} ...\n")
+                + f"\n(refresh {args.interval:g}s, ctrl-c to quit)",
+                end="",
+                flush=True,
+            )
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print(flush=True)
+        return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -651,6 +824,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="--compare: flag runs slower than TOLERANCE x baseline",
     )
     sweep_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    sweep_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-run progress/ETA lines"
+    )
+    sweep_parser.add_argument(
+        "--events",
+        help="append structured events (sweep/run lifecycle, sim disruptions) "
+        "to this JSONL file; workers share the sink, `repro top --events` tails it",
+    )
+    sweep_parser.add_argument(
+        "--alert",
+        action="append",
+        metavar="RULE",
+        help="alert rule evaluated over live metrics, e.g. "
+        "'repro_runs_total{status=error} > 0'; repeatable; any firing "
+        "rule makes the sweep exit non-zero",
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     serve_parser = subparsers.add_parser(
@@ -690,6 +879,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve_parser.add_argument(
+        "--events",
+        help="append the service's structured events to this JSONL file "
+        "(also streamed live on GET /events)",
+    )
+    serve_parser.add_argument(
+        "--alert",
+        action="append",
+        metavar="RULE",
+        help="server-side alert rule, e.g. 'repro_pool_saturation > 0.9 for 10s'; "
+        "repeatable; firings appear as alert.fired events on /events",
+    )
+    serve_parser.add_argument(
+        "--alert-interval",
+        type=float,
+        default=1.0,
+        help="seconds between server-side alert evaluations",
+    )
     serve_parser.set_defaults(handler=cmd_serve)
 
     loadtest_parser = subparsers.add_parser(
@@ -728,7 +935,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest_parser.add_argument("--out", help="write the report as JSON (BENCH_service.json)")
     loadtest_parser.add_argument("--markdown", action="store_true", help="emit markdown tables")
+    loadtest_parser.add_argument(
+        "--alert",
+        action="append",
+        metavar="RULE",
+        help="alert rule evaluated against the service's /metrics registry "
+        "while the load runs, e.g. 'repro_requests_total{status=429} > 10'; "
+        "repeatable; any firing rule makes the loadtest exit non-zero",
+    )
+    loadtest_parser.add_argument(
+        "--alert-baseline",
+        metavar="BENCH_JSON",
+        help="derive a warm-p50 regression rule from a BENCH_service.json baseline",
+    )
+    loadtest_parser.add_argument(
+        "--baseline-factor",
+        type=float,
+        default=1.5,
+        help="--alert-baseline: fire when warm p50 exceeds FACTOR x baseline",
+    )
+    loadtest_parser.add_argument(
+        "--alert-interval",
+        type=float,
+        default=1.0,
+        help="seconds between alert evaluations (each scrapes /metrics)",
+    )
     loadtest_parser.set_defaults(handler=cmd_loadtest)
+
+    top_parser = subparsers.add_parser(
+        "top", help="live ANSI dashboard over a running service or an in-progress sweep"
+    )
+    top_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="poll this service's /dashboard endpoint",
+    )
+    top_parser.add_argument(
+        "--events",
+        help="instead of a service, tail this sweep events JSONL file "
+        "(the sweep's --events sink)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between refreshes"
+    )
+    top_parser.add_argument(
+        "--once", action="store_true", help="render a single frame and exit (no clear)"
+    )
+    top_parser.add_argument(
+        "--no-color", action="store_true", help="disable ANSI colors"
+    )
+    top_parser.set_defaults(handler=cmd_top)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile a pipeline target: span tree + hotspots + cProfile"

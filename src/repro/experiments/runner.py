@@ -23,6 +23,7 @@ is deterministic modulo wall-clock timings.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
@@ -64,6 +65,23 @@ def _deadline(seconds: Optional[float]):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _events_env(path: Optional[str]):
+    """Export ``REPRO_EVENTS`` so spawned workers inherit the event sink."""
+    if not path:
+        yield
+        return
+    previous = os.environ.get("REPRO_EVENTS")
+    os.environ["REPRO_EVENTS"] = str(path)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_EVENTS", None)
+        else:
+            os.environ["REPRO_EVENTS"] = previous
 
 
 def _sim_payload(report) -> Dict[str, float]:
@@ -112,12 +130,20 @@ def _obs_payload(status: str, timings: Dict[str, float]) -> Dict:
     """Condense one run's observability into a process-crossing document.
 
     A worker-local :class:`~repro.obs.MetricsRegistry` records the run's
-    outcome and per-stage wall times; when tracing is on (``REPRO_OBS=1`` is
-    inherited by spawned workers) the worker's finished spans ride along too.
-    The parent folds the metrics into its own registry and drops the payload
-    before the record reaches the result store.
+    outcome and per-stage wall times; the worker's process-wide registry —
+    where the sim engine accumulates disruption and contract-breach counters
+    — is *drained* in (shipped exactly once, even when a pool worker is
+    reused).  In-process runs skip the drain: their sim counters already
+    accumulate directly into the parent's registry, and draining it here
+    would cycle the parent's own totals back through the merge.  When
+    tracing is on (``REPRO_OBS=1`` is inherited by spawned workers) the
+    worker's finished spans ride along too.  The parent folds the metrics
+    into its own registry and drops the payload before the record reaches
+    the result store.
     """
-    from ..obs import MetricsRegistry, drain_spans, tracing_enabled
+    from multiprocessing import parent_process
+
+    from ..obs import MetricsRegistry, drain_spans, get_registry, tracing_enabled
 
     registry = MetricsRegistry()
     registry.counter(
@@ -127,6 +153,8 @@ def _obs_payload(status: str, timings: Dict[str, float]) -> Dict:
         registry.histogram(
             "repro_stage_seconds", "Pipeline stage wall time", stage=stage
         ).observe(seconds)
+    if parent_process() is not None:
+        registry.merge(get_registry().drain())
     payload: Dict = {"metrics": registry.snapshot()}
     if tracing_enabled():
         payload["spans"] = drain_spans()
@@ -154,19 +182,34 @@ def execute_scenario(
     from ..traffic.component import TrafficError
     from ..warehouse import WarehouseError, WorkloadError
 
+    from ..obs import emit_event, event_context
+
     spec = ScenarioSpec.from_dict(document)
     timings: Dict[str, float] = {}
+    run_started = time.perf_counter()
 
     def record(status: str, message: str = "", **outcome) -> Dict:
         result = RunRecord(
             spec=spec, status=status, message=message, timings=timings, **outcome
         ).to_dict()
+        # Emitted with an explicit scenario_id: the except handlers below run
+        # after the event_context block has already unwound.
+        emit_event(
+            "run.finished",
+            "runner",
+            level="info" if status in (STATUS_OK, STATUS_INFEASIBLE) else "warning",
+            message=message[:200],
+            scenario_id=spec.scenario_id,
+            status=status,
+            seconds=round(time.perf_counter() - run_started, 6),
+        )
         if collect_obs:
             result["obs"] = _obs_payload(status, timings)
         return result
 
     try:
-        with _deadline(timeout_seconds):
+        with event_context(scenario_id=spec.scenario_id), _deadline(timeout_seconds):
+            emit_event("run.started", "runner", message=spec.label)
             start = time.perf_counter()
             designed, workload = spec.build()
             timings["generate"] = time.perf_counter() - start
@@ -228,6 +271,11 @@ class SweepOptions:
     timeout_seconds: Optional[float] = None
     #: ``multiprocessing`` start method; spawn keeps workers state-free.
     start_method: str = "spawn"
+    #: Shared JSONL event sink.  The parent's event log appends here, and the
+    #: path is exported as ``REPRO_EVENTS`` around pool creation so spawned
+    #: workers interleave their ``run.started``/``run.finished`` events into
+    #: the same file (flock-safe) — the feed ``repro top --events`` tails.
+    events_path: Optional[str] = None
 
 
 def run_sweep(
@@ -244,10 +292,24 @@ def run_sweep(
     reported through ``progress`` as soon as each scenario's result is
     available.
     """
+    from ..obs import get_event_log, get_registry
+
     options = options or SweepOptions()
     if options.workers < 1:
         raise ScenarioError("workers must be at least 1")
+    events = get_event_log()
+    if options.events_path:
+        events.attach_file(options.events_path)
     documents = [spec.to_dict() for spec in specs]
+    status_counts: Dict[str, int] = {}
+    sweep_started = time.perf_counter()
+    events.emit(
+        "sweep.started",
+        "sweep",
+        message=f"{len(specs)} scenario(s) on {options.workers} worker(s)",
+        total=len(specs),
+        workers=options.workers,
+    )
 
     def finalize(document: Dict) -> RunRecord:
         obs_payload = document.pop("obs", None)
@@ -255,29 +317,57 @@ def run_sweep(
             # Worker metrics fold into the process-wide registry; any traced
             # spans stay available to callers through the registry's side
             # channel users (the store only ever sees the plain record).
-            from ..obs import get_registry
-
             get_registry().merge(obs_payload.get("metrics", {}))
         record = RunRecord.from_dict(document)
         if store is not None:
             store.append(record)
+        status_counts[record.status] = status_counts.get(record.status, 0) + 1
+        events.emit(
+            "sweep.progress",
+            "sweep",
+            message=record.spec.label,
+            scenario_id=record.scenario_id,
+            status=record.status,
+            completed=sum(status_counts.values()),
+            total=len(specs),
+        )
         if progress is not None:
             progress(record)
         return record
 
+    def done(records: List[RunRecord]) -> List[RunRecord]:
+        events.emit(
+            "sweep.finished",
+            "sweep",
+            message=f"{status_counts.get(STATUS_OK, 0)}/{len(records)} ok",
+            total=len(records),
+            seconds=round(time.perf_counter() - sweep_started, 6),
+            **{f"status_{name}": count for name, count in sorted(status_counts.items())},
+        )
+        return records
+
     if not specs:
-        return []
+        return done([])
     # Only a single *requested* worker runs in-process; a one-scenario sweep
     # with workers > 1 still goes through the pool so a hard crash is
     # captured as a record instead of taking the parent down.
     if options.workers == 1:
-        return [
-            finalize(execute_scenario(document, options.timeout_seconds, True))
-            for document in documents
-        ]
+        return done(
+            [
+                finalize(execute_scenario(document, options.timeout_seconds, True))
+                for document in documents
+            ]
+        )
 
     def failure_document(spec: ScenarioSpec, error: BaseException, crashed: bool) -> Dict:
         verb = "crashed" if crashed else "failed"
+        events.emit(
+            "run.crashed" if crashed else "run.failed",
+            "sweep",
+            level="error",
+            message=f"{type(error).__name__}: {error}"[:200],
+            scenario_id=spec.scenario_id,
+        )
         return RunRecord(
             spec=spec,
             status=STATUS_ERROR,
@@ -294,42 +384,43 @@ def run_sweep(
     # that did complete and re-runs each unfinished scenario in its own
     # single-worker pool, where a second crash is unambiguously that
     # scenario's own.
-    with ProcessPoolExecutor(
-        max_workers=min(options.workers, len(pending)), mp_context=context
-    ) as pool:
-        futures = [
-            pool.submit(execute_scenario, document, options.timeout_seconds, True)
-            for _, document in pending
-        ]
-        consumed = 0
-        pool_broke = False
-        for (spec, _), future in zip(pending, futures):
-            try:
-                document = future.result()
-            except BrokenExecutor:
-                pool_broke = True
-                break
-            except Exception as error:  # submission/pickling failure
-                document = failure_document(spec, error, crashed=False)
-            records.append(finalize(document))
-            consumed += 1
-    if not pool_broke:
-        return records
+    with _events_env(options.events_path):
+        with ProcessPoolExecutor(
+            max_workers=min(options.workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(execute_scenario, document, options.timeout_seconds, True)
+                for _, document in pending
+            ]
+            consumed = 0
+            pool_broke = False
+            for (spec, _), future in zip(pending, futures):
+                try:
+                    document = future.result()
+                except BrokenExecutor:
+                    pool_broke = True
+                    break
+                except Exception as error:  # submission/pickling failure
+                    document = failure_document(spec, error, crashed=False)
+                records.append(finalize(document))
+                consumed += 1
+        if not pool_broke:
+            return done(records)
 
-    # Exiting the `with` block above shut the broken pool down, so every
-    # future is now settled: completed, broken, or cancelled.
-    for (spec, document_in), future in list(zip(pending, futures))[consumed:]:
-        if not future.cancelled() and future.exception() is None:
-            records.append(finalize(future.result()))
-            continue
-        with ProcessPoolExecutor(max_workers=1, mp_context=context) as solo:
-            try:
-                document = solo.submit(
-                    execute_scenario, document_in, options.timeout_seconds, True
-                ).result()
-            except BrokenExecutor as error:
-                document = failure_document(spec, error, crashed=True)
-            except Exception as error:
-                document = failure_document(spec, error, crashed=False)
-        records.append(finalize(document))
-    return records
+        # Exiting the `with` block above shut the broken pool down, so every
+        # future is now settled: completed, broken, or cancelled.
+        for (spec, document_in), future in list(zip(pending, futures))[consumed:]:
+            if not future.cancelled() and future.exception() is None:
+                records.append(finalize(future.result()))
+                continue
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as solo:
+                try:
+                    document = solo.submit(
+                        execute_scenario, document_in, options.timeout_seconds, True
+                    ).result()
+                except BrokenExecutor as error:
+                    document = failure_document(spec, error, crashed=True)
+                except Exception as error:
+                    document = failure_document(spec, error, crashed=False)
+            records.append(finalize(document))
+    return done(records)

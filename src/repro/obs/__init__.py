@@ -12,8 +12,37 @@ Three instruments over one design rule — *observe, never steer*:
   Prometheus text exposition format.
 * :mod:`repro.obs.profiling` — a cProfile + span-tree harness behind the
   ``repro profile`` CLI subcommand.
+* :mod:`repro.obs.events` — a process-safe structured event log (JSONL
+  records with wall+monotonic timestamps and propagated run/request
+  context): the live operational layer behind the ``/events`` SSE stream,
+  ``repro top`` and the sweep progress line.
+* :mod:`repro.obs.alerts` — declarative threshold rules with sustained-
+  breach hysteresis evaluated over registry snapshots; the non-zero-exit
+  alert gate of ``repro loadtest`` / ``repro sweep``.
 """
 
+from .alerts import (
+    AlertError,
+    AlertMonitor,
+    AlertRule,
+    HISTOGRAM_STATS,
+    RuleEngine,
+    baseline_rule,
+    parse_rules,
+    resolve_metric,
+)
+from .events import (
+    CONTEXT_KEYS,
+    EVENT_LEVELS,
+    Event,
+    EventError,
+    EventLog,
+    current_context,
+    emit_event,
+    event_context,
+    get_event_log,
+    read_events,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -39,8 +68,26 @@ from .tracing import (
 )
 
 __all__ = [
+    "AlertError",
+    "AlertMonitor",
+    "AlertRule",
+    "CONTEXT_KEYS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENT_LEVELS",
+    "Event",
+    "EventError",
+    "EventLog",
+    "HISTOGRAM_STATS",
+    "RuleEngine",
+    "baseline_rule",
+    "current_context",
+    "emit_event",
+    "event_context",
+    "get_event_log",
+    "parse_rules",
+    "read_events",
+    "resolve_metric",
     "Gauge",
     "Histogram",
     "MetricsError",

@@ -1,0 +1,425 @@
+"""Declarative threshold alerting over metrics-registry snapshots.
+
+An alert rule is a comparison against one value extracted from a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` document, optionally
+required to hold for a sustained duration::
+
+    repro_pool_saturation > 0.9 for 10s
+    repro_runs_total{status=error} > 0
+    repro_request_seconds{tier=warm}:p50 > 0.01 for 5s
+
+The grammar is ``NAME[{label=value,...}][:STAT] OP THRESHOLD [for Ns]``:
+
+* ``NAME`` — a registry metric name; counters and gauges resolve to their
+  value, histograms need a ``:STAT`` selector (``p50``/``p90``/``p95``/
+  ``mean``/``max``/``count``/``sum``);
+* ``{label=value,...}`` — exact label match; omitted = every label set of
+  the metric, aggregated (counters/histograms add, gauges take the max);
+* ``OP`` — one of ``>`` ``>=`` ``<`` ``<=`` ``==`` ``!=``;
+* ``for Ns`` — hysteresis: the condition must hold continuously for ``N``
+  seconds before the rule fires.  A missing metric never satisfies a rule.
+
+:class:`RuleEngine` evaluates rules against successive snapshots and keeps
+per-rule state so each sustained breach **fires exactly once** (an
+``alert.fired`` event) and **resets on recovery** (``alert.resolved``) —
+a flapping metric cannot spam the stream.  :class:`AlertMonitor` runs an
+engine on a polling thread over any snapshot source (a local registry, a
+remote ``/dashboard``) and is the non-zero-exit gate behind
+``repro loadtest --alert`` / ``repro sweep --alert``.
+
+:func:`baseline_rule` derives a warm-latency regression rule from a
+``BENCH_service.json`` baseline, so a load test can alarm on "warm p50
+regressed vs the committed benchmark" without hand-coding the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from .events import EventLog, get_event_log
+from .metrics import Histogram
+
+PathLike = Union[str, Path]
+
+#: Histogram statistics a rule may select.
+HISTOGRAM_STATS = ("p50", "p90", "p95", "mean", "max", "count", "sum")
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+_RULE_RE = re.compile(
+    r"""^\s*
+    (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)
+    (?:\{(?P<labels>[^}]*)\})?
+    (?::(?P<stat>[a-z0-9]+))?
+    \s*(?P<op>>=|<=|==|!=|>|<)\s*
+    (?P<threshold>[-+0-9.eE]+)
+    (?:\s+for\s+(?P<duration>[0-9.]+)s?)?
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+class AlertError(ValueError):
+    """Raised for malformed rule specs or unusable baselines."""
+
+
+def _histogram_value(entry: Mapping, name: str, stat: Optional[str]) -> Histogram:
+    if stat is None:
+        raise AlertError(
+            f"metric {name!r} is a histogram; select a statistic "
+            f"(one of {HISTOGRAM_STATS}), e.g. {name}:p50"
+        )
+    histogram = Histogram(buckets=tuple(entry["buckets"]))
+    histogram.counts = [int(c) for c in entry["counts"]]
+    histogram.sum = float(entry["sum"])
+    histogram.count = int(entry["count"])
+    histogram.max = float(entry["max"])
+    return histogram
+
+
+def resolve_metric(
+    snapshot: Mapping, name: str, labels: Mapping[str, str], stat: Optional[str]
+) -> Optional[float]:
+    """One value out of a registry snapshot document (``None`` when absent).
+
+    With labels the match is exact.  Without labels the rule covers *every*
+    label set of the metric — ``contract_breach_total > 0`` fires no matter
+    which breach kind incremented — aggregated by type: counters and
+    histogram buckets add, gauges take the worst (max) value.
+    """
+    wanted = {str(k): str(v) for k, v in labels.items()}
+    matches = [
+        entry
+        for entry in snapshot.get("metrics", [])
+        if entry.get("name") == name
+        and (not wanted or entry.get("labels", {}) == wanted)
+    ]
+    if not matches:
+        return None
+    kind = matches[0].get("type")
+    if kind == "histogram":
+        merged = _histogram_value(matches[0], name, stat)
+        for entry in matches[1:]:
+            extra = _histogram_value(entry, name, stat)
+            if extra.buckets != merged.buckets:
+                raise AlertError(f"histogram {name!r} bucket mismatch across label sets")
+            merged.counts = [a + b for a, b in zip(merged.counts, extra.counts)]
+            merged.sum += extra.sum
+            merged.count += extra.count
+            merged.max = max(merged.max, extra.max)
+        if stat == "sum":
+            return merged.sum
+        return merged.summary()[stat]
+    values = [float(entry.get("value", 0.0)) for entry in matches]
+    if kind == "gauge" and len(values) > 1:
+        return max(values)
+    return sum(values) if len(values) > 1 else values[0]
+
+
+class AlertRule:
+    """One parsed threshold rule with sustained-breach hysteresis state."""
+
+    def __init__(
+        self,
+        metric: str,
+        op: str,
+        threshold: float,
+        labels: Optional[Mapping[str, str]] = None,
+        stat: Optional[str] = None,
+        for_seconds: float = 0.0,
+        name: str = "",
+    ):
+        if op not in _OPS:
+            raise AlertError(f"unknown comparison {op!r}")
+        if stat is not None and stat not in HISTOGRAM_STATS:
+            raise AlertError(
+                f"unknown histogram statistic {stat!r}; expected one of {HISTOGRAM_STATS}"
+            )
+        if for_seconds < 0:
+            raise AlertError(f"for-duration must be non-negative (got {for_seconds:g})")
+        self.metric = metric
+        self.op = op
+        self.threshold = float(threshold)
+        self.labels = dict(labels or {})
+        self.stat = stat
+        self.for_seconds = float(for_seconds)
+        self.name = name or self.describe()
+        # hysteresis state
+        self.breach_since: Optional[float] = None
+        self.firing = False
+        self.fired_count = 0
+        self.last_value: Optional[float] = None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "AlertRule":
+        match = _RULE_RE.match(spec)
+        if not match:
+            raise AlertError(
+                f"malformed alert rule {spec!r}; expected "
+                "'name[{label=value}][:stat] OP threshold [for Ns]'"
+            )
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for part in raw_labels.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                if "=" not in part:
+                    raise AlertError(f"malformed label matcher {part!r} in {spec!r}")
+                key, value = part.split("=", 1)
+                labels[key.strip()] = value.strip().strip('"')
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise AlertError(f"malformed threshold in {spec!r}")
+        name, stat = match.group("name"), match.group("stat")
+        # Metric names may legally contain colons, so the greedy name pattern
+        # swallows a label-less ':stat' suffix — peel a known statistic back
+        # off (a rule with labels already has the stat in its own group).
+        if stat is None:
+            head, sep, tail = name.rpartition(":")
+            if sep and tail in HISTOGRAM_STATS:
+                name, stat = head, tail
+        return cls(
+            metric=name,
+            op=match.group("op"),
+            threshold=threshold,
+            labels=labels,
+            stat=stat,
+            for_seconds=float(match.group("duration") or 0.0),
+            name=spec.strip(),
+        )
+
+    def describe(self) -> str:
+        labels = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(self.labels.items())) + "}"
+            if self.labels
+            else ""
+        )
+        stat = f":{self.stat}" if self.stat else ""
+        duration = f" for {self.for_seconds:g}s" if self.for_seconds else ""
+        return f"{self.metric}{labels}{stat} {self.op} {self.threshold:g}{duration}"
+
+    def condition(self, snapshot: Mapping) -> bool:
+        """Does the snapshot satisfy the comparison right now?"""
+        value = resolve_metric(snapshot, self.metric, self.labels, self.stat)
+        self.last_value = value
+        if value is None:
+            return False
+        return _OPS[self.op](value, self.threshold)
+
+    def reset(self) -> None:
+        self.breach_since = None
+        self.firing = False
+        self.fired_count = 0
+        self.last_value = None
+
+
+def parse_rules(specs: Sequence[str]) -> List[AlertRule]:
+    return [AlertRule.from_spec(spec) for spec in specs]
+
+
+def baseline_rule(
+    bench_path: PathLike, factor: float = 1.5, for_seconds: float = 0.0
+) -> AlertRule:
+    """A warm-p50 regression rule derived from a ``BENCH_service.json``.
+
+    Reads the committed baseline's warm p50 and alarms when the live
+    ``repro_request_seconds{tier=warm}`` p50 exceeds ``factor`` times it.
+    """
+    if factor <= 0:
+        raise AlertError(f"baseline factor must be positive (got {factor:g})")
+    path = Path(bench_path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise AlertError(f"unreadable baseline {path}: {error}")
+    warm = document.get("latency_seconds", {}).get("warm", {})
+    p50 = float(warm.get("p50", 0.0))
+    if not p50 > 0:
+        raise AlertError(f"baseline {path} carries no warm p50 latency")
+    rule = AlertRule(
+        metric="repro_request_seconds",
+        labels={"tier": "warm"},
+        stat="p50",
+        op=">",
+        threshold=p50 * factor,
+        for_seconds=for_seconds,
+        name=f"warm p50 regression vs {path.name} (> {factor:g}x baseline)",
+    )
+    return rule
+
+
+class RuleEngine:
+    """Evaluates rules over successive snapshots, firing events on transitions.
+
+    ``evaluate`` is called with monotonically increasing ``now`` timestamps
+    (seconds; any epoch).  Per rule:
+
+    * condition newly true     -> start the breach window;
+    * sustained ``for_seconds``-> fire **once** (``alert.fired`` event);
+    * condition false again    -> resolve (``alert.resolved``) and re-arm.
+    """
+
+    def __init__(
+        self, rules: Sequence[AlertRule], events: Optional[EventLog] = None
+    ):
+        self.rules = list(rules)
+        self.events = events if events is not None else get_event_log()
+        self.fired: List[Dict] = []
+
+    def evaluate(self, snapshot: Mapping, now: float) -> List[Dict]:
+        """One evaluation pass; returns the transitions it produced."""
+        transitions: List[Dict] = []
+        for rule in self.rules:
+            breached = rule.condition(snapshot)
+            if breached:
+                if rule.breach_since is None:
+                    rule.breach_since = now
+                sustained = now - rule.breach_since >= rule.for_seconds
+                if sustained and not rule.firing:
+                    rule.firing = True
+                    rule.fired_count += 1
+                    record = {
+                        "rule": rule.name,
+                        "state": "fired",
+                        "value": rule.last_value,
+                        "threshold": rule.threshold,
+                        "at": now,
+                    }
+                    self.fired.append(record)
+                    transitions.append(record)
+                    self.events.emit(
+                        "alert.fired",
+                        "alerts",
+                        level="warning",
+                        message=rule.name,
+                        value=float(rule.last_value or 0.0),
+                        threshold=rule.threshold,
+                    )
+            else:
+                if rule.firing:
+                    transitions.append(
+                        {
+                            "rule": rule.name,
+                            "state": "resolved",
+                            "value": rule.last_value,
+                            "threshold": rule.threshold,
+                            "at": now,
+                        }
+                    )
+                    self.events.emit(
+                        "alert.resolved",
+                        "alerts",
+                        level="info",
+                        message=rule.name,
+                        threshold=rule.threshold,
+                    )
+                rule.breach_since = None
+                rule.firing = False
+        return transitions
+
+    @property
+    def any_fired(self) -> bool:
+        return bool(self.fired)
+
+    def summary(self) -> str:
+        if not self.fired:
+            return f"alerts: {len(self.rules)} rule(s), none fired"
+        lines = [f"alerts: {len(self.fired)} firing(s) across {len(self.rules)} rule(s)"]
+        for record in self.fired:
+            value = record["value"]
+            shown = "n/a" if value is None else f"{value:g}"
+            lines.append(f"  FIRED {record['rule']} (value {shown})")
+        return "\n".join(lines)
+
+
+class AlertMonitor:
+    """A rule engine on a polling thread over any snapshot source.
+
+    ``source`` returns a registry snapshot document (or ``None`` to skip a
+    tick — e.g. a remote scrape that failed).  The monitor is the alert gate
+    of ``repro loadtest`` / ``repro sweep``: start it, run the workload,
+    stop it, and exit non-zero if :attr:`engine.any_fired`.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Optional[Mapping]],
+        rules: Sequence[AlertRule],
+        interval: float = 0.5,
+        events: Optional[EventLog] = None,
+        clock: Callable[[], float] = None,
+    ):
+        if interval <= 0:
+            raise AlertError(f"interval must be positive (got {interval:g})")
+        from time import monotonic
+
+        self.source = source
+        self.engine = RuleEngine(rules, events=events)
+        self.interval = interval
+        self._clock = clock or monotonic
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def poll_once(self) -> List[Dict]:
+        snapshot = self.source()
+        if snapshot is None:
+            return []
+        return self.engine.evaluate(snapshot, self._clock())
+
+    def start(self) -> "AlertMonitor":
+        self._thread = threading.Thread(
+            target=self._run, name="alert-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self.interval):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 - monitoring must not kill the workload
+                continue
+
+    def stop(self) -> None:
+        """Stop polling and run one final evaluation pass."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.poll_once()
+        except Exception:  # noqa: BLE001
+            pass
+
+    @property
+    def any_fired(self) -> bool:
+        return self.engine.any_fired
+
+    def summary(self) -> str:
+        return self.engine.summary()
+
+
+__all__ = [
+    "AlertError",
+    "AlertMonitor",
+    "AlertRule",
+    "HISTOGRAM_STATS",
+    "RuleEngine",
+    "baseline_rule",
+    "parse_rules",
+    "resolve_metric",
+]

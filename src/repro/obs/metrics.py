@@ -242,6 +242,19 @@ class MetricsRegistry:
             self._metrics.clear()
             self._help.clear()
 
+    def drain(self) -> Dict:
+        """Snapshot, then reset — the ship-once worker hand-off.
+
+        A pool worker that accumulates into its process-wide registry drains
+        it into each run's obs payload, so a reused worker process never
+        double-ships observations it already reported.  (Snapshot and clear
+        are two lock acquisitions; the worker entry point is single-threaded
+        between runs, which is the context this is meant for.)
+        """
+        snapshot = self.snapshot()
+        self.clear()
+        return snapshot
+
     # -- snapshot / merge --------------------------------------------------------
     def snapshot(self) -> Dict:
         """A deterministic, JSON-able document of every instrument's state."""

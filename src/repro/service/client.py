@@ -103,6 +103,54 @@ class ServiceClient:
     def metrics(self) -> Dict:
         return self._request("GET", "/metrics")[1]
 
+    def dashboard(self, events_limit: int = 50) -> Dict:
+        return self._request("GET", f"/dashboard?events={events_limit}")[1]
+
+    def stream_events(
+        self,
+        since: int = -1,
+        max_events: int = 0,
+        max_seconds: float = 30.0,
+        keepalive: float = 15.0,
+    ) -> List[Dict]:
+        """Read the SSE ``/events`` stream and collect the ``data:`` payloads.
+
+        Uses a dedicated connection (the stream is close-delimited, so it
+        must not share the keep-alive connection).  Returns once the server
+        closes the stream (``max_events`` reached, drain) or ``max_seconds``
+        elapses client-side, whichever is first.
+        """
+        path = f"/events?since={since}&max={max_events}&keepalive={keepalive:g}"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=max(0.2, max_seconds)
+        )
+        events: List[Dict] = []
+        deadline = time.monotonic() + max_seconds
+        try:
+            connection.request("GET", path)
+            reply = connection.getresponse()
+            if reply.status != 200:
+                raise ServiceClientError(f"GET /events failed with HTTP {reply.status}")
+            while time.monotonic() < deadline:
+                line = reply.fp.readline()
+                if not line:
+                    break  # server closed the stream
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text.startswith("data:"):
+                    continue  # id:/event: fields and keep-alive comments
+                try:
+                    events.append(json.loads(text[len("data:"):].strip()))
+                except json.JSONDecodeError as error:
+                    raise ServiceClientError(f"malformed SSE data line: {error}")
+                if max_events and len(events) >= max_events:
+                    break
+        except (OSError, http.client.HTTPException) as error:
+            if not events:  # a timeout after some events is a normal tail end
+                raise ServiceClientError(f"GET /events failed: {error}") from error
+        finally:
+            connection.close()
+        return events
+
     def solve(self, request: ServiceRequest) -> Tuple[int, ServiceResponse]:
         status, document = self._request("POST", "/solve", request.to_dict())
         return status, ServiceResponse.from_dict(document)

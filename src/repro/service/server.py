@@ -16,14 +16,22 @@ Two classes, deliberately separated:
   ============================  ======  =========================================
   endpoint                      method  behaviour
   ============================  ======  =========================================
-  ``/healthz``                  GET     liveness + drain state
+  ``/healthz``                  GET     liveness: version, uptime, drain state
   ``/metrics``                  GET     counters, cache/pool stats, latency pcts
+  ``/events``                   GET     live SSE stream of structured events
+  ``/dashboard``                GET     one JSON snapshot: metrics + recent events
   ``/solve``                    POST    synchronous solve/simulate (one JSON doc)
   ``/batch``                    POST    NDJSON stream, one response line per spec
   ``/submit``                   POST    asynchronous solve -> ``request_id``
   ``/status/<id>``              GET     state of an asynchronous submission
   ``/result/<id>``              GET     response of a finished submission
   ============================  ======  =========================================
+
+  ``/events`` speaks Server-Sent Events (``text/event-stream``): one
+  ``id:``/``event:``/``data:`` frame per structured event, a ``: keep-alive``
+  comment while idle, replay of the retained ring via ``?since=SEQ`` or the
+  standard ``Last-Event-ID`` header (the reconnect path).  A slow or dead
+  client drops events, it never stalls the service.
 
   Terminal pipeline outcomes (``ok``/``infeasible``/``timeout``/``error``)
   travel as HTTP 200 — an infeasible instance is an answer.  Backpressure is
@@ -47,11 +55,11 @@ from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..experiments.scenario import ScenarioSpec
-from ..obs import MetricsRegistry, span
+from ..obs import AlertMonitor, EventLog, MetricsRegistry, parse_rules, span
 from ..experiments.store import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
@@ -100,6 +108,15 @@ class ServiceConfig:
     #: Retained for configuration compatibility; latency percentiles now come
     #: from fixed-bucket histograms (constant memory), not a reservoir.
     reservoir: int = 4096
+    #: Structured events retained in memory (the SSE replay / dashboard tail).
+    events_capacity: int = 2048
+    #: Optional JSONL sink every event appends to (flock-safe).
+    events_path: Optional[str] = None
+    #: Alert rule specs evaluated server-side over the metrics registry;
+    #: firings surface as ``alert.fired`` events on ``/events``.
+    alert_rules: Tuple[str, ...] = ()
+    #: Seconds between server-side alert evaluations.
+    alert_interval: float = 1.0
 
 
 @dataclass
@@ -146,11 +163,38 @@ class SolveService:
                 "Terminal request latency by cache tier",
                 tier=tier,
             )
+        #: Per-instance structured event log: the operational moments the
+        #: ``/events`` SSE stream, ``/dashboard`` and ``repro top`` observe.
+        self.events = EventLog(
+            capacity=self.config.events_capacity, path=self.config.events_path
+        )
+        #: Server-side alert evaluation (rules from the config), firing
+        #: ``alert.fired``/``alert.resolved`` events into the same stream.
+        self.alerts: Optional[AlertMonitor] = None
+        if self.config.alert_rules:
+            self.alerts = AlertMonitor(
+                self._alert_snapshot,
+                parse_rules(list(self.config.alert_rules)),
+                interval=self.config.alert_interval,
+                events=self.events,
+            ).start()
         self._submissions: Dict[str, _Submission] = {}
         self._submission_order: deque = deque()
         self._request_ids = itertools.count(1)
         if self.config.warm_up:
             self.pool.warm_up()
+        self.events.emit(
+            "service.started",
+            "service",
+            workers=self.config.workers,
+            max_pending=self.config.max_pending,
+            alert_rules=len(self.config.alert_rules),
+        )
+
+    def _alert_snapshot(self) -> Dict:
+        """The registry snapshot the server-side alert rules evaluate."""
+        self._sync_gauges()
+        return self.registry.snapshot()
 
     # -- bookkeeping ------------------------------------------------------------
     def _observe(self, response: ServiceResponse, seconds: float) -> None:
@@ -204,10 +248,31 @@ class SolveService:
                 self._active -= 1
         if request_id and not response.request_id:
             response.request_id = request_id
-        self._observe(response, time.perf_counter() - arrival)
+        seconds = time.perf_counter() - arrival
+        self._observe(response, seconds)
+        if response.terminal:
+            self.events.emit(
+                "service.request",
+                "service",
+                level="debug",
+                request_id=request_id,
+                scenario_id=request.scenario_id,
+                state=response.state,
+                cache=response.cache,
+                seconds=round(seconds, 6),
+            )
         return response
 
     def _rejected(self, request: ServiceRequest, message: str, retry_after: float) -> ServiceResponse:
+        self.events.emit(
+            "service.rejected",
+            "service",
+            level="warning",
+            message=message,
+            scenario_id=request.scenario_id,
+            retry_after=retry_after,
+            draining=self._draining,
+        )
         return ServiceResponse(
             state=STATE_REJECTED,
             scenario_id=request.scenario_id,
@@ -439,8 +504,20 @@ class SolveService:
             "status": "draining" if self._draining else "ok",
             "version": __version__,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "draining": self._draining,
             "workers": self.pool.workers,
             "in_flight": self.pool.in_flight,
+        }
+
+    def dashboard(self, events_limit: int = 50) -> Dict:
+        """One JSON snapshot for live monitors: health + metrics + event tail."""
+        return {
+            "schema": "service-dashboard",
+            "version": 1,
+            "health": self.health(),
+            "metrics": self.metrics(),
+            "events": self.events.recent(limit=events_limit),
+            "last_event_seq": self.events.last_seq,
         }
 
     def _sync_gauges(self) -> None:
@@ -486,17 +563,27 @@ class SolveService:
 
     # -- shutdown ---------------------------------------------------------------
     def begin_drain(self) -> None:
+        if not self._draining:
+            self.events.emit(
+                "service.drain", "service", in_flight=self.pool.in_flight
+            )
         self._draining = True
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Reject new work, wait for in-flight work, shut the pool down."""
         self.begin_drain()
+        if self.alerts is not None:
+            self.alerts.stop()
         drained = self.pool.drain(timeout=timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
         while self._active > 0:
             if deadline is not None and time.monotonic() > deadline:
+                self.events.emit(
+                    "service.drained", "service", level="warning", complete=False
+                )
                 return False
             time.sleep(0.01)
+        self.events.emit("service.drained", "service", complete=drained)
         return drained
 
 
@@ -613,6 +700,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return
             self._send_json(200, self.service.metrics())
             return
+        if parsed.path == "/dashboard":
+            query = parse_qs(parsed.query)
+            try:
+                limit = int(query.get("events", ["50"])[0])
+            except ValueError:
+                self._send_json(400, {"error": "events must be an integer"})
+                return
+            self._send_json(200, self.service.dashboard(events_limit=limit))
+            return
+        if parsed.path == "/events":
+            self._handle_events(parse_qs(parsed.query))
+            return
         for prefix, waits in (("/status/", False), ("/result/", True)):
             if self.path.startswith(prefix):
                 request_id = self.path[len(prefix):]
@@ -629,6 +728,73 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 self._send_response(response)
                 return
         self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+
+    # -- SSE --------------------------------------------------------------------
+    def _handle_events(self, query: Dict[str, List[str]]) -> None:
+        """Stream structured events as Server-Sent Events until disconnect.
+
+        Query parameters:
+
+        * ``since=SEQ``     — replay retained events with ``seq > SEQ`` first
+          (``0`` replays the whole ring; default: live only).  The standard
+          ``Last-Event-ID`` header takes precedence — a reconnecting
+          EventSource client resumes without losing retained events.
+        * ``max=N``         — close cleanly after N events (0 = unbounded);
+          the bounded-read mode tests and smoke jobs use.
+        * ``keepalive=S``   — idle seconds between ``: keep-alive`` comments.
+
+        The stream is delimited by connection close; a client that goes away
+        simply ends the handler thread (its subscription is dropped).
+        """
+        last_event_id = (self.headers.get("Last-Event-ID") or "").strip()
+        try:
+            since = int(last_event_id) if last_event_id else int(query.get("since", ["-1"])[0])
+            max_events = int(query.get("max", ["0"])[0])
+            keepalive = float(query.get("keepalive", ["15"])[0])
+        except ValueError:
+            self._send_json(400, {"error": "since/max must be integers, keepalive a number"})
+            return
+        keepalive = max(0.05, keepalive)
+        subscription = self.service.events.subscribe(since=since)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
+        self.close_connection = True
+        sent = 0
+        try:
+            # An opening comment confirms liveness before any event arrives.
+            self.wfile.write(b": stream opened\n\n")
+            self.wfile.flush()
+            idle = 0.0
+            while max_events <= 0 or sent < max_events:
+                # Wake at least twice per second so a drain ends the stream
+                # promptly; only send the keep-alive once idle long enough.
+                tick = min(keepalive, 0.5)
+                event = subscription.get(timeout=tick)
+                if event is None:
+                    if self.service.draining:
+                        break
+                    idle += tick
+                    if idle >= keepalive:
+                        self.wfile.write(b": keep-alive\n\n")
+                        self.wfile.flush()
+                        idle = 0.0
+                    continue
+                idle = 0.0
+                frame = (
+                    f"id: {event.seq}\nevent: {event.kind}\ndata: {event.to_json()}\n\n"
+                )
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+                sent += 1
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # the client went away mid-stream; nothing to answer
+        finally:
+            self.service.events.unsubscribe(subscription)
 
     # -- POST -------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API

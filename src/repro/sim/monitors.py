@@ -157,18 +157,33 @@ class ContractMonitor:
                     if key in self._live_seen:
                         continue
                     self._live_seen[key] = now
-                    self.live_violations.append(
-                        MonitorViolation(
-                            contract=f"component[{component.name}]",
-                            constraint=f"capacity[{component.name}]",
-                            kind=LIVE_CAPACITY,
-                            amount=float(entered - component.capacity),
-                            detail=(
-                                f"{entered} agents entered in period {period} "
-                                f"(capacity {component.capacity})"
-                            ),
-                            tick=now,
-                        )
+                    violation = MonitorViolation(
+                        contract=f"component[{component.name}]",
+                        constraint=f"capacity[{component.name}]",
+                        kind=LIVE_CAPACITY,
+                        amount=float(entered - component.capacity),
+                        detail=(
+                            f"{entered} agents entered in period {period} "
+                            f"(capacity {component.capacity})"
+                        ),
+                        tick=now,
+                    )
+                    self.live_violations.append(violation)
+                    from ..obs import emit_event, get_registry
+
+                    get_registry().counter(
+                        "repro_contract_breach_total",
+                        "Live contract breaches observed by the sim monitors",
+                        kind=LIVE_CAPACITY,
+                    ).inc()
+                    emit_event(
+                        "contract.breach",
+                        "sim",
+                        level="error",
+                        message=violation.detail,
+                        contract=violation.contract,
+                        amount=violation.amount,
+                        tick=now,
                     )
 
         engine.every(cycle_time, check_period, PRIORITY_MONITORS, start=cycle_time)

@@ -294,10 +294,38 @@ class TraceRecorder:
     def record_disruption(self, tick: int, kind: str, subject: int) -> None:
         """A disruption was injected (``subject`` = agent/component/edge index)."""
         self._log(EV_DISRUPTION, tick, kind, subject)
+        from ..obs import emit_event, get_registry
+
+        get_registry().counter(
+            "repro_disruptions_total", "Disruptions injected by kind", kind=kind
+        ).inc()
+        emit_event(
+            "disruption.onset",
+            "sim",
+            level="warning",
+            message=f"{kind} struck subject {subject}",
+            disruption=kind,
+            subject=subject,
+            tick=tick,
+        )
 
     def record_recovery(self, tick: int, kind: str, subject: int, latency: int = 0) -> None:
         """A recovery action resolved a disruption after ``latency`` ticks."""
         self._log(EV_RECOVERY, tick, kind, subject, latency)
+        from ..obs import emit_event, get_registry
+
+        get_registry().counter(
+            "repro_recoveries_total", "Disruption recoveries by kind", kind=kind
+        ).inc()
+        emit_event(
+            "disruption.recovered",
+            "sim",
+            message=f"{kind} on subject {subject} recovered after {latency} tick(s)",
+            disruption=kind,
+            subject=subject,
+            tick=tick,
+            latency=latency,
+        )
 
     def transitions_into(self, component: ComponentId, period: int) -> int:
         """Agents that entered ``component`` during one complete period (live query)."""

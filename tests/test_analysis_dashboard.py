@@ -1,0 +1,118 @@
+"""The ``repro top`` renderers: pure functions from snapshots/events to text.
+
+These are deliberately cheap tests — the renderers are pure (no I/O, no
+clocks of their own), so we pin the load-bearing behavior: progress folding
+over a sweep event stream (completed counts, pass rate, ETA), bar scaling
+and clamping, and that frames render without ANSI escapes when color is off
+(the ``--no-color`` / piped-output path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    render_bar,
+    render_events_tail,
+    render_service_frame,
+    render_sweep_frame,
+    summarize_sweep_events,
+)
+
+
+def sweep_events():
+    def event(seq, kind, component="sweep", level="info", message="", **fields):
+        return {
+            "seq": seq, "ts": 100.0 + seq, "mono": float(seq), "level": level,
+            "component": component, "kind": kind, "message": message,
+            "run_id": "", "request_id": "", "scenario_id": "", "fields": fields,
+        }
+
+    return [
+        event(1, "sweep.started", total=4, workers=2),
+        event(2, "run.started", component="runner", message="smoke/a"),
+        event(3, "run.started", component="runner", message="smoke/b"),
+        event(4, "sweep.progress", message="smoke/a", status="ok", completed=1, total=4),
+        event(5, "disruption.onset", component="sim", level="warning",
+              message="breakdown agent-3", disruption="breakdown"),
+        event(6, "sweep.progress", message="smoke/b", status="timeout",
+              completed=2, total=4),
+    ]
+
+
+def test_summarize_sweep_events_folds_progress():
+    summary = summarize_sweep_events(sweep_events(), now=None)
+    assert summary["total"] == 4 and summary["workers"] == 2
+    assert summary["completed"] == 2
+    assert summary["statuses"] == {"ok": 1, "timeout": 1}
+    assert summary["in_flight"] == 0  # both started runs have finished
+    assert summary["disruptions"] == 1
+    assert not summary["finished"]
+
+
+def test_summarize_sweep_events_tracks_completion():
+    events = sweep_events() + [{
+        "seq": 7, "ts": 110.0, "mono": 7.0, "level": "info", "component": "sweep",
+        "kind": "sweep.finished", "message": "", "run_id": "", "request_id": "",
+        "scenario_id": "", "fields": {"total": 4, "seconds": 9.5},
+    }]
+    summary = summarize_sweep_events(events, now=None)
+    assert summary["finished"]
+    # Elapsed comes from the event timestamps: finish ts - start ts.
+    assert summary["elapsed"] == pytest.approx(110.0 - 101.0)
+
+
+def test_render_bar_scales_and_clamps():
+    assert render_bar(0.0, width=8, color=False) == "[........]   0%"
+    assert render_bar(0.5, width=8, color=False) == "[####....]  50%"
+    assert render_bar(1.0, width=8, color=False) == "[########] 100%"
+    assert render_bar(7.3, width=8, color=False) == "[########] 100%"  # clamped
+    assert render_bar(-2.0, width=8, color=False) == "[........]   0%"
+
+
+def test_sweep_frame_renders_without_ansi_when_color_off():
+    frame = render_sweep_frame(sweep_events(), now=107.0, color=False)
+    assert "\x1b[" not in frame
+    assert "2/4" in frame
+    assert "timeout" in frame
+    assert "disruptions 1" in frame
+
+
+def test_service_frame_renders_a_dashboard_snapshot():
+    snapshot = {
+        "schema": "service-dashboard",
+        "health": {"status": "ok", "version": "1.7.0", "uptime_seconds": 12.5,
+                   "draining": False, "workers": 2, "in_flight": 1},
+        "metrics": {
+            "requests": {"total": 10, "by_state": {"solved": 8, "rejected": 2},
+                         "active": 1},
+            "cache": {"size": 4, "hits": 6, "misses": 4, "hit_rate": 0.6,
+                      "in_flight": 0},
+            "pool": {"submitted": 10, "completed": 9, "rejected": 2,
+                     "in_flight": 1, "workers": 2, "max_pending": 8,
+                     "draining": False},
+            "latency_seconds": {
+                "warm": {"p50": 0.002, "p95": 0.004, "count": 8},
+                "cold": {"p50": 0.9, "p95": 1.2, "count": 2},
+            },
+        },
+        "events": sweep_events()[:2],
+        "last_event_seq": 2,
+    }
+    frame = render_service_frame(snapshot, color=False)
+    assert "\x1b[" not in frame
+    assert "v1.7.0" in frame and "ok" in frame
+    assert "cache" in frame and "60%" in frame
+    assert "sweep.started" in frame
+
+
+def test_events_tail_is_bounded_and_falls_back_to_fields():
+    events = sweep_events() + [{
+        "seq": 7, "ts": 107.0, "mono": 7.0, "level": "info", "component": "sweep",
+        "kind": "sweep.finished", "message": "", "run_id": "", "request_id": "",
+        "scenario_id": "", "fields": {"total": 4, "seconds": 9.5},
+    }]
+    lines = render_events_tail(events, limit=2, color=False)
+    assert len(lines) == 2
+    # The last event carries no message -> the renderer shows its fields.
+    assert "total=4" in lines[-1] and "seconds=9.5" in lines[-1]

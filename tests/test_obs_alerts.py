@@ -1,0 +1,315 @@
+"""The alert rule engine: grammar, metric resolution, and hysteresis.
+
+The contract under test, in order of importance:
+
+* **hysteresis** — a rule with ``for Ns`` fires **exactly once** per
+  sustained breach (no spam while the condition keeps holding), resolves
+  when the condition clears, and re-arms for the next breach; a flapping
+  metric that never sustains the window never fires at all;
+* **resolution** — rules address real registry snapshots: exact label
+  match when labels are given, aggregation across every label set when
+  omitted (counters/histogram buckets add, gauges take the max), histogram
+  statistics behind ``:stat``;
+* **grammar** — every clause of ``NAME[{labels}][:STAT] OP THR [for Ns]``
+  parses, including the tricky label-less ``:stat`` suffix (metric names
+  may legally contain colons), and malformed specs fail loudly;
+* **baseline** — :func:`~repro.obs.alerts.baseline_rule` turns a committed
+  ``BENCH_service.json`` into a warm-p50 regression rule.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AlertError,
+    AlertMonitor,
+    AlertRule,
+    EventLog,
+    MetricsRegistry,
+    RuleEngine,
+    baseline_rule,
+    parse_rules,
+    resolve_metric,
+)
+
+
+def make_snapshot(**kwargs) -> dict:
+    """A real registry snapshot with a representative instrument mix."""
+    registry = MetricsRegistry()
+    registry.counter("repro_runs_total", status="ok").inc(7)
+    registry.counter("repro_runs_total", status="error").inc(2)
+    registry.gauge("repro_pool_saturation", worker="a").set(0.4)
+    registry.gauge("repro_pool_saturation", worker="b").set(0.95)
+    warm = registry.histogram("repro_request_seconds", tier="warm")
+    for value in (0.001, 0.002, 0.003, 0.004):
+        warm.observe(value)
+    cold = registry.histogram("repro_request_seconds", tier="cold")
+    for value in (0.5, 0.7):
+        cold.observe(value)
+    for name, value in kwargs.items():
+        registry.gauge(name).set(value)
+    return registry.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# grammar
+# ---------------------------------------------------------------------------
+
+
+def test_from_spec_parses_every_clause():
+    rule = AlertRule.from_spec("repro_pool_saturation > 0.9 for 10s")
+    assert rule.metric == "repro_pool_saturation"
+    assert rule.op == ">" and rule.threshold == 0.9
+    assert rule.labels == {} and rule.stat is None
+    assert rule.for_seconds == 10.0
+    assert rule.name == "repro_pool_saturation > 0.9 for 10s"
+
+    rule = AlertRule.from_spec('repro_runs_total{status="error"} >= 1')
+    assert rule.labels == {"status": "error"} and rule.for_seconds == 0.0
+
+    rule = AlertRule.from_spec("repro_request_seconds{tier=warm}:p95 <= 0.01 for 5")
+    assert rule.stat == "p95" and rule.labels == {"tier": "warm"}
+    assert rule.for_seconds == 5.0
+
+
+def test_from_spec_peels_statistic_off_a_label_less_name():
+    # Metric names may contain colons, so the name pattern swallows ':count'
+    # — the parser must peel a known statistic back off.
+    rule = AlertRule.from_spec("repro_stage_seconds:count > 3")
+    assert rule.metric == "repro_stage_seconds" and rule.stat == "count"
+    # ...but an unknown suffix stays part of the name (legal Prometheus).
+    rule = AlertRule.from_spec("ns:subsystem_total > 0")
+    assert rule.metric == "ns:subsystem_total" and rule.stat is None
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "",
+        "just_a_name",
+        "repro_runs_total >",
+        "repro_runs_total ~ 3",
+        "repro_runs_total > abc",
+        "repro_runs_total{status} > 0",
+        "name:p51 > 0",  # unknown statistic -> stays in the name, fine to parse
+    ],
+)
+def test_from_spec_rejects_malformed_rules(spec):
+    if spec == "name:p51 > 0":
+        assert AlertRule.from_spec(spec).metric == "name:p51"
+        return
+    with pytest.raises(AlertError):
+        AlertRule.from_spec(spec)
+
+
+def test_parse_rules_and_describe_round_trip():
+    rules = parse_rules(["repro_pool_saturation > 0.9 for 10s", "x >= 1"])
+    assert len(rules) == 2
+    assert AlertRule.from_spec(rules[0].describe()).describe() == rules[0].describe()
+    with pytest.raises(AlertError, match="unknown histogram statistic"):
+        AlertRule("m", ">", 1.0, stat="p51")
+    with pytest.raises(AlertError, match="non-negative"):
+        AlertRule("m", ">", 1.0, for_seconds=-1)
+
+
+# ---------------------------------------------------------------------------
+# metric resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_exact_label_match():
+    snapshot = make_snapshot()
+    assert resolve_metric(snapshot, "repro_runs_total", {"status": "ok"}, None) == 7.0
+    assert resolve_metric(snapshot, "repro_runs_total", {"status": "missing"}, None) is None
+    assert resolve_metric(snapshot, "no_such_metric", {}, None) is None
+
+
+def test_label_less_rules_aggregate_across_label_sets():
+    snapshot = make_snapshot()
+    # Counters add across label sets...
+    assert resolve_metric(snapshot, "repro_runs_total", {}, None) == 9.0
+    # ...gauges take the worst (max) value...
+    assert resolve_metric(snapshot, "repro_pool_saturation", {}, None) == 0.95
+    # ...histograms merge their buckets before computing the statistic.
+    assert resolve_metric(snapshot, "repro_request_seconds", {}, "count") == 6.0
+    merged_max = resolve_metric(snapshot, "repro_request_seconds", {}, "max")
+    assert merged_max == pytest.approx(0.7)
+    assert resolve_metric(snapshot, "repro_request_seconds", {}, "sum") == pytest.approx(
+        0.001 + 0.002 + 0.003 + 0.004 + 0.5 + 0.7
+    )
+
+
+def test_histogram_requires_a_statistic():
+    snapshot = make_snapshot()
+    with pytest.raises(AlertError, match="select a statistic"):
+        resolve_metric(snapshot, "repro_request_seconds", {"tier": "warm"}, None)
+    p50 = resolve_metric(snapshot, "repro_request_seconds", {"tier": "warm"}, "p50")
+    assert 0.0 < p50 < 0.5  # the warm tier, not the merged one
+
+
+def test_histogram_bucket_mismatch_is_an_error():
+    snapshot = make_snapshot()
+    for entry in snapshot["metrics"]:
+        if entry["name"] == "repro_request_seconds" and entry["labels"] == {"tier": "cold"}:
+            entry["buckets"] = entry["buckets"][:-1]
+            entry["counts"] = entry["counts"][:-1]
+    with pytest.raises(AlertError, match="bucket mismatch"):
+        resolve_metric(snapshot, "repro_request_seconds", {}, "count")
+
+
+# ---------------------------------------------------------------------------
+# hysteresis
+# ---------------------------------------------------------------------------
+
+
+def breach_snapshot(value: float) -> dict:
+    registry = MetricsRegistry()
+    registry.gauge("repro_pool_saturation").set(value)
+    return registry.snapshot()
+
+
+def test_sustained_breach_fires_exactly_once_and_resolves():
+    events = EventLog()
+    rule = AlertRule.from_spec("repro_pool_saturation > 0.9 for 10s")
+    engine = RuleEngine([rule], events=events)
+
+    assert engine.evaluate(breach_snapshot(0.95), now=0.0) == []  # window opens
+    assert engine.evaluate(breach_snapshot(0.97), now=5.0) == []  # not sustained yet
+    fired = engine.evaluate(breach_snapshot(0.99), now=10.0)  # sustained -> fire
+    assert [t["state"] for t in fired] == ["fired"]
+    assert fired[0]["value"] == 0.99 and fired[0]["rule"] == rule.name
+    # Still breached: no second firing, no transition.
+    assert engine.evaluate(breach_snapshot(0.99), now=15.0) == []
+    assert rule.fired_count == 1
+    # Recovery resolves and re-arms.
+    resolved = engine.evaluate(breach_snapshot(0.5), now=16.0)
+    assert [t["state"] for t in resolved] == ["resolved"]
+    assert not rule.firing and rule.breach_since is None
+    # A second sustained breach fires again — one firing per breach.
+    assert engine.evaluate(breach_snapshot(0.95), now=20.0) == []
+    assert [t["state"] for t in engine.evaluate(breach_snapshot(0.95), now=30.0)] == ["fired"]
+    assert rule.fired_count == 2
+    # The engine mirrored every transition onto the event log.
+    kinds = [e["kind"] for e in events.recent()]
+    assert kinds == ["alert.fired", "alert.resolved", "alert.fired"]
+    assert engine.any_fired and "FIRED" in engine.summary()
+
+
+def test_flapping_metric_never_fires():
+    events = EventLog()
+    rule = AlertRule.from_spec("repro_pool_saturation > 0.9 for 10s")
+    engine = RuleEngine([rule], events=events)
+    for tick in range(6):
+        # Breach for 5s, recover, breach again: the window keeps resetting.
+        engine.evaluate(breach_snapshot(0.95), now=tick * 7.0)
+        engine.evaluate(breach_snapshot(0.2), now=tick * 7.0 + 5.0)
+    assert not engine.any_fired
+    assert events.recent() == []
+    assert engine.summary() == "alerts: 1 rule(s), none fired"
+
+
+def test_zero_duration_rule_fires_on_first_breach():
+    rule = AlertRule.from_spec("repro_pool_saturation > 0.9")
+    engine = RuleEngine([rule], events=EventLog())
+    assert [t["state"] for t in engine.evaluate(breach_snapshot(0.95), now=1.0)] == ["fired"]
+    assert engine.evaluate(breach_snapshot(0.95), now=2.0) == []
+
+
+def test_missing_metric_never_satisfies_a_rule():
+    rule = AlertRule.from_spec("no_such_metric > 0")
+    engine = RuleEngine([rule], events=EventLog())
+    assert engine.evaluate(breach_snapshot(0.95), now=0.0) == []
+    assert rule.last_value is None and not engine.any_fired
+
+
+def test_rule_reset_clears_hysteresis_state():
+    rule = AlertRule.from_spec("repro_pool_saturation > 0.9")
+    engine = RuleEngine([rule], events=EventLog())
+    engine.evaluate(breach_snapshot(0.95), now=0.0)
+    assert rule.firing and rule.fired_count == 1
+    rule.reset()
+    assert not rule.firing and rule.fired_count == 0 and rule.last_value is None
+
+
+# ---------------------------------------------------------------------------
+# baseline rules
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_rule_derives_warm_p50_regression_threshold(tmp_path):
+    bench = tmp_path / "BENCH_service.json"
+    bench.write_text(json.dumps({"latency_seconds": {"warm": {"p50": 0.004}}}))
+    rule = baseline_rule(bench, factor=1.5)
+    assert rule.metric == "repro_request_seconds"
+    assert rule.labels == {"tier": "warm"} and rule.stat == "p50"
+    assert rule.op == ">" and rule.threshold == pytest.approx(0.006)
+    assert "BENCH_service.json" in rule.name
+    # The derived rule evaluates against a live snapshot like any other.
+    fast, slow = MetricsRegistry(), MetricsRegistry()
+    for value in (0.001, 0.002):
+        fast.histogram("repro_request_seconds", tier="warm").observe(value)
+    for value in (0.05, 0.06):
+        slow.histogram("repro_request_seconds", tier="warm").observe(value)
+    assert not rule.condition(fast.snapshot())
+    assert rule.condition(slow.snapshot())
+
+
+def test_baseline_rule_rejects_unusable_baselines(tmp_path):
+    with pytest.raises(AlertError, match="unreadable baseline"):
+        baseline_rule(tmp_path / "missing.json")
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    with pytest.raises(AlertError, match="no warm p50"):
+        baseline_rule(empty)
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"latency_seconds": {"warm": {"p50": 0.004}}}))
+    with pytest.raises(AlertError, match="factor must be positive"):
+        baseline_rule(bench, factor=0)
+
+
+# ---------------------------------------------------------------------------
+# the polling monitor
+# ---------------------------------------------------------------------------
+
+
+def test_monitor_polls_a_snapshot_source_and_gates_on_fired():
+    registry = MetricsRegistry()
+    saturation = registry.gauge("repro_pool_saturation")
+    saturation.set(0.2)
+    ticks = iter(range(100))
+    monitor = AlertMonitor(
+        registry.snapshot,
+        parse_rules(["repro_pool_saturation > 0.9"]),
+        interval=0.01,
+        events=EventLog(),
+        clock=lambda: float(next(ticks)),
+    )
+    assert monitor.poll_once() == []
+    assert not monitor.any_fired
+    saturation.set(0.95)
+    assert [t["state"] for t in monitor.poll_once()] == ["fired"]
+    assert monitor.any_fired
+    assert "FIRED repro_pool_saturation > 0.9" in monitor.summary()
+
+
+def test_monitor_skips_failed_scrapes_and_stops_with_a_final_pass():
+    snapshots = [None, breach_snapshot(0.95)]
+
+    def source():
+        return snapshots.pop(0) if snapshots else breach_snapshot(0.95)
+
+    monitor = AlertMonitor(
+        source,
+        parse_rules(["repro_pool_saturation > 0.9"]),
+        interval=5.0,  # the thread never ticks during the test window
+        events=EventLog(),
+    )
+    assert monitor.poll_once() == []  # a failed scrape is a skipped tick
+    monitor.start()
+    monitor.stop()  # stop() runs one final evaluation pass
+    assert monitor.any_fired
+    with pytest.raises(AlertError, match="interval must be positive"):
+        AlertMonitor(source, [], interval=0)
