@@ -21,6 +21,7 @@ at the repository root:
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from pathlib import Path
@@ -38,7 +39,11 @@ MAP_NAME = "sorting-center-small"
 UNITS = 4
 HORIZON = 400
 #: min-of-N repetitions per timing (min is robust against scheduler noise).
-REPEATS = 5
+#: The PR 8 search-core rewrite made the measured run ~10x faster (tens of
+#: ms), so a handful of samples no longer resolves a 5% *relative* budget
+#: against scheduler jitter; many short samples beat few long ones because
+#: the min of a short window escapes noise bursts a long window cannot.
+REPEATS = 25
 OVERHEAD_BUDGET_PCT = 5.0
 CBS_PHASES = ("conflict_detection", "ct_management", "heuristic", "low_level")
 
@@ -66,6 +71,27 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+def _min_of_interleaved(plain_fn, instrumented_fn) -> tuple:
+    """Min-of-``REPEATS`` wall clock for two arms, interleaved so clock-drift
+    hits both equally, with the cyclic GC paused so collection pauses (the
+    instrumented arm allocates ring-retained events/spans) don't land
+    asymmetrically inside one sample — the same discipline ``timeit`` uses.
+    """
+    disabled, enabled = float("inf"), float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            gc.collect()
+            disabled = min(disabled, _timed(plain_fn))
+            gc.collect()
+            enabled = min(enabled, _timed(instrumented_fn))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return disabled, enabled
+
+
 @pytest.fixture(scope="module")
 def overhead(solved):
     designed, solution = solved
@@ -82,10 +108,7 @@ def overhead(solved):
     # arms so clock-frequency drift hits both equally; min-of-N is robust
     # against scheduler noise.
     plain()
-    disabled, enabled = float("inf"), float("inf")
-    for _ in range(REPEATS):
-        disabled = min(disabled, _timed(plain))
-        enabled = min(enabled, _timed(traced))
+    disabled, enabled = _min_of_interleaved(plain, traced)
     pct = (enabled - disabled) / disabled * 100.0 if disabled > 0 else 0.0
     return {
         "disabled_seconds": disabled,
@@ -123,13 +146,11 @@ def events_overhead(solved):
 
     # Same discipline as the tracer benchmark: warm-up, then interleave the
     # two arms so clock drift hits both equally; min-of-N beats the noise.
+    before = log.last_seq
     run()
-    emitted = log.last_seq
+    emitted = log.last_seq - before
     assert emitted > 0, "a disrupted run must emit events"
-    disabled, enabled = float("inf"), float("inf")
-    for _ in range(REPEATS):
-        disabled = min(disabled, _timed(silenced))
-        enabled = min(enabled, _timed(run))
+    disabled, enabled = _min_of_interleaved(silenced, run)
     pct = (enabled - disabled) / disabled * 100.0 if disabled > 0 else 0.0
     return {
         "disabled_seconds": disabled,

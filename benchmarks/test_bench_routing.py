@@ -1,34 +1,44 @@
-"""Experiment E14 (extension): router comparison on a catalog preset.
+"""Experiment E14 (extension): router comparison and MAPF scaling benchmark.
 
-Solves one catalog instance (``sorting-center-small``), executes the realized
-plan through the digital twin once per execution mode — the abstract replay
-and all four grid routers — and emits ``BENCH_routing.json`` at the
-repository root: one row per router with congestion telemetry (path-length
-inflation vs. free-flow, replan episodes, search expansions, edge-load
-peaks), service quality, and the contract-monitor verdict.
+Two sections, one artifact (``BENCH_routing.json`` at the repository root):
 
-This is the machine-readable artifact later routing/performance PRs compare
-against.  The assertions pin the properties the comparison relies on:
+**Router comparison** — solves one catalog instance (``sorting-center-small``),
+executes the realized plan through the digital twin once per execution mode —
+the abstract replay and all four grid routers — and emits one row per router
+with congestion telemetry (path-length inflation vs. free-flow, replan
+episodes, search expansions, edge-load peaks), service quality, and the
+contract-monitor verdict.  Since the release-pacing/corridor fix every grid
+router must finish the full plan with *zero* contract violations and a
+throughput ratio of exactly 1 — the assertions gate on it.
 
-* every router produces a structured row (an incomplete routing run is a
-  *result*, not a crash);
-* grid-routed paths are collision-free — the reservation/constraint machinery
-  must never leak a conflict into an executed plan;
-* the routers that completed deliver exactly what the abstract replay
-  delivers (same logistics, different motion);
-* the bounded-suboptimal routers' inflation is sane (>= 1).
+**Scaling** — synthesized lifelong fleets (seeded, deterministic) across map
+sizes and fleet sizes up to 100 agents on the ``routing-scale-large`` preset
+(~1.4k traversable cells, the ~7% density of the standard warehouse MAPF
+benchmarks).  Before the heuristic-table/SIPP search core the 100-agent runs
+were intractable; the rows pin wall time, expansions, and expansions/sec so
+regressions in the hot path are visible.
+
+The speed-campaign gates compare against the seed baseline this PR replaced
+(CBS on sorting-center-small/10-agents: 76,184 expansions, 6.6 s wall): CBS
+must now use at most a tenth of the expansions and finish within 0.7 s.
 """
 
 from __future__ import annotations
 
-import json
+import random
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import routing_comparison_table, routing_row
 from repro.core import WSPSolver
-from repro.maps.catalog import sorting_center_small
+from repro.maps.catalog import (
+    fulfillment_center_1,
+    routing_scale_large,
+    sorting_center_small,
+)
+from repro.mapf.mapd import IteratedPlanner, IteratedPlannerOptions, LifelongTask
 from repro.sim import ROUTERS, RoutingConfig, SimulationConfig
 from repro.warehouse import Workload
 
@@ -40,6 +50,55 @@ MAP_NAME = "sorting-center-small"
 UNITS = 4
 HORIZON = 400
 
+#: Seed baseline (the pre-campaign search core) on this exact preset: what
+#: CBS cost before the heuristic-table/bucket-queue/SIPP rewrite.  The gates
+#: below hold the rewritten core to >=10x fewer expansions and a sub-second
+#: wall, per the speed-campaign acceptance criteria.
+SEED_CBS_EXPANSIONS = 76_184
+SEED_CBS_WALL_SECONDS = 6.6
+CBS_EXPANSION_BUDGET = SEED_CBS_EXPANSIONS // 10
+CBS_WALL_BUDGET_SECONDS = 0.7
+
+#: Scaling fleets: (map preset, fleet size, engine, suboptimality).  Starts
+#: and goal chains are drawn deterministically; every run must complete.
+SCALING_FLEETS = (
+    ("sorting-center-small", 10, "ecbs", 1.5),
+    ("fulfillment-1", 50, "ecbs", 1.5),
+    ("routing-scale-large", 100, "prioritized", 1.0),
+    ("routing-scale-large", 100, "ecbs", 2.0),
+)
+SCALING_GOALS_PER_AGENT = 3
+SCALING_SEED = 7
+SCALING_TIME_LIMIT_SECONDS = 120.0
+
+
+def _scaling_floorplan(map_name: str):
+    if map_name == "sorting-center-small":
+        return sorting_center_small().designed.warehouse.floorplan
+    if map_name == "fulfillment-1":
+        return fulfillment_center_1().warehouse.floorplan
+    if map_name == "routing-scale-large":
+        return routing_scale_large().warehouse.floorplan
+    raise ValueError(f"unknown scaling map {map_name!r}")
+
+
+def _scaling_tasks(floorplan, num_agents: int) -> list:
+    rng = random.Random(SCALING_SEED)
+    vertices = list(range(floorplan.num_vertices))
+    starts = rng.sample(vertices, num_agents)
+    tasks = []
+    for agent_id, start in enumerate(starts):
+        goals = []
+        for _ in range(SCALING_GOALS_PER_AGENT):
+            goal = rng.choice(vertices)
+            while goal == start or (goals and goal == goals[-1]):
+                goal = rng.choice(vertices)
+            goals.append(goal)
+        tasks.append(
+            LifelongTask(agent_id=agent_id, start=start, goals=tuple(goals))
+        )
+    return tasks
+
 
 @pytest.fixture(scope="module")
 def router_reports():
@@ -49,16 +108,59 @@ def router_reports():
     solution = solver.solve(workload, horizon=HORIZON)
     assert solution.succeeded, solution.message
     reports = {}
+    walls = {}
     for router in ROUTERS:
         routing = None if router == "abstract" else RoutingConfig(router=router)
+        started = time.perf_counter()
         reports[router] = solver.simulate(
             solution, SimulationConfig(routing=routing, record_events=False)
         )
-    return solution, reports
+        walls[router] = time.perf_counter() - started
+    return solution, reports, walls
 
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    rows = []
+    for map_name, num_agents, engine, suboptimality in SCALING_FLEETS:
+        floorplan = _scaling_floorplan(map_name)
+        tasks = _scaling_tasks(floorplan, num_agents)
+        planner = IteratedPlanner(
+            floorplan,
+            IteratedPlannerOptions(
+                engine=engine,
+                suboptimality=suboptimality,
+                time_limit=SCALING_TIME_LIMIT_SECONDS,
+            ),
+        )
+        started = time.perf_counter()
+        result = planner.solve(tasks)
+        wall = time.perf_counter() - started
+        rows.append(
+            {
+                "map": map_name,
+                "vertices": int(floorplan.num_vertices),
+                "agents": int(num_agents),
+                "engine": engine,
+                "suboptimality": float(suboptimality),
+                "goals_total": int(result.goals_total),
+                "goals_completed": int(result.goals_completed),
+                "status": result.status,
+                "completed": float(result.completed),
+                "episodes": int(result.episodes),
+                "expansions": int(result.expansions),
+                "wall_seconds": float(wall),
+                "expansions_per_second": float(result.expansions / max(wall, 1e-9)),
+                "makespan": int(result.makespan),
+            }
+        )
+    return rows
+
+
+# -- router comparison gates ---------------------------------------------------
 
 def test_every_router_produces_a_row(router_reports):
-    _, reports = router_reports
+    _, reports, _ = router_reports
     assert set(reports) == set(ROUTERS)
     for router, report in reports.items():
         row = routing_row(report)
@@ -67,7 +169,7 @@ def test_every_router_produces_a_row(router_reports):
 
 
 def test_grid_routed_paths_never_conflict(router_reports):
-    _, reports = router_reports
+    _, reports, _ = router_reports
     for router, report in reports.items():
         if report.routing is None:
             continue
@@ -76,7 +178,7 @@ def test_grid_routed_paths_never_conflict(router_reports):
 
 
 def test_completed_routers_preserve_service(router_reports):
-    solution, reports = router_reports
+    solution, reports, _ = router_reports
     delivered = solution.plan.total_delivered()
     assert reports["abstract"].units_served == delivered
     for router, report in reports.items():
@@ -85,26 +187,89 @@ def test_completed_routers_preserve_service(router_reports):
             assert report.routing.inflation >= 1.0, router
 
 
-def test_emit_bench_routing_json(router_reports):
+def test_all_routers_complete_with_clean_contracts(router_reports):
+    """The headline regression gate: every execution mode finishes the full
+    plan on the promised timeline with zero AG-contract violations."""
+    _, reports, _ = router_reports
+    for router, report in reports.items():
+        assert report.contracts_ok, f"{router}: {report.num_violations} violations"
+        assert report.num_violations == 0, router
+        assert not report.truncated, router
+        assert report.throughput_ratio <= 1.0 + 1e-9, (
+            f"{router}: ratio {report.throughput_ratio}"
+        )
+        if report.routing is not None:
+            assert report.routing.completed, router
+            assert report.routing.status == "completed", router
+            assert report.routing.goals_completed == report.routing.goals_total
+
+
+def test_cbs_speed_campaign_gates(router_reports):
+    """CBS on sorting-center-small/10-agents: >=10x fewer expansions than the
+    seed core and sub-0.7 s wall (seed: 76,184 expansions / 6.6 s)."""
+    _, reports, walls = router_reports
+    cbs = reports["cbs"].routing
+    assert cbs.expansions <= CBS_EXPANSION_BUDGET, (
+        f"CBS used {cbs.expansions} expansions; budget {CBS_EXPANSION_BUDGET} "
+        f"(seed {SEED_CBS_EXPANSIONS})"
+    )
+    assert walls["cbs"] <= CBS_WALL_BUDGET_SECONDS, (
+        f"CBS took {walls['cbs']:.2f}s; budget {CBS_WALL_BUDGET_SECONDS}s "
+        f"(seed {SEED_CBS_WALL_SECONDS}s)"
+    )
+
+
+# -- scaling gates -------------------------------------------------------------
+
+def test_scaling_fleets_complete(scaling_rows):
+    """Every scaling fleet — up to 100 agents on the large map — completes.
+    These instances were intractable under the seed search core."""
+    for row in scaling_rows:
+        label = f"{row['map']}/{row['agents']}-agents/{row['engine']}"
+        assert row["status"] == "completed", label
+        assert row["goals_completed"] == row["goals_total"], label
+        assert row["wall_seconds"] <= SCALING_TIME_LIMIT_SECONDS, label
+
+
+def test_scaling_includes_100_agent_large_map(scaling_rows):
+    large = [r for r in scaling_rows if r["agents"] >= 100]
+    assert large, "scaling section must include a 100-agent fleet"
+    assert all(r["vertices"] >= 1_000 for r in large)
+
+
+# -- artifact ------------------------------------------------------------------
+
+def test_emit_bench_routing_json(router_reports, scaling_rows):
     """Write the BENCH_routing.json artifact consumed by the perf driver."""
-    solution, reports = router_reports
+    solution, reports, walls = router_reports
     rows = []
     for router in ROUTERS:
         report = reports[router]
         row = routing_row(report)
         row["sim_seconds"] = float(report.seconds)
+        row["wall_seconds"] = float(walls[router])
         row["contracts_ok"] = float(report.contracts_ok)
         rows.append(row)
     document = {
         "schema": "bench-routing",
-        "version": 1,
+        "version": 2,
         "map": MAP_NAME,
         "units": UNITS,
         "horizon": HORIZON,
         "num_agents": solution.num_agents,
         "plan_delivered": solution.plan.total_delivered(),
+        "seed_baseline": {
+            "cbs_expansions": SEED_CBS_EXPANSIONS,
+            "cbs_wall_seconds": SEED_CBS_WALL_SECONDS,
+        },
+        "gates": {
+            "cbs_expansion_budget": CBS_EXPANSION_BUDGET,
+            "cbs_wall_budget_seconds": CBS_WALL_BUDGET_SECONDS,
+        },
         "routers": rows,
+        "scaling": scaling_rows,
     }
     reloaded = write_bench(BENCH_PATH, document)
     assert [row["router"] for row in reloaded["routers"]] == list(ROUTERS)
+    assert len(reloaded["scaling"]) == len(SCALING_FLEETS)
     print("\n" + routing_comparison_table([reports[router] for router in ROUTERS]))

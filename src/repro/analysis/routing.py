@@ -34,13 +34,16 @@ def routing_row(report) -> Dict[str, float]:
         "throughput_ratio": float(report.throughput_ratio),
         "contract_violations": float(report.num_violations),
         "ticks": float(report.ticks),
+        "plan_ticks": float(report.plan_ticks),
+        "truncated": float(report.truncated),
     }
     if routing is None:
-        row.update({"router": "abstract", "completed": 1.0})
+        row.update({"router": "abstract", "completed": 1.0, "status": "completed"})
         return row
     row.update(
         {
             "router": routing.router,
+            "status": routing.status,
             "completed": float(routing.completed),
             "goals_completed": float(routing.goals_completed),
             "goals_total": float(routing.goals_total),

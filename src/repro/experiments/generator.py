@@ -199,6 +199,43 @@ def routing_suite(seed: int = 0) -> List[ScenarioSpec]:
     return specs
 
 
+def routing_scale_suite(seed: int = 0) -> List[ScenarioSpec]:
+    """Grid-routed execution at growing fleet sizes (the MAPF speed campaign).
+
+    Sweeps the ECBS router over fulfillment instances of increasing slice
+    count at constant per-slice load — the co-design fleet grows with the
+    map — plus a windowed-lifelong variant of the largest instance.  Before
+    the heuristic-table/SIPP search core this sweep was intractable; it now
+    runs in seconds and serves as the scenario-level companion of the
+    synthesized-fleet scaling section in ``benchmarks/test_bench_routing.py``.
+    """
+    base = ScenarioSpec(
+        kind="fulfillment",
+        num_slices=2,
+        shelf_columns=5,
+        shelf_bands=3,
+        shelf_depth=1,
+        num_stations=2,
+        num_products=8,
+        horizon=1200,
+        router="ecbs",
+        seed=seed,
+    )
+    specs = [
+        replace(base, num_slices=slices, num_stations=slices, units=12 * slices)
+        for slices in (2, 3, 4)
+    ]
+    specs.append(
+        replace(
+            specs[-1],
+            router="lifelong",
+            routing_window=8,
+            name="routing-scale/lifelong-w8",
+        )
+    )
+    return specs
+
+
 def resilience_suite(seed: int = 0) -> List[ScenarioSpec]:
     """Failure injection over one small instance: the nominal baseline, each
     disruption family in isolation, a combined storm, and a no-recovery
@@ -242,6 +279,7 @@ PRESET_SUITES: Dict[str, Callable[[int], List[ScenarioSpec]]] = {
     "scaling": scaling_suite,
     "mix": mix_suite,
     "routing": routing_suite,
+    "routing-scale": routing_scale_suite,
     "resilience": resilience_suite,
 }
 

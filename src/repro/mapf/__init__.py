@@ -17,8 +17,13 @@ from .astar import (
 from .cbs import CBSOptions, solve_cbs
 from .constraints import Constraint, ConstraintSet, ReservationTable
 from .ecbs import ECBSOptions, solve_ecbs
+from .heuristics import DistanceTables, agent_table, distance_tables
 from .mapd import (
     ENGINES,
+    STATUS_COMPLETED,
+    STATUS_EPISODE_LIMIT,
+    STATUS_STALLED,
+    STATUS_TIME_LIMIT,
     IteratedPlanner,
     IteratedPlannerOptions,
     LifelongError,
@@ -33,6 +38,7 @@ from .problem import (
     MAPFError,
     MAPFProblem,
     MAPFSolution,
+    count_conflicts,
     find_conflicts,
     first_conflict,
     position_at,
@@ -43,6 +49,7 @@ __all__ = [
     "Conflict",
     "Constraint",
     "ConstraintSet",
+    "DistanceTables",
     "ECBSOptions",
     "ENGINES",
     "IteratedPlanner",
@@ -55,8 +62,15 @@ __all__ = [
     "MAPFProblem",
     "MAPFSolution",
     "ReservationTable",
+    "STATUS_COMPLETED",
+    "STATUS_EPISODE_LIMIT",
+    "STATUS_STALLED",
+    "STATUS_TIME_LIMIT",
     "SearchStats",
+    "agent_table",
+    "count_conflicts",
     "count_path_conflicts",
+    "distance_tables",
     "find_conflicts",
     "first_conflict",
     "goal_sequences_from_plan",

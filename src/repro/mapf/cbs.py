@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import span
-from .astar import SearchStats, shortest_path_lengths, space_time_astar
+from .astar import SearchStats, space_time_astar
 from .constraints import Constraint, ConstraintSet
+from .heuristics import agent_table, distance_tables
 from .problem import Conflict, MAPFProblem, MAPFSolution, Path, first_conflict
 
 
@@ -75,14 +76,16 @@ def solve_cbs(
     stats = SearchStats()
     expanded = 0
     generated = 1  # the root
+    deduped = 0
     # Phase timers are placed at CT-node granularity (not inside the low-level
     # expansion loop) so the instrumented search stays within the overhead
     # budget while still splitting the hot path into its four phases.
     with span("mapf.cbs", agents=len(problem.agents)) as sp:
         try:
             with sp.timer("heuristic"):
+                tables = distance_tables(floorplan)
                 heuristics = {
-                    agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+                    agent.agent_id: agent_table(tables, agent)
                     for agent in problem.agents
                 }
 
@@ -117,6 +120,11 @@ def solve_cbs(
                     paths=tuple(root_paths),
                 )
                 open_heap = [root]
+                # Two branches taken in different orders produce identical
+                # constraint sets; replanning such a duplicate CT node repeats
+                # the exact low-level searches of its twin, so dedupe on the
+                # canonical constraint signature before paying for them.
+                seen_signatures = {root_constraints.signature()}
 
             while open_heap:
                 if expanded >= options.max_nodes:
@@ -146,6 +154,12 @@ def solve_cbs(
                     )
                 for constraint in _branch_constraints(conflict):
                     child_constraints = node.constraints.extended(constraint)
+                    with sp.timer("ct_management"):
+                        signature = child_constraints.signature()
+                        if signature in seen_signatures:
+                            deduped += 1
+                            continue
+                        seen_signatures.add(signature)
                     with sp.timer("low_level"):
                         new_path = plan_agent(constraint.agent, child_constraints)
                     if new_path is None:
@@ -168,5 +182,6 @@ def solve_cbs(
         finally:
             sp.add("ct_nodes_expanded", expanded)
             sp.add("ct_nodes_generated", generated)
+            sp.add("ct_nodes_deduped", deduped)
             sp.add("low_level_expansions", stats.expansions)
             sp.add("low_level_generated", stats.generated)

@@ -4,12 +4,20 @@ CBS/ECBS resolve conflicts by branching on *constraints* ("agent a may not be
 at vertex v at time t" / "may not traverse edge (u, v) at time t"); prioritized
 planning and the lifelong planner use a *reservation table* holding the
 space-time cells already claimed by other agents.  Both are provided here.
+
+Beyond the membership tests the seed shipped, both structures expose the
+*interval views* the SIPP low level needs (per-vertex sorted blocked-time
+lists), maintain incremental per-vertex indices so "latest time this vertex is
+touched" is O(1) instead of a scan over every reservation, and — for
+:class:`ConstraintSet` — a canonical :meth:`~ConstraintSet.signature` that
+CBS/ECBS use to dedupe constraint-tree nodes reached via different branch
+orders.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..warehouse.floorplan import VertexId
 
@@ -33,6 +41,11 @@ class Constraint:
         return self.edge_from is not None
 
 
+#: Canonical hashable form of one constraint (``edge_from`` is -1 for vertex
+#: constraints so the tuple stays homogeneous and sortable).
+ConstraintKey = Tuple[int, int, VertexId, int]
+
+
 class ConstraintSet:
     """Constraints indexed for O(1) lookup during low-level search."""
 
@@ -40,6 +53,8 @@ class ConstraintSet:
         self._vertex: Dict[int, Set[Tuple[VertexId, int]]] = {}
         self._edge: Dict[int, Set[Tuple[VertexId, VertexId, int]]] = {}
         self._latest: Dict[int, int] = {}
+        self._blocked_cache: Dict[int, Dict[VertexId, Tuple[int, ...]]] = {}
+        self._signature: Optional[FrozenSet[ConstraintKey]] = None
         for constraint in constraints:
             self.add(constraint)
 
@@ -54,6 +69,8 @@ class ConstraintSet:
                 (constraint.vertex, constraint.timestep)
             )
         self._latest[agent] = max(self._latest.get(agent, 0), constraint.timestep)
+        self._blocked_cache.pop(agent, None)
+        self._signature = None
 
     def extended(self, constraint: Constraint) -> "ConstraintSet":
         """A copy of this set with one extra constraint (used by CBS branching)."""
@@ -80,6 +97,50 @@ class ConstraintSet:
         """
         return self._latest.get(agent, 0)
 
+    def vertex_blocked_times(self, agent: int) -> Dict[VertexId, Tuple[int, ...]]:
+        """Per-vertex sorted blocked timesteps for ``agent`` (SIPP intervals).
+
+        Cached per agent and invalidated by :meth:`add`, so the SIPP low level
+        builds each agent's safe-interval index once per CT node rather than
+        once per expansion.
+        """
+        cached = self._blocked_cache.get(agent)
+        if cached is None:
+            by_vertex: Dict[VertexId, List[int]] = {}
+            for vertex, timestep in self._vertex.get(agent, ()):
+                by_vertex.setdefault(vertex, []).append(timestep)
+            cached = {
+                vertex: tuple(sorted(times)) for vertex, times in by_vertex.items()
+            }
+            self._blocked_cache[agent] = cached
+        return cached
+
+    def latest_vertex_constraint(self, agent: int, vertex: VertexId) -> int:
+        """Latest constrained timestep on ``vertex`` for ``agent`` (-1 if none)."""
+        times = self.vertex_blocked_times(agent).get(vertex)
+        return times[-1] if times else -1
+
+    def edge_constraints(self, agent: int) -> Set[Tuple[VertexId, VertexId, int]]:
+        """The raw edge-constraint triples for ``agent`` (read-only use)."""
+        return self._edge.get(agent, set())
+
+    def signature(self) -> FrozenSet[ConstraintKey]:
+        """Canonical hashable identity of this constraint set.
+
+        Two CT nodes whose constraint sets compare equal here have identical
+        low-level search problems for every agent — regardless of the branch
+        order that produced them — so CBS/ECBS prune the duplicate before
+        paying for its replans.
+        """
+        if self._signature is None:
+            keys: List[ConstraintKey] = []
+            for agent, items in self._vertex.items():
+                keys.extend((agent, -1, vertex, t) for vertex, t in items)
+            for agent, items in self._edge.items():
+                keys.extend((agent, u, v, t) for u, v, t in items)
+            self._signature = frozenset(keys)
+        return self._signature
+
 
 @dataclass
 class ReservationTable:
@@ -90,16 +151,35 @@ class ReservationTable:
     ``t`` as taken (so the opposite move would be a swap).  ``parked[(v)]``
     records agents that sit on ``v`` forever from a given time (agents resting
     at their goal).
+
+    Per-vertex indices (`blocked times`, latest touch) are maintained
+    incrementally on :meth:`reserve_path`, so the SIPP low level reads sorted
+    interval boundaries and the target-conflict rule answers "latest transit
+    through the goal" in O(1).
     """
 
     vertex_reservations: Set[Tuple[VertexId, int]] = field(default_factory=set)
     edge_reservations: Set[Tuple[VertexId, VertexId, int]] = field(default_factory=set)
     parked: Dict[VertexId, int] = field(default_factory=dict)
+    _vertex_times: Dict[VertexId, Set[int]] = field(default_factory=dict, repr=False)
+    _vertex_latest: Dict[VertexId, int] = field(default_factory=dict, repr=False)
+    _latest: int = field(default=0, repr=False)
+    _blocked_cache: Dict[VertexId, Tuple[int, ...]] = field(
+        default_factory=dict, repr=False
+    )
 
     def reserve_path(self, path: Sequence[VertexId], park_at_goal: bool = True) -> None:
         """Reserve every space-time cell of a path (and optionally its goal forever)."""
         for t, vertex in enumerate(path):
-            self.vertex_reservations.add((vertex, t))
+            cell = (vertex, t)
+            if cell not in self.vertex_reservations:
+                self.vertex_reservations.add(cell)
+                self._vertex_times.setdefault(vertex, set()).add(t)
+                if t > self._vertex_latest.get(vertex, -1):
+                    self._vertex_latest[vertex] = t
+                if t > self._latest:
+                    self._latest = t
+                self._blocked_cache.pop(vertex, None)
             if t:
                 self.edge_reservations.add((path[t - 1], vertex, t))
         if park_at_goal and path:
@@ -115,6 +195,23 @@ class ReservationTable:
         parked_from = self.parked.get(vertex)
         return parked_from is None or timestep < parked_from
 
+    def blocked_times(self, vertex: VertexId) -> Tuple[int, ...]:
+        """Sorted timesteps at which ``vertex`` is reserved by a transit.
+
+        The parked tail is *not* included — callers read ``parked[vertex]``
+        directly, because a parked vertex is blocked on an unbounded interval
+        rather than at discrete ticks.
+        """
+        cached = self._blocked_cache.get(vertex)
+        if cached is None:
+            cached = tuple(sorted(self._vertex_times.get(vertex, ())))
+            self._blocked_cache[vertex] = cached
+        return cached
+
+    def parked_from(self, vertex: VertexId) -> Optional[int]:
+        """First timestep of the unbounded parked interval at ``vertex``."""
+        return self.parked.get(vertex)
+
     def latest_vertex_time(self, vertex: VertexId) -> int:
         """The last timestep at which ``vertex`` is reserved (-1 when never).
 
@@ -122,11 +219,7 @@ class ReservationTable:
         rest forever) at a vertex after every transiting reservation through it
         has passed.
         """
-        latest = -1
-        for reserved_vertex, timestep in self.vertex_reservations:
-            if reserved_vertex == vertex and timestep > latest:
-                latest = timestep
-        return latest
+        return self._vertex_latest.get(vertex, -1)
 
     def is_move_free(self, from_vertex: VertexId, to_vertex: VertexId, timestep: int) -> bool:
         """Whether moving ``from -> to`` arriving at ``timestep`` is allowed."""
@@ -136,7 +229,4 @@ class ReservationTable:
         return (to_vertex, from_vertex, timestep) not in self.edge_reservations
 
     def latest_reserved_time(self) -> int:
-        latest = 0
-        for _, t in self.vertex_reservations:
-            latest = max(latest, t)
-        return latest
+        return self._latest

@@ -6,8 +6,8 @@ ECBS(w) relaxes CBS at both levels with focal search:
   optimum, preferring paths that collide little with the other agents
   (:func:`repro.mapf.astar.space_time_focal_astar`);
 * the high level keeps, next to the cost-ordered open list, a *focal list*
-  of nodes whose lower bound is within ``w`` of the global lower bound and
-  expands the one with the fewest conflicts.
+  of nodes whose cost is within ``w`` of the global lower bound and expands
+  the one with the fewest conflicts.
 
 The result is a solution whose sum-of-costs is at most ``w`` times the optimal
 one, found orders of magnitude faster than CBS on congested instances.  EECBS
@@ -15,6 +15,13 @@ one, found orders of magnitude faster than CBS on congested instances.  EECBS
 the scaling behaviour that matters for the paper's comparison — exponential
 growth with team size and plan length — is shared by the whole family, and the
 lifelong wrapper in :mod:`repro.mapf.mapd` is built on this solver.
+
+The high level maintains the open/focal pair incrementally (three lazy heaps:
+lower-bound order, cost order for unswept nodes, and the focal heap itself)
+instead of rescanning and re-sorting the whole open list per expansion, reuses
+the shared per-goal distance tables, counts child conflicts without
+materializing conflict objects, and dedupes constraint-tree nodes whose
+constraint sets were already explored via a different branch order.
 """
 
 from __future__ import annotations
@@ -22,14 +29,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..obs import span
-from .astar import SearchStats, shortest_path_lengths, space_time_focal_astar
+from .astar import SearchStats, space_time_focal_astar
 from .cbs import _branch_constraints
 from .constraints import ConstraintSet
-from .problem import MAPFProblem, MAPFSolution, Path, find_conflicts, first_conflict
+from .heuristics import agent_table, distance_tables
+from .problem import MAPFProblem, MAPFSolution, Path, count_conflicts, first_conflict
 
 
 @dataclass
@@ -54,6 +62,7 @@ class _Node:
     constraints: ConstraintSet
     paths: Tuple[Path, ...]
     bounds: Tuple[int, ...]
+    expanded: bool = False
 
 
 def solve_ecbs(
@@ -66,13 +75,15 @@ def solve_ecbs(
     stats = SearchStats()
     expanded = 0
     generated = 1  # the root
+    deduped = 0
     with span(
         "mapf.ecbs", agents=len(problem.agents), suboptimality=options.suboptimality
     ) as sp:
         try:
             with sp.timer("heuristic"):
+                tables = distance_tables(floorplan)
                 heuristics = {
-                    agent.agent_id: shortest_path_lengths(floorplan, agent.goal)
+                    agent.agent_id: agent_table(tables, agent)
                     for agent in problem.agents
                 }
 
@@ -107,7 +118,7 @@ def solve_ecbs(
 
             counter = itertools.count()
             with sp.timer("conflict_detection"):
-                root_conflicts = len(find_conflicts(root_paths))
+                root_conflicts = count_conflicts(root_paths)
             with sp.timer("ct_management"):
                 root = _Node(
                     cost=sum(len(p) - 1 for p in root_paths),
@@ -118,13 +129,50 @@ def solve_ecbs(
                     paths=tuple(root_paths),
                     bounds=tuple(root_bounds),
                 )
-                # open: ordered by lower bound; focal: by number of conflicts.
-                open_list: List[Tuple[int, int, _Node]] = [
+                # open: by lower bound (exact min via lazy pops); unswept: by
+                # cost, swept into focal once the w * LB threshold reaches
+                # them; focal: by (conflicts, cost, insertion).
+                open_heap: List[Tuple[int, int, _Node]] = [
                     (root.lower_bound, root.order, root)
                 ]
+                unswept: List[Tuple[int, int, _Node]] = [(root.cost, root.order, root)]
+                focal: List[Tuple[int, int, int, _Node]] = []
+                seen_signatures = {root_constraints.signature()}
+            best_bound = root.lower_bound
 
-            while open_list:
-                if expanded >= options.max_nodes:
+            while True:
+                with sp.timer("ct_management"):
+                    while open_heap and open_heap[0][2].expanded:
+                        heapq.heappop(open_heap)
+                    if not open_heap:
+                        break
+                    best_bound = open_heap[0][0]
+                    threshold = options.suboptimality * best_bound
+                    while unswept and unswept[0][0] <= threshold:
+                        _, order, node = heapq.heappop(unswept)
+                        if not node.expanded:
+                            heapq.heappush(
+                                focal, (node.conflicts, node.cost, order, node)
+                            )
+                    node = None
+                    while focal:
+                        _, cost, order, candidate = heapq.heappop(focal)
+                        if candidate.expanded:
+                            continue
+                        if cost > threshold:
+                            # The lower bound moved down (a child undercut its
+                            # parent); park the node until the window regrows.
+                            heapq.heappush(unswept, (cost, order, candidate))
+                            continue
+                        node = candidate
+                        break
+                    if node is None:
+                        # Every focal candidate drained; the node holding the
+                        # minimum lower bound is always eligible, re-sweep.
+                        continue
+                    node.expanded = True
+                expanded += 1
+                if expanded > options.max_nodes:
                     sp.set_attr("outcome", "node_limit")
                     return None
                 if (
@@ -133,17 +181,6 @@ def solve_ecbs(
                 ):
                     sp.set_attr("outcome", "time_limit")
                     return None
-                with sp.timer("ct_management"):
-                    best_bound = min(item[0] for item in open_list)
-                    threshold = options.suboptimality * best_bound
-                    focal = [item for item in open_list if item[2].cost <= threshold]
-                    focal.sort(
-                        key=lambda item: (item[2].conflicts, item[2].cost, item[1])
-                    )
-                    chosen = focal[0]
-                    open_list.remove(chosen)
-                node = chosen[2]
-                expanded += 1
 
                 with sp.timer("conflict_detection"):
                     conflict = first_conflict(node.paths)
@@ -163,6 +200,12 @@ def solve_ecbs(
                     )
                 for constraint in _branch_constraints(conflict):
                     child_constraints = node.constraints.extended(constraint)
+                    with sp.timer("ct_management"):
+                        signature = child_constraints.signature()
+                        if signature in seen_signatures:
+                            deduped += 1
+                            continue
+                        seen_signatures.add(signature)
                     other_paths = [
                         path
                         for i, path in enumerate(node.paths)
@@ -180,7 +223,7 @@ def solve_ecbs(
                     child_bounds = list(node.bounds)
                     child_bounds[constraint.agent] = new_bound
                     with sp.timer("conflict_detection"):
-                        child_conflicts = len(find_conflicts(child_paths))
+                        child_conflicts = count_conflicts(child_paths)
                     with sp.timer("ct_management"):
                         child = _Node(
                             cost=sum(len(p) - 1 for p in child_paths),
@@ -191,12 +234,16 @@ def solve_ecbs(
                             paths=tuple(child_paths),
                             bounds=tuple(child_bounds),
                         )
-                        open_list.append((child.lower_bound, child.order, child))
+                        heapq.heappush(
+                            open_heap, (child.lower_bound, child.order, child)
+                        )
+                        heapq.heappush(unswept, (child.cost, child.order, child))
                     generated += 1
             sp.set_attr("outcome", "exhausted")
             return None
         finally:
             sp.add("ct_nodes_expanded", expanded)
             sp.add("ct_nodes_generated", generated)
+            sp.add("ct_nodes_deduped", deduped)
             sp.add("low_level_expansions", stats.expansions)
             sp.add("low_level_generated", stats.generated)

@@ -1,0 +1,178 @@
+"""Shared true-distance heuristic tables for the MAPF search core.
+
+Every low-level search in this package is guided by the single-agent BFS
+distance-to-goal — the classic admissible, consistent MAPF heuristic.  The
+seed implementation recomputed that BFS (a per-vertex Python dict) once per
+``shortest_path_lengths`` call, i.e. once per agent per CBS/ECBS *episode*;
+on lifelong instances with dozens of replan episodes the heuristic phase
+alone rivalled the search itself.
+
+:class:`DistanceTables` fixes the cost structure:
+
+* the floorplan's adjacency is flattened once into CSR-style numpy arrays
+  (``indptr`` / ``indices``), so a BFS wavefront expands with vectorized
+  gather/scatter operations instead of per-neighbor dict probes;
+* one ``int32`` distance row is computed per *goal vertex* and memoized, so
+  every low-level call, every CT node, and every replan episode that targets
+  the same goal shares one table;
+* tables are cached per floorplan (keyed by object identity with weak
+  cleanup), matching the ``FloorplanGraph.from_grid`` memo: repeated scenario
+  builds of one map share both the graph and its distance tables.
+
+Unreachable vertices hold :data:`UNREACHABLE` (-1); callers test with
+``table[v] >= 0`` instead of dict membership.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..warehouse.floorplan import FloorplanGraph, VertexId
+
+#: Sentinel distance for vertices a goal cannot be reached from.
+UNREACHABLE = -1
+
+
+class DistanceTables:
+    """Per-floorplan cache of vectorized single-source BFS distance rows."""
+
+    def __init__(self, floorplan: FloorplanGraph) -> None:
+        adjacency = floorplan.adjacency
+        degrees = np.fromiter(
+            (len(neighbors) for neighbors in adjacency),
+            dtype=np.int64,
+            count=len(adjacency),
+        )
+        self.num_vertices = len(adjacency)
+        self.indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.indptr[1:])
+        self.indices = np.fromiter(
+            (n for neighbors in adjacency for n in neighbors),
+            dtype=np.int64,
+            count=int(self.indptr[-1]),
+        )
+        self._tables: Dict[VertexId, np.ndarray] = {}
+        self._masked: Dict[Tuple[VertexId, FrozenSet[VertexId]], np.ndarray] = {}
+
+    def table(
+        self, goal: VertexId, corridor: Optional[FrozenSet[VertexId]] = None
+    ) -> np.ndarray:
+        """BFS distances to ``goal`` as an ``int32`` row (-1 = unreachable).
+
+        With a ``corridor`` (an allowed-vertex set), distances are computed on
+        the induced subgraph: vertices outside the corridor stay -1, which the
+        low-level searches treat as walls — the standard way to confine an
+        agent's motion to a designated region of the floorplan.
+        """
+        if corridor is None:
+            cached = self._tables.get(goal)
+            if cached is None:
+                cached = self._bfs(goal)
+                self._tables[goal] = cached
+            return cached
+        key = (goal, corridor)
+        cached = self._masked.get(key)
+        if cached is None:
+            allowed = np.zeros(self.num_vertices, dtype=bool)
+            allowed[list(corridor)] = True
+            cached = self._bfs(goal, allowed)
+            self._masked[key] = cached
+        return cached
+
+    def distance(self, source: VertexId, goal: VertexId) -> int:
+        """True single-agent distance ``source -> goal`` (-1 when unreachable)."""
+        return int(self.table(goal)[source])
+
+    def _bfs(self, source: VertexId, allowed: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vectorized BFS wavefront over the CSR adjacency."""
+        distances = np.full(self.num_vertices, UNREACHABLE, dtype=np.int32)
+        if not 0 <= source < self.num_vertices:
+            raise ValueError(f"BFS source {source} outside the floorplan")
+        if allowed is not None and not allowed[source]:
+            return distances
+        distances[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            starts = self.indptr[frontier]
+            counts = self.indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather every neighbor of the wavefront in one shot: for each
+            # frontier vertex expand its CSR slice [start, start+count).
+            offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+            neighbors = self.indices[offsets + np.arange(total)]
+            fresh_mask = distances[neighbors] == UNREACHABLE
+            if allowed is not None:
+                fresh_mask &= allowed[neighbors]
+            fresh = neighbors[fresh_mask]
+            if fresh.size == 0:
+                break
+            frontier = np.unique(fresh)
+            depth += 1
+            distances[frontier] = depth
+        return distances
+
+    @property
+    def cached_goals(self) -> int:
+        return len(self._tables)
+
+
+#: Weak per-floorplan registry: tables die with their graph.
+_TABLES: "weakref.WeakValueDictionary[int, DistanceTables]" = weakref.WeakValueDictionary()
+_OWNERS: "weakref.WeakValueDictionary[int, FloorplanGraph]" = weakref.WeakValueDictionary()
+
+
+def distance_tables(floorplan: FloorplanGraph) -> DistanceTables:
+    """The shared :class:`DistanceTables` of a floorplan graph.
+
+    Keyed by object identity (floorplan graphs are memoized and treated as
+    immutable); a dead graph releases its tables, and an identity collision
+    with a *different* live graph is impossible while the owner is alive.
+    """
+    key = id(floorplan)
+    tables = _TABLES.get(key)
+    if tables is not None and _OWNERS.get(key) is floorplan:
+        return tables
+    tables = DistanceTables(floorplan)
+    _TABLES[key] = tables
+    _OWNERS[key] = floorplan
+    return tables
+
+
+def agent_table(tables: DistanceTables, agent) -> np.ndarray:
+    """Distance row for one MAPF agent, honoring its corridor when usable.
+
+    Falls back to the unmasked table when the corridor does not connect the
+    agent's start to its goal (e.g. the agent strayed off its corridor while
+    idling) — confinement is a routing preference, never a completeness trap.
+    """
+    corridor = getattr(agent, "corridor", None)
+    if corridor is not None:
+        table = tables.table(agent.goal, corridor)
+        if table[agent.start] >= 0:
+            return table
+    return tables.table(agent.goal)
+
+
+def heuristic_array(
+    floorplan: FloorplanGraph, goal: VertexId, heuristic=None
+) -> Optional[np.ndarray]:
+    """Normalize a caller-provided heuristic into an ``int32`` distance row.
+
+    Accepts ``None`` (compute/share the true-distance table), an ndarray
+    (used as-is), or the legacy ``Dict[vertex, distance]`` shape the public
+    API documented before the table rewrite.
+    """
+    if heuristic is None:
+        return distance_tables(floorplan).table(goal)
+    if isinstance(heuristic, np.ndarray):
+        return heuristic
+    table = np.full(floorplan.num_vertices, UNREACHABLE, dtype=np.int32)
+    for vertex, value in heuristic.items():
+        table[vertex] = value
+    return table

@@ -25,6 +25,25 @@ large windows amortize the search but commit to stale paths longer.  The
 grid-routed execution mode of :mod:`repro.sim.routing` exposes exactly this
 trade-off.
 
+Tasks may carry per-goal *release ticks*.  A released goal is dispatched only
+when it can no longer be finished early — when ``now + distance >= release``
+— so arrivals never precede the tick the upstream plan promised.  This is how
+the grid-routed simulator keeps the routed run on the abstract plan's
+timeline: without pacing, routers compress a 400-tick plan into ~150 ticks
+and every per-period flow rate the AG contracts promised is overshot.
+Agents whose next goal is not yet released idle in place (retreating off task
+endpoints as usual), episodes are committed only up to the next release
+event, and stretches where *nothing* is dispatchable fast-forward without a
+solver call.
+
+An episode the engine cannot solve no longer silently truncates the run.
+The planner retries with progressively fewer dispatched agents (holding the
+agents with the most release slack first — the classic MAPD fallback of
+parking low-urgency agents out of the way); only when not even a single
+agent can make progress does it stop, and then the result carries an
+explicit ``status`` ("stalled" / "episode_limit" / "time_limit") instead of
+masquerading as a short-but-complete plan.
+
 The runtime of this baseline grows steeply with the number of agents and with
 the number of goals per agent, which is exactly the scaling contrast the
 paper's evaluation reports (the baseline fails to terminate within an hour on
@@ -35,18 +54,30 @@ minute).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..warehouse.floorplan import FloorplanGraph, VertexId
 from ..warehouse.plan import Plan
 from .cbs import CBSOptions, solve_cbs
 from .ecbs import ECBSOptions, solve_ecbs
+from .heuristics import distance_tables
 from .prioritized import solve_prioritized
 from .problem import MAPFProblem, MAPFSolution, find_conflicts
 
 #: Solvers usable as the per-episode engine.
 ENGINES = ("ecbs", "cbs", "prioritized")
+
+#: Node budget for the demotion-ladder retries of an unsolvable episode: the
+#: reduced instances are near-trivial when solvable at all, so failing fast
+#: beats burning the full per-episode budget on each rung.
+_FALLBACK_NODE_LIMIT = 2_000
+
+#: Lifelong run outcomes (``LifelongResult.status``).
+STATUS_COMPLETED = "completed"
+STATUS_STALLED = "stalled"
+STATUS_EPISODE_LIMIT = "episode_limit"
+STATUS_TIME_LIMIT = "time_limit"
 
 
 class LifelongError(ValueError):
@@ -55,11 +86,34 @@ class LifelongError(ValueError):
 
 @dataclass
 class LifelongTask:
-    """One agent's start position and ordered goal sequence."""
+    """One agent's start position and ordered goal sequence.
+
+    ``releases`` optionally pins each goal to a release tick: the planner
+    dispatches the agent so it arrives no earlier than ``releases[k]`` at
+    ``goals[k]``.  Empty means "as fast as possible" (the legacy behaviour).
+    """
 
     agent_id: int
     start: VertexId
     goals: Tuple[VertexId, ...]
+    releases: Tuple[int, ...] = ()
+    #: Optional per-goal allowed-vertex sets (``None`` entries = unconfined):
+    #: while pursuing goal ``k`` the agent's motion is confined to
+    #: ``corridors[k]`` — how the grid router keeps each leg on the traffic
+    #: system's designated circuit.
+    corridors: Tuple[Optional[FrozenSet[VertexId]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.releases and len(self.releases) != len(self.goals):
+            raise LifelongError(
+                f"agent {self.agent_id}: {len(self.releases)} release ticks "
+                f"for {len(self.goals)} goals"
+            )
+        if self.corridors and len(self.corridors) != len(self.goals):
+            raise LifelongError(
+                f"agent {self.agent_id}: {len(self.corridors)} corridors "
+                f"for {len(self.goals)} goals"
+            )
 
 
 @dataclass
@@ -79,16 +133,29 @@ class LifelongResult:
     #: that replay the plan (the grid-routed simulator) use these to anchor
     #: load changes to the tick the agent actually stood on the waypoint.
     goal_arrivals: Tuple[Tuple[int, ...], ...] = ()
+    #: Per agent, the tick each completed goal's leg was dispatched (the agent
+    #: started pursuing it).  ``arrival - leg_start`` is the leg's true travel
+    #: cost — under release pacing, raw arrivals mostly measure planned
+    #: waiting, not congestion.
+    leg_starts: Tuple[Tuple[int, ...], ...] = ()
+    #: Why the run ended: "completed", or the explicit truncation reason
+    #: ("stalled" | "episode_limit" | "time_limit").
+    status: str = STATUS_COMPLETED
 
     @property
     def makespan(self) -> int:
         return max((len(p) - 1 for p in self.paths), default=0)
 
+    @property
+    def truncated(self) -> bool:
+        """True when the run ended before every goal was served."""
+        return not self.completed
+
     def is_collision_free(self) -> bool:
         return not find_conflicts(self.paths)
 
     def summary(self) -> str:
-        status = "completed" if self.completed else "TIMED OUT"
+        status = "completed" if self.completed else f"TRUNCATED ({self.status})"
         return (
             f"iterated {self.engine}: {status}, {self.goals_completed}/{self.goals_total} goals, "
             f"{self.episodes} episodes, makespan {self.makespan}, "
@@ -130,36 +197,103 @@ class IteratedPlanner:
     def solve(self, tasks: Sequence[LifelongTask]) -> LifelongResult:
         start_time = time.perf_counter()
         options = self.options
+        tables = distance_tables(self.floorplan)
         pending: Dict[int, List[VertexId]] = {
             task.agent_id: list(task.goals) for task in tasks
+        }
+        release_queues: Dict[int, List[int]] = {
+            task.agent_id: list(task.releases) if task.releases else [0] * len(task.goals)
+            for task in tasks
+        }
+        corridor_queues: Dict[int, List[Optional[FrozenSet[VertexId]]]] = {
+            task.agent_id: (
+                list(task.corridors) if task.corridors else [None] * len(task.goals)
+            )
+            for task in tasks
         }
         positions: Dict[int, VertexId] = {task.agent_id: task.start for task in tasks}
         cumulative: Dict[int, List[VertexId]] = {
             task.agent_id: [task.start] for task in tasks
         }
         arrivals: Dict[int, List[int]] = {task.agent_id: [] for task in tasks}
+        #: Last corridor of agents whose goal queue has drained — they keep
+        #: idling inside it instead of wandering the open floorplan.
+        finished_corridor: Dict[int, Optional[FrozenSet[VertexId]]] = {}
+        leg_starts: Dict[int, List[int]] = {task.agent_id: [] for task in tasks}
         goals_total = sum(len(task.goals) for task in tasks)
         goals_completed = 0
         expansions = 0
         episodes = 0
+        now = 0
+        status = STATUS_COMPLETED
 
         while any(pending.values()):
             if episodes >= options.max_episodes:
+                status = STATUS_EPISODE_LIMIT
                 break
             if (
                 options.time_limit is not None
                 and time.perf_counter() - start_time > options.time_limit
             ):
+                status = STATUS_TIME_LIMIT
                 break
+
+            # -- release gating: a goal is dispatched once it can no longer be
+            # finished before its release tick (now + distance >= release);
+            # travel takes at least the BFS distance, so a gated dispatch can
+            # never arrive early.  Every agent — dispatched, gated, or done —
+            # stays confined to its current leg corridor: a confined leg is
+            # worthless if the agent may wander off-circuit while waiting.
+            active: Dict[int, VertexId] = {}
+            urgency: Dict[int, int] = {}
+            corridors: Dict[int, Optional[FrozenSet[VertexId]]] = {}
+            next_dispatch: Optional[int] = None
+            for task in tasks:
+                queue = pending[task.agent_id]
+                if not queue:
+                    corridors[task.agent_id] = finished_corridor.get(task.agent_id)
+                    continue
+                corridors[task.agent_id] = corridor_queues[task.agent_id][0]
+                goal = queue[0]
+                release = release_queues[task.agent_id][0]
+                distance = tables.distance(positions[task.agent_id], goal)
+                dispatch_at = release - max(0, distance)
+                if now >= dispatch_at:
+                    active[task.agent_id] = goal
+                    urgency[task.agent_id] = release
+                    if len(leg_starts[task.agent_id]) == len(arrivals[task.agent_id]):
+                        leg_starts[task.agent_id].append(now)
+                elif next_dispatch is None or dispatch_at < next_dispatch:
+                    next_dispatch = dispatch_at
+
+            if not active:
+                if next_dispatch is None:
+                    # Unreachable goals only; treat as a stall, not success.
+                    status = STATUS_STALLED
+                    break
+                # Nothing is dispatchable yet: fast-forward to the next
+                # release event without paying for a solver episode.
+                steps = next_dispatch - now
+                for task in tasks:
+                    cumulative[task.agent_id].extend(
+                        [positions[task.agent_id]] * steps
+                    )
+                now = next_dispatch
+                continue
+
             episodes += 1
-            problem = self._episode_problem(tasks, positions, pending)
+            pending_cells = {queue[0] for queue in pending.values() if queue}
             remaining = None
             if options.time_limit is not None:
                 remaining = options.time_limit - (time.perf_counter() - start_time)
                 if remaining <= 0:
+                    status = STATUS_TIME_LIMIT
                     break
-            solution = self._solve_episode(problem, remaining)
+            solution, solved_active = self._solve_with_fallback(
+                tasks, positions, active, urgency, corridors, pending_cells, remaining
+            )
             if solution is None:
+                status = STATUS_STALLED
                 break
             expansions += solution.expansions
             horizon = max(len(path) for path in solution.paths)
@@ -171,6 +305,10 @@ class IteratedPlanner:
                 if options.commit_window is None
                 else min(horizon, options.commit_window + 1)
             )
+            if next_dispatch is not None:
+                # Stop the commit at the next release event so freshly
+                # released goals are planned the tick they become urgent.
+                commit = min(commit, next_dispatch - now + 1)
             for task, path in zip(tasks, solution.paths):
                 agent_id = task.agent_id
                 base = len(cumulative[agent_id]) - 1  # tick of the current position
@@ -178,8 +316,16 @@ class IteratedPlanner:
                 committed = padded[:commit]
                 cumulative[agent_id].extend(committed[1:])
                 positions[agent_id] = committed[-1]
-                if pending[agent_id] and committed[-1] == pending[agent_id][0]:
+                if (
+                    agent_id in solved_active
+                    and pending[agent_id]
+                    and committed[-1] == pending[agent_id][0]
+                ):
                     pending[agent_id].pop(0)
+                    release_queues[agent_id].pop(0)
+                    done_corridor = corridor_queues[agent_id].pop(0)
+                    if not corridor_queues[agent_id]:
+                        finished_corridor[agent_id] = done_corridor
                     goals_completed += 1
                     # The goal is normally reached at the path's end (index
                     # len(path) - 1); under a commit window the agent may also
@@ -187,6 +333,7 @@ class IteratedPlanner:
                     # while still en route (reservation detours can revisit
                     # the goal vertex), so clamp into the committed range.
                     arrivals[agent_id].append(base + min(len(path), commit) - 1)
+            now += commit - 1
 
         return LifelongResult(
             completed=not any(pending.values()),
@@ -198,84 +345,161 @@ class IteratedPlanner:
             runtime_seconds=time.perf_counter() - start_time,
             engine=options.engine,
             goal_arrivals=tuple(tuple(arrivals[task.agent_id]) for task in tasks),
+            leg_starts=tuple(
+                tuple(leg_starts[task.agent_id][: len(arrivals[task.agent_id])])
+                for task in tasks
+            ),
+            status=status if any(pending.values()) else STATUS_COMPLETED,
         )
 
     # -- internals --------------------------------------------------------------------
+    def _solve_with_fallback(
+        self,
+        tasks: Sequence[LifelongTask],
+        positions: Dict[int, VertexId],
+        active: Dict[int, VertexId],
+        urgency: Dict[int, int],
+        corridors: Dict[int, Optional[FrozenSet[VertexId]]],
+        pending_cells: Set[VertexId],
+        time_limit: Optional[float],
+    ) -> Tuple[Optional[MAPFSolution], Set[int]]:
+        """Solve the episode, demoting low-urgency agents when it is unsolvable.
+
+        Returns ``(solution, dispatched_agents)``; demoted agents idle this
+        episode (retreating off task endpoints) and are retried next episode
+        from the new configuration.  Demotion order: latest release first
+        (most slack), ties by agent id — the most urgent agent is held last.
+        """
+        problem = self._episode_problem(
+            tasks, positions, active, pending_cells, corridors
+        )
+        solution = self._solve_episode(problem, time_limit, set(active))
+        if solution is not None or len(active) <= 1:
+            return solution, set(active)
+        by_urgency = sorted(active, key=lambda a: (urgency.get(a, 0), a))
+        for keep in range(len(by_urgency) - 1, 0, -1):
+            subset = {agent_id: active[agent_id] for agent_id in by_urgency[:keep]}
+            problem = self._episode_problem(
+                tasks, positions, subset, pending_cells, corridors
+            )
+            solution = self._solve_episode(
+                problem, time_limit, set(subset), node_limit=_FALLBACK_NODE_LIMIT
+            )
+            if solution is not None:
+                return solution, set(subset)
+        return None, set()
+
     def _episode_problem(
         self,
         tasks: Sequence[LifelongTask],
         positions: Dict[int, VertexId],
-        pending: Dict[int, List[VertexId]],
+        active: Dict[int, VertexId],
+        pending_cells: Set[VertexId],
+        corridors: Optional[Dict[int, Optional[FrozenSet[VertexId]]]] = None,
     ) -> MAPFProblem:
         goals: Dict[int, VertexId] = {}
         taken: set = set()
-        pending_cells = {queue[0] for queue in pending.values() if queue}
 
-        # First pass — agents with pending work head for their next goal; two
-        # agents aiming at the same cell in the same episode cannot both finish
+        # First pass — dispatched agents head for their next goal; two agents
+        # aiming at the same cell in the same episode cannot both finish
         # there, so the later one waits this episode.
         for task in tasks:
-            queue = pending[task.agent_id]
-            if not queue:
+            goal = active.get(task.agent_id)
+            if goal is None:
                 continue
             current = positions[task.agent_id]
-            goal = queue[0]
             if goal != current and goal in taken:
                 goal = current
             taken.add(goal)
             goals[task.agent_id] = goal
 
-        # Second pass — idle agents park where they are unless they block a
-        # pending goal or an assigned episode goal, in which case they retreat
-        # to the nearest free cell (the usual MAPD "move idle agents off task
-        # endpoints" rule).
+        # Second pass — idle agents (no pending work, a gated release, or
+        # demoted by the fallback ladder) park where they are unless they
+        # block a pending goal or an assigned episode goal, in which case
+        # they retreat to the nearest free cell (the usual MAPD "move idle
+        # agents off task endpoints" rule).  Retreats honor the agent's
+        # corridor: an idle agent stepping off-circuit would cross component
+        # boundaries the traffic contracts never promised flow on.
         for task in tasks:
             if task.agent_id in goals:
                 continue
             current = positions[task.agent_id]
             goal = current
             if current in pending_cells or current in taken:
-                goal = self._retreat_target(current, pending_cells | taken)
+                goal = self._retreat_target(
+                    current,
+                    pending_cells | taken,
+                    (corridors or {}).get(task.agent_id),
+                )
             taken.add(goal)
             goals[task.agent_id] = goal
 
+        # Every agent is masked by its current leg corridor (waiting and
+        # retreating included); solvers quietly drop a mask that does not
+        # connect an agent's start to its episode goal.
         pairs = [(positions[task.agent_id], goals[task.agent_id]) for task in tasks]
-        return MAPFProblem.from_pairs(self.floorplan, pairs)
+        masks = [(corridors or {}).get(task.agent_id) for task in tasks]
+        return MAPFProblem.from_pairs(self.floorplan, pairs, corridors=masks)
 
-    def _retreat_target(self, start: VertexId, blocked: set) -> VertexId:
-        """Nearest reachable vertex not in ``blocked``.
+    def _retreat_target(
+        self,
+        start: VertexId,
+        blocked: set,
+        corridor: Optional[FrozenSet[VertexId]] = None,
+    ) -> VertexId:
+        """Nearest reachable vertex not in ``blocked`` (within the corridor).
 
         Must never raise: when every reachable vertex is blocked (tiny or
-        saturated floorplans where all free cells are task endpoints), the
-        agent waits in place — ``start`` is returned as the sentinel even
-        though it is itself blocked.  The episode then degrades gracefully
-        (the blocked agent parks and the solver reports the episode
-        unsolvable or routes around it) instead of crashing the whole
-        lifelong run.
+        saturated floorplans where all free cells are task endpoints, or a
+        corridor with no spare cell), the agent waits in place — ``start`` is
+        returned as the sentinel even though it is itself blocked.  The
+        episode then degrades gracefully (the blocked agent parks and the
+        solver reports the episode unsolvable or routes around it) instead of
+        crashing the whole lifelong run.
         """
+        allowed = corridor if corridor is not None and start in corridor else None
         distances = self.floorplan.bfs_distances(start)
         for vertex in sorted(distances, key=distances.get):
+            if allowed is not None and vertex not in allowed:
+                continue
             if vertex not in blocked:
                 return vertex
         # Fully blocked: wait in place (sentinel), never raise.
         return start
 
     def _solve_episode(
-        self, problem: MAPFProblem, time_limit: Optional[float]
+        self,
+        problem: MAPFProblem,
+        time_limit: Optional[float],
+        dispatched: Set[int],
+        node_limit: Optional[int] = None,
     ) -> Optional[MAPFSolution]:
         options = self.options
+        budget = node_limit if node_limit is not None else options.per_episode_node_limit
         if options.engine == "cbs":
             return solve_cbs(
                 problem,
-                CBSOptions(max_nodes=options.per_episode_node_limit, time_limit=time_limit),
+                CBSOptions(max_nodes=budget, time_limit=time_limit),
             )
         if options.engine == "prioritized":
             # Prioritized planning is incomplete: a low-priority agent can be
-            # boxed in by earlier reservations.  Retry every rotation of the
-            # priority order (deterministic, at most n cheap solves) before
-            # declaring the episode unsolvable.
-            agent_ids = [agent.agent_id for agent in problem.agents]
+            # boxed in by earlier reservations.  Working agents plan first
+            # (idle agents rarely need right-of-way), and every rotation of
+            # the order is retried (deterministic, at most n cheap solves)
+            # before declaring the episode unsolvable.  The rotation sweep
+            # honors the episode deadline: at fleet scale n solves of an
+            # unsolvable instance would otherwise blow straight through the
+            # caller's time budget.
+            deadline = (
+                time.perf_counter() + time_limit if time_limit is not None else None
+            )
+            agent_ids = sorted(
+                (agent.agent_id for agent in problem.agents),
+                key=lambda a: (a not in dispatched, a),
+            )
             for shift in range(max(1, len(agent_ids))):
+                if deadline is not None and shift and time.perf_counter() > deadline:
+                    return None
                 order = agent_ids[shift:] + agent_ids[:shift]
                 solution = solve_prioritized(problem, order=order)
                 if solution is not None:
@@ -285,7 +509,7 @@ class IteratedPlanner:
             problem,
             ECBSOptions(
                 suboptimality=options.suboptimality,
-                max_nodes=options.per_episode_node_limit,
+                max_nodes=budget,
                 time_limit=time_limit,
             ),
         )

@@ -12,8 +12,9 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
-from .astar import SearchStats, shortest_path_lengths, space_time_astar
+from .astar import SearchStats, space_time_astar
 from .constraints import ReservationTable
+from .heuristics import agent_table, distance_tables
 from .problem import MAPFProblem, MAPFSolution
 
 
@@ -34,10 +35,11 @@ def solve_prioritized(
 
     reservations = ReservationTable()
     stats = SearchStats()
+    tables = distance_tables(problem.floorplan)
     paths = {}
     for agent_id in order:
         agent = problem.agents[agent_id]
-        heuristic = shortest_path_lengths(problem.floorplan, agent.goal)
+        heuristic = agent_table(tables, agent)
         path = space_time_astar(
             problem.floorplan,
             agent.start,

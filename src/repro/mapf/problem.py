@@ -18,7 +18,7 @@ This module holds the shared problem/solution types:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..warehouse.floorplan import FloorplanGraph, VertexId
 
@@ -31,11 +31,19 @@ class MAPFError(ValueError):
 
 @dataclass(frozen=True)
 class MAPFAgent:
-    """One agent: a start vertex and a goal vertex."""
+    """One agent: a start vertex and a goal vertex.
+
+    ``corridor`` optionally confines the agent's motion to an allowed-vertex
+    set (solvers treat vertices outside it as walls) — used by the grid
+    router to keep each leg on the traffic system's designated circuit.
+    Solvers quietly drop the corridor when it does not connect the agent's
+    start to its goal.
+    """
 
     agent_id: int
     start: VertexId
     goal: VertexId
+    corridor: Optional[FrozenSet[VertexId]] = None
 
 
 @dataclass
@@ -62,10 +70,17 @@ class MAPFProblem:
 
     @staticmethod
     def from_pairs(
-        floorplan: FloorplanGraph, pairs: Sequence[Tuple[VertexId, VertexId]]
+        floorplan: FloorplanGraph,
+        pairs: Sequence[Tuple[VertexId, VertexId]],
+        corridors: Optional[Sequence[Optional[FrozenSet[VertexId]]]] = None,
     ) -> "MAPFProblem":
         agents = tuple(
-            MAPFAgent(agent_id=i, start=start, goal=goal)
+            MAPFAgent(
+                agent_id=i,
+                start=start,
+                goal=goal,
+                corridor=corridors[i] if corridors is not None else None,
+            )
             for i, (start, goal) in enumerate(pairs)
         )
         return MAPFProblem(floorplan=floorplan, agents=agents)
@@ -136,11 +151,65 @@ def find_conflicts(paths: Sequence[Sequence[VertexId]]) -> List[Conflict]:
 
 
 def first_conflict(paths: Sequence[Sequence[VertexId]]) -> Optional[Conflict]:
-    """The earliest conflict, or None when the paths are collision-free."""
-    conflicts = find_conflicts(paths)
-    if not conflicts:
-        return None
-    return min(conflicts, key=lambda c: c.timestep)
+    """The earliest conflict, or None when the paths are collision-free.
+
+    Scans timesteps in ascending order and returns at the first hit (vertex
+    conflicts before edge conflicts within a tick, matching
+    :func:`find_conflicts` order), so conflict-free suffixes are never paid
+    for — CBS/ECBS call this once per constraint-tree node.
+    """
+    horizon = max((len(path) for path in paths), default=0)
+    positions = [path[0] if path else None for path in paths]
+    for t in range(horizon):
+        occupied: Dict[VertexId, int] = {}
+        previous = positions
+        positions = [position_at(path, t) for path in paths]
+        for agent, vertex in enumerate(positions):
+            if vertex in occupied:
+                return Conflict("vertex", occupied[vertex], agent, t, vertex)
+            occupied[vertex] = agent
+        if t == 0:
+            continue
+        moves: Dict[Tuple[VertexId, VertexId], int] = {}
+        for agent, (before, after) in enumerate(zip(previous, positions)):
+            if before != after:
+                moves[(before, after)] = agent
+        for (before, after), agent in moves.items():
+            other = moves.get((after, before))
+            if other is not None and other != agent and agent < other:
+                return Conflict("edge", agent, other, t, before, after)
+    return None
+
+
+def count_conflicts(paths: Sequence[Sequence[VertexId]]) -> int:
+    """Total number of vertex/edge conflicts between the paths.
+
+    Cheaper than ``len(find_conflicts(paths))``: counts collisions from
+    per-tick occupancy without materializing :class:`Conflict` objects.  Used
+    by the ECBS high level to order its focal list.
+    """
+    total = 0
+    horizon = max((len(path) for path in paths), default=0)
+    positions = [path[0] if path else None for path in paths]
+    for t in range(horizon):
+        previous = positions
+        positions = [position_at(path, t) for path in paths]
+        counts: Dict[VertexId, int] = {}
+        for vertex in positions:
+            counts[vertex] = counts.get(vertex, 0) + 1
+        for n in counts.values():
+            if n > 1:
+                total += n - 1
+        if t == 0:
+            continue
+        moves: Dict[Tuple[VertexId, VertexId], int] = {}
+        for before, after in zip(previous, positions):
+            if before != after:
+                moves[(before, after)] = moves.get((before, after), 0) + 1
+        for (before, after), n in moves.items():
+            if before < after:
+                total += n * moves.get((after, before), 0)
+    return total
 
 
 @dataclass

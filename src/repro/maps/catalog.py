@@ -107,6 +107,29 @@ def sorting_center() -> SortingCenter:
     return generate_sorting_center(SORTING_CENTER_LAYOUT)
 
 
+#: Routing-scale map: a fulfillment layout about twice Fulfillment 1's free
+#: area (~1.4k traversable cells), sized so a 100-agent MAPF fleet sits at the
+#: ~7% grid density of the standard warehouse MAPF benchmarks.  Used by the
+#: routing benchmark's scaling section; the co-design pipeline itself never
+#: needs a fleet this large on one map.
+ROUTING_SCALE_LARGE_LAYOUT = FulfillmentLayout(
+    num_slices=8,
+    shelf_columns=12,
+    shelf_bands=7,
+    shelf_depth=2,
+    num_stations=8,
+    station_cells=2,
+    num_products=55,
+    name="routing-scale-large",
+)
+
+
+@lru_cache(maxsize=None)
+def routing_scale_large() -> DesignedWarehouse:
+    """The 100-agent-capable large map of the routing scaling benchmark."""
+    return generate_fulfillment_center(ROUTING_SCALE_LARGE_LAYOUT)
+
+
 #: Small structural twins of the presets, for tests and quick benchmark runs.
 FULFILLMENT_1_SMALL = FulfillmentLayout(
     num_slices=2,
@@ -160,6 +183,7 @@ MAP_REGISTRY: Dict[str, Callable[[], object]] = {
     "fulfillment-1": fulfillment_center_1,
     "fulfillment-2": fulfillment_center_2,
     "sorting-center": sorting_center,
+    "routing-scale-large": routing_scale_large,
     "fulfillment-1-small": fulfillment_center_1_small,
     "fulfillment-2-small": fulfillment_center_2_small,
     "sorting-center-small": sorting_center_small,

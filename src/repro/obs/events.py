@@ -277,10 +277,12 @@ class EventLog:
                 **ids,
             )
             self._ring.append(event)
-            subscribers = list(self._subscribers)
-        for subscription in subscribers:
-            subscription._offer(event)
-        self._write_line(event.to_json())
+            subscribers = list(self._subscribers) if self._subscribers else None
+        if subscribers:
+            for subscription in subscribers:
+                subscription._offer(event)
+        if self._path is not None:
+            self._write_line(event.to_json())
         return event
 
     # -- queries -----------------------------------------------------------------

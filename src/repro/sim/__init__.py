@@ -70,6 +70,7 @@ from .routing import (
     edge_load_by_vertex,
     edge_traversal_counts,
     free_flow_cost,
+    plan_goal_specs,
     plan_waypoints,
     route_plan,
 )
@@ -150,6 +151,7 @@ __all__ = [
     "monitor_from_synthesis",
     "nominal_deliveries_by",
     "parse_disruptions",
+    "plan_goal_specs",
     "plan_waypoints",
     "product_mix_from_workload",
     "route_plan",

@@ -30,6 +30,18 @@ per-edge traversal counts (the edge heatmap), replan episodes, search
 expansions, and the *path-length inflation* — routed cost over the free-flow
 cost (the sum of single-agent BFS distances along each waypoint chain), the
 standard congestion indicator of warehouse digital twins.
+
+By default routed runs are *paced to the plan's timeline*: each waypoint
+inherits the tick at which the abstract plan performed the load change as a
+release tick, and the lifelong planner dispatches agents so no pickup or
+drop-off happens earlier than promised.  Grid motion is typically 2-3x
+faster than the abstract plan's (the co-design plan budgets slack per cycle),
+and an unpaced routed run compresses a 400-tick plan into ~150 ticks —
+inflating every per-period flow rate past what the AG contracts promised and
+failing monitors that the abstract replay passes.  Pacing keeps the routed
+run on the promised timeline (the routed horizon is also padded to the
+plan's), so contract monitoring carries over unchanged; set
+``RoutingConfig(pace_to_plan=False)`` for the raw as-fast-as-possible regime.
 """
 
 from __future__ import annotations
@@ -88,6 +100,9 @@ class RoutingConfig:
     node_limit: int = 20_000
     #: Wall-clock budget for the whole routing pass (``None`` = unbounded).
     time_limit: Optional[float] = None
+    #: Pace waypoint arrivals to the abstract plan's timeline (see module
+    #: docstring).  Disable for the raw as-fast-as-possible regime.
+    pace_to_plan: bool = True
 
     def __post_init__(self) -> None:
         if self.router not in ROUTERS:
@@ -162,6 +177,19 @@ class RoutingReport:
     #: Undirected per-edge traversal counts: ``{(u, v): crossings}`` (u < v).
     edge_traversals: Dict[Tuple[VertexId, VertexId], int] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+    #: Why the lifelong run ended: "completed", or the truncation reason
+    #: ("stalled" | "episode_limit" | "time_limit").
+    status: str = "completed"
+    #: Sum over completed legs of ``arrival - dispatch`` ticks — pure travel
+    #: plus congestion waits, excluding release-pacing idle time.  Under
+    #: pacing this (not ``routed_cost``, which absorbs planned waiting) is
+    #: the congestion signal.
+    leg_travel_cost: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when routing ended before serving every waypoint."""
+        return not self.completed
 
     @property
     def inflation(self) -> float:
@@ -188,7 +216,7 @@ class RoutingReport:
         return [(u, v, crossings) for (u, v), crossings in ranked[:count]]
 
     def summary(self) -> str:
-        status = "completed" if self.completed else "INCOMPLETE"
+        status = "completed" if self.completed else f"TRUNCATED ({self.status})"
         inflation = f"{self.inflation:.3f}" if self.inflation else "n/a"
         return (
             f"routing [{self.router}]: {status}, "
@@ -204,7 +232,7 @@ class RoutingReport:
 # waypoint extraction
 # ---------------------------------------------------------------------------
 
-def plan_waypoints(plan: Plan) -> List[List[Tuple[VertexId, ProductId]]]:
+def plan_waypoints(plan: Plan, with_ticks: bool = False) -> List[List[Tuple]]:
     """Per agent, the ordered load-change events as ``(vertex, carry_after)``.
 
     A waypoint is recorded at every vertex where the agent's carried product
@@ -213,17 +241,113 @@ def plan_waypoints(plan: Plan) -> List[List[Tuple[VertexId, ProductId]]]:
     :func:`~repro.mapf.mapd.goal_sequences_from_plan`, consecutive events at
     the same vertex are *not* collapsed — the carry reconstruction needs every
     individual event.
+
+    With ``with_ticks=True`` each event is ``(vertex, carry_after, tick)``
+    where ``tick`` is the decision tick ``t`` — the release tick pacing pins
+    the routed arrival to.
     """
-    events: List[List[Tuple[VertexId, ProductId]]] = []
+    events: List[List[Tuple]] = []
     for agent in range(plan.num_agents):
         carrying = plan.carrying[agent]
         positions = plan.positions[agent]
-        agent_events: List[Tuple[VertexId, ProductId]] = []
+        agent_events: List[Tuple] = []
         for t in range(plan.horizon - 1):
             if carrying[t + 1] != carrying[t]:
-                agent_events.append((int(positions[t]), int(carrying[t + 1])))
+                if with_ticks:
+                    agent_events.append((int(positions[t]), int(carrying[t + 1]), t))
+                else:
+                    agent_events.append((int(positions[t]), int(carrying[t + 1])))
         events.append(agent_events)
     return events
+
+
+def plan_goal_specs(
+    plan: Plan, system=None
+) -> List[List[Tuple[VertexId, int, Optional[ProductId], Optional[frozenset]]]]:
+    """Per agent, the ordered routing goals: ``(vertex, release, carry, corridor)``.
+
+    Always contains the load-change waypoints (``carry`` = the product carried
+    after the change).  When a :class:`~repro.traffic.system.TrafficSystem` is
+    given, the plan's *component-entry* vertices are interleaved as breadcrumb
+    goals (``carry=None``): the first vertex the plan holds inside each
+    component it visits, released at the plan tick of that entry.  Each goal
+    then also carries a *corridor* — the union of the vertices of every
+    component (plus any unowned cells) the plan traverses on that leg; the
+    router confines the leg's motion to it.
+
+    Breadcrumbs pin the routed motion to the plan's component-level circuit
+    and corridors keep it there — without them a shortest-path router cuts
+    across component boundaries the flow synthesis never promised traffic on
+    (e.g. straight backward from a serpentine into its station instead of
+    around the one-way loop), and the contract monitor correctly flags the
+    unpromised flows.
+    """
+    if system is None:
+        owner = lambda v: None  # noqa: E731 - trivial accessor stub
+        comp_vertices: Dict[int, Tuple[VertexId, ...]] = {}
+    else:
+        owner = system.owner_of
+        comp_vertices = {c.index: tuple(c.vertices) for c in system.components}
+    specs: List[List[Tuple[VertexId, int, Optional[ProductId], Optional[frozenset]]]] = []
+    for agent in range(plan.num_agents):
+        carrying = plan.carrying[agent]
+        positions = plan.positions[agent]
+        out: List[List] = []
+        seg_owners: set = set()
+        seg_free: set = set()
+
+        def corridor() -> Optional[frozenset]:
+            if system is None:
+                return None
+            allowed: set = set(seg_free)
+            for index in seg_owners:
+                allowed.update(comp_vertices[index])
+            return frozenset(allowed)
+
+        def accumulate(vertex: VertexId) -> None:
+            here = owner(vertex)
+            if here is None:
+                seg_free.add(vertex)
+            else:
+                seg_owners.add(here)
+
+        for t in range(plan.horizon):
+            vertex = int(positions[t])
+            here = owner(vertex)
+            appended = False
+            if (
+                t > 0
+                and system is not None
+                and here is not None
+                and here != owner(int(positions[t - 1]))
+            ):
+                # Entry breadcrumb.  Its corridor deliberately excludes the
+                # entered component's interior — only the entry vertex itself
+                # is admitted.  Were the whole component included, the router
+                # could slip across any physically-adjacent border between the
+                # previous component and the new one instead of crossing at
+                # the promised vertex, producing component transitions the
+                # traffic graph never licensed.
+                allowed = corridor()
+                if allowed is not None:
+                    allowed = frozenset(allowed | {vertex})
+                out.append([vertex, t, None, allowed])
+                appended = True
+            accumulate(vertex)
+            if t < plan.horizon - 1 and carrying[t + 1] != carrying[t]:
+                if appended:
+                    # The entry breadcrumb and the load change coincide.
+                    out[-1][2] = int(carrying[t + 1])
+                else:
+                    out.append([vertex, t, int(carrying[t + 1]), corridor()])
+                    appended = True
+            if appended:
+                # Start the next leg's corridor at this goal's position.
+                seg_owners.clear()
+                seg_free.clear()
+                accumulate(vertex)
+        specs.append([tuple(entry) for entry in out])
+    return specs
 
 
 def free_flow_cost(
@@ -283,7 +407,9 @@ def edge_load_by_vertex(
 # routing a realized plan
 # ---------------------------------------------------------------------------
 
-def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
+def route_plan(
+    plan: Plan, config: RoutingConfig, system=None
+) -> Tuple[Plan, RoutingReport]:
     """Route a realized plan's waypoints on the grid; return the routed plan.
 
     The routed plan preserves the original's *logistics* (every agent picks
@@ -292,18 +418,32 @@ def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
     The result is a structurally valid :class:`~repro.warehouse.plan.Plan`
     (collision-free, unit moves, condition-(3) load changes) that the
     abstract executors run unchanged.
+
+    Passing the plan's :class:`~repro.traffic.system.TrafficSystem` (the
+    runner does) additionally pins paced routing to the plan's component
+    circuit via breadcrumb goals — see :func:`plan_goal_specs`.
     """
     if not config.is_grid_routed:
         raise RoutingError("route_plan requires a grid router, not 'abstract'")
     start_time = time.perf_counter()
     floorplan = plan.warehouse.floorplan
-    events = plan_waypoints(plan)
+    specs = plan_goal_specs(plan, system if config.pace_to_plan else None)
 
     tasks = [
         LifelongTask(
             agent_id=agent,
             start=int(plan.positions[agent, 0]),
-            goals=tuple(vertex for vertex, _ in events[agent]),
+            goals=tuple(vertex for vertex, _, _, _ in specs[agent]),
+            releases=(
+                tuple(tick for _, tick, _, _ in specs[agent])
+                if config.pace_to_plan
+                else ()
+            ),
+            corridors=(
+                tuple(corridor for _, _, _, corridor in specs[agent])
+                if config.pace_to_plan and system is not None
+                else ()
+            ),
         )
         for agent in range(plan.num_agents)
     ]
@@ -330,7 +470,9 @@ def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
         arrivals = result.goal_arrivals[agent] if result.goal_arrivals else ()
         schedule: List[Tuple[int, VertexId, ProductId]] = []
         previous_change = 0
-        for (vertex, carry_after), arrival in zip(events[agent], arrivals):
+        for (vertex, _, carry_after, _), arrival in zip(specs[agent], arrivals):
+            if carry_after is None:
+                continue  # corridor breadcrumb, not a load change
             change_at = max(arrival + 1, previous_change + 1)
             schedule.append((change_at, vertex, carry_after))
             previous_change = change_at
@@ -338,9 +480,13 @@ def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
 
     # -- positions: routed paths, padded to a common horizon (agents rest).
     # The horizon covers every path AND every scheduled change (a waypoint
-    # reached on an agent's final tick still needs its t+1 to exist).
+    # reached on an agent's final tick still needs its t+1 to exist).  Paced
+    # runs additionally pad to the abstract plan's horizon so the contract
+    # monitors measure per-period rates over the same timeline the plan
+    # promised them on.
     horizon = max(
         2,
+        plan.horizon if config.pace_to_plan else 2,
         max((len(path) for path in result.paths), default=2),
         max(
             (schedule[-1][0] + 1 for schedule in schedules if schedule),
@@ -380,12 +526,17 @@ def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
     # ticks per episode), so summing raw lengths would measure
     # num_agents × makespan — workload imbalance, not congestion.
     routed_total = 0
+    leg_travel_total = 0
     for agent, task in enumerate(tasks):
         arrivals = result.goal_arrivals[agent] if result.goal_arrivals else ()
         if task.goals and len(arrivals) == len(task.goals):
             routed_total += arrivals[-1]
         elif task.goals:
             routed_total += len(result.paths[agent]) - 1
+        starts = result.leg_starts[agent] if result.leg_starts else ()
+        leg_travel_total += sum(
+            arrival - start for arrival, start in zip(arrivals, starts)
+        )
     report = RoutingReport(
         router=config.router,
         engine=config.engine,
@@ -401,5 +552,7 @@ def route_plan(plan: Plan, config: RoutingConfig) -> Tuple[Plan, RoutingReport]:
         carry_mismatches=carry_mismatches,
         edge_traversals=edge_traversal_counts(result.paths),
         runtime_seconds=time.perf_counter() - start_time,
+        status=result.status,
+        leg_travel_cost=leg_travel_total,
     )
     return routed, report

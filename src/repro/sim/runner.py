@@ -115,6 +115,12 @@ class SimulationReport:
     ticks: int
     #: Units/tick promised by the synthesized flow set (deliveries_per_period / tc).
     synthesized_throughput: float
+    #: Tick horizon of the *abstract* plan the promise was made over.  When a
+    #: run is cut short (``max_ticks``, a stalled router), ``ticks`` shrinks
+    #: but the promise basis does not — ratios are normalized over
+    #: ``max(ticks, plan_ticks)`` so a truncated run can never look better
+    #: than a complete one.  0 (legacy constructions) falls back to ``ticks``.
+    plan_ticks: int = 0
     #: Grid-routing telemetry (``None`` for abstract plan replay).
     routing: Optional[RoutingReport] = None
     #: The motion that actually happened under disruptions, as a
@@ -130,11 +136,34 @@ class SimulationReport:
         return self.trace.realized_throughput()
 
     @property
+    def truncated(self) -> bool:
+        """True when the run covered fewer ticks than the plan promised, or
+        the router gave up before serving every waypoint."""
+        if self.plan_ticks and self.ticks < self.plan_ticks:
+            return True
+        return self.routing is not None and self.routing.truncated
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Units served per tick over the *promise* basis.
+
+        ``realized_throughput`` divides by the ticks the run actually covered,
+        which overstates the rate of a truncated run (serving 30 of 40 units
+        in the first 170 of 400 promised ticks is not a 2.4x overdelivery).
+        Normalizing over ``max(ticks, plan_ticks)`` makes the rate comparable
+        with the synthesized promise regardless of where the run stopped.
+        """
+        basis = max(self.ticks, self.plan_ticks) - 1
+        return self.units_served / max(1, basis)
+
+    @property
     def throughput_ratio(self) -> float:
-        """Realized / synthesized throughput (1.0 = the twin matches the promise)."""
+        """Normalized realized / synthesized throughput (1.0 = the twin
+        matches the promise).  Bounded by ~1 + slack: a truncated run is
+        measured against the full promised horizon, never its shorter one."""
         if self.synthesized_throughput <= 0:
             return 0.0
-        return self.realized_throughput / self.synthesized_throughput
+        return self.normalized_throughput / self.synthesized_throughput
 
     @property
     def units_served(self) -> int:
@@ -171,6 +200,13 @@ class SimulationReport:
             f"  realized throughput: {self.realized_throughput:.4f} units/tick",
             f"  synthesized flow:    {self.synthesized_throughput:.4f} units/tick "
             f"(ratio {self.throughput_ratio:.3f})",
+        ]
+        if self.truncated:
+            lines.append(
+                f"  TRUNCATED:           {self.ticks}/{max(self.ticks, self.plan_ticks)} "
+                f"promised ticks simulated; ratio normalized over the plan basis"
+            )
+        lines += [
             f"  orders:              {self.trace.orders_served}/{self.trace.orders_created} "
             f"fulfilled, {self.trace.orders_pending} pending",
         ]
@@ -257,7 +293,7 @@ def _simulate_traced(
     exec_plan = plan
     if config.routing is not None and config.routing.is_grid_routed:
         with span("sim.route", router=config.routing.describe()) as route_span:
-            exec_plan, routing_report = route_plan(plan, config.routing)
+            exec_plan, routing_report = route_plan(plan, config.routing, system=system)
             route_span.add("replans", routing_report.replans)
             route_span.add("expansions", routing_report.expansions)
             route_span.add("conflicts", routing_report.conflicts)
@@ -370,6 +406,7 @@ def _simulate_traced(
         metadata.update(
             {
                 "routing_completed": float(routing_report.completed),
+                "routing_truncated": float(routing_report.truncated),
                 "routing_inflation": float(routing_report.inflation),
                 "routing_replans": float(routing_report.replans),
                 "routing_conflicts": float(routing_report.conflicts),
@@ -424,6 +461,7 @@ def _simulate_traced(
         num_agents=exec_plan.num_agents,
         ticks=ticks,
         synthesized_throughput=synthesized,
+        plan_ticks=plan.horizon,
         routing=routing_report,
         realized_plan=realized_plan,
         seconds=time.perf_counter() - start,

@@ -273,3 +273,114 @@ class TestScenarioRouting:
         assert sim["routing_replans"] >= 1.0
         assert sim["routing_conflicts"] == 0.0
         assert sim["routing_max_edge_load"] >= 1.0
+
+
+class TestRoutedContractsRegression:
+    """Regression for the routed-run contract failures (ISSUE 8).
+
+    Before release pacing + corridor confinement, every grid router on the
+    sorting-center-small preset truncated at tick ~123/401, left 16/70 goals
+    unreached, broke 10-12 AG contracts, and reported throughput ratios above
+    2 by averaging over the truncated tick count.  All five execution modes
+    must now finish the full plan on the promised timeline with clean
+    contracts.
+    """
+
+    @pytest.fixture(scope="class")
+    def sorting_reports(self):
+        from repro.maps.catalog import sorting_center_small
+        from repro.sim import ROUTERS
+
+        designed = sorting_center_small().designed
+        solver = WSPSolver(designed.traffic_system)
+        workload = Workload.uniform(designed.warehouse.catalog, 4)
+        solution = solver.solve(workload, horizon=400)
+        assert solution.succeeded, solution.message
+        reports = {}
+        for router in ROUTERS:
+            routing = None if router == "abstract" else RoutingConfig(router=router)
+            reports[router] = solver.simulate(
+                solution, SimulationConfig(routing=routing, record_events=False)
+            )
+        return solution, reports
+
+    def test_all_five_routers_pass_contracts(self, sorting_reports):
+        _, reports = sorting_reports
+        for router, report in reports.items():
+            assert report.contracts_ok, (
+                f"{router}: {report.num_violations} contract violations"
+            )
+            assert report.num_violations == 0, router
+
+    def test_all_five_routers_complete_the_plan(self, sorting_reports):
+        solution, reports = sorting_reports
+        delivered = solution.plan.total_delivered()
+        for router, report in reports.items():
+            assert not report.truncated, router
+            assert report.units_served == delivered, router
+            if report.routing is not None:
+                assert report.routing.completed, router
+                assert report.routing.status == "completed", router
+                assert (
+                    report.routing.goals_completed == report.routing.goals_total
+                ), router
+
+    def test_throughput_ratio_is_exactly_one(self, sorting_reports):
+        _, reports = sorting_reports
+        for router, report in reports.items():
+            assert report.throughput_ratio == pytest.approx(1.0), router
+
+    def test_routed_runs_stay_on_the_plan_timeline(self, sorting_reports):
+        solution, reports = sorting_reports
+        for router, report in reports.items():
+            assert report.plan_ticks == solution.plan.horizon
+            assert report.ticks >= report.plan_ticks, router
+
+
+class TestTruncationThroughput:
+    """Property: a truncated run can never overstate throughput.
+
+    The seed normalized realized throughput over the *truncated* tick count,
+    so a run serving 30/40 units over 123/401 ticks reported ratio 2.459.
+    Normalizing over the promised tick basis makes
+    ``throughput_ratio <= 1 + eps`` whenever
+    ``units_served <= plan_delivered`` — which routed execution guarantees.
+    """
+
+    @pytest.mark.parametrize("max_episodes", (1, 2, 5, 20))
+    def test_ratio_bounded_under_forced_truncation(self, solved, max_episodes):
+        _, workload, solution = solved
+        report = simulate_plan(
+            solution.plan,
+            solution.traffic_system,
+            flow_set=solution.flow_set,
+            workload=workload,
+            synthesis=solution.synthesis,
+            config=SimulationConfig(
+                routing=RoutingConfig(
+                    router="prioritized", max_episodes=max_episodes
+                ),
+                record_events=False,
+            ),
+        )
+        delivered = solution.plan.total_delivered()
+        assert report.units_served <= delivered
+        assert report.throughput_ratio <= 1.0 + 1e-9, (
+            f"max_episodes={max_episodes}: ratio {report.throughput_ratio} "
+            f"({report.units_served}/{delivered} units)"
+        )
+        if report.routing.truncated:
+            assert report.truncated
+            assert report.routing.status != "completed"
+            assert "TRUNCATED" in report.routing.summary()
+            assert report.trace.metadata["routing_truncated"] == 1.0
+
+    def test_truncated_run_reports_explicit_status(self, solved):
+        _, _, solution = solved
+        _, report = route_plan(
+            solution.plan,
+            RoutingConfig(router="prioritized", max_episodes=1),
+        )
+        assert report.truncated
+        assert report.status == "episode_limit"
+        assert report.goals_completed < report.goals_total
