@@ -26,10 +26,13 @@ import pytest
 from repro.experiments import preset_scenarios
 from repro.service import (
     LoadTestOptions,
+    PreforkServer,
     ServiceClient,
     ServiceConfig,
+    ServiceRequest,
     ServiceServer,
     run_loadtest,
+    run_saturation,
 )
 
 from .conftest import write_bench
@@ -85,6 +88,88 @@ def overload_report():
     return report, metrics
 
 
+@pytest.fixture(scope="module")
+def saturation_data(tmp_path_factory):
+    """Same-run saturation sweep: ThreadingHTTPServer baseline vs pre-fork.
+
+    One shared JSONL store carries the warm set across boots, so the cold
+    compute happens exactly once (against the baseline server) and every
+    later fleet warm-boots from the file.  All three shapes are measured in
+    the same process on the same scenarios, which makes the prefork/baseline
+    ratio a clean apples-to-apples number.
+    """
+    specs = preset_scenarios("smoke")[:4]
+    store = tmp_path_factory.mktemp("service-bench") / "results.jsonl"
+    grid = (1, 2, 4)
+    duration = 0.5
+
+    # Baseline: the single threaded-server process, stock handler machinery.
+    server = ServiceServer(
+        ServiceConfig(port=0, workers=1, max_pending=8, warm_up=True, store_path=store)
+    ).start()
+    try:
+        with ServiceClient(server.url, timeout=600) as client:
+            for spec in specs:
+                status, response = client.solve(ServiceRequest(scenario=spec))
+                assert status == 200 and response.terminal
+        baseline = run_saturation(
+            [server.url], specs, clients_grid=grid, duration=duration,
+            http_workers=1, timeout=120,
+        )
+    finally:
+        assert server.stop(drain_timeout=120)
+
+    # Pre-fork fleet: 2 worker processes, one port, turbo /solve path.
+    fleet = PreforkServer(
+        ServiceConfig(
+            port=0, workers=1, max_pending=8, warm_up=False,
+            store_path=store, http_workers=2,
+        ),
+        quiet=True,
+    ).start(ready_timeout=300)
+    try:
+        prefork = run_saturation(
+            [fleet.url], specs, clients_grid=grid, duration=duration,
+            http_workers=2, timeout=120,
+        )
+    finally:
+        assert fleet.stop(drain_timeout=120)
+
+    # Replica fan-out: two single-worker pre-fork servers, round-robin client.
+    replicas = [
+        PreforkServer(
+            ServiceConfig(
+                port=0, workers=1, max_pending=8, warm_up=False,
+                store_path=store, http_workers=1,
+            ),
+            quiet=True,
+        ).start(ready_timeout=300)
+        for _ in range(2)
+    ]
+    try:
+        replicated = run_saturation(
+            [replica.url for replica in replicas], specs,
+            clients_grid=(2, 4), duration=duration, http_workers=1, timeout=120,
+        )
+    finally:
+        for replica in replicas:
+            assert replica.stop(drain_timeout=120)
+
+    best_baseline = max(p["throughput_rps"] for p in baseline)
+    best_prefork = max(p["throughput_rps"] for p in prefork + replicated)
+    return {
+        "scenarios": len(specs),
+        "clients_grid": list(grid),
+        "duration_seconds": duration,
+        "baseline": baseline,
+        "prefork": prefork,
+        "replicated": replicated,
+        "best_baseline_rps": best_baseline,
+        "best_prefork_rps": best_prefork,
+        "speedup_warm": best_prefork / best_baseline if best_baseline else 0.0,
+    }
+
+
 def test_primary_run_meets_the_acceptance_bar(primary_report):
     report = primary_report
     ok, problems = report.acceptable()
@@ -122,7 +207,29 @@ def test_overload_is_bounded_and_explicit(overload_report):
     assert metrics["pool"]["in_flight"] == 0
 
 
-def test_emit_bench_service_json(primary_report, overload_report):
+def test_saturation_points_are_clean(saturation_data):
+    """Every measured point finished without a single transport/server error."""
+    for shape in ("baseline", "prefork", "replicated"):
+        for point in saturation_data[shape]:
+            assert point["errors"] == 0, f"{shape} point {point} saw errors"
+            assert point["requests"] > 0
+            assert point["throughput_rps"] > 0
+    assert all(p["replicas"] == 1 for p in saturation_data["baseline"])
+    assert all(p["http_workers"] == 2 for p in saturation_data["prefork"])
+    assert all(p["replicas"] == 2 for p in saturation_data["replicated"])
+
+
+def test_prefork_is_3x_the_threading_baseline(saturation_data):
+    """The acceptance gate: warm pre-fork throughput ≥ 3× the single
+    ThreadingHTTPServer measured in the same run."""
+    assert saturation_data["speedup_warm"] >= 3.0, (
+        f"prefork {saturation_data['best_prefork_rps']:.0f} req/s vs baseline "
+        f"{saturation_data['best_baseline_rps']:.0f} req/s "
+        f"({saturation_data['speedup_warm']:.2f}x, need >= 3x)"
+    )
+
+
+def test_emit_bench_service_json(primary_report, overload_report, saturation_data):
     """Write the BENCH_service.json artifact consumed by the perf driver."""
     report = primary_report
     overload, overload_metrics = overload_report
@@ -131,15 +238,20 @@ def test_emit_bench_service_json(primary_report, overload_report):
         "report": overload.to_dict(),
         "pool": overload_metrics["pool"],
     }
+    document["saturation"] = saturation_data
     reloaded = write_bench(BENCH_PATH, document)
     assert reloaded["schema"] == "bench-service"
     assert reloaded["speedup_p50"] >= 10.0
     assert reloaded["cache_hit_rate"] > 0.0
     assert reloaded["transport_errors"] == 0
     assert reloaded["overload"]["report"]["rejections"] > 0
+    assert reloaded["saturation"]["speedup_warm"] >= 3.0
+    assert all(p["errors"] == 0 for p in reloaded["saturation"]["prefork"])
     print(
         f"\nBENCH_service: cold p50 {reloaded['latency_seconds']['cold']['p50'] * 1000:.1f}ms, "
         f"warm p50 {reloaded['latency_seconds']['warm']['p50'] * 1000:.1f}ms "
         f"({reloaded['speedup_p50']:.0f}x), hit rate {reloaded['cache_hit_rate']:.0%}, "
-        f"warm throughput {reloaded['warm_throughput_rps']:.0f} req/s"
+        f"warm throughput {reloaded['warm_throughput_rps']:.0f} req/s, "
+        f"prefork saturation {reloaded['saturation']['best_prefork_rps']:.0f} req/s "
+        f"({reloaded['saturation']['speedup_warm']:.1f}x baseline)"
     )

@@ -55,6 +55,6 @@ content-addressed cache backed by a bounded worker pool.  See
 ``examples/serving.py`` for the serving layer.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["__version__"]

@@ -40,6 +40,7 @@ from .service import (
     latency_table,
     loadtest_report,
     percentile,
+    saturation_table,
     service_summary_table,
     service_table,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "resilience_row",
     "routing_comparison_table",
     "routing_row",
+    "saturation_table",
     "scaling_report",
     "scaling_rows",
     "service_makespan",

@@ -106,9 +106,37 @@ def service_summary_table(service: Mapping, markdown: bool = False) -> str:
     return format_table(rows, headers)
 
 
+def saturation_table(points: Sequence[Mapping], markdown: bool = False) -> str:
+    """The saturation curve: one row per (clients × workers × replicas) point."""
+    headers = [
+        "clients", "workers", "replicas", "req/s", "p50 ms", "p99 ms",
+        "errors", "rejections",
+    ]
+    rows = [
+        [
+            str(int(point.get("clients", 0))),
+            str(int(point.get("http_workers", 1))),
+            str(int(point.get("replicas", 1))),
+            f"{float(point.get('throughput_rps', 0.0)):.0f}",
+            f"{float(point.get('p50_ms', 0.0)):.2f}",
+            f"{float(point.get('p99_ms', 0.0)):.2f}",
+            str(int(point.get("errors", 0))),
+            str(int(point.get("rejections", 0))),
+        ]
+        for point in points
+    ]
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers)
+
+
 def loadtest_report(report, markdown: bool = False) -> str:
     """Render a :class:`~repro.service.client.LoadTestReport` as tables."""
     lines = [report.headline(), "", latency_table(report.phase_latencies, markdown=markdown)]
+    saturation = getattr(report, "saturation", None)
+    if saturation:
+        lines += ["", "saturation curve (warm, duration-bounded):"]
+        lines.append(saturation_table(saturation, markdown=markdown))
     service = getattr(report, "service", None)
     if service:
         lines += ["", "service-side (from the metrics registry):"]

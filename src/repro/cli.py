@@ -408,14 +408,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .service import ServiceConfig, ServiceServer
+    from .service import PreforkServer, ServiceConfig, ServiceServer
 
     if args.workers < 1:
         raise SystemExit(f"--workers must be at least 1 (got {args.workers})")
+    if args.http_workers < 1:
+        raise SystemExit(f"--http-workers must be at least 1 (got {args.http_workers})")
     if args.max_pending < 0:
         raise SystemExit(f"--max-pending must be non-negative (got {args.max_pending})")
     if args.cache_capacity < 1:
         raise SystemExit(f"--cache-capacity must be at least 1 (got {args.cache_capacity})")
+    if args.cache_shards < 1:
+        raise SystemExit(f"--cache-shards must be at least 1 (got {args.cache_shards})")
+    if args.max_body_bytes < 1:
+        raise SystemExit(f"--max-body-bytes must be positive (got {args.max_body_bytes})")
     if args.timeout is not None and not args.timeout > 0:
         raise SystemExit(f"--timeout must be positive (got {args.timeout:g})")
     from .obs import AlertError, parse_rules
@@ -430,19 +436,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_pending=args.max_pending,
         cache_capacity=args.cache_capacity,
+        cache_shards=args.cache_shards,
+        max_body_bytes=args.max_body_bytes,
+        http_workers=args.http_workers,
         timeout_seconds=args.timeout,
         store_path=args.store,
         events_path=args.events,
         alert_rules=tuple(args.alert or ()),
         alert_interval=args.alert_interval,
     )
-    server = ServiceServer(config, quiet=not args.verbose)
+    if config.http_workers > 1:
+        # Multi-process pre-fork accept loop; requires --store to share the
+        # warm tier across workers (memory caches are per-process).
+        server = PreforkServer(config, quiet=not args.verbose)
+    else:
+        server = ServiceServer(config, quiet=not args.verbose)
     server.start()
     # The port line is machine-read by the CI smoke job and the tests.
     print(f"repro service listening on {server.url}", flush=True)
     print(
-        f"  workers={config.workers} max_pending={config.max_pending} "
-        f"cache={config.cache_capacity}"
+        f"  http_workers={config.http_workers} workers={config.workers} "
+        f"max_pending={config.max_pending} "
+        f"cache={config.cache_capacity}x{config.cache_shards}sh"
         + (f" store={config.store_path}" if config.store_path else "")
         + (f" events={config.events_path}" if config.events_path else "")
         + (f" alerts={len(config.alert_rules)}" if config.alert_rules else ""),
@@ -473,14 +488,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
     from .obs import AlertError, AlertMonitor, baseline_rule, parse_rules
-    from .service import LoadTestOptions, ServiceClient, ServiceClientError, run_loadtest
+    from .service import (
+        LoadTestOptions,
+        ServiceClient,
+        ServiceClientError,
+        run_loadtest,
+        run_saturation,
+    )
 
+    urls = list(args.url) if args.url else ["http://127.0.0.1:8321"]
     if args.clients < 1:
         raise SystemExit(f"--clients must be at least 1 (got {args.clients})")
     if args.requests < 1:
         raise SystemExit(f"--requests must be at least 1 (got {args.requests})")
     if args.limit < 0:
         raise SystemExit(f"--limit must be non-negative (got {args.limit})")
+    saturation_grid: list = []
+    if args.saturation:
+        try:
+            saturation_grid = [int(part) for part in args.saturation.split(",") if part.strip()]
+        except ValueError:
+            raise SystemExit(f"--saturation must be a comma list of client counts (got {args.saturation!r})")
+        if not saturation_grid or any(count < 1 for count in saturation_grid):
+            raise SystemExit(f"--saturation needs positive client counts (got {args.saturation!r})")
     try:
         alert_rules = parse_rules(args.alert or ())
         if args.alert_baseline:
@@ -502,28 +532,30 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         timeout=args.request_timeout,
     )
     print(
-        f"loadtest {args.url}: {len(specs)} scenario(s), {args.clients} client(s), "
+        f"loadtest {', '.join(urls)}: {len(specs)} scenario(s), {args.clients} client(s), "
         f"{args.requests} warm request(s)/client"
         + (", overload phase enabled" if args.overload else "")
+        + (f", saturation grid {saturation_grid}" if saturation_grid else "")
     )
-    # One health probe before driving load: fail fast on a wrong URL, and
-    # show what is actually serving (version, uptime, drain state).
-    try:
-        with ServiceClient(args.url, timeout=10.0) as probe:
-            health = probe.health()
-    except ServiceClientError as error:
-        raise SystemExit(f"service not reachable at {args.url}: {error}") from error
-    print(
-        f"  service {health.get('status', '?')} v{health.get('version', '?')} "
-        f"up {health.get('uptime_seconds', 0.0):.0f}s "
-        f"workers={health.get('workers', '?')} "
-        f"draining={str(health.get('draining', False)).lower()}",
-        flush=True,
-    )
+    # One health probe per replica before driving load: fail fast on a wrong
+    # URL, and show what is actually serving (version, uptime, drain state).
+    for url in urls:
+        try:
+            with ServiceClient(url, timeout=10.0) as probe:
+                health = probe.health()
+        except ServiceClientError as error:
+            raise SystemExit(f"service not reachable at {url}: {error}") from error
+        print(
+            f"  {url}: {health.get('status', '?')} v{health.get('version', '?')} "
+            f"up {health.get('uptime_seconds', 0.0):.0f}s "
+            f"workers={health.get('workers', '?')} "
+            f"draining={str(health.get('draining', False)).lower()}",
+            flush=True,
+        )
 
     def scrape():
         try:
-            with ServiceClient(args.url, timeout=10.0) as client:
+            with ServiceClient(urls[0], timeout=10.0) as client:
                 return client.metrics().get("registry")
         except ServiceClientError:
             return None
@@ -536,7 +568,16 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     if monitor is not None:
         monitor.start()
     try:
-        report = run_loadtest(args.url, specs, options)
+        report = run_loadtest(urls, specs, options)
+        if saturation_grid:
+            report.saturation = run_saturation(
+                urls,
+                specs,
+                clients_grid=saturation_grid,
+                duration=args.saturation_duration,
+                http_workers=args.saturation_workers,
+                timeout=args.request_timeout,
+            )
     finally:
         if monitor is not None:
             monitor.stop()
@@ -853,6 +894,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="worker processes computing cold requests"
     )
     serve_parser.add_argument(
+        "--http-workers",
+        type=int,
+        default=1,
+        help="HTTP server processes; >1 boots the pre-fork accept loop "
+        "(SO_REUSEPORT or a shared listener) with one full service per process "
+        "— pair with --store so the workers share a warm tier",
+    )
+    serve_parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=8,
+        help="independently-locked result-cache shards (keyed by scenario_id prefix)",
+    )
+    serve_parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="largest accepted request body; bigger Content-Lengths get HTTP 413",
+    )
+    serve_parser.add_argument(
         "--max-pending",
         type=int,
         default=8,
@@ -903,7 +964,30 @@ def build_parser() -> argparse.ArgumentParser:
         "loadtest", help="drive a running service through cold/warm/overload phases"
     )
     loadtest_parser.add_argument(
-        "--url", default="http://127.0.0.1:8321", help="base URL of the running service"
+        "--url",
+        action="append",
+        help="base URL of the running service; repeat to drive a replica "
+        "fleet round-robin (default: http://127.0.0.1:8321)",
+    )
+    loadtest_parser.add_argument(
+        "--saturation",
+        metavar="CLIENTS",
+        help="after the phases, measure a warm saturation curve at these "
+        "comma-separated client counts, e.g. '1,2,4,8' (adds a `saturation` "
+        "section to the report)",
+    )
+    loadtest_parser.add_argument(
+        "--saturation-duration",
+        type=float,
+        default=1.0,
+        help="seconds each saturation point runs",
+    )
+    loadtest_parser.add_argument(
+        "--saturation-workers",
+        type=int,
+        default=1,
+        help="annotate saturation points with the serving fleet's --http-workers "
+        "count (the curve is clients x workers x replicas)",
     )
     loadtest_parser.add_argument(
         "--preset",

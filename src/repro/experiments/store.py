@@ -141,9 +141,16 @@ class ResultStore:
         self._records: List[RunRecord] = []
         self._by_id: Dict[str, List[RunRecord]] = {}
         self._lock = threading.Lock()
+        #: Byte offset up to which the file has been indexed (refresh() tails
+        #: from here to pick up lines appended by other processes).
+        self._offset = 0
         if load_existing and self.path.exists():
             for record in load_records(self.path):
                 self._remember(record)
+            self._offset = self.path.stat().st_size
+        elif self.path.exists():
+            # Pure-append mode: never re-read foreign pre-existing lines.
+            self._offset = self.path.stat().st_size
 
     def _remember(self, record: RunRecord) -> None:
         self._records.append(record)
@@ -168,6 +175,49 @@ class ResultStore:
                 handle.write(line)
                 handle.flush()
             self._remember(record)
+
+    def refresh(self) -> int:
+        """Index records appended to the file since the last read; return the count.
+
+        This is what makes one JSONL file a *shared* warm tier for a fleet of
+        server processes: each process appends under ``flock`` and every other
+        process can tail the new complete lines on demand.  A cheap ``stat``
+        short-circuits the common nothing-new case.  Records this process
+        appended itself re-appear in the tail; exact duplicates (identical
+        documents under an already-indexed id) are skipped, so the index never
+        double-counts its own writes.
+        """
+        with self._lock:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                return 0
+            if size <= self._offset:
+                return 0
+            with self.path.open("rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read(size - self._offset)
+            added = 0
+            consumed = 0
+            for raw in data.splitlines(keepends=True):
+                if not raw.endswith(b"\n"):
+                    break  # a writer is mid-append; re-read next refresh
+                consumed += len(raw)
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                    record = RunRecord.from_dict(document)
+                except (ValueError, KeyError):
+                    continue  # foreign/older-schema line; never poison the tail
+                known = self._by_id.get(record.scenario_id, ())
+                if any(existing.to_dict() == document for existing in known):
+                    continue  # our own append (or a byte-identical re-run)
+                self._remember(record)
+                added += 1
+            self._offset += consumed
+            return added
 
     # -- queries ----------------------------------------------------------------
     def records(self) -> List[RunRecord]:

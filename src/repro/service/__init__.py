@@ -15,8 +15,14 @@ Turns the one-shot pipeline into a long-lived service traffic can hit:
   :class:`SolveService` core and the ``ThreadingHTTPServer`` front end
   (submit/status/result/health/metrics endpoints, NDJSON batch streaming,
   graceful SIGINT/SIGTERM drain);
-* :mod:`repro.service.client` — stdlib HTTP client and the cold/warm/
-  overload load-generator harness behind ``repro loadtest``.
+* :mod:`repro.service.prefork` — the multi-process pre-fork front end:
+  ``http_workers`` server processes sharing one port (SO_REUSEPORT, or a
+  shared inherited listener), the JSONL store as the cross-process warm
+  layer, and a hand-rolled ``POST /solve`` hot path;
+* :mod:`repro.service.client` — stdlib HTTP client, the raw-socket
+  :class:`FastServiceClient` / round-robin replica fan-out, and the
+  cold/warm/overload + saturation load-generator harness behind
+  ``repro loadtest``.
 
 ``repro serve`` boots the server; latency/throughput reporting lives in
 :mod:`repro.analysis.service`.
@@ -35,14 +41,18 @@ from .api import (
 )
 from .cache import CACHEABLE_STATUSES, ResultCache
 from .client import (
+    FastServiceClient,
     LoadTestOptions,
     LoadTestReport,
+    RoundRobinClient,
     ServiceClient,
     ServiceClientError,
     run_loadtest,
+    run_saturation,
     service_summary,
 )
 from .pool import PoolDraining, PoolSaturated, ServicePool
+from .prefork import PreforkServer
 from .server import ServiceConfig, ServiceServer, SolveService
 
 __all__ = [
@@ -53,11 +63,14 @@ __all__ = [
     "STATE_PENDING",
     "STATE_REJECTED",
     "STATE_RUNNING",
+    "FastServiceClient",
     "LoadTestOptions",
     "LoadTestReport",
     "PoolDraining",
     "PoolSaturated",
+    "PreforkServer",
     "ResultCache",
+    "RoundRobinClient",
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
@@ -68,5 +81,6 @@ __all__ = [
     "ServicePool",
     "SolveService",
     "run_loadtest",
+    "run_saturation",
     "service_summary",
 ]

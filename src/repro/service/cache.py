@@ -1,4 +1,4 @@
-"""Content-addressed result cache with single-flight coalescing.
+"""Content-addressed result cache: sharded LRU tiers + single-flight coalescing.
 
 Results are keyed on :attr:`~repro.experiments.scenario.ScenarioSpec.
 scenario_id` — the stable content hash of the scenario — so two requests for
@@ -9,8 +9,18 @@ which order, or under which cosmetic name.  Two tiers:
   (bounded, thread-safe), the fast path every warm request hits;
 * an optional persistent tier backed by the append-only JSONL
   :class:`~repro.experiments.store.ResultStore`: records survive restarts,
-  and a memory miss consults the store's id index before declaring a miss
-  (a store hit is promoted back into memory).
+  and a memory miss consults the store's id index — tailing lines appended
+  by *other processes* first (:meth:`~repro.experiments.store.ResultStore.
+  refresh`) — before declaring a miss (a store hit is promoted back into
+  memory).  One JSONL file shared by a pre-fork worker fleet is therefore a
+  common warm layer: any worker's computation warms every other worker.
+
+The memory tier is **sharded**: the id space is split over N independently
+locked shards (routed by a stable hash of the ``scenario_id`` prefix), so a
+hot key in one shard never serializes lookups of unrelated keys behind one
+global lock.  Eviction is LRU *per shard* (each shard owns an equal slice of
+the total capacity); aggregate stats are the sum over shards, and
+:meth:`snapshot` reports both.
 
 Only *deterministic* outcomes are cached (``ok`` and ``infeasible`` — both
 are pure functions of the spec).  Timeouts and crashes are never cached: a
@@ -20,56 +30,105 @@ Single-flight: when several concurrent requests miss on the same id, exactly
 one (the *leader*) computes while the rest wait on the flight's event and
 share the leader's record — N identical requests cost one worker-pool slot,
 which is what keeps a thundering herd of popular scenarios from saturating
-the pool.
+the pool.  A leader that *abandons* (pool rejection, crash before handing a
+record back) marks the flight so a woken follower can re-lease the id and
+become the new leader instead of failing outright.
 """
 
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..experiments.store import STATUS_INFEASIBLE, STATUS_OK, ResultStore, RunRecord
 
 #: Run statuses worth caching (deterministic functions of the scenario).
 CACHEABLE_STATUSES = (STATUS_OK, STATUS_INFEASIBLE)
 
+#: How many leading ``scenario_id`` characters route a key to its shard.
+SHARD_PREFIX = 8
+
+_STAT_KEYS = ("hits_memory", "hits_store", "misses", "coalesced", "puts")
+
 
 class Flight:
     """One in-flight computation other requests may coalesce onto."""
 
-    __slots__ = ("event", "record")
+    __slots__ = ("event", "record", "abandoned")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.record: Optional[RunRecord] = None
+        #: Set when the leader gave up without a record; a follower that
+        #: wakes to an abandoned flight may re-lease and lead the retry.
+        self.abandoned = False
+
+
+class _Shard:
+    """One independently locked LRU slice of the id space."""
+
+    __slots__ = ("lock", "memory", "flights", "stats", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.memory: "OrderedDict[str, RunRecord]" = OrderedDict()
+        self.flights: Dict[str, Flight] = {}
+        self.stats = {key: 0 for key in _STAT_KEYS}
+        self.capacity = capacity
+
+    def remember(self, scenario_id: str, record: RunRecord) -> None:
+        """Insert/touch under the shard lock (caller holds it)."""
+        self.memory[scenario_id] = record
+        self.memory.move_to_end(scenario_id)
+        while len(self.memory) > self.capacity:
+            self.memory.popitem(last=False)
 
 
 class ResultCache:
-    """Two-tier LRU + single-flight registry, keyed by ``scenario_id``."""
+    """Sharded two-tier LRU + single-flight registry, keyed by ``scenario_id``."""
 
-    def __init__(self, capacity: int = 1024, store: Optional[ResultStore] = None):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        store: Optional[ResultStore] = None,
+        shards: int = 8,
+    ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be at least 1 (got {capacity})")
+        if shards < 1:
+            raise ValueError(f"cache shards must be at least 1 (got {shards})")
         self.capacity = capacity
         self.store = store
-        self._memory: "OrderedDict[str, RunRecord]" = OrderedDict()
-        self._flights: Dict[str, Flight] = {}
-        self._lock = threading.Lock()
-        self.stats = {
-            "hits_memory": 0,
-            "hits_store": 0,
-            "misses": 0,
-            "coalesced": 0,
-            "puts": 0,
-        }
+        # Never mint more shards than capacity: every shard must be able to
+        # hold at least one entry without inflating the aggregate bound.
+        self.num_shards = min(shards, capacity)
+        base, extra = divmod(capacity, self.num_shards)
+        self._shards = [
+            _Shard(base + (1 if index < extra else 0))
+            for index in range(self.num_shards)
+        ]
         if store is not None:
             # Warm the memory tier from the newest cacheable record of every
             # id already in the file (newest wins: a re-run supersedes).
             for scenario_id in store.scenario_ids():
                 record = self._latest_cacheable(store.by_id(scenario_id))
                 if record is not None:
-                    self._remember(scenario_id, record)
+                    shard = self._shard(scenario_id)
+                    with shard.lock:
+                        shard.remember(scenario_id, record)
+
+    # -- routing ----------------------------------------------------------------
+    def _shard(self, scenario_id: str) -> _Shard:
+        # crc32 of the id prefix: stable across processes and runs (unlike
+        # hash()), cheap, and uniform enough for content-hash keys.
+        digest = zlib.crc32(scenario_id[:SHARD_PREFIX].encode("utf-8", "replace"))
+        return self._shards[digest % self.num_shards]
+
+    def shard_index(self, scenario_id: str) -> int:
+        """Which shard an id routes to (exposed for tests and diagnostics)."""
+        return self._shards.index(self._shard(scenario_id))
 
     @staticmethod
     def _latest_cacheable(records) -> Optional[RunRecord]:
@@ -78,52 +137,73 @@ class ResultCache:
                 return record
         return None
 
-    def _remember(self, scenario_id: str, record: RunRecord) -> None:
-        self._memory[scenario_id] = record
-        self._memory.move_to_end(scenario_id)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
-
     # -- lookups ----------------------------------------------------------------
     def get(self, scenario_id: str) -> Tuple[Optional[RunRecord], str]:
         """Look up an id; returns ``(record, tier)`` with tier in hit/store/miss."""
-        with self._lock:
-            record = self._memory.get(scenario_id)
+        shard = self._shard(scenario_id)
+        with shard.lock:
+            record = shard.memory.get(scenario_id)
             if record is not None:
-                self._memory.move_to_end(scenario_id)
-                self.stats["hits_memory"] += 1
+                shard.memory.move_to_end(scenario_id)
+                shard.stats["hits_memory"] += 1
                 return record, "hit"
-            if self.store is not None:
+        if self.store is not None:
+            # Store lookups happen outside the shard lock: the persistent
+            # tier may touch the filesystem (refresh tails new lines other
+            # worker processes appended) and must not stall sibling keys.
+            record = self._latest_cacheable(self.store.by_id(scenario_id))
+            if record is None and self.store.refresh() > 0:
                 record = self._latest_cacheable(self.store.by_id(scenario_id))
-                if record is not None:
-                    self._remember(scenario_id, record)
-                    self.stats["hits_store"] += 1
-                    return record, "store"
-            self.stats["misses"] += 1
-            return None, "miss"
+            if record is not None:
+                with shard.lock:
+                    shard.remember(scenario_id, record)
+                    shard.stats["hits_store"] += 1
+                return record, "store"
+        with shard.lock:
+            shard.stats["misses"] += 1
+        return None, "miss"
+
+    def get_memory(self, scenario_id: str) -> Optional[RunRecord]:
+        """Memory-tier-only lookup: one shard-dict probe, nothing else.
+
+        The serving fast path calls this before committing to the full
+        resolution machinery.  A hit counts as ``hits_memory``; a miss is
+        *not* counted here — the caller falls through to :meth:`get`, which
+        owns the store tier and the miss accounting.
+        """
+        shard = self._shard(scenario_id)
+        with shard.lock:
+            record = shard.memory.get(scenario_id)
+            if record is None:
+                return None
+            shard.memory.move_to_end(scenario_id)
+            shard.stats["hits_memory"] += 1
+            return record
 
     # -- single-flight ----------------------------------------------------------
     def lease(self, scenario_id: str) -> Tuple[Flight, bool]:
         """Join or open the flight for an id; returns ``(flight, is_leader)``."""
-        with self._lock:
-            flight = self._flights.get(scenario_id)
+        shard = self._shard(scenario_id)
+        with shard.lock:
+            flight = shard.flights.get(scenario_id)
             if flight is not None:
-                self.stats["coalesced"] += 1
+                shard.stats["coalesced"] += 1
                 return flight, False
             flight = Flight()
-            self._flights[scenario_id] = flight
+            shard.flights[scenario_id] = flight
             return flight, True
 
     def complete(self, scenario_id: str, flight: Flight, record: RunRecord) -> None:
         """Leader hand-off: publish the record, cache it, release followers."""
         cacheable = record.status in CACHEABLE_STATUSES
-        with self._lock:
+        shard = self._shard(scenario_id)
+        with shard.lock:
             if cacheable:
-                self._remember(scenario_id, record)
-                self.stats["puts"] += 1
-            self._flights.pop(scenario_id, None)
+                shard.remember(scenario_id, record)
+                shard.stats["puts"] += 1
+            shard.flights.pop(scenario_id, None)
         if cacheable and self.store is not None:
-            # Persist outside the cache lock: the append takes a blocking
+            # Persist outside the shard lock: the append takes a blocking
             # flock on the JSONL file, and a slow (or contended) write must
             # not stall every concurrent warm lookup behind it.
             self.store.append(record)
@@ -131,25 +211,68 @@ class ResultCache:
         flight.event.set()
 
     def abandon(self, scenario_id: str, flight: Flight) -> None:
-        """Leader failed before producing a record; wake followers empty-handed."""
-        with self._lock:
-            self._flights.pop(scenario_id, None)
+        """Leader failed before producing a record; wake followers to retry.
+
+        Followers observe ``flight.abandoned`` and may :meth:`lease` again —
+        one of them wins the new flight and leads the retry, the rest coalesce
+        onto it.  The abandonment is marked *before* the flight is unpublished
+        so a follower can never see a closed flight without the flag.
+        """
+        flight.abandoned = True
+        shard = self._shard(scenario_id)
+        with shard.lock:
+            shard.flights.pop(scenario_id, None)
         flight.event.set()
 
     # -- accounting -------------------------------------------------------------
     @property
+    def stats(self) -> Dict[str, int]:
+        """Aggregate counters over every shard (a consistent locked sum)."""
+        totals = {key: 0 for key in _STAT_KEYS}
+        for shard in self._shards:
+            with shard.lock:
+                for key in _STAT_KEYS:
+                    totals[key] += shard.stats[key]
+        return totals
+
+    @property
     def hit_rate(self) -> float:
-        hits = self.stats["hits_memory"] + self.stats["hits_store"] + self.stats["coalesced"]
-        lookups = hits + self.stats["misses"]
+        snapshot = self.stats  # one locked pass; never a torn read
+        hits = snapshot["hits_memory"] + snapshot["hits_store"] + snapshot["coalesced"]
+        lookups = hits + snapshot["misses"]
         return hits / lookups if lookups else 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        with self._lock:
-            snapshot = dict(self.stats)
-            snapshot["size"] = len(self._memory)
-            snapshot["in_flight"] = len(self._flights)
-        snapshot["hit_rate"] = self.hit_rate
-        return snapshot
+        """Aggregate stats plus one entry per shard, all read under the locks."""
+        totals = {key: 0 for key in _STAT_KEYS}
+        size = 0
+        in_flight = 0
+        shards: List[Dict[str, float]] = []
+        for shard in self._shards:
+            with shard.lock:
+                entry = dict(shard.stats)
+                entry["size"] = len(shard.memory)
+                entry["in_flight"] = len(shard.flights)
+                entry["capacity"] = shard.capacity
+            for key in _STAT_KEYS:
+                totals[key] += entry[key]
+            size += entry["size"]
+            in_flight += entry["in_flight"]
+            shards.append(entry)
+        document: Dict[str, float] = dict(totals)
+        document["size"] = size
+        document["in_flight"] = in_flight
+        # hit_rate derives from the snapshot itself, not a second racy read.
+        hits = totals["hits_memory"] + totals["hits_store"] + totals["coalesced"]
+        lookups = hits + totals["misses"]
+        document["hit_rate"] = hits / lookups if lookups else 0.0
+        document["num_shards"] = self.num_shards
+        document["shards"] = shards
+        return document
 
     def __len__(self) -> int:
-        return len(self._memory)
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.memory)
+        return total

@@ -27,13 +27,15 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 from urllib.parse import urlsplit
 
 from ..experiments.scenario import ScenarioSpec
+from ..experiments.store import RUN_STATUSES
 from .api import ServiceRequest, ServiceResponse
 
 
@@ -169,7 +171,12 @@ class ServiceClient:
         return status, ServiceResponse.from_dict(document)
 
     def batch(self, requests: Sequence[ServiceRequest]) -> List[ServiceResponse]:
-        """POST /batch; collects the NDJSON stream into a response list."""
+        """POST /batch; collects the NDJSON stream back into *input order*.
+
+        The server streams lines in completion order, each tagged with its
+        input ``index``; this client reorders on that tag (lines without one
+        — older servers — are assumed already ordered).
+        """
         payload = json.dumps([request.to_dict() for request in requests]).encode()
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
@@ -179,15 +186,194 @@ class ServiceClient:
             reply = connection.getresponse()
             if reply.status != 200:
                 raise ServiceClientError(f"POST /batch failed with HTTP {reply.status}")
-            responses = []
-            for line in reply.read().decode("utf-8").splitlines():
-                if line.strip():
-                    responses.append(ServiceResponse.from_dict(json.loads(line)))
-            return responses
+            tagged: List[Tuple[int, ServiceResponse]] = []
+            for position, line in enumerate(reply.read().decode("utf-8").splitlines()):
+                if not line.strip():
+                    continue
+                document = json.loads(line)
+                index = document.pop("index", position)
+                tagged.append((int(index), ServiceResponse.from_dict(document)))
+            tagged.sort(key=lambda pair: pair[0])
+            return [response for _, response in tagged]
         except (OSError, http.client.HTTPException) as error:
             raise ServiceClientError(f"POST /batch failed: {error}") from error
         finally:
             connection.close()
+
+
+# ---------------------------------------------------------------------------
+# high-rate clients
+# ---------------------------------------------------------------------------
+
+class _ResponseView:
+    """The few response fields the load recorder reads, parsed cheaply.
+
+    Quacks like :class:`~repro.service.api.ServiceResponse` for exactly the
+    attributes the measurement path touches (``state``, ``cache``,
+    ``terminal``, ``served_from_cache``) without the full schema validation —
+    at tens of thousands of responses per second the difference shows.
+    """
+
+    __slots__ = ("state", "cache")
+
+    def __init__(self, document: Dict):
+        self.state = str(document.get("state", ""))
+        self.cache = str(document.get("cache", ""))
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in RUN_STATUSES
+
+    @property
+    def served_from_cache(self) -> bool:
+        return self.cache in ("hit", "store", "coalesced")
+
+
+class FastServiceClient:
+    """Raw-socket ``/solve`` client built for load generation.
+
+    One keep-alive connection, request bytes rendered once and replayed
+    (:meth:`render`), and a readline header scan instead of
+    ``http.client``'s full response machinery.  Works against both the
+    threading and the pre-fork servers — it speaks plain HTTP/1.1.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceClientError(f"only http:// urls are supported (got {base_url!r})")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb", 65536)
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "FastServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def render(self, request: ServiceRequest) -> bytes:
+        """Serialize one request to reusable wire bytes (head + body)."""
+        body = json.dumps(request.to_dict()).encode()
+        head = (
+            f"POST /solve HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        return head + body
+
+    def solve_prepared(self, wire: bytes) -> Tuple[int, _ResponseView]:
+        """Send pre-rendered wire bytes; returns ``(status, response view)``."""
+        for attempt in (1, 2):  # one retry after a dropped keep-alive connection
+            try:
+                if self._sock is None:
+                    self._connect()
+                self._sock.sendall(wire)
+                return self._read_response()
+            except (OSError, ValueError) as error:
+                self.close()
+                if attempt == 2:
+                    raise ServiceClientError(
+                        f"POST /solve failed: {type(error).__name__}: {error}"
+                    ) from error
+        raise ServiceClientError("unreachable")  # pragma: no cover
+
+    def solve(self, request: ServiceRequest) -> Tuple[int, _ResponseView]:
+        return self.solve_prepared(self.render(request))
+
+    def _read_response(self) -> Tuple[int, _ResponseView]:
+        rfile = self._rfile
+        line = rfile.readline(65537)
+        if not line:
+            raise OSError("connection closed before the status line")
+        status = int(line.split(None, 2)[1])
+        length: Optional[int] = None
+        close = False
+        while True:
+            line = rfile.readline(65537)
+            if not line:
+                raise OSError("connection closed inside the response headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            key, _, value = line.partition(b":")
+            key = key.strip().lower()
+            if key == b"content-length":
+                length = int(value.strip())
+            elif key == b"connection" and value.strip().lower() == b"close":
+                close = True
+        if status == 100:  # interim: the real response follows
+            return self._read_response()
+        if length is None:
+            body = rfile.read()
+            close = True
+        else:
+            body = rfile.read(length)
+            if len(body) < length:
+                raise OSError("connection closed inside the response body")
+        if close:
+            self.close()
+        document = json.loads(body) if body else {}
+        return status, _ResponseView(document)
+
+
+class RoundRobinClient:
+    """Fan one logical client out over N service replicas, round-robin.
+
+    Holds one keep-alive :class:`FastServiceClient` per replica and rotates
+    per request.  ``render`` produces replica-agnostic wire bytes (the
+    servers do not dispatch on ``Host``), so one rendering serves the whole
+    fleet.
+    """
+
+    def __init__(self, urls: Sequence[str], timeout: float = 300.0):
+        if not urls:
+            raise ServiceClientError("round-robin client needs at least one url")
+        self.clients = [FastServiceClient(url, timeout=timeout) for url in urls]
+        self._next = 0
+
+    def render(self, request: ServiceRequest) -> bytes:
+        return self.clients[0].render(request)
+
+    def solve_prepared(self, wire: bytes) -> Tuple[int, _ResponseView]:
+        client = self.clients[self._next]
+        self._next = (self._next + 1) % len(self.clients)
+        return client.solve_prepared(wire)
+
+    def solve(self, request: ServiceRequest) -> Tuple[int, _ResponseView]:
+        return self.solve_prepared(self.render(request))
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+    def __enter__(self) -> "RoundRobinClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +459,10 @@ class LoadTestReport:
     url: str
     num_scenarios: int
     clients: int
+    #: Service replicas driven round-robin (1: classic single-server run).
+    replicas: int = 1
+    #: Saturation-curve points (clients × workers × replicas), when measured.
+    saturation: List[Dict] = field(default_factory=list)
     #: Per-phase latency samples (seconds): cold / warm / overload.
     phase_latencies: Dict[str, List[float]] = field(default_factory=dict)
     #: Wall-clock seconds per phase.
@@ -360,11 +550,12 @@ class LoadTestReport:
     def to_dict(self) -> Dict:
         from ..analysis.service import latency_summary
 
-        return {
+        document = {
             "schema": "bench-service",
             "version": 1,
             "url": self.url,
             "clients": self.clients,
+            "replicas": self.replicas,
             "num_scenarios": self.num_scenarios,
             "total_requests": self.total_requests,
             "latency_seconds": {
@@ -383,6 +574,9 @@ class LoadTestReport:
             "states": dict(sorted(self.states.items())),
             "service": self.service,
         }
+        if self.saturation:
+            document["saturation"] = self.saturation
+        return document
 
 
 class _Recorder:
@@ -417,18 +611,22 @@ class _Recorder:
 
 
 def _drive(
-    url: str,
+    urls: Sequence[str],
     requests: Sequence[ServiceRequest],
     recorder: _Recorder,
     phase: str,
     timeout: float,
 ) -> None:
-    """One client thread: issue every request on a single keep-alive connection."""
-    with ServiceClient(url, timeout=timeout) as client:
-        for request in requests:
+    """One client thread: keep-alive connections, replicas driven round-robin."""
+    with RoundRobinClient(urls, timeout=timeout) as client:
+        # Render outside the timed loop: the measurement is the service, not
+        # this generator's JSON encoder (and replayed identical bytes are
+        # exactly what a cache-warm fleet sees).
+        wires = [client.render(request) for request in requests]
+        for wire in wires:
             start = time.perf_counter()
             try:
-                status, response = client.solve(request)
+                status, response = client.solve_prepared(wire)
             except ServiceClientError:
                 recorder.observe(phase, time.perf_counter() - start, None, None)
                 continue
@@ -436,7 +634,7 @@ def _drive(
 
 
 def _run_phase(
-    url: str,
+    urls: Sequence[str],
     phase: str,
     per_client: Sequence[Sequence[ServiceRequest]],
     recorder: _Recorder,
@@ -444,7 +642,7 @@ def _run_phase(
 ) -> float:
     threads = [
         threading.Thread(
-            target=_drive, args=(url, requests, recorder, phase, timeout), daemon=True
+            target=_drive, args=(urls, requests, recorder, phase, timeout), daemon=True
         )
         for requests in per_client
         if requests
@@ -458,15 +656,29 @@ def _run_phase(
 
 
 def run_loadtest(
-    url: str,
+    url: Union[str, Sequence[str]],
     specs: Sequence[ScenarioSpec],
     options: Optional[LoadTestOptions] = None,
 ) -> LoadTestReport:
-    """Drive a running service through cold/warm(/overload) phases."""
+    """Drive a running service (or replica fleet) through cold/warm(/overload).
+
+    ``url`` may be one base url or a sequence of replica urls; with several,
+    every client thread rotates across the fleet round-robin and the phases
+    measure aggregate fleet behaviour (the persistent store is the layer
+    that keeps replica caches coherent).
+    """
     options = options or LoadTestOptions()
     if not specs:
         raise ValueError("loadtest needs at least one scenario spec")
-    report = LoadTestReport(url=url, num_scenarios=len(specs), clients=options.clients)
+    urls = [url] if isinstance(url, str) else list(url)
+    if not urls:
+        raise ValueError("loadtest needs at least one service url")
+    report = LoadTestReport(
+        url=urls[0],
+        num_scenarios=len(specs),
+        clients=options.clients,
+        replicas=len(urls),
+    )
     recorder = _Recorder(report)
 
     # -- cold: every distinct scenario once, recomputation forced --------------
@@ -475,7 +687,7 @@ def run_loadtest(
     for index, request in enumerate(cold):
         per_client[index % options.clients].append(request)
     report.phase_seconds["cold"] = _run_phase(
-        url, "cold", per_client, recorder, options.timeout
+        urls, "cold", per_client, recorder, options.timeout
     )
 
     # -- warm: concurrent clients replaying the same scenarios -----------------
@@ -487,7 +699,7 @@ def run_loadtest(
         ]
         warm_per_client.append(batch)
     report.phase_seconds["warm"] = _run_phase(
-        url, "warm", warm_per_client, recorder, options.timeout
+        urls, "warm", warm_per_client, recorder, options.timeout
     )
 
     # -- overload: a burst of distinct fresh scenarios beyond admission --------
@@ -506,11 +718,11 @@ def run_loadtest(
         for index, request in enumerate(burst):
             overload_per_client[index % options.clients].append(request)
         report.phase_seconds["overload"] = _run_phase(
-            url, "overload", overload_per_client, recorder, options.timeout
+            urls, "overload", overload_per_client, recorder, options.timeout
         )
 
     try:
-        with ServiceClient(url, timeout=options.timeout) as client:
+        with ServiceClient(urls[0], timeout=options.timeout) as client:
             report.metrics = client.metrics()
     except ServiceClientError:
         report.metrics = {}
@@ -518,11 +730,126 @@ def run_loadtest(
     return report
 
 
+# ---------------------------------------------------------------------------
+# saturation curve
+# ---------------------------------------------------------------------------
+
+def _saturate_thread(
+    urls: Sequence[str],
+    wires: Sequence[bytes],
+    offset: int,
+    deadline: float,
+    timeout: float,
+    results: List[Tuple[int, List[float], int, int]],
+    index: int,
+) -> None:
+    completed = 0
+    latencies: List[float] = []
+    errors = 0
+    rejections = 0
+    try:
+        with RoundRobinClient(urls, timeout=timeout) as client:
+            cursor = offset
+            while time.perf_counter() < deadline:
+                wire = wires[cursor % len(wires)]
+                cursor += 1
+                start = time.perf_counter()
+                try:
+                    status, response = client.solve_prepared(wire)
+                except ServiceClientError:
+                    errors += 1
+                    continue
+                elapsed = time.perf_counter() - start
+                if status in (429, 503):
+                    rejections += 1
+                elif status >= 500 or not response.terminal:
+                    errors += 1
+                else:
+                    completed += 1
+                    latencies.append(elapsed)
+    except ServiceClientError:
+        errors += 1
+    results[index] = (completed, latencies, errors, rejections)
+
+
+def run_saturation(
+    urls: Union[str, Sequence[str]],
+    specs: Sequence[ScenarioSpec],
+    clients_grid: Sequence[int] = (1, 2, 4, 8),
+    duration: float = 1.0,
+    http_workers: int = 1,
+    timeout: float = 30.0,
+) -> List[Dict]:
+    """Measure warm throughput at increasing concurrency; one dict per point.
+
+    Assumes the fleet is already warm for ``specs`` (run a loadtest or replay
+    the cold phase first): every request should be a cache hit, so the curve
+    isolates the serving front end.  Each point drives N client threads for
+    ``duration`` seconds and reports aggregate throughput plus latency
+    percentiles; ``http_workers`` is carried into the point verbatim so the
+    published curve is self-describing (clients × workers × replicas).
+    """
+    from ..analysis.service import percentile
+
+    if not specs:
+        raise ValueError("saturation needs at least one scenario spec")
+    url_list = [urls] if isinstance(urls, str) else list(urls)
+    probe = RoundRobinClient(url_list, timeout=timeout)
+    wires = [
+        probe.render(ServiceRequest(scenario=spec, tag="saturation")) for spec in specs
+    ]
+    probe.close()
+    points: List[Dict] = []
+    for clients in clients_grid:
+        if clients < 1:
+            raise ValueError(f"clients must be positive (got {clients})")
+        results: List[Tuple[int, List[float], int, int]] = [(0, [], 0, 0)] * clients
+        deadline = time.perf_counter() + duration
+        threads = [
+            threading.Thread(
+                target=_saturate_thread,
+                args=(url_list, wires, offset, deadline, timeout, results, offset),
+                daemon=True,
+            )
+            for offset in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        completed = sum(entry[0] for entry in results)
+        latencies = sorted(
+            sample for entry in results for sample in entry[1]
+        )
+        errors = sum(entry[2] for entry in results)
+        rejections = sum(entry[3] for entry in results)
+        points.append(
+            {
+                "clients": clients,
+                "http_workers": http_workers,
+                "replicas": len(url_list),
+                "seconds": round(elapsed, 6),
+                "requests": completed,
+                "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
+                "p50_ms": round(percentile(latencies, 0.5) * 1000, 3),
+                "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+                "errors": errors,
+                "rejections": rejections,
+            }
+        )
+    return points
+
+
 __all__ = [
+    "FastServiceClient",
     "LoadTestOptions",
     "LoadTestReport",
+    "RoundRobinClient",
     "ServiceClient",
     "ServiceClientError",
     "run_loadtest",
+    "run_saturation",
     "service_summary",
 ]

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import queue
 import threading
 import time
 import uuid
@@ -102,6 +103,17 @@ class ServiceConfig:
     store_path: Optional[str] = None
     #: How long a coalesced follower waits for its leader before erroring.
     coalesce_wait_seconds: float = 600.0
+    #: Independently locked cache shards (keyed by scenario_id prefix).
+    cache_shards: int = 8
+    #: Largest request body accepted before answering 413 — the bound that
+    #: stops a hostile or buggy Content-Length from driving an unbounded
+    #: read/allocation on the handler thread.
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: HTTP worker *processes*.  1 keeps the in-process ThreadingHTTPServer;
+    #: >1 serves through the pre-fork accept loop (:mod:`repro.service.
+    #: prefork`), one process per worker sharing the port via SO_REUSEPORT
+    #: (or a shared inherited listener where unavailable).
+    http_workers: int = 1
     #: Spawn the worker processes at startup instead of on first request.
     warm_up: bool = True
     start_method: str = "spawn"
@@ -140,7 +152,11 @@ class SolveService:
             if self.config.store_path
             else None
         )
-        self.cache = ResultCache(capacity=self.config.cache_capacity, store=store)
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            store=store,
+            shards=self.config.cache_shards,
+        )
         self.pool = ServicePool(
             workers=self.config.workers,
             max_pending=self.config.max_pending,
@@ -163,6 +179,12 @@ class SolveService:
                 "Terminal request latency by cache tier",
                 tier=tier,
             )
+        #: Prefetched metric handles for :meth:`try_fast` — the registry
+        #: lookup (name + label matching) is measurable at fast-path rates.
+        self._warm_seconds = self.registry.histogram(
+            "repro_request_seconds", tier="warm"
+        )
+        self._fast_counters: Dict[str, object] = {}
         #: Per-instance structured event log: the operational moments the
         #: ``/events`` SSE stream, ``/dashboard`` and ``repro top`` observe.
         self.events = EventLog(
@@ -312,11 +334,25 @@ class SolveService:
             if record is not None:
                 return self._terminal(request, record, tier, arrival)
 
-        flight, leader = self.cache.lease(scenario_id)
-        if not leader:
+        leader = False
+        for attempt in range(2):  # a follower re-leases once if its leader abandons
+            if attempt and not request.fresh:
+                # The abandonment may have raced another thread's completion;
+                # never recompute a record that is cached by now.
+                record, tier = self.cache.get(scenario_id)
+                if record is not None:
+                    return self._terminal(request, record, tier, arrival)
+            flight, leader = self.cache.lease(scenario_id)
+            if leader:
+                break
             if flight.event.wait(timeout=self.config.coalesce_wait_seconds):
                 if flight.record is not None:
                     return self._terminal(request, flight.record, "coalesced", arrival)
+                if flight.abandoned and attempt == 0:
+                    # The leader gave up without a record (pool rejection,
+                    # crash); the pool may have slots again — race the other
+                    # followers to lease and lead the retry ourselves.
+                    continue
                 message = "coalesced computation was abandoned by its leader"
             else:
                 message = (
@@ -377,6 +413,69 @@ class SolveService:
         except BaseException:
             self.cache.abandon(scenario_id, flight)
             raise
+
+    # -- fast path --------------------------------------------------------------
+    def _fast_counter(self, state: str):
+        handle = self._fast_counters.get(state)
+        if handle is None:
+            handle = self.registry.counter(
+                "repro_requests_total", "Requests resolved, by final state",
+                state=state,
+            )
+            self._fast_counters[state] = handle
+        return handle
+
+    def try_fast(self, request: ServiceRequest, request_id: str = "") -> Optional[bytes]:
+        """Answer a warm memory hit with minimal bookkeeping, or ``None``.
+
+        The serving fast path: one sharded-dict probe, a response body
+        assembled from a payload pre-rendered once per record, prefetched
+        metric handles — no span, no per-request debug event, no submission
+        registry.  Anything that is not a plain warm memory hit (miss,
+        ``fresh``, draining, store-tier promotion) returns ``None`` and the
+        caller falls back to :meth:`resolve`, which owns the full semantics.
+
+        Returns the complete JSON response body (newline-terminated bytes)
+        with the exact ``service-response`` field set, so clients cannot
+        tell which path answered.
+        """
+        if self._draining or request.fresh:
+            return None
+        arrival = time.perf_counter()
+        record = self.cache.get_memory(request.scenario_id)
+        if record is None:
+            return None
+        parts = getattr(record, "_fast_parts", None)
+        if parts is None:
+            # Everything constant for this record renders once; only
+            # request_id, tag and queue_seconds vary per request.
+            from ..io.serialization import SCHEMA_VERSION
+
+            parts = (
+                '{"schema": "service-response", "version": '
+                + str(SCHEMA_VERSION)
+                + ', "state": ' + json.dumps(record.status)
+                + ', "scenario_id": ' + json.dumps(record.scenario_id)
+                + ', "request_id": ',
+                ', "cache": "hit", "record": '
+                + json.dumps(record.to_dict(), sort_keys=True)
+                + ', "message": ' + json.dumps(record.message)
+                + ', "tag": ',
+                ', "queue_seconds": ',
+                ', "compute_seconds": 0.0, "retry_after_seconds": null, "info": {}}\n',
+            )
+            record._fast_parts = parts  # idempotent; benign if threads race
+        seconds = time.perf_counter() - arrival
+        with self._lock:
+            self._states[record.status] += 1
+        self._fast_counter(record.status).inc()
+        self._warm_seconds.observe(seconds)
+        body = (
+            parts[0] + json.dumps(request_id)
+            + parts[1] + json.dumps(request.tag)
+            + parts[2] + f"{seconds:.6f}" + parts[3]
+        )
+        return body.encode("utf-8")
 
     # -- asynchronous submissions ----------------------------------------------
     #: Finished submissions retained for ``/result`` polling.
@@ -454,31 +553,34 @@ class SolveService:
         return self.status(request_id)
 
     # -- batches ----------------------------------------------------------------
-    def resolve_batch(self, requests: List[ServiceRequest]) -> Iterable[ServiceResponse]:
-        """Resolve a batch concurrently, yielding responses in input order.
+    def resolve_batch_completed(
+        self, requests: List[ServiceRequest]
+    ) -> Iterable[Tuple[int, ServiceResponse]]:
+        """Resolve a batch concurrently, yielding ``(index, response)`` pairs
+        in *completion* order.
 
-        Responses stream as soon as they are available *in order* — the
-        consumer can act on early results while later ones still compute.
-        Identical specs inside one batch coalesce exactly like concurrent
-        clients would.
+        This is what the ``/batch`` NDJSON stream serves: a fast line (cache
+        hit) reaches the client immediately instead of queueing behind a slow
+        cold solve that happened to come earlier in the input.  Each pair
+        carries its input index so consumers can reorder.  Identical specs
+        inside one batch coalesce exactly like concurrent clients would.
         """
-        results: List[Optional[ServiceResponse]] = [None] * len(requests)
-        events = [threading.Event() for _ in requests]
+        done: "queue.Queue[Tuple[int, ServiceResponse]]" = queue.Queue()
         # Bound the thread fan-out (the pool bounds compute; this bounds the
         # coalescing/waiting threads a huge batch would otherwise spawn).
         slots = threading.Semaphore(64)
 
         def run(index: int, request: ServiceRequest) -> None:
             try:
-                results[index] = self.resolve(request)
+                response = self.resolve(request)
             except Exception as error:  # noqa: BLE001 - a batch line never kills the stream
-                results[index] = ServiceResponse(
+                response = ServiceResponse(
                     state=STATUS_ERROR,
                     scenario_id=request.scenario_id,
                     message=f"unexpected service failure: {type(error).__name__}: {error}",
                     tag=request.tag,
                 )
-            events[index].set()
+            done.put((index, response))
             slots.release()
 
         def start_all() -> None:
@@ -492,9 +594,25 @@ class SolveService:
         # bound, early responses must stream while later ones still wait to
         # start — the consumer loop below cannot wait for the full fan-out.
         threading.Thread(target=start_all, name="batch-producer", daemon=True).start()
-        for index in range(len(requests)):
-            events[index].wait()
-            yield results[index]
+        for _ in range(len(requests)):
+            yield done.get()
+
+    def resolve_batch(self, requests: List[ServiceRequest]) -> Iterable[ServiceResponse]:
+        """Resolve a batch concurrently, yielding responses in input order.
+
+        Responses stream as soon as they are available *in order* — the
+        consumer can act on early results while later ones still compute.
+        (The HTTP front end streams :meth:`resolve_batch_completed` instead,
+        tagging lines with their index; this wrapper keeps the in-order
+        contract for in-process callers.)
+        """
+        buffered: Dict[int, ServiceResponse] = {}
+        next_index = 0
+        for index, response in self.resolve_batch_completed(requests):
+            buffered[index] = response
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
 
     # -- health/metrics ---------------------------------------------------------
     def health(self) -> Dict:
@@ -658,8 +776,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(411, {"error": "Content-Length required"})
             return None
         try:
-            return self.rfile.read(int(length))
-        except (ValueError, OSError):
+            length = int(length)
+        except ValueError:
+            self.close_connection = True
+            self._send_json(400, {"error": f"malformed Content-Length {length!r}"})
+            return None
+        if length < 0:
+            self.close_connection = True
+            self._send_json(400, {"error": "Content-Length must be non-negative"})
+            return None
+        limit = self.service.config.max_body_bytes
+        if length > limit:
+            # Reading (or skipping) the body would be exactly the unbounded
+            # work the limit exists to avoid: answer and drop the connection.
+            self.close_connection = True
+            self._send_json(
+                413,
+                {"error": f"request body of {length} bytes exceeds the {limit}-byte limit"},
+            )
+            return None
+        try:
+            return self.rfile.read(length)
+        except OSError:
             self.close_connection = True
             self._send_json(400, {"error": "unreadable request body"})
             return None
@@ -828,10 +966,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
 
     def _handle_batch(self, raw: bytes) -> None:
-        """NDJSON stream: one response line per input spec, in input order.
+        """NDJSON stream: one response line per input spec, in *completion*
+        order, each line tagged with its input ``index``.
 
         The response is length-delimited by connection close (no
-        Content-Length), so lines flush to the client as they resolve.
+        Content-Length), so lines flush to the client the moment they
+        resolve — a warm hit never queues behind an earlier cold solve.
+        Clients that need input order reorder on ``index``
+        (:meth:`~repro.service.client.ServiceClient.batch` does).
         """
         try:
             text = raw.decode("utf-8")
@@ -850,8 +992,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
-        for response in self.service.resolve_batch(requests):
-            self.wfile.write((json.dumps(response.to_dict(), sort_keys=True) + "\n").encode())
+        for index, response in self.service.resolve_batch_completed(requests):
+            document = response.to_dict()
+            document["index"] = index
+            self.wfile.write((json.dumps(document, sort_keys=True) + "\n").encode())
             self.wfile.flush()
 
 

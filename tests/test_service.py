@@ -66,7 +66,9 @@ class TestResultCache:
         assert cache.stats["hits_memory"] == 1 and cache.stats["misses"] == 1
 
     def test_lru_eviction(self):
-        cache = ResultCache(capacity=2)
+        # One shard == one global LRU (multi-shard eviction semantics are
+        # covered in tests/test_service_sharding.py).
+        cache = ResultCache(capacity=2, shards=1)
         specs = [
             TINY,
             ScenarioSpec(**{f: getattr(TINY, f) for f in TINY.__dataclass_fields__} | {"units": 6}),
@@ -132,7 +134,8 @@ class TestResultCache:
         seed_store.append(record_for(TINY))
         cache = ResultCache(capacity=4, store=ResultStore(path))
         # Evict the memory tier by hand, then look up again.
-        cache._memory.clear()
+        for shard in cache._shards:
+            shard.memory.clear()
         record, tier = cache.get(TINY.scenario_id)
         assert record is not None and tier == "store"
         assert cache.stats["hits_store"] == 1

@@ -22,13 +22,16 @@ import pytest
 
 from repro.experiments import ScenarioSpec
 from repro.service import (
+    FastServiceClient,
     LoadTestOptions,
+    RoundRobinClient,
     ServiceClient,
     ServiceClientError,
     ServiceConfig,
     ServiceRequest,
     ServiceServer,
     run_loadtest,
+    run_saturation,
 )
 
 TINY = ScenarioSpec(
@@ -154,6 +157,74 @@ class TestEndpoints:
         assert all(json.loads(line)["state"] == "ok" for line in lines)
         connection.close()
 
+    def test_batch_lines_carry_completion_index(self, server):
+        body = "\n".join(
+            json.dumps(spec.to_dict()) for spec in (TINY, OTHER)
+        ).encode()
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=180)
+        connection.request("POST", "/batch", body=body)
+        reply = connection.getresponse()
+        assert reply.status == 200
+        documents = [
+            json.loads(line) for line in reply.read().decode().splitlines() if line.strip()
+        ]
+        # Lines stream in completion order; the index field maps each line
+        # back to its submission slot so clients can reassemble the order.
+        assert sorted(document["index"] for document in documents) == [0, 1]
+        connection.close()
+
+    def test_fast_client_speaks_to_the_threading_server(self, server):
+        with ServiceClient(server.url, timeout=180) as seed:
+            seed.solve(ServiceRequest(scenario=TINY))
+        with FastServiceClient(server.url, timeout=60) as client:
+            wire = client.render(ServiceRequest(scenario=TINY))
+            for _ in range(20):
+                status, view = client.solve_prepared(wire)
+                assert status == 200
+                assert view.state == "ok" and view.terminal
+                assert view.served_from_cache
+
+    def test_round_robin_client_over_two_replicas(self, server):
+        replica = ServiceServer(
+            ServiceConfig(port=0, workers=1, max_pending=4, warm_up=False)
+        ).start()
+        try:
+            for url in (server.url, replica.url):
+                with ServiceClient(url, timeout=180) as seed:
+                    status, response = seed.solve(ServiceRequest(scenario=TINY))
+                    assert status == 200 and response.state == "ok"
+            with RoundRobinClient([server.url, replica.url], timeout=60) as client:
+                wire = client.render(ServiceRequest(scenario=TINY))
+                for _ in range(8):
+                    status, view = client.solve_prepared(wire)
+                    assert status == 200 and view.served_from_cache
+        finally:
+            replica.stop(drain_timeout=30)
+
+    def test_loadtest_multi_replica_with_saturation_curve(self, server):
+        urls = [server.url, server.url]  # one fleet listed twice
+        report = run_loadtest(
+            urls,
+            [TINY],
+            LoadTestOptions(clients=2, requests_per_client=2, timeout=180),
+        )
+        assert report.replicas == 2
+        assert report.transport_errors == 0 and report.server_errors == 0
+        report.saturation = run_saturation(
+            urls, [TINY], clients_grid=(1, 2), duration=0.2, timeout=60
+        )
+        assert len(report.saturation) == 2
+        for point in report.saturation:
+            assert point["replicas"] == 2
+            assert point["errors"] == 0
+            assert point["throughput_rps"] > 0
+        document = report.to_dict()
+        assert document["replicas"] == 2
+        assert [p["clients"] for p in document["saturation"]] == [1, 2]
+        from repro.analysis import loadtest_report
+
+        assert "saturation curve" in loadtest_report(report)
+
     def test_loadtest_harness_round_trip(self, server):
         report = run_loadtest(
             server.url,
@@ -177,6 +248,46 @@ class TestEndpoints:
 
         text = loadtest_report(report)
         assert "cache hit rate" in text and "pool saturation" in text
+
+
+class TestBodyBounds:
+    """``_read_body`` rejects hostile Content-Length values up front."""
+
+    @staticmethod
+    def raw_status(host: str, port: int, content_length) -> int:
+        head = (
+            f"POST /solve HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\nContent-Length: {content_length}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(head)
+            sock.settimeout(30)
+            reply = sock.recv(65536)
+        return int(reply.split(None, 2)[1])
+
+    def test_negative_content_length_is_400(self, server):
+        assert self.raw_status(server.host, server.port, -5) == 400
+
+    def test_oversize_content_length_is_413_without_reading(self, server):
+        # Claim a body over the default 8 MiB bound but never send a byte:
+        # the server must answer from the header alone instead of blocking
+        # on (or allocating) the advertised body.
+        assert self.raw_status(server.host, server.port, 9 * 1024 * 1024) == 413
+
+    def test_bound_is_configurable(self):
+        instance = ServiceServer(
+            ServiceConfig(port=0, workers=1, warm_up=False, max_body_bytes=1024)
+        ).start()
+        try:
+            connection = http.client.HTTPConnection(
+                instance.host, instance.port, timeout=30
+            )
+            connection.request("POST", "/solve", body=b"x" * 2048)
+            assert connection.getresponse().status == 413
+            connection.close()
+        finally:
+            instance.stop(drain_timeout=10)
 
 
 class TestGracefulShutdown:

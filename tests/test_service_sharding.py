@@ -1,0 +1,411 @@
+"""Sharded-cache semantics: routing, per-shard LRU, locked accounting,
+single-flight collapse, and leader-abandon follower promotion.
+
+The multi-shard tests generate scenario variants until enough ids land in
+the shards they need — routing is a stable content hash, so the search is
+deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List
+
+import pytest
+
+from repro.experiments import STATUS_ERROR, STATUS_OK, ScenarioSpec
+from repro.service import (
+    PoolSaturated,
+    ResultCache,
+    ServiceConfig,
+    ServiceRequest,
+    SolveService,
+)
+from repro.experiments import RunRecord
+
+TINY = ScenarioSpec(
+    kind="fulfillment",
+    num_slices=1,
+    shelf_columns=3,
+    shelf_bands=1,
+    num_stations=1,
+    num_products=2,
+    units=4,
+    horizon=150,
+)
+
+
+def variant(units: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        **{f: getattr(TINY, f) for f in TINY.__dataclass_fields__} | {"units": units}
+    )
+
+
+def record_for(spec: ScenarioSpec, status: str = STATUS_OK) -> RunRecord:
+    return RunRecord(spec=spec, status=status)
+
+
+def specs_by_shard(cache: ResultCache, per_shard: int) -> Dict[int, List[ScenarioSpec]]:
+    """Distinct scenario specs grouped by the shard their id routes to."""
+    groups: Dict[int, List[ScenarioSpec]] = {i: [] for i in range(cache.num_shards)}
+    units = 1
+    while any(len(group) < per_shard for group in groups.values()):
+        spec = variant(units)
+        group = groups[cache.shard_index(spec.scenario_id)]
+        if len(group) < per_shard:
+            group.append(spec)
+        units += 1
+        assert units < 10_000, "shard routing never filled every shard"
+    return groups
+
+
+def fill(cache: ResultCache, spec: ScenarioSpec, status: str = STATUS_OK) -> None:
+    flight, leader = cache.lease(spec.scenario_id)
+    assert leader
+    cache.complete(spec.scenario_id, flight, record_for(spec, status=status))
+
+
+# ---------------------------------------------------------------------------
+# Routing and capacity distribution
+# ---------------------------------------------------------------------------
+
+class TestShardRouting:
+    def test_routing_is_stable_and_in_range(self):
+        cache = ResultCache(capacity=16, shards=4)
+        for units in range(1, 32):
+            spec = variant(units)
+            index = cache.shard_index(spec.scenario_id)
+            assert 0 <= index < cache.num_shards
+            assert index == cache.shard_index(spec.scenario_id)
+
+    def test_capacity_distributed_across_shards(self):
+        cache = ResultCache(capacity=10, shards=4)
+        assert cache.num_shards == 4
+        assert sorted(s.capacity for s in cache._shards) == [2, 2, 3, 3]
+        assert sum(s.capacity for s in cache._shards) == 10
+
+    def test_never_more_shards_than_capacity(self):
+        cache = ResultCache(capacity=2, shards=8)
+        assert cache.num_shards == 2
+        assert all(s.capacity == 1 for s in cache._shards)
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=4, shards=0)
+
+
+# ---------------------------------------------------------------------------
+# Per-shard LRU eviction
+# ---------------------------------------------------------------------------
+
+class TestPerShardEviction:
+    def test_eviction_is_local_to_the_overflowing_shard(self):
+        cache = ResultCache(capacity=4, shards=2)
+        groups = specs_by_shard(cache, per_shard=3)
+        hot, cold = groups[0], groups[1]
+        # Park one entry in the cold shard, then overflow the hot shard
+        # (per-shard capacity is 2, so the third insert evicts the first).
+        fill(cache, cold[0])
+        for spec in hot:
+            fill(cache, spec)
+        assert cache.get(hot[0].scenario_id)[0] is None
+        assert cache.get(hot[1].scenario_id)[0] is not None
+        assert cache.get(hot[2].scenario_id)[0] is not None
+        # The cold shard never saw pressure: its entry survives.
+        assert cache.get(cold[0].scenario_id)[0] is not None
+        assert len(cache) == 3
+
+    def test_touch_refreshes_recency_within_a_shard(self):
+        cache = ResultCache(capacity=4, shards=2)
+        groups = specs_by_shard(cache, per_shard=3)
+        a, b, c = groups[0]
+        fill(cache, a)
+        fill(cache, b)
+        assert cache.get(a.scenario_id)[0] is not None  # touch: a is now MRU
+        fill(cache, c)  # evicts b, not a
+        assert cache.get(b.scenario_id)[0] is None
+        assert cache.get(a.scenario_id)[0] is not None
+
+
+# ---------------------------------------------------------------------------
+# Aggregate accounting
+# ---------------------------------------------------------------------------
+
+class TestAggregateAccounting:
+    def test_snapshot_equals_sum_of_shards(self):
+        cache = ResultCache(capacity=8, shards=4)
+        groups = specs_by_shard(cache, per_shard=2)
+        for group in groups.values():
+            for spec in group:
+                cache.get(spec.scenario_id)  # miss
+                fill(cache, spec)
+                cache.get(spec.scenario_id)  # hit
+        snapshot = cache.snapshot()
+        assert snapshot["num_shards"] == 4
+        assert len(snapshot["shards"]) == 4
+        for key in ("hits_memory", "hits_store", "misses", "coalesced", "puts",
+                    "size", "in_flight"):
+            assert snapshot[key] == sum(entry[key] for entry in snapshot["shards"]), key
+        assert snapshot["size"] == len(cache) == 8
+        assert snapshot["misses"] == snapshot["puts"] == 8
+        assert snapshot["hits_memory"] == 8
+        assert sum(entry["capacity"] for entry in snapshot["shards"]) == cache.capacity
+        # hit_rate is derived from the same locked pass, so it is exactly
+        # consistent with the counters beside it.
+        hits = snapshot["hits_memory"] + snapshot["hits_store"] + snapshot["coalesced"]
+        assert snapshot["hit_rate"] == hits / (hits + snapshot["misses"])
+
+    def test_stats_and_hit_rate_agree(self):
+        cache = ResultCache(capacity=8, shards=4)
+        cache.get(TINY.scenario_id)
+        fill(cache, TINY)
+        cache.get(TINY.scenario_id)
+        assert cache.stats["misses"] == 1 and cache.stats["hits_memory"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_accounting_is_consistent_under_concurrent_churn(self):
+        """Readers of hit_rate/__len__/snapshot race writers without tearing.
+
+        Pins the locking fix: every read happens under the shard locks, so a
+        reader can never observe len(cache) above capacity or a hit_rate
+        outside [0, 1] while inserts, evictions, leases and abandons churn.
+        """
+        cache = ResultCache(capacity=6, shards=3)
+        specs = [variant(units) for units in range(1, 25)]
+        stop = threading.Event()
+        failures: List[str] = []
+
+        def writer(offset: int) -> None:
+            i = offset
+            while not stop.is_set():
+                spec = specs[i % len(specs)]
+                flight, leader = cache.lease(spec.scenario_id)
+                if leader:
+                    if i % 5 == 0:
+                        cache.abandon(spec.scenario_id, flight)
+                    else:
+                        cache.complete(spec.scenario_id, flight, record_for(spec))
+                cache.get(spec.scenario_id)
+                i += 1
+
+        def reader() -> None:
+            while not stop.is_set():
+                rate = cache.hit_rate
+                size = len(cache)
+                snapshot = cache.snapshot()
+                if not 0.0 <= rate <= 1.0:
+                    failures.append(f"hit_rate out of range: {rate}")
+                if size > cache.capacity:
+                    failures.append(f"len above capacity: {size}")
+                if snapshot["size"] > cache.capacity:
+                    failures.append(f"snapshot size above capacity: {snapshot['size']}")
+                expected = sum(e["size"] for e in snapshot["shards"])
+                if snapshot["size"] != expected:
+                    failures.append("snapshot size disagrees with its own shards")
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not failures, failures[:5]
+        assert len(cache) <= cache.capacity
+
+
+# ---------------------------------------------------------------------------
+# Single-flight across shards
+# ---------------------------------------------------------------------------
+
+class TestSingleFlightSharded:
+    def test_n_concurrent_misses_collapse_to_one_leader(self):
+        cache = ResultCache(capacity=8, shards=8)
+        leaders: List[bool] = []
+        flights: List[object] = []
+        barrier = threading.Barrier(8)
+        lock = threading.Lock()
+
+        def contend() -> None:
+            barrier.wait()
+            flight, leader = cache.lease(TINY.scenario_id)
+            with lock:
+                leaders.append(leader)
+                flights.append(flight)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sum(leaders) == 1
+        assert len(set(map(id, flights))) == 1  # everyone joined the same flight
+        assert cache.stats["coalesced"] == 7
+        cache.complete(TINY.scenario_id, flights[0], record_for(TINY))
+        assert all(f.record is not None for f in flights)
+
+    def test_flights_on_different_shards_are_independent(self):
+        cache = ResultCache(capacity=8, shards=4)
+        groups = specs_by_shard(cache, per_shard=1)
+        flights = {}
+        for index, group in groups.items():
+            flight, leader = cache.lease(group[0].scenario_id)
+            assert leader
+            flights[index] = (group[0], flight)
+        snapshot = cache.snapshot()
+        assert snapshot["in_flight"] == 4
+        assert all(entry["in_flight"] == 1 for entry in snapshot["shards"])
+        for spec, flight in flights.values():
+            cache.complete(spec.scenario_id, flight, record_for(spec))
+        assert cache.snapshot()["in_flight"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Leader abandon -> follower promotion
+# ---------------------------------------------------------------------------
+
+class TestAbandonPromotion:
+    def test_abandon_marks_flight_before_waking(self):
+        cache = ResultCache(capacity=4)
+        flight, _ = cache.lease(TINY.scenario_id)
+        cache.abandon(TINY.scenario_id, flight)
+        assert flight.abandoned and flight.event.is_set() and flight.record is None
+        # The id is free again: a woken follower can re-lease and lead.
+        _, leader = cache.lease(TINY.scenario_id)
+        assert leader
+
+    def test_followers_survive_a_killed_leader(self):
+        """Kill the leader mid-flight; followers re-lease and still resolve.
+
+        The first pool submission (the leader's) blocks until every follower
+        has coalesced, then dies with a saturation error.  The woken
+        followers observe the abandoned flight, one re-leases as the new
+        leader, and all of them resolve OK from the retried computation.
+        """
+        service = SolveService(
+            ServiceConfig(workers=1, warm_up=False, coalesce_wait_seconds=30.0)
+        )
+        service.pool = KillableLeaderPool()
+        followers_joined = service.pool.followers_joined
+
+        responses: List[object] = []
+        lock = threading.Lock()
+
+        def call() -> None:
+            response = service.resolve(ServiceRequest(scenario=TINY))
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=call) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        # Wait for the 4 followers to join the doomed leader's flight.
+        deadline = time.monotonic() + 10.0
+        while service.cache.stats["coalesced"] < 4 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.cache.stats["coalesced"] >= 4
+        followers_joined.set()  # now the leader's submission fails
+
+        # The retry leader's submission succeeds; complete its future.
+        deadline = time.monotonic() + 10.0
+        while not service.pool.futures and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.pool.futures, "no follower re-leased after the abandon"
+        service.pool.futures[0].set_result(record_for(TINY).to_dict())
+
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(responses) == 5
+        by_state = sorted(r.state for r in responses)
+        # Exactly one request (the killed leader) reports the rejection; the
+        # four followers all recover through the promoted retry leader.
+        assert by_state.count("rejected") == 1
+        assert by_state.count(STATUS_OK) == 4
+        ok = [r for r in responses if r.state == STATUS_OK]
+        assert sum(1 for r in ok if r.cache == "miss") == 1  # the new leader
+        assert sum(1 for r in ok if r.cache == "coalesced") == 3
+        assert service.pool.stats["submitted"] == 1  # one real computation
+        # The cache holds the record: later requests are plain hits.
+        assert service.resolve(ServiceRequest(scenario=TINY)).cache == "hit"
+
+    def test_second_abandon_is_terminal(self):
+        """The retry is bounded: two abandons in a row surface an error."""
+        service = SolveService(
+            ServiceConfig(workers=1, warm_up=False, coalesce_wait_seconds=30.0)
+        )
+        service.pool = AlwaysSaturatedPool()
+
+        responses: List[object] = []
+        lock = threading.Lock()
+
+        def call() -> None:
+            response = service.resolve(ServiceRequest(scenario=TINY))
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(responses) == 3
+        # Nobody hangs and nobody pretends success: every request ends in an
+        # explicit rejection or an abandoned-leader error.
+        assert all(r.state in ("rejected", STATUS_ERROR) for r in responses)
+        assert sum(1 for r in responses if r.state == "rejected") >= 1
+
+
+class KillableLeaderPool:
+    """First submission blocks until told, then dies; later ones succeed."""
+
+    def __init__(self):
+        self.futures: List[Future] = []
+        self.workers = 1
+        self.max_pending = 8
+        self.stats = {"submitted": 0, "completed": 0, "rejected": 0}
+        self.followers_joined = threading.Event()
+        self._first = True
+        self._lock = threading.Lock()
+
+    @property
+    def draining(self):
+        return False
+
+    @property
+    def in_flight(self):
+        return len([f for f in self.futures if not f.done()])
+
+    def submit(self, document, timeout_seconds=None):
+        with self._lock:
+            first, self._first = self._first, False
+        if first:
+            assert self.followers_joined.wait(timeout=30)
+            self.stats["rejected"] += 1
+            raise PoolSaturated("leader killed mid-flight", retry_after_seconds=0.05)
+        future = Future()
+        self.futures.append(future)
+        self.stats["submitted"] += 1
+        return future
+
+    def warm_up(self, timeout=None):
+        pass
+
+    def drain(self, timeout=None):
+        return True
+
+    def snapshot(self):
+        return {**self.stats, "in_flight": self.in_flight, "workers": 1,
+                "max_pending": self.max_pending, "draining": 0.0}
+
+
+class AlwaysSaturatedPool(KillableLeaderPool):
+    def __init__(self):
+        super().__init__()
+        self.followers_joined.set()
+
+    def submit(self, document, timeout_seconds=None):
+        self.stats["rejected"] += 1
+        raise PoolSaturated("always full", retry_after_seconds=0.05)

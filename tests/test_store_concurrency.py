@@ -92,3 +92,75 @@ class TestMultiThreadAppend:
         assert len(load_records(path)) == writers * per_writer
         # The in-memory index agrees with the file.
         assert len(store.scenario_ids()) == writers  # one id per seed
+
+
+class TestRefresh:
+    """Tailing lines appended by *other* handles — the pre-fork warm layer."""
+
+    def test_refresh_sees_foreign_appends(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        reader = ResultStore(path)
+        writer = ResultStore(path)  # stands in for another worker process
+        assert reader.refresh() == 0  # nothing new: stat short-circuit
+        record = _record(writer=1, index=0)
+        writer.append(record)
+        assert reader.by_id(record.scenario_id) == []
+        assert reader.refresh() == 1
+        fetched = reader.by_id(record.scenario_id)
+        assert len(fetched) == 1 and fetched[0].to_dict() == record.to_dict()
+        # Idempotent: a second refresh with no new bytes adds nothing.
+        assert reader.refresh() == 0
+
+    def test_own_appends_are_never_double_counted(self, tmp_path):
+        path = tmp_path / "own.jsonl"
+        store = ResultStore(path)
+        record = _record(writer=2, index=0)
+        store.append(record)
+        # append() indexes in memory but does not advance the tail offset, so
+        # refresh re-reads the line — and must recognise it as already known.
+        assert store.refresh() == 0
+        assert len(store.by_id(record.scenario_id)) == 1
+        assert len(store) == 1
+
+    def test_refresh_stops_at_a_partial_line(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        reader = ResultStore(path)
+        complete = json.dumps(_record(3, 0).to_dict(), sort_keys=True) + "\n"
+        partial = json.dumps(_record(3, 1).to_dict(), sort_keys=True)
+        half = partial[: len(partial) // 2]
+        with path.open("a") as handle:
+            handle.write(complete + half)  # a writer is mid-append
+        assert reader.refresh() == 1  # only the complete line
+        with path.open("a") as handle:
+            handle.write(partial[len(half):] + "\n")
+        assert reader.refresh() == 1  # the finished line arrives intact
+        assert len(reader) == 2
+
+    def test_refresh_skips_foreign_garbage_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        reader = ResultStore(path)
+        good = json.dumps(_record(4, 0).to_dict(), sort_keys=True)
+        with path.open("a") as handle:
+            handle.write('{"schema": "something-else"}\n')
+            handle.write("not json at all\n")
+            handle.write(good + "\n")
+        assert reader.refresh() == 1
+        assert len(reader) == 1
+
+    def test_two_caches_share_one_file_as_a_warm_tier(self, tmp_path):
+        """Worker A's completion is worker B's store hit — via refresh()."""
+        from repro.service import ResultCache
+
+        path = tmp_path / "warm.jsonl"
+        cache_a = ResultCache(capacity=8, store=ResultStore(path))
+        cache_b = ResultCache(capacity=8, store=ResultStore(path))
+        record = _record(writer=5, index=0)
+        scenario_id = record.scenario_id
+        flight, leader = cache_a.lease(scenario_id)
+        assert leader
+        cache_a.complete(scenario_id, flight, record)
+        # B never saw the computation; its store handle tails the new line.
+        fetched, tier = cache_b.get(scenario_id)
+        assert fetched is not None and tier == "store"
+        # Promoted into B's memory: the next lookup is a plain memory hit.
+        assert cache_b.get(scenario_id)[1] == "hit"
