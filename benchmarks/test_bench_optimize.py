@@ -1,0 +1,124 @@
+"""Closed-loop optimization campaigns over the solve→simulate pipeline.
+
+Two small, fully deterministic campaigns emitted as ``BENCH_optimize.json``
+at the repository root:
+
+* **slotting_anneal** — simulated annealing over the product→shelf
+  permutation of the ``slotting-small`` preset (whose seed design is a
+  deliberately naive slotting).  The acceptance bar is *tuned beats seed*:
+  the campaign must strictly improve the throughput objective within the
+  fixed budget — a search layer that cannot beat an intentionally bad
+  baseline is broken.
+* **joint_hill** — batched hill climbing over the joint slotting + layout
+  space, recorded for convergence-shape comparison (improvement is gated
+  here too: the joint space contains the slotting space).
+
+Both campaigns evaluate through a content-addressed ``CachedEvaluator``; the
+bench also gates a **nonzero cache hit-rate** — permutation swaps revisit
+designs often enough that a cold cache across an entire campaign means the
+scenario-id keying broke.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.optimize import (
+    CachedEvaluator,
+    make_objective,
+    make_optimizer,
+    preset_space,
+    run_campaign,
+)
+
+from .conftest import write_bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_optimize.json"
+
+BUDGET = 24
+SEED = 1
+
+CAMPAIGNS = (
+    ("slotting_anneal", "slotting-small", "anneal", {}),
+    ("joint_hill", "joint-small", "hill", {"batch_size": 4}),
+)
+
+
+def _run(preset: str, optimizer_name: str, options: dict):
+    space = preset_space(preset, seed=0)
+    evaluator = CachedEvaluator()
+    started = time.perf_counter()
+    try:
+        result = run_campaign(
+            space,
+            make_optimizer(optimizer_name, **options),
+            make_objective("throughput"),
+            evaluator,
+            budget=BUDGET,
+            seed=SEED,
+        )
+    finally:
+        evaluator.close()
+    return result, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    return {
+        key: _run(preset, optimizer, options)
+        for key, preset, optimizer, options in CAMPAIGNS
+    }
+
+
+def _section(preset: str, optimizer: str, result, seconds: float) -> dict:
+    return {
+        "preset": preset,
+        "optimizer": optimizer,
+        "budget": result.budget,
+        "seed": result.seed,
+        "fingerprint": result.fingerprint(),
+        "baseline": {
+            "scenario_id": result.baseline_spec.scenario_id,
+            "score": result.baseline_score,
+        },
+        "best": {
+            "scenario_id": result.best_spec.scenario_id,
+            "score": result.best_score,
+        },
+        "improvement": result.improvement,
+        "steps": len(result.steps),
+        "evaluations": result.evaluations,
+        "accepted": result.accepted,
+        "improved": result.improved,
+        "convergence": [step.best_score for step in result.steps],
+        "cache": result.cache,
+        "wall_seconds": seconds,
+    }
+
+
+def test_bench_optimize(campaign_results):
+    document = {"schema": "bench-optimize", "version": 1, "budget": BUDGET, "seed": SEED}
+    for key, preset, optimizer, _options in CAMPAIGNS:
+        result, seconds = campaign_results[key]
+        document[key] = _section(preset, optimizer, result, seconds)
+    persisted = write_bench(BENCH_PATH, document)
+
+    for key, _preset, _optimizer, _options in CAMPAIGNS:
+        section = persisted[key]
+        # Gate 1: tuned beats seed, strictly, within the fixed budget.
+        assert section["best"]["score"] > section["baseline"]["score"], (
+            f"{key}: the campaign failed to improve on the naive seed design "
+            f"(baseline {section['baseline']['score']}, best {section['best']['score']})"
+        )
+        assert section["best"]["scenario_id"] != section["baseline"]["scenario_id"]
+        # Gate 2: the content-addressed cache absorbed revisited designs.
+        assert section["cache"]["hit_rate"] > 0.0, (
+            f"{key}: an entire campaign ran cold — scenario-id keying is broken"
+        )
+        # The convergence trace is monotone in the best score by construction.
+        trace = section["convergence"]
+        assert trace == sorted(trace)
+        assert section["evaluations"] == BUDGET

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Closed-loop layout & slotting search over the solve→simulate pipeline.
+
+The pipeline normally *evaluates* a fixed warehouse design; ``repro.optimize``
+makes it *search* designs: perturb the scenario (swap two products' shelves,
+move a layout dimension), re-solve and re-simulate, keep the candidate if the
+objective improved.  This example runs two small campaigns against the same
+seed design — a deliberately naive slotting that parks the popular products on
+far shelves:
+
+1. slotting only (simulated annealing over the product→shelf permutation),
+2. joint slotting + layout geometry (hill climbing over permutation, shelf
+   grid and station count).
+
+Every candidate is scored through a content-addressed result cache, so designs
+the search re-visits cost nothing — the campaign report prints the hit-rate
+alongside the convergence trace.
+
+Run with:  python examples/optimize_layout.py [--budget 24] [--seed 1]
+"""
+
+import argparse
+
+from repro.analysis import optimize_report
+from repro.optimize import (
+    CachedEvaluator,
+    make_objective,
+    make_optimizer,
+    preset_space,
+    run_campaign,
+)
+
+
+def campaign(preset: str, optimizer_name: str, budget: int, seed: int) -> None:
+    space = preset_space(preset, seed=0)
+    optimizer = make_optimizer(optimizer_name)
+    objective = make_objective("throughput")
+    evaluator = CachedEvaluator()  # in-process, cache-fronted
+    try:
+        result = run_campaign(
+            space, optimizer, objective, evaluator, budget=budget, seed=seed
+        )
+    finally:
+        evaluator.close()
+    print(f"=== {preset} / {optimizer.name} ===")
+    print(optimize_report(result.to_dict()))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=24,
+                        help="pipeline evaluations per campaign (baseline included)")
+    parser.add_argument("--seed", type=int, default=1, help="search rng seed")
+    args = parser.parse_args()
+
+    campaign("slotting-small", "anneal", args.budget, args.seed)
+    campaign("joint-small", "hill", args.budget, args.seed)
+
+
+if __name__ == "__main__":
+    main()

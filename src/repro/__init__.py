@@ -35,9 +35,23 @@ The package is organised as a set of substrates plus the co-design core:
   gauges, fixed-bucket histograms; spawn-based workers serialize snapshots
   back to the parent; JSON + Prometheus text exposition), and the cProfile
   harness behind ``repro profile``.
+* :mod:`repro.optimize`   — closed-loop design search above the pipeline:
+  a declarative :class:`~repro.optimize.DesignSpace` of scenario knobs
+  (slotting permutation, layout geometry), seeded hill-climbing /
+  simulated-annealing optimizers, pluggable objectives, and cache-fronted
+  evaluators (in-process pool, live service, remote replica fleet) driving
+  resumable campaigns (``repro optimize`` on the command line, ``POST
+  /optimize`` on the service)::
+
+      DesignSpace --propose--> Optimizer --candidate--> Evaluator
+           ^                                               |  (solve -> simulate,
+           |                                               |   cache by scenario_id)
+           +------ accept / reject <-- Objective <--score--+
+
 * :mod:`repro.analysis`   — metrics (static and simulated), reporting and
   ASCII visualization, sweep aggregation, serving latency/throughput
-  tables, span-tree/hotspot rendering, and regression comparison.
+  tables, span-tree/hotspot rendering, convergence traces, and regression
+  comparison.
 * :mod:`repro.io`         — map / plan / trace / scenario / run-record /
   service request-response serialization.
 
@@ -51,10 +65,11 @@ serving layer: ``repro serve`` answers solve/simulate traffic from a
 content-addressed cache backed by a bounded worker pool.  See
 ``examples/quickstart.py`` for a five-minute tour,
 ``examples/simulate_fulfillment.py`` for the execution side,
-``examples/resilient_simulation.py`` for the disruption/recovery tour, and
-``examples/serving.py`` for the serving layer.
+``examples/resilient_simulation.py`` for the disruption/recovery tour,
+``examples/serving.py`` for the serving layer, and
+``examples/optimize_layout.py`` for closed-loop design search.
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,177 @@
+"""Reports over ``optimize-report`` documents (campaign results).
+
+All functions consume the plain-dict form —
+:meth:`repro.optimize.CampaignResult.to_dict`, the ``report`` field of
+``GET /optimize/status/<id>``, or a JSON file written by
+``repro optimize --out`` — so saved campaigns render exactly like live ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .reporting import format_markdown_table, format_table
+
+#: Ramp used by the convergence strip (low → high score within the campaign).
+_RAMP = " .:-=+*#%@"
+
+
+def _steps(report: Dict) -> List[Dict]:
+    return list(report.get("steps") or [])
+
+
+def convergence_rows(report: Dict) -> List[Dict]:
+    """One flat row per step: the convergence trajectory as plain numbers."""
+    rows: List[Dict] = []
+    for step in _steps(report):
+        rows.append(
+            {
+                "step": int(step["step"]),
+                "evaluations": int(step["evaluations"]),
+                "chosen_score": float(step["chosen_score"]),
+                "current_score": float(step["current_score"]),
+                "best_score": float(step["best_score"]),
+                "accepted": bool(step["accepted"]),
+                "improved": bool(step["improved"]),
+                "temperature": float(step["temperature"]),
+            }
+        )
+    return rows
+
+
+def convergence_table(report: Dict, markdown: bool = False) -> str:
+    """Step-by-step trajectory: chosen vs. current vs. best score."""
+    headers = ["Step", "Evals", "Chosen", "Accepted", "Current", "Best", "Temp"]
+    rows = [
+        [
+            row["step"],
+            row["evaluations"],
+            f"{row['chosen_score']:.4f}",
+            "yes" if row["accepted"] else "no",
+            f"{row['current_score']:.4f}",
+            f"{row['best_score']:.4f}" + (" *" if row["improved"] else ""),
+            f"{row['temperature']:.4f}",
+        ]
+        for row in convergence_rows(report)
+    ]
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers, title="Convergence (* = new best)")
+
+
+def render_convergence(report: Dict, width: int = 60) -> str:
+    """A two-strip ASCII trace of the campaign: best score and chosen score.
+
+    Each column is one step (campaigns longer than ``width`` are resampled);
+    the glyph height maps the score's position between the campaign's worst
+    and best observed chosen scores, so a climb reads as a rising ramp.
+    """
+    steps = _steps(report)
+    if not steps:
+        return "(no steps: the budget covered only the baseline)"
+    best = [float(step["best_score"]) for step in steps]
+    chosen = [float(step["chosen_score"]) for step in steps]
+    baseline = float(report.get("baseline", {}).get("score", best[0]))
+    low = min(chosen + best + [baseline])
+    high = max(chosen + best + [baseline])
+    span = high - low
+
+    def strip(values: Sequence[float]) -> str:
+        columns = len(values)
+        if columns > width:  # resample: last value of each bucket
+            values = [
+                values[min(columns - 1, ((index + 1) * columns) // width - 1)]
+                for index in range(width)
+            ]
+        if span <= 0:
+            return "-" * len(values)
+        return "".join(
+            _RAMP[
+                min(
+                    len(_RAMP) - 1,
+                    int((value - low) / span * (len(_RAMP) - 1) + 0.5),
+                )
+            ]
+            for value in values
+        )
+
+    lines = [
+        f"best    |{strip(best)}|  {best[-1]:.4f}",
+        f"chosen  |{strip(chosen)}|  {chosen[-1]:.4f}",
+        f"         baseline {baseline:.4f} -> best {best[-1]:.4f} "
+        f"over {len(steps)} steps",
+    ]
+    return "\n".join(lines)
+
+
+def acceptance_stats(report: Dict) -> Dict[str, float]:
+    """Acceptance/improvement aggregates plus cache behaviour for one campaign."""
+    steps = _steps(report)
+    accepted = sum(1 for step in steps if step["accepted"])
+    improved = sum(1 for step in steps if step["improved"])
+    cache = report.get("cache") or {}
+    return {
+        "steps": float(len(steps)),
+        "evaluations": float(report.get("evaluations", 0)),
+        "accepted": float(accepted),
+        "improved": float(improved),
+        "acceptance_rate": accepted / len(steps) if steps else 0.0,
+        "improvement_rate": improved / len(steps) if steps else 0.0,
+        "cache_hits": float(cache.get("hits", 0.0)),
+        "cache_hit_rate": float(cache.get("hit_rate", 0.0)),
+        "seconds": float(report.get("seconds", 0.0)),
+    }
+
+
+def best_vs_baseline_table(report: Dict, markdown: bool = False) -> str:
+    """The headline comparison: seed design vs. tuned design."""
+    baseline = report.get("baseline") or {}
+    best = report.get("best") or {}
+    baseline_score = float(baseline.get("score", 0.0))
+    best_score = float(best.get("score", 0.0))
+    gain = best_score - baseline_score
+    relative = (gain / abs(baseline_score) * 100.0) if baseline_score else 0.0
+    headers = ["Design", "Scenario", "Score", "Gain"]
+    rows = [
+        ["baseline", baseline.get("scenario_id", "?"), f"{baseline_score:.4f}", ""],
+        [
+            "best",
+            best.get("scenario_id", "?"),
+            f"{best_score:.4f}",
+            f"{gain:+.4f} ({relative:+.1f}%)",
+        ],
+    ]
+    if markdown:
+        return format_markdown_table(rows, headers)
+    return format_table(rows, headers, title="Best vs. baseline")
+
+
+def optimize_report(report: Dict, markdown: bool = False, width: int = 60) -> str:
+    """The full campaign report ``repro optimize --report`` prints."""
+    optimizer = report.get("optimizer") or {}
+    objective = report.get("objective") or {}
+    stats = acceptance_stats(report)
+    header = (
+        f"campaign: {optimizer.get('name', '?')} / {objective.get('name', '?')}"
+        f"  seed={report.get('seed')}  budget={report.get('budget')}"
+        f"  evaluations={int(stats['evaluations'])}"
+    )
+    summary = (
+        f"accepted {int(stats['accepted'])}/{int(stats['steps'])} steps "
+        f"({stats['acceptance_rate'] * 100:.0f}%), "
+        f"{int(stats['improved'])} improvements, "
+        f"cache hit-rate {stats['cache_hit_rate'] * 100:.0f}%, "
+        f"{stats['seconds']:.1f}s"
+    )
+    sections = [
+        header,
+        "",
+        best_vs_baseline_table(report, markdown=markdown),
+        "",
+        convergence_table(report, markdown=markdown),
+        "",
+    ]
+    if not markdown:
+        sections.extend([render_convergence(report, width=width), ""])
+    sections.append(summary)
+    return "\n".join(sections)

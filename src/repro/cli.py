@@ -22,6 +22,11 @@ The CLI exposes the common workflows without writing Python:
   solve→simulate pipeline over it on a worker pool, appending one JSONL record
   per run (``--report`` aggregates a result file, ``--compare`` diffs two
   result files for regressions);
+* ``python -m repro optimize`` — closed-loop design search: perturb a
+  scenario's slotting/layout knobs, score every candidate through the
+  solve→simulate pipeline (cached, parallel, or against a ``repro serve``
+  fleet), and keep the best design; seeded, resumable (``--log``/
+  ``--resume``), with an ASCII convergence trace and a JSON report;
 * ``python -m repro serve`` — boot the long-lived serving layer: an HTTP
   front end (submit/status/result/health/metrics, NDJSON batch streaming)
   over a content-addressed result cache (in-memory LRU + optional persistent
@@ -405,6 +410,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if monitor.any_fired:
             return 1
     return 0 if not any(record.failed for record in records) else 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from .analysis.optimize import optimize_report
+    from .obs import EventLog, get_event_log, get_registry
+    from .optimize import (
+        CachedEvaluator,
+        OptimizeError,
+        RemoteEvaluator,
+        make_objective,
+        make_optimizer,
+        preset_space,
+        run_campaign,
+    )
+
+    if args.report:
+        print(optimize_report(load_json(args.report), markdown=args.markdown))
+        return 0
+    if args.budget < 1:
+        raise SystemExit(f"--budget must be at least 1 evaluation (got {args.budget})")
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be non-negative (got {args.workers})")
+    if args.resume and not args.log:
+        raise SystemExit("--resume needs --log (the campaign file to resume from)")
+    try:
+        space = preset_space(args.preset, seed=args.space_seed)
+        options = (
+            {"batch_size": args.batch}
+            if args.optimizer == "hill"
+            else {"initial_temperature": args.temperature, "cooling": args.cooling}
+        )
+        optimizer = make_optimizer(args.optimizer, **options)
+        objective = make_objective(
+            args.objective, violation_weight=args.violation_weight
+        )
+    except OptimizeError as error:
+        raise SystemExit(str(error)) from error
+
+    if args.url:
+        evaluator = RemoteEvaluator(args.url, timeout=args.timeout or 300.0)
+        mode = f"fleet of {len(args.url)} replica(s)"
+    else:
+        evaluator = CachedEvaluator(
+            workers=args.workers,
+            store_path=args.store,
+            timeout_seconds=args.timeout,
+        )
+        mode = (
+            f"{args.workers} local worker(s)" if args.workers else "in-process"
+        )
+    events = EventLog(capacity=2048, path=args.events) if args.events else get_event_log()
+    print(
+        f"optimize {args.preset!r}: {optimizer.name}/{objective.name}, "
+        f"budget {args.budget}, seed {args.seed}, {mode}"
+        + (f", log -> {args.log}" if args.log else "")
+    )
+
+    def progress(record, replayed: bool) -> None:
+        if args.quiet:
+            return
+        marker = "replay" if replayed else ("accept" if record.accepted else "reject")
+        star = " *" if record.improved else ""
+        print(
+            f"  [{record.evaluations}/{args.budget}] step {record.step}: "
+            f"chosen {record.chosen_score:.4f} ({marker}) "
+            f"best {record.best_score:.4f}{star}",
+            flush=True,
+        )
+
+    try:
+        result = run_campaign(
+            space,
+            optimizer,
+            objective,
+            evaluator,
+            budget=args.budget,
+            seed=args.seed,
+            log_path=args.log,
+            resume=args.resume,
+            events=events,
+            registry=get_registry(),
+            progress=progress,
+        )
+    except OptimizeError as error:
+        raise SystemExit(str(error)) from error
+    finally:
+        evaluator.close()
+    print()
+    print(optimize_report(result.to_dict(), markdown=args.markdown))
+    if args.out:
+        save_json(result.to_dict(), args.out)
+        print(f"\nreport written to {args.out}")
+    return 0 if result.best_score >= result.baseline_score else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -882,6 +980,109 @@ def build_parser() -> argparse.ArgumentParser:
         "rule makes the sweep exit non-zero",
     )
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    optimize_parser = subparsers.add_parser(
+        "optimize",
+        help="closed-loop design search: perturb a scenario, re-simulate, keep if better",
+    )
+    from .optimize import OBJECTIVES, OPTIMIZE_PRESETS, OPTIMIZERS
+
+    optimize_parser.add_argument(
+        "--preset",
+        default="slotting-small",
+        choices=sorted(OPTIMIZE_PRESETS),
+        help="design-space preset (base scenario + search knobs)",
+    )
+    optimize_parser.add_argument(
+        "--optimizer",
+        default="anneal",
+        choices=sorted(OPTIMIZERS),
+        help="search strategy",
+    )
+    optimize_parser.add_argument(
+        "--objective",
+        default="throughput",
+        choices=sorted(OBJECTIVES),
+        help="score maximized over candidate designs",
+    )
+    optimize_parser.add_argument(
+        "--budget",
+        type=int,
+        default=24,
+        help="total pipeline evaluations (baseline included)",
+    )
+    optimize_parser.add_argument("--seed", type=int, default=0, help="search rng seed")
+    optimize_parser.add_argument(
+        "--space-seed", type=int, default=0, help="base scenario seed of the preset"
+    )
+    optimize_parser.add_argument(
+        "--batch", type=int, default=4, help="hill climbing: neighbors per step"
+    )
+    optimize_parser.add_argument(
+        "--temperature",
+        type=float,
+        default=0.02,
+        help="annealing: initial temperature",
+    )
+    optimize_parser.add_argument(
+        "--cooling", type=float, default=0.92, help="annealing: geometric cooling factor"
+    )
+    optimize_parser.add_argument(
+        "--violation-weight",
+        type=float,
+        default=0.1,
+        help="objective penalty per contract violation",
+    )
+    optimize_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="local evaluation worker processes (0: evaluate in-process)",
+    )
+    optimize_parser.add_argument(
+        "--url",
+        action="append",
+        help="evaluate candidates on a running `repro serve` replica; repeat "
+        "to drive a fleet round-robin",
+    )
+    optimize_parser.add_argument(
+        "--store",
+        help="persistent JSONL result store backing the evaluation cache "
+        "(re-visited designs across campaigns become warm hits)",
+    )
+    optimize_parser.add_argument(
+        "--timeout", type=float, default=None, help="per-evaluation compute budget (s)"
+    )
+    optimize_parser.add_argument(
+        "--log",
+        help="campaign JSONL trajectory log (header + one line per step); "
+        "enables --resume",
+    )
+    optimize_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from --log by replaying it "
+        "(logged scores are reused, nothing re-evaluates)",
+    )
+    optimize_parser.add_argument(
+        "--out", help="write the full optimize-report JSON to this file"
+    )
+    optimize_parser.add_argument(
+        "--report",
+        help="skip searching; render an existing optimize-report JSON file",
+    )
+    optimize_parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown tables"
+    )
+    optimize_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-step progress lines"
+    )
+    optimize_parser.add_argument(
+        "--events",
+        help="append optimize.* structured events to this JSONL file "
+        "(`repro top --events` tails it)",
+    )
+    optimize_parser.set_defaults(handler=cmd_optimize)
 
     serve_parser = subparsers.add_parser(
         "serve", help="boot the concurrent solve/simulate serving layer"

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -81,6 +81,12 @@ class ScenarioSpec:
     extra_bottom_rows: int = 0
     num_products: int = 6
     stock_units_per_product: int = 0
+    #: Slotting permutation: the product assigned to the i-th shuffled shelf is
+    #: ``product_order[i % num_products]``.  Empty means the identity order
+    #: ``(1, ..., num_products)`` — the round-robin stocking every pre-existing
+    #: scenario used.  This is the combinatorial knob ``repro optimize``
+    #: searches (neighbor = swap two positions).
+    product_order: Tuple[int, ...] = ()
     # -- workload ---------------------------------------------------------------
     units: int = 12
     workload_mix: str = "uniform"
@@ -103,6 +109,12 @@ class ScenarioSpec:
     # -- identity ---------------------------------------------------------------
     seed: int = 0
     name: str = ""
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver sequences as lists; normalize so equality,
+        # hashing and asdict() behave identically for loaded and built specs.
+        if not isinstance(self.product_order, tuple):
+            object.__setattr__(self, "product_order", tuple(self.product_order))
 
     # -- identity / serialization ----------------------------------------------
     @property
@@ -142,6 +154,10 @@ class ScenarioSpec:
             del payload["routing_window"]
         if payload["disruptions"] == "none":
             del payload["disruptions"]
+        if not payload["product_order"]:
+            del payload["product_order"]
+        else:
+            payload["product_order"] = list(payload["product_order"])
         canonical = json.dumps(payload, sort_keys=True)
         scenario_id = hashlib.sha1(canonical.encode()).hexdigest()[:12]
         # Frozen dataclass: the memo must bypass the frozen __setattr__.  The
@@ -160,6 +176,24 @@ class ScenarioSpec:
         from ..io.serialization import scenario_from_dict
 
         return scenario_from_dict(document)
+
+    def with_updates(self, **updates) -> "ScenarioSpec":
+        """A copy of this spec with ``updates`` applied (frozen-safe replace).
+
+        Unknown field names raise :class:`ScenarioError` instead of the bare
+        ``TypeError`` ``dataclasses.replace`` gives — optimizer knobs are built
+        from strings, and a typo must fail with the field name it tried.
+        The copy is a fresh instance, so its ``scenario_id`` is recomputed
+        (changing only ``name`` keeps the id; changing any hashed field
+        changes it).
+        """
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(updates) - known)
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario field(s) {unknown}; expected among {sorted(known)}"
+            )
+        return replace(self, **updates)
 
     # -- validation -------------------------------------------------------------
     def validate(self) -> None:
@@ -184,6 +218,11 @@ class ScenarioSpec:
             )
         if self.routing_window < 0:
             raise ScenarioError("routing_window must be non-negative")
+        if self.product_order and self.kind == "sorting":
+            # Sorting centers derive one product per chute from the geometry;
+            # a slotting permutation would be silently ignored at build time
+            # while still perturbing the scenario's hash identity.
+            raise ScenarioError("product_order only applies to fulfillment scenarios")
         if self.router == "abstract" and self.routing_window:
             # The window would be silently ignored at run time while still
             # perturbing the scenario's hash identity — reject the combination
@@ -250,6 +289,7 @@ class ScenarioSpec:
             spread_station_cells=self.spread_station_cells,
             num_products=self.num_products,
             stock_units_per_product=self.stock_units_per_product,
+            product_order=self.product_order,
             extra_bottom_rows=self.extra_bottom_rows,
             name=self.label,
             seed=self.seed,

@@ -284,7 +284,11 @@ def scenario_to_dict(spec) -> Dict:
     """Serialize a :class:`~repro.experiments.scenario.ScenarioSpec`."""
     from dataclasses import asdict
 
-    return {"schema": "scenario", "version": SCHEMA_VERSION, **asdict(spec)}
+    document = {"schema": "scenario", "version": SCHEMA_VERSION, **asdict(spec)}
+    # JSON has no tuple: emit the permutation as a list so documents survive
+    # a wire round-trip unchanged (the spec normalizes it back on load).
+    document["product_order"] = list(document["product_order"])
+    return document
 
 
 def scenario_from_dict(document: Dict):

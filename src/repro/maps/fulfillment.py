@@ -102,6 +102,10 @@ class FulfillmentLayout:
     spread_station_cells: bool = False
     num_products: int = 55
     stock_units_per_product: int = 0
+    #: Slotting permutation of ``1..num_products``: the i-th shuffled shelf is
+    #: stocked with ``product_order[i % num_products]``.  Empty selects the
+    #: identity order (plain round-robin) — the historical behaviour.
+    product_order: Tuple[int, ...] = ()
     max_component_length: int = 0
     #: Extra open rows between the station row and the lowest aisle row.  They
     #: lengthen each slice's down corridor (and hence its per-period delivery
@@ -174,6 +178,13 @@ class FulfillmentLayout:
             raise WarehouseError("extra_bottom_rows must be non-negative")
         if self.num_products < 1:
             raise WarehouseError("num_products must be at least 1")
+        if self.product_order and sorted(self.product_order) != list(
+            range(1, self.num_products + 1)
+        ):
+            raise WarehouseError(
+                f"product_order must be a permutation of 1..{self.num_products} "
+                f"(got {len(self.product_order)} entries)"
+            )
         if self.num_stations < 1 or self.station_cells < 1:
             raise WarehouseError("need at least one station with at least one cell")
         per_slice = -(-self.num_stations * self.station_cells // self.num_slices)
@@ -373,9 +384,10 @@ def _stock_shelves(
     rng.shuffle(shelf_list)
     per_product = layout.resolved_stock_per_product()
 
+    order = layout.product_order or tuple(range(1, catalog.num_products + 1))
     assignments: Dict[int, List[Cell]] = {k: [] for k in catalog.product_ids}
     for i, cell in enumerate(shelf_list):
-        product = (i % catalog.num_products) + 1
+        product = order[i % catalog.num_products]
         assignments[product].append(cell)
 
     for product, cells in assignments.items():

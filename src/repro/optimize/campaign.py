@@ -1,0 +1,520 @@
+"""The campaign loop: propose → evaluate → accept, logged and resumable.
+
+:func:`run_campaign` wires the four pluggable pieces together — a
+:class:`~repro.optimize.space.DesignSpace` proposes neighbors, an evaluator
+scores them through the solve→simulate pipeline, an
+:class:`~repro.optimize.objective.Objective` turns records into scalars, and
+an :class:`~repro.optimize.search.Optimizer` decides whether to move.  Every
+step appends one JSON line to the campaign log, and the whole trajectory is
+a deterministic function of ``(space, optimizer, objective, seed, budget)``.
+
+Resume is **replay**: rather than checkpointing optimizer internals, a
+resumed campaign re-seeds the rng and regenerates each logged step's
+proposals (consuming the identical rng stream), verifies the regenerated
+``scenario_id`` sequence matches the log, and reuses the logged scores
+without re-evaluating anything.  When the replay reaches the end of the log
+the search continues live, indistinguishable — byte for byte — from a run
+that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments.scenario import ScenarioSpec
+from ..obs.tracing import span
+from .objective import Objective
+from .search import Optimizer
+from .space import DesignSpace, OptimizeError
+
+STEP_SCHEMA = "optimize-step"
+CAMPAIGN_SCHEMA = "optimize-campaign"
+REPORT_SCHEMA = "optimize-report"
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# trajectory records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StepRecord:
+    """One step of the trajectory; deliberately free of wall-clock fields.
+
+    Everything here is a deterministic function of the campaign
+    configuration, so the serialized step (and the trajectory fingerprint
+    built from it) is byte-identical between cold runs, warm-cache runs,
+    and resume-replays.
+    """
+
+    step: int
+    #: The step's evaluated proposals: ``{scenario_id, score, status}`` each.
+    proposals: List[Dict]
+    chosen: str
+    chosen_score: float
+    accepted: bool
+    improved: bool
+    current_scenario_id: str
+    current_score: float
+    best_scenario_id: str
+    best_score: float
+    temperature: float
+    #: Cumulative evaluation count (baseline included) after this step.
+    evaluations: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": STEP_SCHEMA,
+            "version": SCHEMA_VERSION,
+            "step": self.step,
+            "proposals": self.proposals,
+            "chosen": self.chosen,
+            "chosen_score": self.chosen_score,
+            "accepted": self.accepted,
+            "improved": self.improved,
+            "current_scenario_id": self.current_scenario_id,
+            "current_score": self.current_score,
+            "best_scenario_id": self.best_scenario_id,
+            "best_score": self.best_score,
+            "temperature": self.temperature,
+            "evaluations": self.evaluations,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "StepRecord":
+        return cls(
+            step=int(document["step"]),
+            proposals=list(document["proposals"]),
+            chosen=str(document["chosen"]),
+            chosen_score=float(document["chosen_score"]),
+            accepted=bool(document["accepted"]),
+            improved=bool(document["improved"]),
+            current_scenario_id=str(document["current_scenario_id"]),
+            current_score=float(document["current_score"]),
+            best_scenario_id=str(document["best_scenario_id"]),
+            best_score=float(document["best_score"]),
+            temperature=float(document["temperature"]),
+            evaluations=int(document["evaluations"]),
+        )
+
+
+class CampaignLog:
+    """Append-only JSONL trajectory log: one header line, then step lines.
+
+    Reads are tolerant of a truncated trailing line (the shape an
+    interrupted campaign leaves behind) — the partial line is dropped and
+    replay resumes from the last complete step.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    def write_header(self, header: Dict) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def append_step(self, record: StepRecord) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def read(self) -> Tuple[Dict, List[StepRecord]]:
+        header: Optional[Dict] = None
+        steps: List[StepRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    document = json.loads(stripped)
+                except json.JSONDecodeError:
+                    break  # truncated tail from an interrupted run
+                if header is None:
+                    if document.get("schema") != CAMPAIGN_SCHEMA:
+                        raise OptimizeError(
+                            f"{self.path}: not a campaign log "
+                            f"(schema {document.get('schema')!r})"
+                        )
+                    header = document
+                elif document.get("schema") == STEP_SCHEMA:
+                    steps.append(StepRecord.from_dict(document))
+        if header is None:
+            raise OptimizeError(f"{self.path}: empty campaign log")
+        return header, steps
+
+
+@dataclass
+class CampaignResult:
+    """The finished campaign: baseline, best design, full trajectory, stats."""
+
+    baseline_spec: ScenarioSpec
+    baseline_score: float
+    best_spec: ScenarioSpec
+    best_score: float
+    steps: List[StepRecord]
+    evaluations: int
+    seconds: float
+    seed: int
+    budget: int
+    optimizer: Dict
+    objective: Dict
+    cache: Dict = field(default_factory=dict)
+    resumed_steps: int = 0
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for record in self.steps if record.accepted)
+
+    @property
+    def improved(self) -> int:
+        return sum(1 for record in self.steps if record.improved)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / len(self.steps) if self.steps else 0.0
+
+    @property
+    def improvement(self) -> float:
+        return self.best_score - self.baseline_score
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "version": SCHEMA_VERSION,
+            "seed": self.seed,
+            "budget": self.budget,
+            "optimizer": self.optimizer,
+            "objective": self.objective,
+            "baseline": {
+                "scenario_id": self.baseline_spec.scenario_id,
+                "score": self.baseline_score,
+                "spec": self.baseline_spec.to_dict(),
+            },
+            "best": {
+                "scenario_id": self.best_spec.scenario_id,
+                "score": self.best_score,
+                "spec": self.best_spec.to_dict(),
+            },
+            "improvement": self.improvement,
+            "steps": [record.to_dict() for record in self.steps],
+            "evaluations": self.evaluations,
+            "accepted": self.accepted,
+            "improved": self.improved,
+            "acceptance_rate": self.acceptance_rate,
+            "resumed_steps": self.resumed_steps,
+            "cache": dict(self.cache),
+            "seconds": self.seconds,
+        }
+
+    def fingerprint(self) -> str:
+        """A digest of the *deterministic* trajectory.
+
+        Excludes wall-clock seconds and cache-tier statistics on purpose:
+        a cold run, a warm-cache rerun, and a resume-replay of the same
+        campaign all share this fingerprint.
+        """
+        document = {
+            "seed": self.seed,
+            "budget": self.budget,
+            "optimizer": self.optimizer,
+            "objective": self.objective,
+            "baseline": {
+                "scenario_id": self.baseline_spec.scenario_id,
+                "score": self.baseline_score,
+            },
+            "best": {
+                "scenario_id": self.best_spec.scenario_id,
+                "score": self.best_score,
+            },
+            "steps": [record.to_dict() for record in self.steps],
+        }
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# the loop
+# ---------------------------------------------------------------------------
+
+def _campaign_header(
+    space: DesignSpace,
+    optimizer: Optimizer,
+    objective: Objective,
+    seed: int,
+    budget: int,
+    baseline_id: str,
+    baseline_score: float,
+) -> Dict:
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "version": SCHEMA_VERSION,
+        "seed": seed,
+        "budget": budget,
+        "optimizer": optimizer.describe(),
+        "objective": objective.describe(),
+        "space": space.describe(),
+        "baseline": {"scenario_id": baseline_id, "score": baseline_score},
+    }
+
+
+def _canonical(value) -> object:
+    """JSON round-trip so tuples compare equal to their logged list form."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def _check_resume_header(logged: Dict, expected: Dict, path: str) -> None:
+    # Budget is part of the identity: the per-step batch size is trimmed to
+    # the remaining budget, so resuming under a different budget would
+    # diverge from the uninterrupted trajectory instead of extending it.
+    for key in ("seed", "budget", "optimizer", "objective", "space"):
+        if _canonical(logged.get(key)) != _canonical(expected[key]):
+            raise OptimizeError(
+                f"cannot resume from {path}: logged {key} "
+                f"{logged.get(key)!r} != configured {expected[key]!r}"
+            )
+
+
+def run_campaign(
+    space: DesignSpace,
+    optimizer: Optimizer,
+    objective: Objective,
+    evaluator,
+    budget: int,
+    seed: int = 0,
+    log_path: Optional[str] = None,
+    resume: bool = False,
+    events=None,
+    registry=None,
+    progress: Optional[Callable[[StepRecord, bool], None]] = None,
+) -> CampaignResult:
+    """Run (or resume) one optimization campaign; returns the full result.
+
+    ``budget`` counts pipeline evaluations *including* the baseline; the
+    final step's proposal batch is trimmed so the count is exact.
+    ``progress(record, replayed)`` is invoked once per step — replayed
+    steps first (``replayed=True``), then live ones.
+    """
+    if budget < 1:
+        raise OptimizeError(f"budget must be at least 1 evaluation (got {budget})")
+    started = time.perf_counter()
+    rng = Random(seed)
+    log = CampaignLog(log_path) if log_path else None
+    resuming = bool(resume and log is not None and log.exists())
+
+    baseline = space.baseline()
+    steps: List[StepRecord] = []
+    resumed_steps = 0
+
+    def emit(kind: str, level: str = "info", message: str = "", **fields) -> None:
+        if events is not None:
+            events.emit(kind, "optimize", level=level, message=message, **fields)
+
+    if resuming:
+        logged_header, logged_steps = log.read()
+        baseline_score = float(logged_header["baseline"]["score"])
+        expected = _campaign_header(
+            space, optimizer, objective, seed, budget,
+            baseline.scenario_id, baseline_score,
+        )
+        _check_resume_header(logged_header, expected, log.path)
+        if logged_header["baseline"]["scenario_id"] != baseline.scenario_id:
+            raise OptimizeError(
+                f"cannot resume from {log.path}: baseline scenario changed"
+            )
+    else:
+        evaluation = evaluator.evaluate(baseline)
+        baseline_score = objective.score(evaluation.record)
+        logged_steps = []
+        if log is not None:
+            log.write_header(
+                _campaign_header(
+                    space, optimizer, objective, seed, budget,
+                    baseline.scenario_id, baseline_score,
+                )
+            )
+
+    emit(
+        "optimize.resumed" if resuming else "optimize.started",
+        message=(
+            f"{optimizer.name}/{objective.name} campaign, "
+            f"budget {budget}, seed {seed}"
+        ),
+        seed=seed,
+        budget=budget,
+        optimizer=optimizer.name,
+        objective=objective.name,
+        baseline_scenario_id=baseline.scenario_id,
+        baseline_score=baseline_score,
+        replayed_steps=len(logged_steps),
+    )
+
+    current_spec, current_score = baseline, baseline_score
+    best_spec, best_score = baseline, baseline_score
+    evaluations = 1  # the baseline
+    step = 0
+    exhausted = False
+
+    counter = registry.counter if registry is not None else None
+
+    # -- replay the logged prefix ---------------------------------------------
+    for logged in logged_steps:
+        want = min(optimizer.proposals_per_step(), budget - evaluations)
+        if want < 1 or len(logged.proposals) != want:
+            raise OptimizeError(
+                f"cannot resume from {log.path}: step {logged.step} logged "
+                f"{len(logged.proposals)} proposals, replay expects {max(want, 0)}"
+            )
+        proposals = space.neighbors(current_spec, rng, want)
+        regenerated = [spec.scenario_id for spec in proposals]
+        logged_ids = [entry["scenario_id"] for entry in logged.proposals]
+        if regenerated != logged_ids:
+            raise OptimizeError(
+                f"cannot resume from {log.path}: step {logged.step} replay "
+                f"diverged ({regenerated} != {logged_ids}); the log was made "
+                "with a different space or seed"
+            )
+        scores = [float(entry["score"]) for entry in logged.proposals]
+        chosen_index = scores.index(max(scores))
+        chosen_spec, chosen_score = proposals[chosen_index], scores[chosen_index]
+        accepted = optimizer.accept(current_score, chosen_score, step, rng)
+        if accepted:
+            current_spec, current_score = chosen_spec, chosen_score
+        if chosen_score > best_score:
+            best_spec, best_score = chosen_spec, chosen_score
+        evaluations += want
+        steps.append(logged)
+        resumed_steps += 1
+        step += 1
+        if progress is not None:
+            progress(logged, True)
+
+    # -- live search ------------------------------------------------------------
+    with span("optimize.campaign", optimizer=optimizer.name, budget=budget) as campaign_span:
+        while evaluations < budget and not exhausted:
+            want = min(optimizer.proposals_per_step(), budget - evaluations)
+            try:
+                proposals = space.neighbors(current_spec, rng, want)
+            except OptimizeError as error:
+                emit(
+                    "optimize.exhausted",
+                    level="warning",
+                    message=str(error),
+                    step=step,
+                )
+                exhausted = True
+                break
+            evaluated = evaluator.evaluate_many(proposals)
+            evaluations += len(evaluated)
+            campaign_span.add("evaluations", len(evaluated))
+            scores = [objective.score(item.record) for item in evaluated]
+            chosen_index = scores.index(max(scores))
+            chosen_spec = evaluated[chosen_index].spec
+            chosen_score = scores[chosen_index]
+            accepted = optimizer.accept(current_score, chosen_score, step, rng)
+            improved = chosen_score > best_score
+            if accepted:
+                current_spec, current_score = chosen_spec, chosen_score
+            if improved:
+                best_spec, best_score = chosen_spec, chosen_score
+            record = StepRecord(
+                step=step,
+                proposals=[
+                    {
+                        "scenario_id": item.spec.scenario_id,
+                        "score": score,
+                        "status": item.record.status,
+                    }
+                    for item, score in zip(evaluated, scores)
+                ],
+                chosen=chosen_spec.scenario_id,
+                chosen_score=chosen_score,
+                accepted=accepted,
+                improved=improved,
+                current_scenario_id=current_spec.scenario_id,
+                current_score=current_score,
+                best_scenario_id=best_spec.scenario_id,
+                best_score=best_score,
+                temperature=optimizer.temperature(step),
+                evaluations=evaluations,
+            )
+            steps.append(record)
+            if log is not None:
+                log.append_step(record)
+            emit(
+                "optimize.candidate",
+                message=(
+                    f"step {step}: chose {chosen_spec.scenario_id} "
+                    f"score {chosen_score:.4f} "
+                    f"({'accepted' if accepted else 'rejected'})"
+                ),
+                step=step,
+                scenario_id=chosen_spec.scenario_id,
+                score=chosen_score,
+                accepted=accepted,
+                evaluations=evaluations,
+            )
+            if improved:
+                emit(
+                    "optimize.improved",
+                    message=(
+                        f"step {step}: new best {best_spec.scenario_id} "
+                        f"score {best_score:.4f}"
+                    ),
+                    step=step,
+                    scenario_id=best_spec.scenario_id,
+                    score=best_score,
+                )
+            if counter is not None:
+                counter("optimize_steps_total").inc()
+                counter("optimize_evaluations_total").inc(len(evaluated))
+                if improved:
+                    counter("optimize_improved_total").inc()
+                registry.gauge("optimize_best_score").set(best_score)
+            if progress is not None:
+                progress(record, False)
+            step += 1
+
+    seconds = time.perf_counter() - started
+    stats = evaluator.stats() if hasattr(evaluator, "stats") else {}
+    result = CampaignResult(
+        baseline_spec=baseline,
+        baseline_score=baseline_score,
+        best_spec=best_spec,
+        best_score=best_score,
+        steps=steps,
+        evaluations=evaluations,
+        seconds=seconds,
+        seed=seed,
+        budget=budget,
+        optimizer=optimizer.describe(),
+        objective=objective.describe(),
+        cache=stats,
+        resumed_steps=resumed_steps,
+    )
+    emit(
+        "optimize.finished",
+        message=(
+            f"best {best_spec.scenario_id} score {best_score:.4f} "
+            f"(baseline {baseline_score:.4f}) after {evaluations} evaluations"
+        ),
+        best_scenario_id=best_spec.scenario_id,
+        best_score=best_score,
+        baseline_score=baseline_score,
+        improvement=result.improvement,
+        evaluations=evaluations,
+        acceptance_rate=result.acceptance_rate,
+        cache_hit_rate=float(stats.get("hit_rate", 0.0)),
+        seconds=seconds,
+    )
+    return result

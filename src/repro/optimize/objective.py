@@ -1,0 +1,115 @@
+"""Pluggable objectives scoring one :class:`~repro.experiments.store.RunRecord`.
+
+Every candidate design the optimizer proposes is executed by the existing
+solve→simulate pipeline and scored from its run record.  Scores are
+**maximized** and must be deterministic functions of the record (the record
+itself is deterministic for a seeded scenario), so a campaign's trajectory is
+reproducible bit for bit.
+
+Infeasible, timed-out and crashed candidates score as a *finite* worst-case
+penalty (:data:`WORST_SCORE`) rather than raising: a local search that walks
+into an unbuildable corner of the design space must step back out of it, not
+crash the campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..experiments.store import STATUS_OK, RunRecord
+from .space import OptimizeError
+
+#: The finite worst-case score of an infeasible/timeout/error candidate.
+#: Finite so acceptance rules (annealing's ``exp((s'-s)/T)``) stay well
+#: defined, and far below any achievable metric so such a candidate can never
+#: be accepted over a working design on a tie.
+WORST_SCORE = -1.0e6
+
+
+class Objective:
+    """Base objective: status guard + violation penalty around a metric.
+
+    Subclasses implement :meth:`metric` over an ``ok`` record; this base
+    folds contract violations in as a penalty and maps every non-``ok``
+    status (infeasible, timeout, error — and missing records) to
+    :data:`WORST_SCORE`.
+    """
+
+    name = "objective"
+
+    def __init__(self, violation_weight: float = 0.1):
+        if violation_weight < 0:
+            raise OptimizeError(
+                f"violation_weight must be non-negative (got {violation_weight:g})"
+            )
+        self.violation_weight = violation_weight
+
+    def metric(self, record: RunRecord) -> float:
+        raise NotImplementedError
+
+    def score(self, record: Optional[RunRecord]) -> float:
+        """The candidate's score (higher is better); always finite."""
+        if record is None or record.status != STATUS_OK:
+            return WORST_SCORE
+        violations = float(record.sim.get("contract_violations", 0.0))
+        return float(self.metric(record)) - self.violation_weight * violations
+
+    def describe(self) -> Dict:
+        return {"name": self.name, "violation_weight": self.violation_weight}
+
+
+class ThroughputObjective(Objective):
+    """Realized throughput of the digital twin (units per timestep)."""
+
+    name = "throughput"
+
+    def metric(self, record: RunRecord) -> float:
+        if record.sim:
+            return float(record.sim.get("realized_throughput", 0.0))
+        # Solve-only scenarios: fall back to the synthesized rate.
+        return record.units_delivered / max(1, record.spec.horizon)
+
+
+class MakespanObjective(Objective):
+    """Negated realized makespan: finish the same workload sooner."""
+
+    name = "makespan"
+
+    def metric(self, record: RunRecord) -> float:
+        throughput = float(record.sim.get("realized_throughput", 0.0))
+        served = float(record.sim.get("units_served", 0.0))
+        if throughput <= 0.0 or served <= 0.0:
+            return WORST_SCORE
+        return -(served / throughput)
+
+
+class AgentsObjective(Objective):
+    """Negated fleet size: service the workload with fewer agents.
+
+    The synthesis objective already minimizes agents *for a fixed design*;
+    this objective lets the outer search move the design itself toward
+    layouts whose travel structure needs a smaller fleet (the travel-cost
+    proxy of the slotting literature).
+    """
+
+    name = "agents"
+
+    def metric(self, record: RunRecord) -> float:
+        return -float(record.num_agents)
+
+
+#: Named objectives reachable from ``repro optimize --objective``.
+OBJECTIVES: Dict[str, Type[Objective]] = {
+    "throughput": ThroughputObjective,
+    "makespan": MakespanObjective,
+    "agents": AgentsObjective,
+}
+
+
+def make_objective(name: str, violation_weight: float = 0.1) -> Objective:
+    """Build a named objective."""
+    if name not in OBJECTIVES:
+        raise OptimizeError(
+            f"unknown objective {name!r}; available: {', '.join(sorted(OBJECTIVES))}"
+        )
+    return OBJECTIVES[name](violation_weight=violation_weight)

@@ -1,0 +1,144 @@
+"""Local-search strategies over a :class:`~repro.optimize.space.DesignSpace`.
+
+An :class:`Optimizer` owns only the *decision rule* of the search — how many
+neighbors to propose per step and whether to move to a candidate given its
+score.  Proposal generation (the design space), scoring (the objective), and
+execution (the evaluator) live elsewhere; the campaign loop in
+:mod:`repro.optimize.campaign` wires the four together.
+
+Determinism contract: an optimizer may consume the shared ``random.Random``
+stream **only** inside :meth:`accept`, and only on the code path it would
+also take during a resume-replay (annealing draws the Metropolis uniform
+only when the candidate is *not* an improvement).  Everything else must be a
+pure function of ``(scores, step)`` so a replayed campaign reproduces the
+trajectory bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Type
+
+from .space import OptimizeError
+
+
+class Optimizer:
+    """Base decision rule: greedy strict-improvement, one proposal per step."""
+
+    name = "optimizer"
+
+    def proposals_per_step(self) -> int:
+        """How many neighbors the campaign should evaluate per step."""
+        return 1
+
+    def temperature(self, step: int) -> float:
+        """The step's temperature (0.0 for memoryless strategies)."""
+        return 0.0
+
+    def accept(
+        self,
+        current_score: float,
+        candidate_score: float,
+        step: int,
+        rng: random.Random,
+    ) -> bool:
+        """Whether the search moves from the current design to the candidate."""
+        return candidate_score > current_score
+
+    def describe(self) -> Dict:
+        return {"name": self.name}
+
+
+class HillClimbing(Optimizer):
+    """Batch steepest-ascent: evaluate a batch, move to the best if it improves.
+
+    The batch exists for throughput, not for the decision rule — all
+    ``batch_size`` neighbors fan out over the evaluator (pool workers or
+    serve replicas) at once, then only the argmax is considered.  Accepting
+    strictly better candidates only means the climb is monotone and needs no
+    randomness at decision time.
+    """
+
+    name = "hill"
+
+    def __init__(self, batch_size: int = 4):
+        if batch_size < 1:
+            raise OptimizeError(f"batch_size must be at least 1 (got {batch_size})")
+        self.batch_size = batch_size
+
+    def proposals_per_step(self) -> int:
+        return self.batch_size
+
+    def describe(self) -> Dict:
+        return {"name": self.name, "batch_size": self.batch_size}
+
+
+class SimulatedAnnealing(Optimizer):
+    """Metropolis acceptance under a geometric cooling schedule.
+
+    Worsening moves are accepted with probability ``exp((s' - s) / T)`` where
+    ``T = initial_temperature * cooling**step`` — early steps roam across
+    plateaus and out of local optima, late steps converge greedily.  The
+    uniform draw is consumed *only* for non-improving candidates, so a
+    resume-replay (which re-runs this method with logged scores) consumes the
+    identical rng stream.
+    """
+
+    name = "anneal"
+
+    def __init__(self, initial_temperature: float = 0.02, cooling: float = 0.92):
+        if initial_temperature <= 0:
+            raise OptimizeError(
+                f"initial_temperature must be positive (got {initial_temperature:g})"
+            )
+        if not 0.0 < cooling <= 1.0:
+            raise OptimizeError(f"cooling must be in (0, 1] (got {cooling:g})")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def temperature(self, step: int) -> float:
+        return self.initial_temperature * (self.cooling ** step)
+
+    def accept(
+        self,
+        current_score: float,
+        candidate_score: float,
+        step: int,
+        rng: random.Random,
+    ) -> bool:
+        if candidate_score > current_score:
+            return True
+        temperature = self.temperature(step)
+        if temperature <= 0.0:
+            return False
+        # exp() of a hugely negative delta (e.g. a WORST_SCORE candidate)
+        # underflows to 0.0 — the finite-penalty contract keeps this safe.
+        try:
+            probability = math.exp((candidate_score - current_score) / temperature)
+        except OverflowError:
+            probability = 0.0
+        return rng.random() < probability
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "initial_temperature": self.initial_temperature,
+            "cooling": self.cooling,
+        }
+
+
+#: Named strategies reachable from ``repro optimize --optimizer``.
+OPTIMIZERS: Dict[str, Type[Optimizer]] = {
+    "hill": HillClimbing,
+    "anneal": SimulatedAnnealing,
+}
+
+
+def make_optimizer(name: str, **options) -> Optimizer:
+    """Build a named optimizer, passing through its keyword options."""
+    if name not in OPTIMIZERS:
+        raise OptimizeError(
+            f"unknown optimizer {name!r}; available: {', '.join(sorted(OPTIMIZERS))}"
+        )
+    return OPTIMIZERS[name](**options)

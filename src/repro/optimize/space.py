@@ -1,0 +1,293 @@
+"""Declarative design spaces over :class:`~repro.experiments.scenario.ScenarioSpec`.
+
+A :class:`DesignSpace` is a base scenario plus a tuple of *knobs* — the spec
+fields the optimizer may move and the moves it may make:
+
+* :class:`PermutationKnob` — the slot-to-product assignment
+  (``product_order``); a neighbor swaps two positions of the permutation.
+* :class:`IntKnob` — a bounded integer layout dimension (``shelf_bands``,
+  ``shelf_columns``, ``chute_spacing``, ``num_stations``, ``station_cells``,
+  ...); a neighbor steps the value up or down within its bounds.
+
+Neighbor generation is *seeded* (every draw comes from the caller's
+``random.Random``) and *validity filtered*: candidates that violate the map
+generators' design rules (``ScenarioSpec.is_valid()``) are redrawn, so the
+search loop only ever sees buildable designs.  The rng consumption is a pure
+function of the current spec and the draw sequence — the property the
+campaign's resume-replay relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..experiments.scenario import ScenarioSpec
+
+
+class OptimizeError(ValueError):
+    """Raised for structurally invalid optimizer configurations."""
+
+
+@dataclass(frozen=True)
+class IntKnob:
+    """A bounded integer spec field; a move steps it by ``step`` within bounds."""
+
+    field: str
+    minimum: int
+    maximum: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        known = {f.name for f in fields(ScenarioSpec)}
+        if self.field not in known:
+            raise OptimizeError(
+                f"unknown scenario field {self.field!r}; expected among {sorted(known)}"
+            )
+        if self.minimum > self.maximum:
+            raise OptimizeError(
+                f"{self.field}: minimum {self.minimum} exceeds maximum {self.maximum}"
+            )
+        if self.step < 1:
+            raise OptimizeError(f"{self.field}: step must be at least 1 (got {self.step})")
+
+    def perturb(self, spec: ScenarioSpec, rng: random.Random) -> Optional[ScenarioSpec]:
+        """One step up or down (drawn from ``rng``), or ``None`` when pinned."""
+        current = int(getattr(spec, self.field))
+        moves = [
+            value
+            for value in (current - self.step, current + self.step)
+            if self.minimum <= value <= self.maximum and value != current
+        ]
+        if not moves:
+            return None
+        return spec.with_updates(**{self.field: rng.choice(moves)})
+
+    def describe(self) -> Dict:
+        return {
+            "kind": "int",
+            "field": self.field,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "step": self.step,
+        }
+
+
+@dataclass(frozen=True)
+class PermutationKnob:
+    """The slotting permutation (``product_order``); a move swaps two slots.
+
+    An empty ``product_order`` on the spec means the identity order — the
+    first move materializes the identity permutation of ``1..num_products``
+    and swaps inside it, so the baseline keeps its historical scenario_id
+    while every neighbor is explicitly slotted.
+    """
+
+    field: str = "product_order"
+
+    def perturb(self, spec: ScenarioSpec, rng: random.Random) -> Optional[ScenarioSpec]:
+        order = list(getattr(spec, self.field)) or list(range(1, spec.num_products + 1))
+        if len(order) < 2:
+            return None
+        i, j = rng.sample(range(len(order)), 2)
+        order[i], order[j] = order[j], order[i]
+        return spec.with_updates(**{self.field: tuple(order)})
+
+    def describe(self) -> Dict:
+        return {"kind": "permutation", "field": self.field}
+
+
+Knob = Union[IntKnob, PermutationKnob]
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A base scenario plus the knobs a local search may move."""
+
+    base: ScenarioSpec
+    knobs: Tuple[Knob, ...]
+    #: Draws attempted before giving up on finding a (distinct, valid) neighbor.
+    max_draws: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.knobs:
+            raise OptimizeError("a design space needs at least one knob")
+        if not isinstance(self.knobs, tuple):
+            object.__setattr__(self, "knobs", tuple(self.knobs))
+        seen = set()
+        for knob in self.knobs:
+            if knob.field in seen:
+                raise OptimizeError(f"duplicate knob for field {knob.field!r}")
+            seen.add(knob.field)
+        self.base.validate()
+
+    def baseline(self) -> ScenarioSpec:
+        """The seed design every campaign starts from (and is gated against)."""
+        return self.base
+
+    def neighbor(
+        self,
+        spec: ScenarioSpec,
+        rng: random.Random,
+        exclude: frozenset = frozenset(),
+    ) -> ScenarioSpec:
+        """One valid neighbor of ``spec`` with a fresh ``scenario_id``.
+
+        Draws a knob, perturbs, and redraws on invalid or excluded candidates
+        (up to ``max_draws``); deterministic in the rng stream.
+        """
+        for _ in range(self.max_draws):
+            knob = rng.choice(self.knobs)
+            candidate = knob.perturb(spec, rng)
+            if candidate is None:
+                continue
+            scenario_id = candidate.scenario_id
+            if scenario_id == spec.scenario_id or scenario_id in exclude:
+                continue
+            if candidate.is_valid():
+                return candidate
+        raise OptimizeError(
+            f"could not draw a valid distinct neighbor of {spec.scenario_id} "
+            f"after {self.max_draws} attempts; widen the knob bounds"
+        )
+
+    def neighbors(
+        self, spec: ScenarioSpec, rng: random.Random, count: int
+    ) -> List[ScenarioSpec]:
+        """``count`` *distinct* valid neighbors (distinct among themselves)."""
+        drawn: List[ScenarioSpec] = []
+        seen: set = set()
+        for _ in range(count):
+            candidate = self.neighbor(spec, rng, exclude=frozenset(seen))
+            seen.add(candidate.scenario_id)
+            drawn.append(candidate)
+        return drawn
+
+    def describe(self) -> Dict:
+        """The serializable identity of this space (campaign-log header)."""
+        return {
+            "base_scenario_id": self.base.scenario_id,
+            "base": self.base.to_dict(),
+            "knobs": [knob.describe() for knob in self.knobs],
+        }
+
+
+def knob_from_dict(document: Dict) -> Knob:
+    """Rebuild a knob from its :meth:`describe` document."""
+    kind = document.get("kind")
+    if kind == "int":
+        return IntKnob(
+            field=document["field"],
+            minimum=int(document["minimum"]),
+            maximum=int(document["maximum"]),
+            step=int(document.get("step", 1)),
+        )
+    if kind == "permutation":
+        return PermutationKnob(field=document.get("field", "product_order"))
+    raise OptimizeError(f"unknown knob kind {kind!r}; expected 'int' or 'permutation'")
+
+
+# ---------------------------------------------------------------------------
+# named campaign presets
+# ---------------------------------------------------------------------------
+
+def _slotting_base(seed: int) -> ScenarioSpec:
+    """A small fulfillment center with a skewed (Zipf) demand mix.
+
+    Slotting only matters when products differ in popularity: under a Zipf
+    mix, moving the popular products onto shelves near the stations shortens
+    the realized tours, so the ``product_order`` permutation has a real
+    gradient for the search to climb.  The seed design starts from a
+    deliberately naive slotting (an arbitrary legacy assignment that parks
+    the demand head on far shelves) — the situation a slotting campaign
+    exists to fix.
+    """
+    return ScenarioSpec(
+        kind="fulfillment",
+        num_slices=1,
+        shelf_columns=4,
+        shelf_bands=3,
+        num_stations=1,
+        num_products=6,
+        units=12,
+        workload_mix="zipf",
+        zipf_exponent=1.4,
+        horizon=600,
+        seed=seed,
+        product_order=(6, 4, 1, 3, 2, 5),
+    )
+
+
+def slotting_space(seed: int = 0) -> DesignSpace:
+    """Slot-to-product assignment only: the pure slotting campaign."""
+    return DesignSpace(base=_slotting_base(seed), knobs=(PermutationKnob(),))
+
+
+def layout_space(seed: int = 0) -> DesignSpace:
+    """Layout geometry only: shelf grid, station count/size, no slotting."""
+    return DesignSpace(
+        base=_slotting_base(seed),
+        knobs=(
+            IntKnob("shelf_columns", 3, 6),
+            IntKnob("shelf_bands", 1, 5, step=2),
+            IntKnob("num_stations", 1, 2),
+            IntKnob("station_cells", 1, 3),
+        ),
+    )
+
+
+def joint_space(seed: int = 0) -> DesignSpace:
+    """Slotting and layout geometry moved together (the co-design campaign)."""
+    return DesignSpace(
+        base=_slotting_base(seed),
+        knobs=(
+            PermutationKnob(),
+            IntKnob("shelf_columns", 3, 6),
+            IntKnob("shelf_bands", 1, 5, step=2),
+            IntKnob("num_stations", 1, 2),
+        ),
+    )
+
+
+def sorting_space(seed: int = 0) -> DesignSpace:
+    """Sorting-center geometry: chute grid and spacing, bins and bin cells."""
+    base = ScenarioSpec(
+        kind="sorting",
+        num_slices=2,
+        shelf_columns=5,
+        shelf_bands=1,
+        chute_spacing=2,
+        num_stations=2,
+        units=8,
+        horizon=600,
+        seed=seed,
+    )
+    return DesignSpace(
+        base=base,
+        knobs=(
+            IntKnob("shelf_columns", 3, 7),
+            IntKnob("chute_spacing", 2, 4),
+            IntKnob("num_stations", 1, 3),
+            IntKnob("station_cells", 1, 2),
+        ),
+    )
+
+
+#: Named campaign presets reachable from ``repro optimize --preset``.
+OPTIMIZE_PRESETS = {
+    "slotting-small": slotting_space,
+    "layout-small": layout_space,
+    "joint-small": joint_space,
+    "sorting-small": sorting_space,
+}
+
+
+def preset_space(name: str, seed: int = 0) -> DesignSpace:
+    """The design space of a named campaign preset."""
+    if name not in OPTIMIZE_PRESETS:
+        raise OptimizeError(
+            f"unknown optimize preset {name!r}; available: "
+            f"{', '.join(sorted(OPTIMIZE_PRESETS))}"
+        )
+    return OPTIMIZE_PRESETS[name](seed)

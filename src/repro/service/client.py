@@ -108,6 +108,34 @@ class ServiceClient:
     def dashboard(self, events_limit: int = 50) -> Dict:
         return self._request("GET", f"/dashboard?events={events_limit}")[1]
 
+    def optimize(self, document: Dict) -> Tuple[int, Dict]:
+        """Start an optimization campaign (``POST /optimize``)."""
+        return self._request("POST", "/optimize", body=document)
+
+    def optimize_status(self, campaign_id: str = "") -> Tuple[int, Dict]:
+        """One campaign's status, or the campaign registry when id is empty."""
+        path = "/optimize/status" + (f"/{campaign_id}" if campaign_id else "")
+        return self._request("GET", path)
+
+    def wait_optimize(
+        self, campaign_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> Dict:
+        """Poll ``/optimize/status/<id>`` until the campaign leaves ``running``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, document = self.optimize_status(campaign_id)
+            if status != 200:
+                raise ServiceClientError(
+                    f"campaign {campaign_id!r}: HTTP {status}: {document.get('error')}"
+                )
+            if document.get("state") != "running":
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"campaign {campaign_id!r} still running after {timeout:g}s"
+                )
+            time.sleep(poll)
+
     def stream_events(
         self,
         since: int = -1,
@@ -214,11 +242,15 @@ class _ResponseView:
     at tens of thousands of responses per second the difference shows.
     """
 
-    __slots__ = ("state", "cache")
+    __slots__ = ("state", "cache", "document")
 
     def __init__(self, document: Dict):
         self.state = str(document.get("state", ""))
         self.cache = str(document.get("cache", ""))
+        #: The full parsed response document — a reference, not a copy, so the
+        #: hot measurement path pays nothing while consumers that need the
+        #: embedded run record (``repro.optimize``'s remote evaluator) keep it.
+        self.document = document
 
     @property
     def terminal(self) -> bool:

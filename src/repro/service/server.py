@@ -25,6 +25,8 @@ Two classes, deliberately separated:
   ``/submit``                   POST    asynchronous solve -> ``request_id``
   ``/status/<id>``              GET     state of an asynchronous submission
   ``/result/<id>``              GET     response of a finished submission
+  ``/optimize``                 POST    start an optimization campaign -> id
+  ``/optimize/status[/<id>]``   GET     campaign list / one campaign's state
   ============================  ======  =========================================
 
   ``/events`` speaks Server-Sent Events (``text/event-stream``): one
@@ -142,6 +144,53 @@ class _Submission:
     done: threading.Event = field(default_factory=threading.Event)
 
 
+@dataclass
+class _Campaign:
+    """Registry entry of one ``/optimize`` campaign running on the service."""
+
+    campaign_id: str
+    optimizer: str
+    objective: str
+    budget: int
+    seed: int
+    preset: str = ""
+    state: str = "running"  # running | done | failed
+    steps: int = 0
+    evaluations: int = 0
+    baseline_score: Optional[float] = None
+    best_score: Optional[float] = None
+    best_scenario_id: str = ""
+    error: str = ""
+    #: The full ``optimize-report`` document once the campaign finishes.
+    report: Optional[Dict] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def summary(self) -> Dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "state": self.state,
+            "preset": self.preset,
+            "optimizer": self.optimizer,
+            "objective": self.objective,
+            "budget": self.budget,
+            "seed": self.seed,
+            "steps": self.steps,
+            "evaluations": self.evaluations,
+            "baseline_score": self.baseline_score,
+            "best_score": self.best_score,
+            "best_scenario_id": self.best_scenario_id,
+            "error": self.error,
+        }
+
+    def detail(self) -> Dict:
+        document = self.summary()
+        document["schema"] = "optimize-status"
+        document["version"] = 1
+        if self.report is not None:
+            document["report"] = self.report
+        return document
+
+
 class SolveService:
     """Transport-independent request resolution (cache -> coalesce -> pool)."""
 
@@ -203,6 +252,9 @@ class SolveService:
         self._submissions: Dict[str, _Submission] = {}
         self._submission_order: deque = deque()
         self._request_ids = itertools.count(1)
+        self._campaigns: Dict[str, _Campaign] = {}
+        self._campaign_order: deque = deque()
+        self._campaign_ids = itertools.count(1)
         if self.config.warm_up:
             self.pool.warm_up()
         self.events.emit(
@@ -614,6 +666,182 @@ class SolveService:
                 yield buffered.pop(next_index)
                 next_index += 1
 
+    # -- optimization campaigns --------------------------------------------------
+    #: Hard ceiling on one campaign's evaluation budget: every evaluation is
+    #: a pipeline run on this service's pool, so an unbounded budget would be
+    #: an unbounded compute request hiding behind a single POST.
+    OPTIMIZE_MAX_BUDGET = 512
+    #: Concurrent running campaigns (each fans out onto the shared pool).
+    OPTIMIZE_MAX_RUNNING = 2
+    #: Finished campaigns retained for ``/optimize/status`` polling.
+    _CAMPAIGN_HISTORY = 64
+
+    def start_optimize(self, document: Dict) -> Tuple[int, Dict]:
+        """Start an optimization campaign; returns ``(http_status, body)``.
+
+        The campaign runs on a background thread and evaluates every
+        candidate through :meth:`resolve` — sharing the cache, coalescing,
+        worker pool and metrics with ordinary traffic — while progress is
+        published under ``/optimize/status/<id>`` and as ``optimize.*``
+        events on the SSE stream.
+        """
+        from ..optimize import (
+            DesignSpace,
+            OptimizeError,
+            ServiceEvaluator,
+            knob_from_dict,
+            make_objective,
+            make_optimizer,
+            preset_space,
+            run_campaign,
+        )
+
+        if self._draining:
+            return 503, {"error": "service is draining", "retry_after_seconds": 5.0}
+        if not isinstance(document, dict):
+            return 400, {"error": "optimize request must be a JSON object"}
+        preset = str(document.get("preset", "slotting-small"))
+        try:
+            budget = int(document.get("budget", 16))
+            seed = int(document.get("seed", 0))
+            if not 1 <= budget <= self.OPTIMIZE_MAX_BUDGET:
+                raise OptimizeError(
+                    f"budget must be between 1 and {self.OPTIMIZE_MAX_BUDGET} "
+                    f"evaluations (got {budget})"
+                )
+            space_document = document.get("space")
+            if space_document is not None:
+                space = DesignSpace(
+                    base=ScenarioSpec.from_dict(space_document["base"]),
+                    knobs=tuple(
+                        knob_from_dict(knob) for knob in space_document["knobs"]
+                    ),
+                )
+                preset = ""
+            else:
+                space = preset_space(preset, seed=int(document.get("space_seed", 0)))
+            options = document.get("options") or {}
+            if not isinstance(options, dict):
+                raise OptimizeError("options must be a JSON object")
+            optimizer = make_optimizer(
+                str(document.get("optimizer", "anneal")), **options
+            )
+            objective = make_objective(
+                str(document.get("objective", "throughput")),
+                violation_weight=float(document.get("violation_weight", 0.1)),
+            )
+        except (OptimizeError, KeyError, TypeError, ValueError) as error:
+            return 400, {"error": f"invalid optimize request: {error}"}
+
+        with self._lock:
+            running = sum(
+                1 for entry in self._campaigns.values() if entry.state == "running"
+            )
+            if running >= self.OPTIMIZE_MAX_RUNNING:
+                return 429, {
+                    "error": (
+                        f"{running} campaigns already running "
+                        f"(limit {self.OPTIMIZE_MAX_RUNNING})"
+                    ),
+                    "retry_after_seconds": 10.0,
+                }
+            campaign = _Campaign(
+                campaign_id=f"opt-{next(self._campaign_ids):06d}",
+                optimizer=optimizer.name,
+                objective=objective.name,
+                budget=budget,
+                seed=seed,
+                preset=preset,
+            )
+            self._campaigns[campaign.campaign_id] = campaign
+            self._campaign_order.append(campaign.campaign_id)
+            while len(self._campaign_order) > self._CAMPAIGN_HISTORY:
+                for index, stale_id in enumerate(self._campaign_order):
+                    stale = self._campaigns.get(stale_id)
+                    if stale is None or stale.done.is_set():
+                        del self._campaign_order[index]
+                        self._campaigns.pop(stale_id, None)
+                        break
+                else:  # every retained campaign still running; allow growth
+                    break
+
+        evaluator = ServiceEvaluator(self, timeout_seconds=self.config.timeout_seconds)
+
+        def progress(record, _replayed: bool) -> None:
+            with self._lock:
+                campaign.steps = record.step + 1
+                campaign.evaluations = record.evaluations
+                campaign.best_score = record.best_score
+                campaign.best_scenario_id = record.best_scenario_id
+
+        def run() -> None:
+            try:
+                result = run_campaign(
+                    space,
+                    optimizer,
+                    objective,
+                    evaluator,
+                    budget=budget,
+                    seed=seed,
+                    events=self.events,
+                    registry=self.registry,
+                    progress=progress,
+                )
+                with self._lock:
+                    campaign.state = "done"
+                    campaign.baseline_score = result.baseline_score
+                    campaign.best_score = result.best_score
+                    campaign.best_scenario_id = result.best_spec.scenario_id
+                    campaign.evaluations = result.evaluations
+                    campaign.steps = len(result.steps)
+                    campaign.report = result.to_dict()
+            except Exception as error:  # noqa: BLE001 - campaign failure is a status
+                with self._lock:
+                    campaign.state = "failed"
+                    campaign.error = f"{type(error).__name__}: {error}"
+            finally:
+                campaign.done.set()
+
+        threading.Thread(target=run, name=campaign.campaign_id, daemon=True).start()
+        return 202, {
+            "schema": "optimize-submitted",
+            "version": 1,
+            "campaign_id": campaign.campaign_id,
+            "state": "running",
+            "preset": preset,
+            "optimizer": optimizer.name,
+            "objective": objective.name,
+            "budget": budget,
+            "seed": seed,
+        }
+
+    def optimize_status(self, campaign_id: Optional[str] = None) -> Optional[Dict]:
+        """One campaign's detail, or the registry summary (None: unknown id)."""
+        with self._lock:
+            if campaign_id is None:
+                return {
+                    "schema": "optimize-status",
+                    "version": 1,
+                    "campaigns": [
+                        self._campaigns[entry].summary()
+                        for entry in self._campaign_order
+                        if entry in self._campaigns
+                    ],
+                }
+            campaign = self._campaigns.get(campaign_id)
+            return campaign.detail() if campaign is not None else None
+
+    def wait_optimize(
+        self, campaign_id: str, timeout: Optional[float] = None
+    ) -> Optional[Dict]:
+        """Block until a campaign finishes; None for unknown ids."""
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            return None
+        campaign.done.wait(timeout=timeout)
+        return self.optimize_status(campaign_id)
+
     # -- health/metrics ---------------------------------------------------------
     def health(self) -> Dict:
         from .. import __version__
@@ -850,6 +1078,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if parsed.path == "/events":
             self._handle_events(parse_qs(parsed.query))
             return
+        if parsed.path in ("/optimize/status", "/optimize/status/"):
+            self._send_json(200, self.service.optimize_status())
+            return
+        if parsed.path.startswith("/optimize/status/"):
+            campaign_id = parsed.path[len("/optimize/status/"):]
+            status = self.service.optimize_status(campaign_id)
+            if status is None:
+                self._send_json(404, {"error": f"unknown campaign {campaign_id!r}"})
+                return
+            self._send_json(200, status)
+            return
         for prefix, waits in (("/status/", False), ("/result/", True)):
             if self.path.startswith(prefix):
                 request_id = self.path[len(prefix):]
@@ -962,6 +1201,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         if self.path == "/batch":
             self._handle_batch(raw)
+            return
+        if self.path == "/optimize":
+            document = self._parse_body(raw)
+            if document is None:
+                return
+            status, payload = self.service.start_optimize(document)
+            self._send_json(
+                status, payload, retry_after=payload.get("retry_after_seconds")
+            )
             return
         self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
 

@@ -42,6 +42,50 @@ class TestScenarioSpec:
         assert spec.scenario_id != replace(spec, seed=1).scenario_id
         assert spec.scenario_id != replace(spec, kind="sorting").scenario_id
 
+    def test_with_updates_is_frozen_safe(self):
+        spec = ScenarioSpec(units=10)
+        updated = spec.with_updates(units=20, seed=5)
+        assert (updated.units, updated.seed) == (20, 5)
+        assert (spec.units, spec.seed) == (10, 0)  # the original is untouched
+        assert updated is not spec
+
+    def test_with_updates_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="no_such_knob"):
+            ScenarioSpec().with_updates(no_such_knob=1)
+
+    def test_with_updates_id_changes_iff_hashed_field_changes(self):
+        spec = ScenarioSpec(units=10)
+        # name is excluded from the hash: the id must survive a rename.
+        assert spec.with_updates(name="renamed").scenario_id == spec.scenario_id
+        # every hashed field must move the id.
+        for overrides in (
+            {"units": 11},
+            {"seed": 9},
+            {"shelf_columns": spec.shelf_columns + 1},
+            {"product_order": tuple(range(1, spec.num_products + 1))},
+        ):
+            assert spec.with_updates(**overrides).scenario_id != spec.scenario_id
+        # a no-op update keeps the id (and equality).
+        assert spec.with_updates(units=10).scenario_id == spec.scenario_id
+
+    def test_empty_product_order_keeps_historical_id(self):
+        # () is dropped from the hash payload: pre-slotting scenarios keep
+        # their archived ids, while an *explicit* identity permutation is a
+        # different design identity (it pins the order).
+        spec = ScenarioSpec(units=10)
+        assert spec.with_updates(product_order=()).scenario_id == spec.scenario_id
+        identity = tuple(range(1, spec.num_products + 1))
+        assert spec.with_updates(product_order=identity).scenario_id != spec.scenario_id
+
+    def test_product_order_normalized_to_tuple(self):
+        spec = ScenarioSpec(product_order=[2, 1, 3, 4, 5, 6])
+        assert spec.product_order == (2, 1, 3, 4, 5, 6)
+        assert spec == ScenarioSpec(product_order=(2, 1, 3, 4, 5, 6))
+
+    def test_product_order_rejected_for_sorting(self):
+        with pytest.raises(ScenarioError, match="fulfillment"):
+            ScenarioSpec(kind="sorting", product_order=(1, 2)).validate()
+
     @pytest.mark.parametrize(
         "overrides",
         [
